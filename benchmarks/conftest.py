@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every module in this directory regenerates one figure of the paper (or one
+ablation called out in DESIGN.md).  The benchmarks are written against
+pytest-benchmark: run them with
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute times will differ from the 1986 VAX/Pascal numbers; the reproduced
+quantity is the *shape* of each figure (who wins and by roughly what
+factor), which the modules assert explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines.sieve import prepare_sieve_workload
+from repro.machines.stack_machine import build_stack_machine
+
+#: Sieve size whose workload is of the same order as the paper's benchmark
+#: (the thesis ran its stack machine for 5545 cycles; size 20 needs ~5600).
+PAPER_SIEVE_SIZE = 20
+
+#: The exact cycle count reported in Figure 5.1.
+PAPER_CYCLES = 5545
+
+
+@pytest.fixture(scope="session")
+def sieve_workload():
+    """The Figure 5.1 workload: the sieve program plus its ISP measurements."""
+    return prepare_sieve_workload(PAPER_SIEVE_SIZE)
+
+
+@pytest.fixture(scope="session")
+def sieve_machine(sieve_workload):
+    """The stack machine built around the Figure 5.1 sieve program."""
+    return build_stack_machine(sieve_workload.program)
+
+
+@pytest.fixture(scope="session")
+def small_sieve_workload():
+    """A smaller sieve used by benchmarks that run many repetitions."""
+    return prepare_sieve_workload(6)
+
+
+@pytest.fixture(scope="session")
+def small_sieve_machine(small_sieve_workload):
+    return build_stack_machine(small_sieve_workload.program)

@@ -1,0 +1,88 @@
+"""Experiment E6 — ablation of the Section 4.4 optimizations.
+
+ASIM II inlines constant ALU functions and drops the operation dispatch of
+constant-operation memories.  This ablation compiles the sieve stack machine
+with and without those optimizations (plus the constant-selector folding
+this reproduction adds) and compares simulation time; results must stay
+functionally identical in every configuration.
+"""
+
+import pytest
+
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions, analyze_specification
+
+CONFIGURATIONS = {
+    "all-optimizations": CodegenOptions.fastest(),
+    "no-inline-alu": CodegenOptions(
+        inline_constant_functions=False,
+        emit_cycle_trace=False, emit_access_trace=False,
+    ),
+    "no-memory-specialisation": CodegenOptions(
+        specialize_constant_memory_ops=False,
+        emit_cycle_trace=False, emit_access_trace=False,
+    ),
+    "no-selector-folding": CodegenOptions(
+        fold_constant_selectors=False,
+        emit_cycle_trace=False, emit_access_trace=False,
+    ),
+    "unoptimized": CodegenOptions(
+        inline_constant_functions=False,
+        specialize_constant_memory_ops=False,
+        fold_constant_selectors=False,
+        emit_cycle_trace=False, emit_access_trace=False,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def reference_outputs(small_sieve_machine, small_sieve_workload):
+    prepared = CompiledBackend(CodegenOptions.fastest()).prepare(
+        small_sieve_machine.spec
+    )
+    result = prepared.run(cycles=small_sieve_workload.cycles_needed, trace=False)
+    assert result.output_integers() == small_sieve_workload.outputs
+    return result.output_integers()
+
+
+@pytest.mark.parametrize("name", list(CONFIGURATIONS))
+def test_ablation_codegen_configuration(
+    benchmark, name, small_sieve_machine, small_sieve_workload, reference_outputs
+):
+    options = CONFIGURATIONS[name]
+    prepared = CompiledBackend(options).prepare(small_sieve_machine.spec)
+
+    def run():
+        return prepared.run(
+            cycles=small_sieve_workload.cycles_needed,
+            trace=False,
+            collect_stats=False,
+        )
+
+    result = benchmark(run)
+    assert result.output_integers() == reference_outputs
+
+    report = analyze_specification(small_sieve_machine.spec, options)
+    benchmark.extra_info["inlined_alus"] = report.inlined_alu_count
+    benchmark.extra_info["specialized_memories"] = report.specialized_memory_count
+
+
+def test_ablation_optimizations_do_not_change_results(
+    benchmark, small_sieve_machine, small_sieve_workload
+):
+    """Functional invariance across every configuration (run once each)."""
+
+    def run_all():
+        outputs = []
+        for options in CONFIGURATIONS.values():
+            prepared = CompiledBackend(options).prepare(small_sieve_machine.spec)
+            result = prepared.run(
+                cycles=small_sieve_workload.cycles_needed, trace=False,
+                collect_stats=False,
+            )
+            outputs.append(tuple(result.output_integers()))
+        return outputs
+
+    outputs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert len(set(outputs)) == 1
+    assert list(outputs[0]) == small_sieve_workload.outputs

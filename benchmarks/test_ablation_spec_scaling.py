@@ -1,0 +1,95 @@
+"""Experiment E9 — how the compiled-vs-interpreted speedup scales with design size.
+
+Section 5.2 notes that ASIM's interpretation overhead made it "too slow to
+simulate a usable microprocessor specification" while small designs were
+tolerable.  This ablation measures both backends across the bundled machines
+— from the 4-component counter to the 42-component stack machine — so the
+speedup-vs-size trend can be read off the benchmark table.
+"""
+
+import pytest
+
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions
+from repro.interp.interpreter import InterpreterBackend
+from repro.machines import (
+    build_counter_spec,
+    build_gcd_spec,
+    build_stack_machine_spec,
+    build_traffic_light_spec,
+    prepare_division_workload,
+    prepare_sieve_workload,
+)
+from repro.machines.tiny_computer import build_tiny_computer_spec
+
+CYCLES = 2000
+
+
+def _machines():
+    return {
+        "counter-4-components": build_counter_spec(width_bits=8),
+        "traffic-light-9-components": build_traffic_light_spec(),
+        "gcd-9-components": build_gcd_spec(2520, 1155),
+        "tiny-computer-29-components": build_tiny_computer_spec(
+            prepare_division_workload(900, 7).program
+        ),
+        "stack-machine-42-components": build_stack_machine_spec(
+            prepare_sieve_workload(20).program
+        ),
+    }
+
+
+_SPECS = _machines()
+
+
+@pytest.mark.parametrize("name", list(_SPECS))
+def test_scaling_interpreter(benchmark, name):
+    spec = _SPECS[name]
+    prepared = InterpreterBackend().prepare(spec)
+
+    def run():
+        return prepared.run(cycles=CYCLES, trace=False, collect_stats=False)
+
+    result = benchmark(run)
+    assert result.cycles_run == CYCLES
+    benchmark.extra_info["components"] = len(spec.components)
+
+
+@pytest.mark.parametrize("name", list(_SPECS))
+def test_scaling_compiled(benchmark, name):
+    spec = _SPECS[name]
+    prepared = CompiledBackend(CodegenOptions.fastest()).prepare(spec)
+
+    def run():
+        return prepared.run(cycles=CYCLES, trace=False, collect_stats=False)
+
+    result = benchmark(run)
+    assert result.cycles_run == CYCLES
+    benchmark.extra_info["components"] = len(spec.components)
+
+
+def test_scaling_speedup_grows_with_design_size(benchmark):
+    """The bigger the specification, the more the compiled backend gains."""
+    import time
+
+    def measure():
+        speedups = {}
+        for name, spec in _SPECS.items():
+            interpreter = InterpreterBackend().prepare(spec)
+            compiled = CompiledBackend(CodegenOptions.fastest()).prepare(spec)
+            start = time.perf_counter()
+            interpreter.run(cycles=500, trace=False, collect_stats=False)
+            interp_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            compiled.run(cycles=500, trace=False, collect_stats=False)
+            compiled_seconds = time.perf_counter() - start
+            speedups[name] = interp_seconds / max(compiled_seconds, 1e-9)
+        return speedups
+
+    speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, speedup in speedups.items():
+        benchmark.extra_info[name] = round(speedup, 1)
+    # every design benefits, and the processor-scale designs benefit at least
+    # as much as the toy designs (the paper's motivation for ASIM II)
+    assert all(speedup > 1.0 for speedup in speedups.values())
+    assert speedups["stack-machine-42-components"] >= speedups["counter-4-components"]

@@ -1,0 +1,41 @@
+"""Experiment E1 — Figure 3.1: bit concatenation.
+
+The figure illustrates the expression ``mem.3.4, #01, count.1``: two bits of
+``mem``, a two-bit literal and one bit of ``count`` concatenated into a
+five-bit value.  The benchmark measures parsing and evaluating that exact
+expression (the operation at the heart of every generated statement) and
+asserts the layout the figure draws.
+"""
+
+from repro.rtl.expressions import parse_expression
+
+FIGURE_EXPRESSION = "mem.3.4,#01,count.1"
+_VALUES = {"mem": 0b11000, "count": 0b10}
+
+
+def _lookup(name: str) -> int:
+    return _VALUES[name]
+
+
+def test_fig_3_1_parse_expression(benchmark):
+    expression = benchmark(parse_expression, FIGURE_EXPRESSION)
+    assert expression.total_width == 5
+    assert [field.to_spec() for field in expression.fields] == [
+        "mem.3.4", "#01", "count.1",
+    ]
+
+
+def test_fig_3_1_evaluate_concatenation(benchmark):
+    expression = parse_expression(FIGURE_EXPRESSION)
+    value = benchmark(expression.evaluate, _lookup)
+    # leftmost field most significant: [mem.4 mem.3 | 0 1 | count.1]
+    assert value == 0b11_01_1
+
+
+def test_fig_3_1_generated_python_matches(benchmark):
+    expression = parse_expression(FIGURE_EXPRESSION)
+    code = expression.to_python(lambda name: f"v_{name}")
+    compiled = compile(code, "<figure31>", "eval")
+    env = {f"v_{name}": value for name, value in _VALUES.items()}
+    value = benchmark(eval, compiled, env)
+    assert value == expression.evaluate(_lookup)

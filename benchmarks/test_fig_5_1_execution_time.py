@@ -1,0 +1,203 @@
+"""Experiment E5 — Figure 5.1: execution time comparison of ASIM and ASIM II.
+
+The paper's table (times in seconds, VAX 11/780, stack machine sieve run for
+5545 cycles):
+
+    ASIM            Generate tables    10.8
+                    Simulation time   310.6
+    ASIM II         Generate code      34.2
+                    Pascal Compile     43.2
+                    Simulation time    15.0
+    Traditional     Generate Prototype ~100000
+                    Run Prototype       ~0.01
+
+i.e. the compiled simulator is ~20x faster than the interpreter on the
+simulation phase and ~2.5x faster end to end, at the price of a longer
+preparation phase.  This module reproduces each row on the same workload
+(our rebuilt stack machine running the sieve for exactly 5545 cycles) and a
+summary test asserts the shape: an order-of-magnitude simulation speedup,
+preparation being the compiled backend's dominant cost, and identical
+outputs from both systems.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import PAPER_CYCLES
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions
+from repro.interp.interpreter import InterpreterBackend
+
+#: The constants the paper quotes for hand-built prototypes (seconds).
+PAPER_PROTOTYPE_BUILD_SECONDS = 100_000
+PAPER_PROTOTYPE_RUN_SECONDS = 0.01
+
+#: Paper-reported rows (seconds) for EXPERIMENTS.md cross-referencing.
+PAPER_FIGURE_5_1 = {
+    ("ASIM", "generate tables"): 10.8,
+    ("ASIM", "simulation"): 310.6,
+    ("ASIM II", "generate code"): 34.2,
+    ("ASIM II", "compile"): 43.2,
+    ("ASIM II", "simulation"): 15.0,
+}
+
+
+@pytest.fixture(scope="module")
+def fast_options():
+    return CodegenOptions.fastest()
+
+
+# ---------------------------------------------------------------------------
+# Row 1/2: ASIM (interpreter) — generate tables, simulation time
+# ---------------------------------------------------------------------------
+
+
+def test_fig_5_1_asim_generate_tables(benchmark, sieve_machine):
+    """'Generate tables 10.8' — preparing the interpreter's sorted tables."""
+    backend = InterpreterBackend()
+    prepared = benchmark(backend.prepare, sieve_machine.spec)
+    assert prepared.spec is sieve_machine.spec
+
+
+def test_fig_5_1_asim_simulation_time(benchmark, sieve_machine, sieve_workload):
+    """'Simulation time 310.6' — interpreting 5545 cycles of the sieve."""
+    prepared = InterpreterBackend().prepare(sieve_machine.spec)
+
+    def run():
+        return prepared.run(cycles=PAPER_CYCLES, trace=False, collect_stats=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.cycles_run == PAPER_CYCLES
+    assert result.output_integers() == sieve_workload.outputs[
+        : len(result.output_integers())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rows 3-5: ASIM II (compiler) — generate code, compile, simulation time
+# ---------------------------------------------------------------------------
+
+
+def test_fig_5_1_asim2_generate_code(benchmark, sieve_machine, fast_options):
+    """'Generate code 34.2' — emitting the simulator program source."""
+    from repro.compiler.codegen_python import generate_python
+
+    source = benchmark(generate_python, sieve_machine.spec, fast_options)
+    assert "def simulate" in source
+
+
+def test_fig_5_1_asim2_compile(benchmark, sieve_machine, fast_options):
+    """'Pascal Compile 43.2' — byte-compiling the generated program."""
+    from repro.compiler.codegen_python import generate_python
+
+    source = generate_python(sieve_machine.spec, fast_options)
+
+    def compile_it():
+        namespace: dict = {}
+        exec(compile(source, "<fig51>", "exec"), namespace)
+        return namespace["simulate"]
+
+    simulate = benchmark(compile_it)
+    assert callable(simulate)
+
+
+def test_fig_5_1_asim2_simulation_time(benchmark, sieve_machine, sieve_workload,
+                                        fast_options):
+    """'Simulation time 15.0' — running the compiled simulator 5545 cycles."""
+    prepared = CompiledBackend(fast_options).prepare(sieve_machine.spec)
+
+    def run():
+        return prepared.run(cycles=PAPER_CYCLES, trace=False, collect_stats=False)
+
+    result = benchmark(run)
+    assert result.cycles_run == PAPER_CYCLES
+    assert result.output_integers() == sieve_workload.outputs[
+        : len(result.output_integers())
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The whole figure: measure every row and assert the paper's shape
+# ---------------------------------------------------------------------------
+
+
+def _measure_figure(spec, cycles, options) -> dict[tuple[str, str], float]:
+    rows: dict[tuple[str, str], float] = {}
+
+    start = time.perf_counter()
+    interpreter = InterpreterBackend().prepare(spec)
+    rows[("ASIM", "generate tables")] = time.perf_counter() - start
+    start = time.perf_counter()
+    interpreter_result = interpreter.run(cycles=cycles, trace=False,
+                                         collect_stats=False)
+    rows[("ASIM", "simulation")] = time.perf_counter() - start
+
+    compiled = CompiledBackend(options).prepare(spec)
+    rows[("ASIM II", "generate code")] = compiled.generate_seconds
+    rows[("ASIM II", "compile")] = compiled.compile_seconds
+    start = time.perf_counter()
+    compiled_result = compiled.run(cycles=cycles, trace=False, collect_stats=False)
+    rows[("ASIM II", "simulation")] = time.perf_counter() - start
+
+    rows[("Traditional", "generate prototype")] = PAPER_PROTOTYPE_BUILD_SECONDS
+    rows[("Traditional", "run prototype")] = PAPER_PROTOTYPE_RUN_SECONDS
+
+    assert interpreter_result.output_integers() == compiled_result.output_integers()
+    assert interpreter_result.final_values == compiled_result.final_values
+    return rows
+
+
+def test_fig_5_1_full_table(benchmark, sieve_machine, fast_options):
+    """Regenerate the whole Figure 5.1 table and assert its shape."""
+    rows = benchmark.pedantic(
+        _measure_figure,
+        args=(sieve_machine.spec, PAPER_CYCLES, fast_options),
+        rounds=1,
+        iterations=1,
+    )
+
+    interpreter_sim = rows[("ASIM", "simulation")]
+    compiled_sim = rows[("ASIM II", "simulation")]
+    speedup = interpreter_sim / compiled_sim
+    compiled_total = (
+        rows[("ASIM II", "generate code")]
+        + rows[("ASIM II", "compile")]
+        + compiled_sim
+    )
+    interpreter_total = rows[("ASIM", "generate tables")] + interpreter_sim
+    end_to_end_speedup = interpreter_total / compiled_total
+
+    lines = ["", "Figure 5.1 — execution time comparison (seconds)",
+             f"(stack machine sieve, {PAPER_CYCLES} cycles)"]
+    paper = dict(PAPER_FIGURE_5_1)
+    paper[("Traditional", "generate prototype")] = PAPER_PROTOTYPE_BUILD_SECONDS
+    paper[("Traditional", "run prototype")] = PAPER_PROTOTYPE_RUN_SECONDS
+    for (system, phase), seconds in rows.items():
+        reported = paper.get((system, phase))
+        reported_text = f"{reported:>10}" if reported is not None else "          "
+        lines.append(
+            f"  {system:<12s} {phase:<20s} measured {seconds:10.4f}   paper {reported_text}"
+        )
+    lines.append(
+        f"  simulation-phase speedup: measured {speedup:.1f}x, paper ~20x"
+    )
+    lines.append(
+        f"  end-to-end speedup:       measured {end_to_end_speedup:.1f}x, paper ~2.5x"
+    )
+    print("\n".join(lines))
+
+    benchmark.extra_info["simulation_speedup"] = round(speedup, 2)
+    benchmark.extra_info["end_to_end_speedup"] = round(end_to_end_speedup, 2)
+
+    # ---- the shape the paper reports -------------------------------------------
+    # 1. the compiled simulator is at least several times faster per cycle
+    assert speedup >= 3.0, f"expected an ASIM II simulation speedup, got {speedup:.2f}x"
+    # 2. preparation dominates the compiled backend's one-shot cost far less
+    #    than simulation dominates the interpreter's (prepare-once/run-many wins)
+    assert rows[("ASIM", "simulation")] > rows[("ASIM", "generate tables")]
+    # 3. both systems remain far cheaper than building a hardware prototype
+    assert compiled_total < PAPER_PROTOTYPE_BUILD_SECONDS
+    assert interpreter_total < PAPER_PROTOTYPE_BUILD_SECONDS

@@ -1,0 +1,58 @@
+"""Experiment E8 — hardware construction (Section 5.3, Appendix F).
+
+Appendix F translates the tiny computer specification into a circuit built
+from catalog parts (RAM, multiplexors, adders, comparators, flip-flops, an
+ALU).  This benchmark runs our hardware-construction pass over the same
+machine (and over the stack machine for scale) and asserts that the bill of
+materials is drawn from the Appendix F part vocabulary.
+"""
+
+import pytest
+
+from repro.machines import prepare_division_workload, prepare_sieve_workload
+from repro.machines.stack_machine import build_stack_machine_spec
+from repro.machines.tiny_computer import build_tiny_computer_spec
+from repro.synth import (
+    APPENDIX_F_PART_NAMES,
+    bill_of_materials,
+    extract_netlist,
+    hardware_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return build_tiny_computer_spec(prepare_division_workload(100, 7).program)
+
+
+@pytest.fixture(scope="module")
+def stack_spec():
+    return build_stack_machine_spec(prepare_sieve_workload(10).program)
+
+
+def test_hw_tiny_computer_bill_of_materials(benchmark, tiny_spec):
+    bom = benchmark(bill_of_materials, tiny_spec)
+    allowed = set(APPENDIX_F_PART_NAMES) | {"quad OR", "quad XOR", "hex inverter"}
+    assert bom.part_names <= allowed
+    assert "2K x 8 bit RAM" in bom.part_names
+    assert "4 bit adder" in bom.part_names
+    assert any("multiplexor" in part for part in bom.part_names)
+    benchmark.extra_info["total_packages"] = bom.total_packages
+
+
+def test_hw_tiny_computer_netlist(benchmark, tiny_spec):
+    netlist = benchmark(extract_netlist, tiny_spec)
+    assert len(netlist.wires) > 30
+    # every component is reachable in the wiring list text
+    wiring = netlist.render_wiring_list()
+    for name in tiny_spec.component_names():
+        assert name in wiring
+
+
+def test_hw_stack_machine_report(benchmark, stack_spec):
+    report = benchmark(hardware_report, stack_spec)
+    bom = report.bill_of_materials
+    assert bom.total_packages > 50          # a processor, not a toy
+    assert "2K x 8 bit RAM" in bom.part_names
+    benchmark.extra_info["total_packages"] = bom.total_packages
+    benchmark.extra_info["wires"] = len(report.netlist.wires)

@@ -1,0 +1,43 @@
+"""Reproduction of ASIM II — architecture simulation with a register transfer language.
+
+The package is organised around the paper's two systems and their substrate:
+
+* :mod:`repro.rtl` — the specification language (ALU / selector / memory
+  primitives, expressions, parser, dependency analysis);
+* :mod:`repro.interp` — the ASIM-style table interpreter (baseline);
+* :mod:`repro.compiler` — the ASIM II-style compiler generating Python (and
+  Pascal, for fidelity) simulators;
+* :mod:`repro.core` — the public ``Simulator`` facade, I/O, tracing,
+  statistics and cross-backend comparison;
+* :mod:`repro.isa` — ISAs, assemblers and instruction-set-level simulators;
+* :mod:`repro.machines` — bundled example machines (counter, stack machine
+  running the Sieve of Eratosthenes, the Appendix-F tiny computer, ...);
+* :mod:`repro.synth` — hardware construction (netlist and parts list);
+* :mod:`repro.analysis` — fault injection, profiling and equivalence checks.
+"""
+
+from repro.core.comparison import compare_backends
+from repro.core.iosystem import QueueIO, StreamIO
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator, simulate
+from repro.core.trace import TraceOptions
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.parser import parse_spec, parse_spec_file
+from repro.rtl.spec import Specification
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compare_backends",
+    "QueueIO",
+    "StreamIO",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "TraceOptions",
+    "SpecBuilder",
+    "parse_spec",
+    "parse_spec_file",
+    "Specification",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Design verification aids: fault injection, profiling, equivalence sweeps."""
+
+from repro.analysis.equivalence import (
+    FaultDetection,
+    LibraryVerification,
+    fault_detection_experiment,
+    verify_library,
+)
+from repro.analysis.faults import (
+    TransientFault,
+    inject_stuck_at,
+    inject_stuck_bit,
+    stuck_at_override,
+    transient_override,
+)
+from repro.analysis.profiling import ActivityProfile, profile_activity
+
+__all__ = [
+    "FaultDetection",
+    "LibraryVerification",
+    "fault_detection_experiment",
+    "verify_library",
+    "TransientFault",
+    "inject_stuck_at",
+    "inject_stuck_bit",
+    "stuck_at_override",
+    "transient_override",
+    "ActivityProfile",
+    "profile_activity",
+]

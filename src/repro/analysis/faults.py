@@ -1,0 +1,187 @@
+"""Fault injection (Section 2.3.2 of the paper).
+
+"One way to [test a design] is by fault injection, the process of inserting
+a fault in the specification to cause errors (by design) in the simulation
+run."  Two mechanisms are provided:
+
+* **specification-level faults** — the specification is rewritten so that a
+  combinational component is stuck at a value (or has one bit stuck).  The
+  rewritten specification runs on *either* backend, exactly as the paper
+  describes inserting the fault "in the specification";
+* **run-time (transient) faults** — an override hook for the interpreter
+  backend that flips bits of chosen components during chosen cycles, for
+  single-event-upset style experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backend import ValueOverride
+from repro.errors import FaultConfigurationError
+from repro.rtl.alu_ops import FN_RIGHT
+from repro.rtl.bits import WORD_BITS, mask_word
+from repro.rtl.builder import as_expression
+from repro.rtl.components import Alu, Component
+from repro.rtl.expressions import constant_expression, reference_expression
+from repro.rtl.spec import Specification
+
+#: Suffix appended to a component's name when it is displaced by a fault.
+_ORIGINAL_SUFFIX = "faultorig"
+
+
+def _require_combinational(spec: Specification, name: str) -> Component:
+    if name not in spec:
+        raise FaultConfigurationError(f"cannot fault unknown component '{name}'")
+    component = spec.component(name)
+    if not component.is_combinational:
+        raise FaultConfigurationError(
+            f"specification-level faults only apply to ALUs and selectors; "
+            f"'{name}' is a memory (use a run-time fault instead)"
+        )
+    return component
+
+
+def _rebuild(spec: Specification, components: list[Component]) -> Specification:
+    return Specification(
+        header_comment=spec.header_comment + " {with injected fault}",
+        components=tuple(components),
+        declarations=spec.declarations,
+        cycles=spec.cycles,
+        macros=dict(spec.macros),
+        source_name=spec.source_name + "+fault",
+    )
+
+
+def inject_stuck_at(spec: Specification, name: str, value: int) -> Specification:
+    """Return a copy of *spec* where component *name* is stuck at *value*.
+
+    The faulty component is replaced by an ALU that always produces the
+    constant, so every consumer sees the stuck value on both backends.
+    """
+    _require_combinational(spec, name)
+    value = mask_word(value)
+    stuck = Alu(
+        name=name,
+        funct=constant_expression(FN_RIGHT),
+        left=constant_expression(0),
+        right=constant_expression(value),
+    )
+    components = [
+        stuck if component.name == name else component
+        for component in spec.components
+    ]
+    return _rebuild(spec, components)
+
+
+def inject_stuck_bit(
+    spec: Specification, name: str, bit: int, stuck_value: int
+) -> Specification:
+    """Return a copy of *spec* where one output bit of *name* is stuck.
+
+    The original component is kept under a new name and a pair of masking
+    ALUs reconstructs its output with the chosen bit forced to 0 or 1 — the
+    classic stuck-at-0 / stuck-at-1 model.
+    """
+    if not 0 <= bit < WORD_BITS:
+        raise FaultConfigurationError(f"bit {bit} outside the {WORD_BITS}-bit word")
+    if stuck_value not in (0, 1):
+        raise FaultConfigurationError("stuck_value must be 0 or 1")
+    original = _require_combinational(spec, name)
+    renamed = f"{name}{_ORIGINAL_SUFFIX}"
+    if renamed in spec:
+        raise FaultConfigurationError(
+            f"cannot rename '{name}': '{renamed}' already exists"
+        )
+    displaced = _rename_component(original, renamed)
+    clear_mask = mask_word(~(1 << bit))
+    cleared_name = f"{name}faultmask"
+    if cleared_name in spec:
+        raise FaultConfigurationError(
+            f"cannot add masking ALU: '{cleared_name}' already exists"
+        )
+    cleared = Alu(
+        name=cleared_name,
+        funct=constant_expression(8),            # AND
+        left=reference_expression(renamed),
+        right=constant_expression(clear_mask),
+    )
+    forced = Alu(
+        name=name,
+        funct=constant_expression(9),            # OR
+        left=reference_expression(cleared_name),
+        right=constant_expression(stuck_value << bit),
+    )
+    components: list[Component] = []
+    for component in spec.components:
+        if component.name == name:
+            components.extend([displaced, cleared, forced])
+        else:
+            components.append(component)
+    return _rebuild(spec, components)
+
+
+def _rename_component(component: Component, new_name: str) -> Component:
+    if isinstance(component, Alu):
+        return Alu(
+            name=new_name,
+            funct=component.funct,
+            left=component.left,
+            right=component.right,
+        )
+    # selectors: rebuild with the new name and the same expressions
+    from repro.rtl.components import Selector
+
+    assert isinstance(component, Selector)
+    return Selector(name=new_name, select=component.select, cases=component.cases)
+
+
+# ---------------------------------------------------------------------------
+# Run-time (transient) faults for the interpreter backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Flip *bit* of component *name* during the half-open cycle window."""
+
+    name: str
+    bit: int
+    first_cycle: int
+    last_cycle: int | None = None   # None = until the end of the run
+
+    def active(self, cycle: int) -> bool:
+        if cycle < self.first_cycle:
+            return False
+        return self.last_cycle is None or cycle <= self.last_cycle
+
+
+def transient_override(faults: list[TransientFault]) -> ValueOverride:
+    """Build an interpreter override hook applying the given transient faults."""
+    for fault in faults:
+        if not 0 <= fault.bit < WORD_BITS:
+            raise FaultConfigurationError(
+                f"bit {fault.bit} outside the {WORD_BITS}-bit word"
+            )
+
+    def override(name: str, value: int, cycle: int) -> int:
+        for fault in faults:
+            if fault.name == name and fault.active(cycle):
+                value ^= 1 << fault.bit
+        return mask_word(value)
+
+    return override
+
+
+def stuck_at_override(name: str, value: int) -> ValueOverride:
+    """Interpreter override hook forcing *name* to *value* on every cycle.
+
+    Unlike :func:`inject_stuck_at` this also works for memories (it forces
+    the latched output seen by other components).
+    """
+    forced = mask_word(value)
+
+    def override(component: str, current: int, cycle: int) -> int:
+        return forced if component == name else current
+
+    return override

@@ -1,0 +1,115 @@
+"""Activity profiling and coverage.
+
+Section 1.4: the simulator should "produce statistics about the actual
+simulation, such as execution cycles required, memory accesses, and other
+related information ... invaluable when the designer desires to view the
+internal states of a microprocessor."  The profiler runs a specification on
+the interpreter while tracing every component and reports:
+
+* per-component toggle counts (how often the visible value changed),
+* selector case coverage (which selector inputs were ever exercised),
+* ALU function usage,
+* per-memory access statistics and the set of cells touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.iosystem import IOSystem
+from repro.core.stats import SimulationStats
+from repro.core.trace import TraceOptions
+from repro.interp.interpreter import InterpreterBackend
+from repro.rtl.components import Selector
+from repro.rtl.spec import Specification
+
+
+@dataclass
+class ActivityProfile:
+    """The result of profiling one run."""
+
+    cycles: int
+    toggle_counts: dict[str, int] = field(default_factory=dict)
+    selector_coverage: dict[str, dict[int, int]] = field(default_factory=dict)
+    uncovered_selector_cases: dict[str, list[int]] = field(default_factory=dict)
+    alu_function_usage: dict[int, int] = field(default_factory=dict)
+    stats: SimulationStats = field(default_factory=SimulationStats)
+
+    def most_active(self, count: int = 5) -> list[tuple[str, int]]:
+        """The components whose value changed most often."""
+        ranked = sorted(self.toggle_counts.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+    def idle_components(self) -> list[str]:
+        """Components whose visible value never changed during the run."""
+        return sorted(name for name, count in self.toggle_counts.items() if count == 0)
+
+    def coverage_fraction(self, selector: str) -> float:
+        """Fraction of a selector's cases exercised at least once."""
+        taken = self.selector_coverage.get(selector, {})
+        missing = self.uncovered_selector_cases.get(selector, [])
+        total = len(taken) + len(missing)
+        if total == 0:
+            return 1.0
+        return len(taken) / total
+
+    def render(self) -> str:
+        lines = [f"activity profile over {self.cycles} cycles"]
+        lines.append("most active components:")
+        for name, toggles in self.most_active():
+            lines.append(f"  {name:<16s} {toggles} value changes")
+        idle = self.idle_components()
+        if idle:
+            lines.append("never-changing components: " + ", ".join(idle))
+        for selector, missing in sorted(self.uncovered_selector_cases.items()):
+            if missing:
+                lines.append(
+                    f"selector {selector}: cases never taken: "
+                    + ", ".join(str(m) for m in missing)
+                )
+        return "\n".join(lines)
+
+
+def profile_activity(
+    spec: Specification,
+    cycles: int,
+    io: IOSystem | Iterable[int | str] | None = None,
+) -> ActivityProfile:
+    """Profile *spec* for *cycles* cycles on the interpreter backend."""
+    backend = InterpreterBackend()
+    all_names = spec.component_names()
+    result = backend.run(
+        spec,
+        cycles=cycles,
+        io=io,
+        trace=TraceOptions(
+            trace_cycles=True, trace_memory_accesses=False, names=tuple(all_names)
+        ),
+    )
+    toggles = {name: 0 for name in all_names}
+    previous: dict[str, int] = {}
+    for trace in result.trace.cycles:
+        for name, value in trace.values.items():
+            if name in previous and previous[name] != value:
+                toggles[name] += 1
+            previous[name] = value
+
+    selector_coverage: dict[str, dict[int, int]] = {}
+    uncovered: dict[str, list[int]] = {}
+    for component in spec.selectors():
+        assert isinstance(component, Selector)
+        taken = dict(result.stats.selector_case_usage.get(component.name, {}))
+        selector_coverage[component.name] = taken
+        uncovered[component.name] = [
+            index for index in range(component.case_count) if index not in taken
+        ]
+
+    return ActivityProfile(
+        cycles=cycles,
+        toggle_counts=toggles,
+        selector_coverage=selector_coverage,
+        uncovered_selector_cases=uncovered,
+        alu_function_usage=dict(result.stats.alu_function_usage),
+        stats=result.stats,
+    )

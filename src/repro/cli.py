@@ -1,0 +1,191 @@
+"""Command line interface.
+
+Appendix A of the paper: "To invoke ASIM II, type ``sim [file]`` ... After
+successful compilation, type ``pc simulator.p`` in order to generate
+executable code".  This module provides the modern equivalent as
+``python -m repro``:
+
+* ``compile``  — read a specification and write the generated simulator
+  program (Python by default, Pascal with ``--pascal``), like ``sim file``;
+* ``run``      — simulate a specification for N cycles and print the trace,
+  outputs and statistics;
+* ``machines`` — list the bundled example machines;
+* ``demo``     — build a bundled machine and run it;
+* ``netlist``  — print the wiring list and bill of materials (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.compiler import CodegenOptions, generate_pascal, generate_python
+from repro.core.iosystem import QueueIO
+from repro.core.simulator import Simulator
+from repro.errors import AsimError
+from repro.machines.library import all_machines, get_machine
+from repro.rtl.parser import parse_spec_file
+from repro.synth.report import hardware_report
+
+
+def _add_spec_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", type=Path, help="specification file to read")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASIM II reproduction: simulate register-transfer-level "
+        "hardware specifications",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="generate simulator code from a specification"
+    )
+    _add_spec_argument(compile_parser)
+    compile_parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output file (default: stdout)",
+    )
+    compile_parser.add_argument(
+        "--pascal", action="store_true",
+        help="emit Pascal in the original Appendix E style instead of Python",
+    )
+    compile_parser.add_argument(
+        "--no-optimize", action="store_true",
+        help="disable the Section 4.4 constant-folding optimizations",
+    )
+
+    run_parser = subparsers.add_parser("run", help="simulate a specification")
+    _add_spec_argument(run_parser)
+    run_parser.add_argument(
+        "-c", "--cycles", type=int, default=None,
+        help="number of cycles (default: the spec's '= N' declaration)",
+    )
+    run_parser.add_argument(
+        "-b", "--backend", choices=("compiled", "interpreter"), default="compiled",
+        help="simulation backend (default: compiled)",
+    )
+    run_parser.add_argument(
+        "-i", "--input", type=int, action="append", default=[],
+        help="value for memory-mapped input (repeatable)",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true", help="print the per-cycle trace"
+    )
+    run_parser.add_argument(
+        "--stats", action="store_true", help="print simulation statistics"
+    )
+
+    subparsers.add_parser("machines", help="list the bundled example machines")
+
+    demo_parser = subparsers.add_parser("demo", help="run a bundled machine")
+    demo_parser.add_argument("name", help="machine name (see 'machines')")
+    demo_parser.add_argument("-c", "--cycles", type=int, default=None)
+    demo_parser.add_argument(
+        "-b", "--backend", choices=("compiled", "interpreter"), default="compiled"
+    )
+
+    netlist_parser = subparsers.add_parser(
+        "netlist", help="print the wiring list and bill of materials"
+    )
+    _add_spec_argument(netlist_parser)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    spec = parse_spec_file(args.spec)
+    options = CodegenOptions.unoptimized() if args.no_optimize else CodegenOptions()
+    source = (
+        generate_pascal(spec, options) if args.pascal else generate_python(spec, options)
+    )
+    if args.output is None:
+        print(source, end="")
+    else:
+        args.output.write_text(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.output}")
+    return 0
+
+
+def _print_result(result, show_trace: bool, show_stats: bool) -> None:
+    if show_trace and len(result.trace):
+        print(result.trace.render())
+    if result.outputs:
+        print("outputs:", " ".join(str(event.value) for event in result.outputs))
+    print(
+        f"{result.backend}: {result.cycles_run} cycles in "
+        f"{result.run_seconds:.4f}s (prepare {result.prepare_seconds:.4f}s)"
+    )
+    if show_stats:
+        print(result.stats.summary())
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = parse_spec_file(args.spec)
+    simulator = Simulator(spec, backend=args.backend)
+    result = simulator.run(
+        cycles=args.cycles,
+        io=QueueIO(args.input, strict=False),
+        trace=True if args.trace else None,
+    )
+    _print_result(result, args.trace, args.stats)
+    return 0
+
+
+def _command_machines(_args: argparse.Namespace) -> int:
+    for entry in all_machines():
+        print(f"{entry.name:<22s} {entry.description}")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    entry = get_machine(args.name)
+    spec = entry.build()
+    cycles = args.cycles if args.cycles is not None else entry.demo_cycles
+    print(f"{entry.name}: {entry.description}")
+    print(spec.summary())
+    result = Simulator(spec, backend=args.backend).run(cycles=cycles)
+    _print_result(result, show_trace=False, show_stats=True)
+    return 0
+
+
+def _command_netlist(args: argparse.Namespace) -> int:
+    spec = parse_spec_file(args.spec)
+    print(hardware_report(spec).render())
+    return 0
+
+
+_COMMANDS = {
+    "compile": _command_compile,
+    "run": _command_run,
+    "machines": _command_machines,
+    "demo": _command_demo,
+    "netlist": _command_netlist,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except AsimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""ASIM II-style compilation: specification -> simulator program."""
+
+from repro.compiler.codegen_pascal import PascalCodeGenerator, generate_pascal
+from repro.compiler.codegen_python import PythonCodeGenerator, generate_python
+from repro.compiler.compiled import CompiledBackend, CompiledSimulation, compile_spec
+from repro.compiler.optimizer import (
+    CodegenOptions,
+    OptimizationReport,
+    analyze_specification,
+)
+
+__all__ = [
+    "PascalCodeGenerator",
+    "generate_pascal",
+    "PythonCodeGenerator",
+    "generate_python",
+    "CompiledBackend",
+    "CompiledSimulation",
+    "compile_spec",
+    "CodegenOptions",
+    "OptimizationReport",
+    "analyze_specification",
+]

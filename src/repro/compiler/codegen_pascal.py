@@ -1,0 +1,380 @@
+"""Pascal code generation (fidelity backend).
+
+The original ASIM II emits a Pascal program (Appendix E of the paper shows
+the full output for the stack machine).  This module reproduces that output
+format — ``ljb``-prefixed variables, the ``land``/``dologic``/``sinput``/
+``soutput`` runtime, an ``initvalues`` procedure and the cycle loop with
+``case`` dispatch — so that the code-generation examples of Figures 4.1,
+4.2 and 4.3 can be regenerated and inspected.
+
+The produced Pascal is *not* executed anywhere in this repository (no Pascal
+compiler is assumed); the executable path is the Python generator in
+:mod:`repro.compiler.codegen_python`.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.emitter import CodeWriter
+from repro.compiler.optimizer import (
+    CodegenOptions,
+    constant_alu_function,
+    constant_memory_operation,
+    memory_may_trace_reads,
+    memory_may_trace_writes,
+)
+from repro.rtl.alu_ops import (
+    FN_EQ,
+    FN_LT,
+    function_info,
+)
+from repro.rtl.bits import WORD_MASK, mask_for_width
+from repro.rtl.components import Alu, Memory, Selector
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.expressions import (
+    BitStringField,
+    ComponentRef,
+    ConstantField,
+    Expression,
+)
+from repro.rtl.memory_ops import should_trace_read, should_trace_write
+from repro.rtl.spec import Specification
+
+
+class PascalCodeGenerator:
+    """Generates a Pascal simulator program in the Appendix E style."""
+
+    def __init__(
+        self, spec: Specification, options: CodegenOptions | None = None
+    ) -> None:
+        self.spec = spec
+        self.options = options or CodegenOptions()
+        self._combinational = sort_combinational(spec)
+        self._memories = spec.memories()
+        self._combinational_names = {c.name for c in self._combinational}
+
+    # -- expression rendering -----------------------------------------------------
+
+    def _ref(self, name: str) -> str:
+        if name in self._combinational_names:
+            return f"ljb{name}"
+        return f"temp{name}"
+
+    def _field_pascal(self, field, offset: int) -> str:
+        """Render one expression field shifted up by *offset* bits."""
+        scale = 1 << offset
+        if isinstance(field, (ConstantField, BitStringField)):
+            value = field.evaluate(lambda name: 0) * scale
+            return str(value)
+        assert isinstance(field, ComponentRef)
+        ref = self._ref(field.name)
+        if field.low is None:
+            rendered = ref
+        else:
+            high = field.high if field.high is not None else field.low
+            width = high - field.low + 1
+            bits_mask = mask_for_width(width) << field.low
+            rendered = f"land({ref}, {bits_mask})"
+            if field.low:
+                rendered = f"{rendered} div {1 << field.low}"
+        if scale != 1:
+            rendered = f"{rendered} * {scale}"
+        return rendered
+
+    def pascal_expression(self, expression: Expression) -> str:
+        """Render an expression as Pascal source text."""
+        if expression.is_constant:
+            return str(expression.constant_value())
+        parts: list[str] = []
+        offset = 0
+        for field in reversed(expression.fields):
+            parts.append(self._field_pascal(field, offset))
+            width = field.width
+            offset = 31 if width is None else offset + width
+        return " + ".join(reversed(parts))
+
+    # -- top level -------------------------------------------------------------------
+
+    def generate(self) -> str:
+        writer = CodeWriter(indent_unit="  ")
+        writer.line("program simulator (input, output);")
+        writer.line("{" + self.spec.header_comment + "}")
+        self._emit_variables(writer)
+        self._emit_land(writer)
+        self._emit_initvalues(writer)
+        self._emit_dologic(writer)
+        self._emit_io_procedures(writer)
+        self._emit_main(writer)
+        return writer.render()
+
+    # -- declarations -------------------------------------------------------------------
+
+    def _emit_variables(self, writer: CodeWriter) -> None:
+        names = [f"ljb{c.name}" for c in self._combinational]
+        for memory in self._memories:
+            names.extend(
+                [
+                    f"temp{memory.name}",
+                    f"adr{memory.name}",
+                    f"data{memory.name}",
+                    f"opn{memory.name}",
+                ]
+            )
+        writer.line("var " + ", ".join(names) + ": integer;")
+        writer.line("  cycles, cyclecount: integer;")
+        for memory in self._memories:
+            writer.line(
+                f"  ljb{memory.name}: array[0..{memory.size - 1}] of integer;"
+            )
+        writer.blank()
+
+    def _emit_land(self, writer: CodeWriter) -> None:
+        writer.lines(
+            [
+                "function land (a, b: integer): integer;",
+                "type bitnos = 0..31;",
+                "  bigset = set of bitnos;",
+                "var intset: record case boolean of",
+                "  false: (i, j: integer);",
+                "  true: (x, y: bigset)",
+                "end;",
+                "begin",
+                "  with intset do begin",
+                "    i := a;",
+                "    j := b;",
+                "    x := x * y;",
+                "    land := i",
+                "  end",
+                "end {land};",
+                "",
+            ]
+        )
+
+    def _emit_initvalues(self, writer: CodeWriter) -> None:
+        writer.line("procedure initvalues;")
+        writer.line("var i: integer;")
+        writer.line("begin")
+        with CodeWriter._Block(writer):
+            for memory in self._memories:
+                if memory.has_initial_values:
+                    for index, value in enumerate(memory.initial_values):
+                        writer.line(f"ljb{memory.name}[{index}] := {value};")
+                else:
+                    writer.line(f"for i := 0 to {memory.size - 1} do")
+                    writer.line(f"  ljb{memory.name}[i] := 0;")
+                writer.line(f"temp{memory.name} := {memory.initial_output};")
+        writer.line("end; {initvalues}")
+        writer.blank()
+
+    def _emit_dologic(self, writer: CodeWriter) -> None:
+        writer.lines(
+            [
+                "function dologic (funct, left, right: integer): integer;",
+                f"const mask = {WORD_MASK};",
+                "var value: integer;",
+                "begin",
+                "  value := 0;",
+                "  case funct of",
+                "  0 : value := 0;",
+                "  1 : value := right;",
+                "  2 : value := left;",
+                "  3 : value := mask - left;",
+                "  4 : value := left + right;",
+                "  5 : value := left - right;",
+                "  6 : while (right > 0) and (left <> 0) do begin",
+                "        left := land(left + left, mask);",
+                "        value := left;",
+                "        right := right - 1;",
+                "      end;",
+                "  7 : value := left * right;",
+                "  8 : value := land(left, right);",
+                "  9 : value := left + right - land(left, right);",
+                "  10: value := left + right - land(left, right) * 2;",
+                "  11: value := 0;",
+                "  12: if left = right then value := 1;",
+                "  13: if left < right then value := 1",
+                "  end; {case}",
+                "  dologic := value;",
+                "end; {dologic}",
+                "",
+            ]
+        )
+
+    def _emit_io_procedures(self, writer: CodeWriter) -> None:
+        writer.lines(
+            [
+                "function sinput (address: integer): integer;",
+                "var datum: char;",
+                "  data: integer;",
+                "begin",
+                "  if address = 0 then begin",
+                "    read(input, datum);",
+                "    sinput := ord(datum)",
+                "  end",
+                "  else if address = 1 then begin",
+                "    read(input, data);",
+                "    sinput := data",
+                "  end",
+                "  else begin",
+                "    write(output, 'Input from address ', address:1, ': ');",
+                "    readln(input, data);",
+                "    sinput := data;",
+                "  end",
+                "end; {sinput}",
+                "",
+                "procedure soutput (address, data: integer);",
+                "begin",
+                "  if address = 0 then writeln(output, chr(data))",
+                "  else if address = 1 then writeln(output, data)",
+                "  else writeln(output, 'Output to address ', address:1,"
+                " ': ', data:1)",
+                "end; {soutput}",
+                "",
+            ]
+        )
+
+    # -- main program ----------------------------------------------------------------------
+
+    def _emit_alu(self, writer: CodeWriter, alu: Alu) -> None:
+        left = self.pascal_expression(alu.left)
+        right = self.pascal_expression(alu.right)
+        constant = constant_alu_function(alu)
+        target = f"ljb{alu.name}"
+        if constant is None or not self.options.inline_constant_functions:
+            funct = self.pascal_expression(alu.funct)
+            writer.line(f"{target} := dologic({funct}, {left}, {right});")
+            return
+        if constant in (FN_EQ, FN_LT):
+            comparison = "=" if constant == FN_EQ else "<"
+            writer.line(f"if {left} {comparison} {right} then {target} := 1")
+            writer.line(f"  else {target} := 0;")
+            return
+        info = function_info(constant)
+        writer.line(f"{target} := {info.pascal_template.format(l=left, r=right)};")
+
+    def _emit_selector(self, writer: CodeWriter, selector: Selector) -> None:
+        writer.line(f"case {self.pascal_expression(selector.select)} of")
+        for index, case in enumerate(selector.cases):
+            writer.line(
+                f"  {index} : ljb{selector.name} := "
+                f"{self.pascal_expression(case)};"
+            )
+        writer.line("end;")
+
+    def _emit_memory_latch(self, writer: CodeWriter, memory: Memory) -> None:
+        writer.line(
+            f"adr{memory.name} := {self.pascal_expression(memory.address)};"
+        )
+        writer.line(
+            f"data{memory.name} := {self.pascal_expression(memory.data)};"
+        )
+        writer.line(
+            f"opn{memory.name} := {self.pascal_expression(memory.operation)};"
+        )
+
+    def _memory_case_body(self, memory: Memory, operation: int) -> list[str]:
+        name = memory.name
+        op = operation & 3
+        if op == 0:
+            return [f"temp{name} := ljb{name}[adr{name}];"]
+        if op == 1:
+            return [
+                "begin",
+                f"  temp{name} := data{name};",
+                f"  ljb{name}[adr{name}] := data{name}",
+                "end;",
+            ]
+        if op == 2:
+            return [f"temp{name} := sinput(adr{name});"]
+        return [
+            "begin",
+            f"  temp{name} := data{name};",
+            f"  soutput(adr{name}, data{name})",
+            "end;",
+        ]
+
+    def _emit_memory_update(self, writer: CodeWriter, memory: Memory) -> None:
+        name = memory.name
+        constant = (
+            constant_memory_operation(memory)
+            if self.options.specialize_constant_memory_ops
+            else None
+        )
+        if constant is not None:
+            writer.lines(self._memory_case_body(memory, constant))
+        else:
+            writer.line(f"case land(opn{name}, 3) of")
+            for op in range(4):
+                body = self._memory_case_body(memory, op)
+                writer.line(f"  {op}: {body[0]}")
+                for extra in body[1:]:
+                    writer.line(f"     {extra}")
+            writer.line("end; {case}")
+        self._emit_memory_trace(writer, memory, constant)
+
+    def _emit_memory_trace(
+        self, writer: CodeWriter, memory: Memory, constant: int | None
+    ) -> None:
+        if not self.options.emit_access_trace:
+            return
+        name = memory.name
+        write_line = (
+            f"writeln('Write to {name} at ', adr{name}:1, ': ', temp{name}:1);"
+        )
+        read_line = (
+            f"writeln('Read from {name} at ', adr{name}:1, ': ', temp{name}:1);"
+        )
+        if constant is not None:
+            if should_trace_write(constant):
+                writer.line(write_line)
+            if should_trace_read(constant):
+                writer.line(read_line)
+            return
+        if memory_may_trace_writes(memory):
+            writer.line(f"if land(opn{name}, 5) = 5 then")
+            writer.line(f"  {write_line}")
+        if memory_may_trace_reads(memory):
+            writer.line(f"if land(opn{name}, 9) = 8 then")
+            writer.line(f"  {read_line}")
+
+    def _emit_main(self, writer: CodeWriter) -> None:
+        writer.line("begin")
+        with CodeWriter._Block(writer):
+            writer.line("initvalues;")
+            writer.line(f"cycles := {self.spec.cycles or 0};")
+            writer.line("if cycles = 0 then begin")
+            writer.line("  writeln('Number of cycles to trace');")
+            writer.line("  read(cycles);")
+            writer.line("end;")
+            writer.line("cyclecount := 0;")
+            writer.line("while cyclecount <= cycles do begin")
+            with CodeWriter._Block(writer):
+                for component in self._combinational:
+                    if isinstance(component, Alu):
+                        self._emit_alu(writer, component)
+                    else:
+                        assert isinstance(component, Selector)
+                        self._emit_selector(writer, component)
+                self._emit_trace_statements(writer)
+                for memory in self._memories:
+                    self._emit_memory_latch(writer, memory)
+                for memory in self._memories:
+                    self._emit_memory_update(writer, memory)
+                writer.line("cyclecount := cyclecount + 1;")
+            writer.line("end; {while}")
+        writer.line("end.")
+
+    def _emit_trace_statements(self, writer: CodeWriter) -> None:
+        traced = self.spec.traced_names
+        if not traced or not self.options.emit_cycle_trace:
+            return
+        writer.line("write('Cycle ', cyclecount:3);")
+        for name in traced:
+            writer.line(f"write(' {name}= ', {self._ref(name)}:1);")
+        writer.line("writeln;")
+
+
+def generate_pascal(
+    spec: Specification, options: CodegenOptions | None = None
+) -> str:
+    """Generate the Pascal simulator program text for *spec*."""
+    return PascalCodeGenerator(spec, options).generate()

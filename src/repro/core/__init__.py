@@ -1,0 +1,40 @@
+"""Public simulation API: the Simulator facade, backends, traces and results."""
+
+from repro.core.backend import Backend, PreparedSimulation
+from repro.core.comparison import ComparisonResult, assert_equivalent, compare_backends
+from repro.core.iosystem import (
+    IOSystem,
+    NullIO,
+    OutputEvent,
+    QueueIO,
+    StreamIO,
+    coerce_io,
+)
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator, make_backend, simulate
+from repro.core.stats import MemoryStats, SimulationStats
+from repro.core.trace import CycleTrace, MemoryAccessTrace, TraceLog, TraceOptions
+
+__all__ = [
+    "Backend",
+    "PreparedSimulation",
+    "ComparisonResult",
+    "assert_equivalent",
+    "compare_backends",
+    "IOSystem",
+    "NullIO",
+    "OutputEvent",
+    "QueueIO",
+    "StreamIO",
+    "coerce_io",
+    "SimulationResult",
+    "Simulator",
+    "make_backend",
+    "simulate",
+    "MemoryStats",
+    "SimulationStats",
+    "CycleTrace",
+    "MemoryAccessTrace",
+    "TraceLog",
+    "TraceOptions",
+]

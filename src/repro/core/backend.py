@@ -1,0 +1,106 @@
+"""Simulation backend interface.
+
+Two backends implement this interface, mirroring the two systems of the
+paper:
+
+* :class:`repro.interp.interpreter.InterpreterBackend` — ASIM: the
+  specification is read into tables and interpreted every cycle;
+* :class:`repro.compiler.compiled.CompiledBackend` — ASIM II: the
+  specification is compiled into a program which is then executed.
+
+``prepare`` corresponds to the paper's preparation phase ("generate tables"
+for ASIM, "generate code" + "compile" for ASIM II) and ``run`` to the
+simulation phase; both report their elapsed time so that Figure 5.1 can be
+regenerated.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable
+
+from repro.core.iosystem import IOSystem
+from repro.core.results import SimulationResult
+from repro.core.trace import TraceOptions
+from repro.errors import SimulationError
+from repro.rtl.spec import Specification
+
+#: Optional per-component value override hook (fault injection):
+#: called as ``override(name, value, cycle)`` and returns the value to use.
+ValueOverride = Callable[[str, int, int], int]
+
+
+def resolve_cycles(spec: Specification, cycles: int | None) -> int:
+    """Determine how many cycles to run: explicit argument or the spec's."""
+    if cycles is not None:
+        if cycles < 0:
+            raise SimulationError(f"cycle count must be non-negative, got {cycles}")
+        return cycles
+    if spec.cycles is not None:
+        return spec.cycles
+    raise SimulationError(
+        "no cycle count: pass cycles= or declare '= N' in the specification"
+    )
+
+
+def resolve_trace(spec: Specification, trace: TraceOptions | bool | None) -> TraceOptions:
+    """Normalise the ``trace`` argument accepted by ``run``."""
+    if isinstance(trace, TraceOptions):
+        return trace
+    if trace:
+        return TraceOptions(trace_cycles=True, trace_memory_accesses=True)
+    if trace is None and spec.traced_names:
+        # The specification asked for tracing via '*' declarations.
+        return TraceOptions(trace_cycles=True, trace_memory_accesses=True)
+    return TraceOptions.disabled()
+
+
+class PreparedSimulation(ABC):
+    """A specification made ready to run by a backend."""
+
+    def __init__(self, spec: Specification, backend_name: str,
+                 prepare_seconds: float) -> None:
+        self.spec = spec
+        self.backend_name = backend_name
+        self.prepare_seconds = prepare_seconds
+
+    @abstractmethod
+    def run(
+        self,
+        cycles: int | None = None,
+        io: IOSystem | Iterable[int | str] | None = None,
+        trace: TraceOptions | bool | None = None,
+        collect_stats: bool = True,
+        override: ValueOverride | None = None,
+    ) -> SimulationResult:
+        """Simulate for *cycles* cycles and return a :class:`SimulationResult`."""
+
+
+class Backend(ABC):
+    """Factory turning specifications into :class:`PreparedSimulation`."""
+
+    #: short name used in results and benchmark reports
+    name: str = "backend"
+
+    @abstractmethod
+    def prepare(self, spec: Specification) -> PreparedSimulation:
+        """Build whatever the backend needs to simulate *spec*."""
+
+    def run(
+        self,
+        spec: Specification,
+        cycles: int | None = None,
+        io: IOSystem | Iterable[int | str] | None = None,
+        trace: TraceOptions | bool | None = None,
+        collect_stats: bool = True,
+        override: ValueOverride | None = None,
+    ) -> SimulationResult:
+        """Convenience: prepare and run in one call."""
+        prepared = self.prepare(spec)
+        return prepared.run(
+            cycles=cycles,
+            io=io,
+            trace=trace,
+            collect_stats=collect_stats,
+            override=override,
+        )

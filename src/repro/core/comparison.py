@@ -1,0 +1,142 @@
+"""Cross-backend equivalence checking.
+
+The central claim of the paper is that the compiled simulator produces "the
+same final output" as the interpreted one, only faster.  This module runs a
+specification on both backends with identical inputs and compares every
+observable: final component values, memory contents, memory-mapped outputs
+and (optionally) the per-cycle trace.  The equivalence tests and several
+benchmarks are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions
+from repro.core.backend import Backend
+from repro.core.iosystem import QueueIO
+from repro.core.results import SimulationResult
+from repro.core.trace import TraceOptions
+from repro.interp.interpreter import InterpreterBackend
+from repro.rtl.spec import Specification
+
+
+@dataclass
+class ComparisonResult:
+    """The outcome of running one specification on two backends."""
+
+    reference: SimulationResult
+    candidate: SimulationResult
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        """Reference run time divided by candidate run time (>1 = faster)."""
+        if self.candidate.run_seconds == 0:
+            return float("inf")
+        return self.reference.run_seconds / self.candidate.run_seconds
+
+    def summary(self) -> str:
+        status = "EQUIVALENT" if self.equivalent else "MISMATCH"
+        return (
+            f"{status}: {self.reference.backend} {self.reference.run_seconds:.4f}s "
+            f"vs {self.candidate.backend} {self.candidate.run_seconds:.4f}s "
+            f"(speedup {self.speedup:.1f}x)"
+        )
+
+
+def _compare_results(
+    reference: SimulationResult,
+    candidate: SimulationResult,
+    compare_trace: bool,
+) -> list[str]:
+    mismatches: list[str] = []
+    for name, value in reference.final_values.items():
+        other = candidate.final_values.get(name)
+        if other != value:
+            mismatches.append(
+                f"final value of '{name}': {value} (reference) != {other} (candidate)"
+            )
+    for name, cells in reference.memory_contents.items():
+        other_cells = candidate.memory_contents.get(name)
+        if other_cells != cells:
+            mismatches.append(f"memory contents of '{name}' differ")
+    ref_outputs = [(e.address, e.value) for e in reference.outputs]
+    cand_outputs = [(e.address, e.value) for e in candidate.outputs]
+    if ref_outputs != cand_outputs:
+        mismatches.append(
+            f"outputs differ: {len(ref_outputs)} reference events vs "
+            f"{len(cand_outputs)} candidate events"
+        )
+    if compare_trace:
+        ref_cycles = [(t.cycle, t.values) for t in reference.trace.cycles]
+        cand_cycles = [(t.cycle, t.values) for t in candidate.trace.cycles]
+        if ref_cycles != cand_cycles:
+            mismatches.append("per-cycle traces differ")
+        ref_accesses = [
+            (a.cycle, a.memory, a.kind, a.address, a.value)
+            for a in reference.trace.accesses
+        ]
+        cand_accesses = [
+            (a.cycle, a.memory, a.kind, a.address, a.value)
+            for a in candidate.trace.accesses
+        ]
+        if ref_accesses != cand_accesses:
+            mismatches.append("memory access traces differ")
+    return mismatches
+
+
+def compare_backends(
+    spec: Specification,
+    cycles: int | None = None,
+    inputs: Sequence[int | str] = (),
+    reference: Backend | None = None,
+    candidate: Backend | None = None,
+    trace: bool = True,
+    codegen_options: CodegenOptions | None = None,
+) -> ComparisonResult:
+    """Run *spec* on two backends with identical inputs and compare.
+
+    By default the reference is the ASIM-style interpreter and the candidate
+    the ASIM II-style compiled simulator — the comparison made throughout
+    Chapter 5 of the paper.
+    """
+    reference_backend = reference or InterpreterBackend()
+    candidate_backend = candidate or CompiledBackend(codegen_options)
+    trace_options = (
+        TraceOptions(trace_cycles=True, trace_memory_accesses=True)
+        if trace
+        else TraceOptions.disabled()
+    )
+    reference_result = reference_backend.run(
+        spec, cycles=cycles, io=QueueIO(inputs, strict=False), trace=trace_options
+    )
+    candidate_result = candidate_backend.run(
+        spec, cycles=cycles, io=QueueIO(inputs, strict=False), trace=trace_options
+    )
+    mismatches = _compare_results(reference_result, candidate_result, trace)
+    return ComparisonResult(
+        reference=reference_result,
+        candidate=candidate_result,
+        mismatches=mismatches,
+    )
+
+
+def assert_equivalent(
+    spec: Specification,
+    cycles: int | None = None,
+    inputs: Iterable[int | str] = (),
+) -> ComparisonResult:
+    """Raise ``AssertionError`` if the two backends disagree on *spec*."""
+    result = compare_backends(spec, cycles=cycles, inputs=tuple(inputs))
+    if not result.equivalent:
+        raise AssertionError(
+            "backends disagree:\n  " + "\n  ".join(result.mismatches)
+        )
+    return result

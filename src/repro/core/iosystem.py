@@ -1,0 +1,200 @@
+"""Memory-mapped I/O (Section 4.5 of the paper).
+
+ASIM II models input and output as a special case of memory: a memory
+component whose operation is 2 performs an input, operation 3 an output.
+The address selects the data format — address 0 is character data, address 1
+is integer data, any other address is integer data tagged with the address
+(the paper's ``sinput`` / ``soutput`` procedures).
+
+The paper routes these to standard input/output; here an :class:`IOSystem`
+is an explicit object so tests and benchmarks can feed inputs from a list
+and capture outputs, while :class:`StreamIO` reproduces the original
+stdin/stdout behaviour.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+from repro.errors import InputExhaustedError
+
+#: Address whose data is treated as a character.
+CHARACTER_ADDRESS = 0
+#: Address whose data is treated as a plain integer.
+INTEGER_ADDRESS = 1
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    """One memory-mapped output performed by a simulation."""
+
+    address: int
+    value: int
+    cycle: int | None = None
+
+    @property
+    def is_character(self) -> bool:
+        return self.address == CHARACTER_ADDRESS
+
+    @property
+    def character(self) -> str:
+        return chr(self.value & 0xFF)
+
+    def render(self) -> str:
+        """Format as the paper's ``soutput`` procedure would print it."""
+        if self.address == CHARACTER_ADDRESS:
+            return self.character
+        if self.address == INTEGER_ADDRESS:
+            return str(self.value)
+        return f"Output to address {self.address}: {self.value}"
+
+
+class IOSystem:
+    """Base class: records outputs, subclasses provide input values."""
+
+    def __init__(self) -> None:
+        self.outputs: list[OutputEvent] = []
+        self.inputs_consumed: int = 0
+
+    # -- input -------------------------------------------------------------
+
+    def read(self, address: int, cycle: int | None = None) -> int:
+        """Return the next input value for a memory-mapped input."""
+        value = self._next_input(address)
+        self.inputs_consumed += 1
+        return value
+
+    def _next_input(self, address: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- output -------------------------------------------------------------
+
+    def write(self, address: int, value: int, cycle: int | None = None) -> None:
+        """Record (and possibly emit) a memory-mapped output."""
+        event = OutputEvent(address=address, value=value, cycle=cycle)
+        self.outputs.append(event)
+        self._emit(event)
+
+    def _emit(self, event: OutputEvent) -> None:
+        """Hook for subclasses that forward output somewhere (default: keep)."""
+
+    # -- convenience ---------------------------------------------------------
+
+    def output_values(self, address: int | None = None) -> list[int]:
+        """Values output so far, optionally filtered by address."""
+        return [
+            event.value
+            for event in self.outputs
+            if address is None or event.address == address
+        ]
+
+    def output_text(self) -> str:
+        """Concatenated rendering of all outputs, one per line for integers."""
+        pieces: list[str] = []
+        for event in self.outputs:
+            if event.is_character:
+                pieces.append(event.character)
+            else:
+                pieces.append(event.render() + "\n")
+        return "".join(pieces)
+
+
+class NullIO(IOSystem):
+    """Inputs always read zero; outputs are only recorded."""
+
+    def _next_input(self, address: int) -> int:
+        return 0
+
+
+@dataclass
+class _InputQueue:
+    values: list[int] = field(default_factory=list)
+    cursor: int = 0
+
+    def pop(self) -> int | None:
+        if self.cursor >= len(self.values):
+            return None
+        value = self.values[self.cursor]
+        self.cursor += 1
+        return value
+
+
+class QueueIO(IOSystem):
+    """Feed inputs from a predefined sequence (ints, or single characters).
+
+    This is the deterministic replacement for the paper's interactive
+    standard input, used by tests, examples and benchmarks.
+    """
+
+    def __init__(
+        self, inputs: Iterable[int | str] = (), strict: bool = True
+    ) -> None:
+        super().__init__()
+        self._queue = _InputQueue(
+            [ord(v) if isinstance(v, str) else int(v) for v in inputs]
+        )
+        self._strict = strict
+
+    def remaining_inputs(self) -> int:
+        return len(self._queue.values) - self._queue.cursor
+
+    def _next_input(self, address: int) -> int:
+        value = self._queue.pop()
+        if value is None:
+            if self._strict:
+                raise InputExhaustedError(
+                    f"memory-mapped input at address {address} requested but "
+                    "the input queue is empty"
+                )
+            return 0
+        return value
+
+
+class StreamIO(IOSystem):
+    """Read inputs from / write outputs to text streams (paper behaviour).
+
+    Character addresses (0) exchange single characters; every other address
+    exchanges whitespace-delimited integers.
+    """
+
+    def __init__(self, stdin: IO[str] | None = None, stdout: IO[str] | None = None):
+        super().__init__()
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+
+    def _next_input(self, address: int) -> int:
+        if address == CHARACTER_ADDRESS:
+            char = self._stdin.read(1)
+            if not char:
+                raise InputExhaustedError("end of input stream")
+            return ord(char)
+        token = ""
+        while True:
+            char = self._stdin.read(1)
+            if not char:
+                break
+            if char.isspace():
+                if token:
+                    break
+                continue
+            token += char
+        if not token:
+            raise InputExhaustedError("end of input stream")
+        return int(token)
+
+    def _emit(self, event: OutputEvent) -> None:
+        if event.is_character:
+            self._stdout.write(event.character)
+        else:
+            self._stdout.write(event.render() + "\n")
+
+
+def coerce_io(io: IOSystem | Iterable[int | str] | None) -> IOSystem:
+    """Accept an IOSystem, a plain iterable of inputs, or ``None``."""
+    if io is None:
+        return NullIO()
+    if isinstance(io, IOSystem):
+        return io
+    return QueueIO(io)

@@ -1,0 +1,74 @@
+"""Result object returned by every simulation backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.iosystem import OutputEvent
+from repro.core.stats import SimulationStats
+from repro.core.trace import TraceLog
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by running a specification for some cycles.
+
+    ``final_values`` holds, for every component, the value visible at the end
+    of the last simulated cycle (for memories this is the latched output, the
+    paper's ``temp`` variable).  ``memory_contents`` holds the full cell
+    arrays of every memory.
+    """
+
+    backend: str
+    cycles_run: int
+    final_values: dict[str, int] = field(default_factory=dict)
+    memory_contents: dict[str, list[int]] = field(default_factory=dict)
+    outputs: list[OutputEvent] = field(default_factory=list)
+    trace: TraceLog = field(default_factory=lambda: TraceLog(enabled=False))
+    stats: SimulationStats = field(default_factory=SimulationStats)
+    #: seconds spent preparing the simulation (table build / code generation)
+    prepare_seconds: float = 0.0
+    #: seconds spent running the simulation loop
+    run_seconds: float = 0.0
+
+    # -- convenience accessors ---------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """Final visible value of component *name*."""
+        return self.final_values[name]
+
+    def memory(self, name: str) -> list[int]:
+        """Final contents of memory *name*."""
+        return self.memory_contents[name]
+
+    def output_values(self, address: int | None = None) -> list[int]:
+        """Values written to memory-mapped output, optionally by address."""
+        return [
+            event.value
+            for event in self.outputs
+            if address is None or event.address == address
+        ]
+
+    def output_integers(self) -> list[int]:
+        """Values written to the integer output address (1)."""
+        return self.output_values(address=1)
+
+    def output_text(self) -> str:
+        pieces: list[str] = []
+        for event in self.outputs:
+            if event.is_character:
+                pieces.append(event.character)
+            else:
+                pieces.append(event.render() + "\n")
+        return "".join(pieces)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prepare_seconds + self.run_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.backend}: {self.cycles_run} cycles in "
+            f"{self.run_seconds:.3f}s (prepare {self.prepare_seconds:.3f}s), "
+            f"{len(self.outputs)} outputs"
+        )

@@ -1,0 +1,132 @@
+"""Cycle tracing.
+
+The paper's generated simulators print, every cycle, the values of the
+components marked with ``*`` in the declaration list, plus "Read from" /
+"Write to" lines for memories whose operation carries a trace bit.  The
+:class:`TraceLog` captures the same information as structured records and
+can render them in the paper's textual format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CycleTrace:
+    """The traced component values for one simulation cycle.
+
+    Memory components report the value *used* during the cycle (the latched
+    output), matching the paper: "the value used in the computation is
+    printed before it is updated".
+    """
+
+    cycle: int
+    values: dict[str, int]
+
+    def render(self) -> str:
+        parts = [f"Cycle {self.cycle:3d}"]
+        parts.extend(f" {name}= {value}" for name, value in self.values.items())
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class MemoryAccessTrace:
+    """A traced memory read or write (operation trace bits 4 / 8)."""
+
+    cycle: int
+    memory: str
+    kind: str  # "read" or "write"
+    address: int
+    value: int
+
+    def render(self) -> str:
+        if self.kind == "write":
+            return f"Write to {self.memory} at {self.address}: {self.value}"
+        return f"Read from {self.memory} at {self.address}: {self.value}"
+
+
+class TraceLog:
+    """Accumulates cycle traces and memory access traces for one run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.cycles: list[CycleTrace] = []
+        self.accesses: list[MemoryAccessTrace] = []
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self) -> Iterator[CycleTrace]:
+        return iter(self.cycles)
+
+    # -- recording ------------------------------------------------------------
+
+    def record_cycle(self, cycle: int, values: dict[str, int]) -> None:
+        if self.enabled:
+            self.cycles.append(CycleTrace(cycle=cycle, values=dict(values)))
+
+    def record_access(
+        self, cycle: int, memory: str, kind: str, address: int, value: int
+    ) -> None:
+        if self.enabled:
+            self.accesses.append(
+                MemoryAccessTrace(
+                    cycle=cycle, memory=memory, kind=kind, address=address,
+                    value=value,
+                )
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def values_of(self, name: str) -> list[int]:
+        """The per-cycle series of one traced component."""
+        return [trace.values[name] for trace in self.cycles if name in trace.values]
+
+    def cycle(self, number: int) -> CycleTrace:
+        for trace in self.cycles:
+            if trace.cycle == number:
+                return trace
+        raise KeyError(f"cycle {number} was not traced")
+
+    def accesses_of(self, memory: str, kind: str | None = None) -> list[MemoryAccessTrace]:
+        return [
+            access
+            for access in self.accesses
+            if access.memory == memory and (kind is None or access.kind == kind)
+        ]
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the whole log in the paper's output format."""
+        by_cycle: dict[int, list[str]] = {}
+        for trace in self.cycles:
+            by_cycle.setdefault(trace.cycle, []).append(trace.render())
+        for access in self.accesses:
+            by_cycle.setdefault(access.cycle, []).append(access.render())
+        lines: list[str] = []
+        for cycle in sorted(by_cycle):
+            lines.extend(by_cycle[cycle])
+        return "\n".join(lines)
+
+
+@dataclass
+class TraceOptions:
+    """What to record during a run."""
+
+    trace_cycles: bool = False
+    trace_memory_accesses: bool = True
+    #: Restrict cycle tracing to these names (defaults to the spec's ``*`` list).
+    names: tuple[str, ...] | None = None
+    #: Record at most this many cycle records (None = unlimited).
+    limit: int | None = None
+
+    @classmethod
+    def disabled(cls) -> "TraceOptions":
+        return cls(trace_cycles=False, trace_memory_accesses=False)
+
+    @classmethod
+    def full(cls) -> "TraceOptions":
+        return cls(trace_cycles=True, trace_memory_accesses=True)

@@ -1,0 +1,6 @@
+"""ASIM-style interpreter backend (the paper's baseline simulator)."""
+
+from repro.interp.interpreter import InterpreterBackend, InterpreterSimulation
+from repro.interp.state import MachineState
+
+__all__ = ["InterpreterBackend", "InterpreterSimulation", "MachineState"]

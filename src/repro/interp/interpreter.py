@@ -1,0 +1,173 @@
+"""The ASIM-style table interpreter.
+
+This backend reproduces the *predecessor* system that the paper benchmarks
+against: "ASIM reads the specification into tables, and produces a
+simulation run by interpreting the symbols in the table" (Section 3.1).
+
+``prepare`` builds the tables (the dependency-sorted component list); each
+``run`` walks those tables once per cycle, evaluating every expression tree
+interpretively.  It is deliberately the straightforward implementation: the
+point of the paper — and of the Figure 5.1 benchmark — is that compiling the
+specification (see :mod:`repro.compiler`) beats this by a large factor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.core.backend import (
+    Backend,
+    PreparedSimulation,
+    ValueOverride,
+    resolve_cycles,
+    resolve_trace,
+)
+from repro.core.iosystem import IOSystem, coerce_io
+from repro.core.results import SimulationResult
+from repro.core.stats import SimulationStats
+from repro.core.trace import TraceLog, TraceOptions
+from repro.interp.evaluator import (
+    apply_memory_request,
+    evaluate_alu,
+    evaluate_selector,
+    latch_memory_request,
+)
+from repro.interp.state import MachineState
+from repro.rtl.components import Alu, Selector
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.spec import Specification
+
+
+class InterpreterSimulation(PreparedSimulation):
+    """A specification whose tables have been built for interpretation."""
+
+    def __init__(self, spec: Specification, prepare_seconds: float) -> None:
+        super().__init__(spec, backend_name="interpreter",
+                         prepare_seconds=prepare_seconds)
+        self._ordered = sort_combinational(spec)
+        self._memories = spec.memories()
+
+    # -- single cycle -------------------------------------------------------------
+
+    def _step(
+        self,
+        state: MachineState,
+        io: IOSystem,
+        trace_log: TraceLog,
+        options: TraceOptions,
+        stats: SimulationStats | None,
+        override: ValueOverride | None,
+        traced_names: list[str],
+    ) -> None:
+        # 1. combinational components, producers before consumers
+        for component in self._ordered:
+            if isinstance(component, Alu):
+                funct, value = evaluate_alu(component, state)
+                if stats is not None:
+                    stats.record_alu_function(funct)
+            else:
+                assert isinstance(component, Selector)
+                index, value = evaluate_selector(component, state)
+                if stats is not None:
+                    stats.record_selector_case(component.name, index)
+            if override is not None:
+                value = override(component.name, value, state.cycle)
+            state.set_value(component.name, value)
+        if stats is not None:
+            stats.record_evaluation(len(self._ordered) + len(self._memories))
+
+        # 2. cycle trace: traced values as used during this cycle
+        if options.trace_cycles and traced_names:
+            within_limit = options.limit is None or len(trace_log.cycles) < options.limit
+            if within_limit:
+                trace_log.record_cycle(
+                    state.cycle,
+                    {name: state.lookup(name) for name in traced_names},
+                )
+
+        # 3. latch every memory's request against the pre-update state ...
+        requests = [latch_memory_request(memory, state) for memory in self._memories]
+
+        # 4. ... then apply them all
+        for request in requests:
+            effect = apply_memory_request(request, state, io)
+            if override is not None:
+                state.set_memory_output(
+                    request.memory.name,
+                    override(request.memory.name,
+                             state.memory_outputs[request.memory.name],
+                             state.cycle),
+                )
+            if stats is not None:
+                stats.record_memory_access(
+                    effect.memory, effect.operation, effect.address
+                )
+            if options.trace_memory_accesses:
+                if effect.trace_write:
+                    trace_log.record_access(
+                        state.cycle, effect.memory, "write",
+                        effect.address, effect.new_output,
+                    )
+                if effect.trace_read:
+                    trace_log.record_access(
+                        state.cycle, effect.memory, "read",
+                        effect.address, effect.new_output,
+                    )
+        if stats is not None:
+            stats.record_cycle()
+        state.cycle += 1
+
+    # -- full run --------------------------------------------------------------------
+
+    def run(
+        self,
+        cycles: int | None = None,
+        io: IOSystem | Iterable[int | str] | None = None,
+        trace: TraceOptions | bool | None = None,
+        collect_stats: bool = True,
+        override: ValueOverride | None = None,
+    ) -> SimulationResult:
+        spec = self.spec
+        cycle_count = resolve_cycles(spec, cycles)
+        options = resolve_trace(spec, trace)
+        io_system = coerce_io(io)
+        traced_names = (
+            list(options.names) if options.names is not None else spec.traced_names
+        )
+        trace_log = TraceLog(
+            enabled=options.trace_cycles or options.trace_memory_accesses
+        )
+        stats = SimulationStats() if collect_stats else None
+        state = MachineState.initial(spec)
+
+        start = time.perf_counter()
+        for _ in range(cycle_count):
+            self._step(
+                state, io_system, trace_log, options, stats, override, traced_names
+            )
+        run_seconds = time.perf_counter() - start
+
+        return SimulationResult(
+            backend=self.backend_name,
+            cycles_run=cycle_count,
+            final_values=state.visible_values(),
+            memory_contents=state.memory_snapshot(),
+            outputs=list(io_system.outputs),
+            trace=trace_log,
+            stats=stats if stats is not None else SimulationStats(),
+            prepare_seconds=self.prepare_seconds,
+            run_seconds=run_seconds,
+        )
+
+
+class InterpreterBackend(Backend):
+    """Backend factory for the ASIM-style interpreter."""
+
+    name = "interpreter"
+
+    def prepare(self, spec: Specification) -> InterpreterSimulation:
+        start = time.perf_counter()
+        simulation = InterpreterSimulation(spec, prepare_seconds=0.0)
+        simulation.prepare_seconds = time.perf_counter() - start
+        return simulation

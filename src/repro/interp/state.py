@@ -1,0 +1,74 @@
+"""Machine state for the table-driven interpreter.
+
+The state mirrors the variables of the paper's generated Pascal program:
+
+* one current value per combinational component (``ljb<name>``),
+* one latched output per memory (``temp<name>``), which is what other
+  components see during a cycle,
+* one cell array per memory (``ljb<name>[...]``).
+
+Everything is initialised to zero except memories declared with an initial
+value list (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownComponentError
+from repro.rtl.spec import Specification
+
+
+@dataclass
+class MachineState:
+    """Mutable simulation state for one run of the interpreter."""
+
+    spec: Specification
+    values: dict[str, int] = field(default_factory=dict)
+    memory_outputs: dict[str, int] = field(default_factory=dict)
+    memory_arrays: dict[str, list[int]] = field(default_factory=dict)
+    cycle: int = 0
+
+    @classmethod
+    def initial(cls, spec: Specification) -> "MachineState":
+        """Build the cycle-0 state: everything zero, memories initialised."""
+        state = cls(spec=spec)
+        for component in spec.combinational():
+            state.values[component.name] = 0
+        for memory in spec.memories():
+            state.memory_outputs[memory.name] = memory.initial_output
+            state.memory_arrays[memory.name] = memory.initial_cell_values()
+        return state
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, name: str) -> int:
+        """Value of component *name* as visible to expressions this cycle."""
+        if name in self.values:
+            return self.values[name]
+        if name in self.memory_outputs:
+            return self.memory_outputs[name]
+        raise UnknownComponentError(f"component <{name}> not found")
+
+    def visible_values(self) -> dict[str, int]:
+        """Every component's visible value (used for traces and results)."""
+        snapshot = dict(self.values)
+        snapshot.update(self.memory_outputs)
+        return snapshot
+
+    # -- mutation ----------------------------------------------------------------
+
+    def set_value(self, name: str, value: int) -> None:
+        self.values[name] = value
+
+    def set_memory_output(self, name: str, value: int) -> None:
+        self.memory_outputs[name] = value
+
+    def write_cell(self, name: str, address: int, value: int) -> None:
+        self.memory_arrays[name][address] = value
+
+    def read_cell(self, name: str, address: int) -> int:
+        return self.memory_arrays[name][address]
+
+    def memory_snapshot(self) -> dict[str, list[int]]:
+        return {name: list(cells) for name, cells in self.memory_arrays.items()}

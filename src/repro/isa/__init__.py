@@ -1,0 +1,27 @@
+"""Instruction sets, assemblers and instruction-set-level simulators."""
+
+from repro.isa.assembler import (
+    Program,
+    StackAssembler,
+    TinyAssembler,
+    assemble_stack_program,
+    assemble_tiny_program,
+)
+from repro.isa.isp import IspResult, StackIspSimulator, TinyIspSimulator
+from repro.isa.stack_isa import Instruction, Op
+from repro.isa.tiny_isa import TinyInstruction, TinyOp
+
+__all__ = [
+    "Program",
+    "StackAssembler",
+    "TinyAssembler",
+    "assemble_stack_program",
+    "assemble_tiny_program",
+    "IspResult",
+    "StackIspSimulator",
+    "TinyIspSimulator",
+    "Instruction",
+    "Op",
+    "TinyInstruction",
+    "TinyOp",
+]

@@ -1,0 +1,263 @@
+"""Two-pass assemblers for the bundled machines.
+
+Two tiny assembly languages are provided:
+
+* the **stack machine** language (one mnemonic per line, PUSH/JMP/JZ take an
+  operand) used by the Sieve of Eratosthenes workload of Figure 5.1;
+* the **tiny computer** language (LD/ST/BR/BB/SU plus ``.word`` data) used by
+  the Appendix-F style 10-bit accumulator machine.
+
+Both support ``label:`` definitions, ``; comments``, symbolic operands,
+``.equ NAME value`` constants and label arithmetic of the form
+``LABEL+offset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa import stack_isa, tiny_isa
+
+
+@dataclass(frozen=True)
+class SourceLine:
+    """One significant line of assembly after comment stripping."""
+
+    number: int
+    label: str | None
+    mnemonic: str | None
+    operand: str | None
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    words: list[int]
+    labels: dict[str, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    listing: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def word(self, index: int) -> int:
+        return self.words[index]
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"unknown label '{label}'") from None
+
+
+# ---------------------------------------------------------------------------
+# shared line handling
+# ---------------------------------------------------------------------------
+
+
+def _strip_comment(text: str) -> str:
+    index = text.find(";")
+    if index >= 0:
+        text = text[:index]
+    return text.strip()
+
+
+def _split_lines(source: str) -> list[SourceLine]:
+    lines: list[SourceLine] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        if not text:
+            continue
+        label = None
+        if ":" in text:
+            label_part, text = text.split(":", 1)
+            label = label_part.strip()
+            if not label or " " in label:
+                raise AssemblyError(f"invalid label '{label_part.strip()}'", number)
+            text = text.strip()
+        if not text:
+            lines.append(SourceLine(number, label, None, None))
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].upper()
+        operand = parts[1].strip() if len(parts) > 1 else None
+        lines.append(SourceLine(number, label, mnemonic, operand))
+    return lines
+
+
+class _SymbolTable:
+    def __init__(self) -> None:
+        self.labels: dict[str, int] = {}
+        self.symbols: dict[str, int] = {}
+
+    def define_label(self, name: str, value: int, line: int) -> None:
+        if name in self.labels or name in self.symbols:
+            raise AssemblyError(f"label '{name}' defined twice", line)
+        self.labels[name] = value
+
+    def define_symbol(self, name: str, value: int, line: int) -> None:
+        if name in self.labels or name in self.symbols:
+            raise AssemblyError(f"symbol '{name}' defined twice", line)
+        self.symbols[name] = value
+
+    def resolve(self, text: str, line: int) -> int:
+        """Resolve an operand: integer literal, symbol, label, or NAME+int."""
+        text = text.strip()
+        offset = 0
+        if "+" in text:
+            base, _, tail = text.partition("+")
+            base = base.strip()
+            tail = tail.strip()
+            if base and not base.lstrip("-").isdigit():
+                offset = self.resolve(tail, line)
+                text = base
+        if text.lstrip("-").isdigit():
+            return int(text) + offset
+        for table in (self.symbols, self.labels):
+            if text in table:
+                return table[text] + offset
+        raise AssemblyError(f"unknown symbol or label '{text}'", line)
+
+
+# ---------------------------------------------------------------------------
+# stack machine assembler
+# ---------------------------------------------------------------------------
+
+
+class StackAssembler:
+    """Assembler for the stack machine ISA (:mod:`repro.isa.stack_isa`)."""
+
+    def __init__(self) -> None:
+        self._mnemonics = stack_isa.mnemonics()
+
+    def assemble(self, source: str) -> Program:
+        lines = _split_lines(source)
+        table = _SymbolTable()
+        # pass 1: addresses and symbols
+        address = 0
+        for line in lines:
+            if line.label is not None:
+                table.define_label(line.label, address, line.number)
+            if line.mnemonic is None:
+                continue
+            if line.mnemonic == ".EQU":
+                name, value = self._parse_equ(line, table)
+                table.define_symbol(name, value, line.number)
+                continue
+            if line.mnemonic not in self._mnemonics:
+                raise AssemblyError(
+                    f"unknown mnemonic '{line.mnemonic}'", line.number
+                )
+            address += 1
+        # pass 2: encode
+        words: list[int] = []
+        listing: list[str] = []
+        for line in lines:
+            if line.mnemonic is None or line.mnemonic == ".EQU":
+                continue
+            op = self._mnemonics[line.mnemonic]
+            operand = 0
+            if op in stack_isa.OPERAND_OPCODES:
+                if line.operand is None:
+                    raise AssemblyError(
+                        f"{op.name} requires an operand", line.number
+                    )
+                operand = table.resolve(line.operand, line.number)
+                if operand < 0:
+                    raise AssemblyError(
+                        f"operand of {op.name} must be non-negative", line.number
+                    )
+            elif line.operand is not None:
+                raise AssemblyError(
+                    f"{op.name} does not take an operand", line.number
+                )
+            instruction = stack_isa.Instruction(op, operand)
+            listing.append(f"{len(words):4d}: {instruction.render()}")
+            words.append(instruction.encode())
+        return Program(
+            words=words,
+            labels=table.labels,
+            symbols=table.symbols,
+            listing=listing,
+        )
+
+    @staticmethod
+    def _parse_equ(line: SourceLine, table: _SymbolTable) -> tuple[str, int]:
+        if line.operand is None:
+            raise AssemblyError(".equ requires a name and a value", line.number)
+        parts = line.operand.split(None, 1)
+        if len(parts) != 2:
+            raise AssemblyError(".equ requires a name and a value", line.number)
+        name, value_text = parts
+        return name, table.resolve(value_text, line.number)
+
+
+def assemble_stack_program(source: str) -> Program:
+    """Assemble stack machine assembly *source* into a :class:`Program`."""
+    return StackAssembler().assemble(source)
+
+
+# ---------------------------------------------------------------------------
+# tiny computer assembler
+# ---------------------------------------------------------------------------
+
+
+class TinyAssembler:
+    """Assembler for the Appendix-F style tiny computer."""
+
+    def assemble(self, source: str) -> Program:
+        lines = _split_lines(source)
+        table = _SymbolTable()
+        address = 0
+        for line in lines:
+            if line.label is not None:
+                table.define_label(line.label, address, line.number)
+            if line.mnemonic is None:
+                continue
+            if line.mnemonic == ".EQU":
+                name, value = StackAssembler._parse_equ(line, table)
+                table.define_symbol(name, value, line.number)
+                continue
+            if line.mnemonic == ".WORD" or line.mnemonic in tiny_isa.MNEMONICS:
+                address += 1
+                continue
+            raise AssemblyError(f"unknown mnemonic '{line.mnemonic}'", line.number)
+        if address > tiny_isa.MEMORY_CELLS:
+            raise AssemblyError(
+                f"program needs {address} words but the tiny computer has "
+                f"{tiny_isa.MEMORY_CELLS} memory cells"
+            )
+        words: list[int] = []
+        listing: list[str] = []
+        for line in lines:
+            if line.mnemonic is None or line.mnemonic == ".EQU":
+                continue
+            if line.mnemonic == ".WORD":
+                if line.operand is None:
+                    raise AssemblyError(".word requires a value", line.number)
+                value = table.resolve(line.operand, line.number)
+                listing.append(f"{len(words):4d}: .word {value}")
+                words.append(value)
+                continue
+            op = tiny_isa.MNEMONICS[line.mnemonic]
+            if line.operand is None:
+                raise AssemblyError(
+                    f"{line.mnemonic} requires an address operand", line.number
+                )
+            target = table.resolve(line.operand, line.number)
+            word = tiny_isa.encode(op, target)
+            listing.append(f"{len(words):4d}: {line.mnemonic} {target}")
+            words.append(word)
+        return Program(
+            words=words,
+            labels=table.labels,
+            symbols=table.symbols,
+            listing=listing,
+        )
+
+
+def assemble_tiny_program(source: str) -> Program:
+    """Assemble tiny computer assembly *source* into a :class:`Program`."""
+    return TinyAssembler().assemble(source)

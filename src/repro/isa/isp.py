@@ -1,0 +1,187 @@
+"""Instruction-set-level (ISP) simulators.
+
+Sections 1.2 and 2.2.4 of the paper contrast register-transfer-level
+simulation with ISP (Instruction Set Processor) simulation, where "each
+opcode of the test architecture [is translated] to an expression in a high
+level language".  These two simulators are exactly that for the bundled
+machines: they execute whole instructions in Python with no notion of
+cycles, phases or components.
+
+They serve three purposes:
+
+* the level-of-abstraction ablation (benchmark E7): ISP simulation is much
+  faster than RTL simulation but yields no timing information;
+* golden models: the RTL stack machine and tiny computer are checked
+  against them instruction by instruction;
+* cycle budgeting: the RTL machines take a fixed number of cycles per
+  instruction, so an ISP run tells the benchmarks how many cycles to request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.isa import stack_isa, tiny_isa
+from repro.isa.assembler import Program
+from repro.rtl.alu_ops import dologic
+from repro.rtl.bits import mask_word
+
+
+@dataclass
+class IspResult:
+    """Outcome of an instruction-set-level run."""
+
+    instructions_executed: int
+    halted: bool
+    outputs: list[int] = field(default_factory=list)
+    final_pc: int = 0
+    #: machine-specific state snapshots
+    stack: list[int] = field(default_factory=list)
+    data_memory: list[int] = field(default_factory=list)
+    accumulator: int = 0
+
+
+def _program_words(program: Program | Sequence[int]) -> list[int]:
+    if isinstance(program, Program):
+        return list(program.words)
+    return list(program)
+
+
+class StackIspSimulator:
+    """Executes stack machine programs one instruction at a time."""
+
+    def __init__(
+        self, program: Program | Sequence[int], data_size: int = 512
+    ) -> None:
+        self.program = _program_words(program)
+        self.data_size = data_size
+
+    def run(self, max_instructions: int = 1_000_000) -> IspResult:
+        data = [0] * self.data_size
+        stack: list[int] = []
+        outputs: list[int] = []
+        pc = 0
+        executed = 0
+        halted = False
+
+        def pop() -> int:
+            if not stack:
+                raise SimulationError(
+                    f"stack underflow at pc={pc} after {executed} instructions"
+                )
+            return stack.pop()
+
+        while executed < max_instructions:
+            if pc >= len(self.program):
+                raise SimulationError(f"program counter {pc} past end of program")
+            instruction = stack_isa.decode(self.program[pc])
+            executed += 1
+            op = instruction.op
+            operand = instruction.operand
+            next_pc = pc + 1
+            if op is stack_isa.Op.HALT:
+                halted = True
+                break
+            if op is stack_isa.Op.PUSH:
+                stack.append(mask_word(operand))
+            elif op in stack_isa.ALU_OPCODES:
+                right = pop()
+                left = pop()
+                stack.append(dologic(stack_isa.ALU_OPCODES[op], left, right))
+            elif op is stack_isa.Op.DUP:
+                value = pop()
+                stack.append(value)
+                stack.append(value)
+            elif op is stack_isa.Op.DROP:
+                pop()
+            elif op is stack_isa.Op.SWAP:
+                top = pop()
+                below = pop()
+                stack.append(top)
+                stack.append(below)
+            elif op is stack_isa.Op.LOAD:
+                address = pop() % self.data_size
+                stack.append(data[address])
+            elif op is stack_isa.Op.STORE:
+                address = pop() % self.data_size
+                value = pop()
+                data[address] = value
+            elif op is stack_isa.Op.JMP:
+                next_pc = operand
+            elif op is stack_isa.Op.JZ:
+                condition = pop()
+                if condition == 0:
+                    next_pc = operand
+            elif op is stack_isa.Op.OUT:
+                outputs.append(pop())
+            else:  # pragma: no cover - exhaustive over Op
+                raise SimulationError(f"unhandled opcode {op!r}")
+            pc = next_pc
+        return IspResult(
+            instructions_executed=executed,
+            halted=halted,
+            outputs=outputs,
+            final_pc=pc,
+            stack=stack,
+            data_memory=data,
+        )
+
+
+class TinyIspSimulator:
+    """Executes tiny computer programs one instruction at a time."""
+
+    def __init__(self, program: Program | Sequence[int]) -> None:
+        words = _program_words(program)
+        if len(words) > tiny_isa.MEMORY_CELLS:
+            raise SimulationError(
+                f"program of {len(words)} words exceeds the tiny computer's "
+                f"{tiny_isa.MEMORY_CELLS} cells"
+            )
+        self.initial_memory = words + [0] * (tiny_isa.MEMORY_CELLS - len(words))
+
+    def run(self, max_instructions: int = 100_000) -> IspResult:
+        memory = list(self.initial_memory)
+        accumulator = 0
+        borrow = 0
+        outputs: list[int] = []
+        pc = 0
+        executed = 0
+        halted = False
+        while executed < max_instructions:
+            instruction = tiny_isa.decode(memory[pc])
+            executed += 1
+            if instruction is None:
+                # data word reached: treat as no-operation, step over it
+                pc = (pc + 1) % tiny_isa.MEMORY_CELLS
+                continue
+            op, address = instruction.op, instruction.address
+            next_pc = pc + 1
+            if op is tiny_isa.TinyOp.LD:
+                accumulator = mask_word(memory[address])
+            elif op is tiny_isa.TinyOp.ST:
+                memory[address] = accumulator
+                if address == tiny_isa.OUTPUT_ADDRESS:
+                    outputs.append(accumulator)
+            elif op is tiny_isa.TinyOp.SU:
+                result = mask_word(accumulator - memory[address])
+                borrow = (result >> 30) & 1
+                accumulator = result
+            elif op is tiny_isa.TinyOp.BR:
+                if address == pc:
+                    halted = True
+                    break
+                next_pc = address
+            elif op is tiny_isa.TinyOp.BB:
+                if borrow:
+                    next_pc = address
+            pc = next_pc
+        return IspResult(
+            instructions_executed=executed,
+            halted=halted,
+            outputs=outputs,
+            final_pc=pc,
+            data_memory=memory,
+            accumulator=accumulator,
+        )

@@ -1,0 +1,141 @@
+"""Instruction set of the bundled stack machine.
+
+The paper's headline benchmark (Figure 5.1) runs the Sieve of Eratosthenes
+on a small microcoded stack machine described with the three ASIM II
+primitives (Appendix D).  This module defines the instruction set of our
+clean-room stack machine: a word is ``opcode << 16 | operand`` (the operand
+is used only by PUSH / JMP / JZ), and the opcode doubles as the index of
+the decode selectors inside the RTL model
+(:mod:`repro.machines.stack_machine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import AssemblyError
+from repro.rtl import alu_ops
+
+#: Number of bits reserved for the immediate operand.
+OPERAND_BITS = 16
+#: Bit position where the opcode field starts.
+OPCODE_SHIFT = OPERAND_BITS
+#: Mask for the operand field.
+OPERAND_MASK = (1 << OPERAND_BITS) - 1
+#: Width of the opcode field as referenced in the RTL model (8 bits).
+OPCODE_BITS = 8
+
+
+class Op(IntEnum):
+    """Stack machine opcodes (values double as decode-selector indices)."""
+
+    PUSH = 0
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    LT = 4
+    EQ = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    DUP = 9
+    DROP = 10
+    SWAP = 11
+    LOAD = 12
+    STORE = 13
+    JMP = 14
+    JZ = 15
+    OUT = 16
+    HALT = 17
+
+
+#: Number of opcodes (and therefore of decode selector cases).
+OPCODE_COUNT = len(Op)
+
+#: Opcodes that carry an immediate operand.
+OPERAND_OPCODES = frozenset({Op.PUSH, Op.JMP, Op.JZ})
+
+#: Binary ALU opcodes mapped to the ASIM II ALU function they use.
+ALU_OPCODES: dict[Op, int] = {
+    Op.ADD: alu_ops.FN_ADD,
+    Op.SUB: alu_ops.FN_SUB,
+    Op.MUL: alu_ops.FN_MUL,
+    Op.LT: alu_ops.FN_LT,
+    Op.EQ: alu_ops.FN_EQ,
+    Op.AND: alu_ops.FN_AND,
+    Op.OR: alu_ops.FN_OR,
+    Op.XOR: alu_ops.FN_XOR,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded stack machine instruction."""
+
+    op: Op
+    operand: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.operand <= OPERAND_MASK:
+            raise AssemblyError(
+                f"operand {self.operand} does not fit in {OPERAND_BITS} bits"
+            )
+        if self.operand and self.op not in OPERAND_OPCODES:
+            raise AssemblyError(f"{self.op.name} does not take an operand")
+
+    def encode(self) -> int:
+        return (int(self.op) << OPCODE_SHIFT) | self.operand
+
+    def render(self) -> str:
+        if self.op in OPERAND_OPCODES:
+            return f"{self.op.name} {self.operand}"
+        return self.op.name
+
+
+def encode(op: Op | int, operand: int = 0) -> int:
+    """Encode an instruction word."""
+    return Instruction(Op(op), operand).encode()
+
+
+def decode(word: int) -> Instruction:
+    """Decode an instruction word back into an :class:`Instruction`."""
+    code = (word >> OPCODE_SHIFT) & ((1 << OPCODE_BITS) - 1)
+    try:
+        op = Op(code)
+    except ValueError as exc:
+        raise AssemblyError(f"unknown opcode {code} in word {word:#x}") from exc
+    operand = word & OPERAND_MASK
+    if op not in OPERAND_OPCODES:
+        return Instruction(op, 0) if operand == 0 else Instruction(op, operand)
+    return Instruction(op, operand)
+
+
+def mnemonics() -> dict[str, Op]:
+    """Mapping of assembler mnemonics (upper case) to opcodes."""
+    return {op.name: op for op in Op}
+
+
+#: Net change in stack depth caused by each opcode (PUSH grows by one, a
+#: binary operator consumes two and produces one, ...).  Used by the ISP
+#: simulator's underflow checks and by tests.
+STACK_EFFECT: dict[Op, int] = {
+    Op.PUSH: +1,
+    Op.ADD: -1,
+    Op.SUB: -1,
+    Op.MUL: -1,
+    Op.LT: -1,
+    Op.EQ: -1,
+    Op.AND: -1,
+    Op.OR: -1,
+    Op.XOR: -1,
+    Op.DUP: +1,
+    Op.DROP: -1,
+    Op.SWAP: 0,
+    Op.LOAD: 0,
+    Op.STORE: -2,
+    Op.JMP: 0,
+    Op.JZ: -1,
+    Op.OUT: -1,
+    Op.HALT: 0,
+}

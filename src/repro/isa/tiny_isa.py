@@ -1,0 +1,86 @@
+"""Instruction set of the Appendix-F style tiny computer.
+
+Appendix F of the paper specifies "a small 10 bit microprocessor with five
+instructions (load, store, branch, branch on borrow, and subtract) and 128
+bytes of program and data memory".  A word holds a 3-bit opcode in bits 7..9
+and a 7-bit memory address in bits 0..6; the appendix's macro values
+(``~LD 256 ~ST 384 ~BB 512 ~BR 640 ~SU 768``) are exactly these opcodes
+shifted into place, which fixes the numeric encoding reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import AssemblyError
+
+#: Number of memory cells (program + data share one memory).
+MEMORY_CELLS = 128
+#: Width of the address field in bits.
+ADDRESS_BITS = 7
+#: Bit position of the opcode field.
+OPCODE_SHIFT = ADDRESS_BITS
+#: Mask for the address field.
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+#: Writing to this address is routed to memory-mapped output as well.
+OUTPUT_ADDRESS = MEMORY_CELLS - 1
+
+
+class TinyOp(IntEnum):
+    """Opcodes, numbered to match the Appendix F macro values (op << 7)."""
+
+    LD = 2   # 256: load accumulator from memory
+    ST = 3   # 384: store accumulator to memory
+    BB = 4   # 512: branch if the borrow flag is set
+    BR = 5   # 640: unconditional branch
+    SU = 6   # 768: subtract memory from accumulator (sets borrow)
+
+
+#: Mnemonic -> opcode mapping used by the assembler.
+MNEMONICS: dict[str, TinyOp] = {op.name: op for op in TinyOp}
+
+#: The Appendix F macro values, kept for documentation and tests.
+APPENDIX_F_MACROS: dict[str, int] = {
+    "LD": 256,
+    "ST": 384,
+    "BB": 512,
+    "BR": 640,
+    "SU": 768,
+}
+
+
+@dataclass(frozen=True)
+class TinyInstruction:
+    """A decoded tiny computer instruction."""
+
+    op: TinyOp
+    address: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= ADDRESS_MASK:
+            raise AssemblyError(
+                f"address {self.address} does not fit in {ADDRESS_BITS} bits"
+            )
+
+    def encode(self) -> int:
+        return (int(self.op) << OPCODE_SHIFT) | self.address
+
+    def render(self) -> str:
+        return f"{self.op.name} {self.address}"
+
+
+def encode(op: TinyOp | int, address: int) -> int:
+    """Encode a tiny computer instruction word."""
+    return TinyInstruction(TinyOp(op), address).encode()
+
+
+def decode(word: int) -> TinyInstruction | None:
+    """Decode an instruction word; returns ``None`` for pure data words."""
+    code = (word >> OPCODE_SHIFT) & 0x7
+    address = word & ADDRESS_MASK
+    try:
+        op = TinyOp(code)
+    except ValueError:
+        return None
+    return TinyInstruction(op, address)

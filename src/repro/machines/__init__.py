@@ -1,0 +1,68 @@
+"""Bundled example machines built with the ASIM II primitives."""
+
+from repro.machines.counter import build_counter_spec, expected_counter_values
+from repro.machines.fibonacci import build_fibonacci_spec, expected_fibonacci_values
+from repro.machines.gcd import build_gcd_spec, cycles_to_converge, expected_gcd
+from repro.machines.library import (
+    MachineEntry,
+    all_machines,
+    get_machine,
+    machine_names,
+)
+from repro.machines.sieve import (
+    SieveWorkload,
+    expected_outputs,
+    expected_primes,
+    prepare_sieve_workload,
+    sieve_assembly,
+    sieve_program,
+)
+from repro.machines.stack_machine import (
+    CYCLES_PER_INSTRUCTION,
+    StackMachine,
+    build_stack_machine,
+    build_stack_machine_spec,
+    cycles_for_instructions,
+)
+from repro.machines.tiny_computer import (
+    DivisionWorkload,
+    TinyComputer,
+    build_tiny_computer,
+    build_tiny_computer_spec,
+    division_program,
+    prepare_division_workload,
+)
+from repro.machines.traffic_light import build_traffic_light_spec, expected_states
+
+__all__ = [
+    "build_counter_spec",
+    "expected_counter_values",
+    "build_fibonacci_spec",
+    "expected_fibonacci_values",
+    "build_gcd_spec",
+    "cycles_to_converge",
+    "expected_gcd",
+    "MachineEntry",
+    "all_machines",
+    "get_machine",
+    "machine_names",
+    "SieveWorkload",
+    "expected_outputs",
+    "expected_primes",
+    "prepare_sieve_workload",
+    "sieve_assembly",
+    "sieve_program",
+    "CYCLES_PER_INSTRUCTION",
+    "StackMachine",
+    "build_stack_machine",
+    "build_stack_machine_spec",
+    "cycles_for_instructions",
+    "DivisionWorkload",
+    "TinyComputer",
+    "build_tiny_computer",
+    "build_tiny_computer_spec",
+    "division_program",
+    "prepare_division_workload",
+    "build_traffic_light_spec",
+    "expected_states",
+]

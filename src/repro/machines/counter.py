@@ -1,0 +1,42 @@
+"""A wrapping counter — the "simple counter" the paper cites as the smallest
+useful ASIM II design ("ranging from a simple counter to a stack machine",
+Section 3.2).
+
+The counter increments every cycle, wraps at a power of two, and drives its
+value onto the memory-mapped output port so runs have observable output.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+
+def build_counter_spec(
+    width_bits: int = 4,
+    output_every_cycle: bool = True,
+    traced: bool = True,
+    cycles: int | None = None,
+) -> Specification:
+    """Build a *width_bits*-bit wrapping counter.
+
+    The counter register is traced (the paper's ``*`` declaration) so the
+    per-cycle trace shows it counting 0, 1, 2, ... and wrapping.
+    """
+    if not 1 <= width_bits <= 30:
+        raise SpecificationError("counter width must be between 1 and 30 bits")
+    modulus_mask = (1 << width_bits) - 1
+    builder = SpecBuilder(f"# {width_bits}-bit wrapping counter", cycles=cycles)
+    builder.alu("next", 4, "count", 1)
+    builder.alu("wrapped", 8, "next", modulus_mask)
+    builder.register("count", data="wrapped", traced=traced)
+    if output_every_cycle:
+        builder.memory("outport", address=1, data="count", operation=3, size=2)
+    return builder.build()
+
+
+def expected_counter_values(width_bits: int, cycles: int) -> list[int]:
+    """The counter's visible value at each cycle (it lags the increment by one)."""
+    modulus = 1 << width_bits
+    return [cycle % modulus for cycle in range(cycles)]

@@ -1,0 +1,35 @@
+"""A Fibonacci generator built from two registers and one adder.
+
+Demonstrates register-to-register data flow with no control logic at all:
+``a`` takes ``b``'s value and ``b`` takes ``a + b`` every cycle, so ``a``
+walks the Fibonacci sequence.  The current value is also driven onto the
+memory-mapped output port.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.bits import mask_word
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+
+def build_fibonacci_spec(
+    traced: bool = True, cycles: int | None = None
+) -> Specification:
+    """Two-register Fibonacci machine: a <- b, b <- a + b."""
+    builder = SpecBuilder("# fibonacci generator", cycles=cycles)
+    builder.alu("sum", 4, "a", "b")
+    builder.register("a", data="b", traced=traced)
+    builder.register("b", data="sum", initial_value=1, traced=traced)
+    builder.memory("outport", address=1, data="a", operation=3, size=2)
+    return builder.build()
+
+
+def expected_fibonacci_values(cycles: int) -> list[int]:
+    """Value of register ``a`` visible during each cycle (wraps at 31 bits)."""
+    values = []
+    a, b = 0, 1
+    for _ in range(cycles):
+        values.append(a)
+        a, b = b, mask_word(a + b)
+    return values

@@ -1,0 +1,49 @@
+"""A Euclid GCD engine built from comparators, subtractors and selectors.
+
+Each cycle the larger of the two registers is reduced by the smaller one;
+when they become equal both hold ``gcd(a0, b0)`` and the machine is stable.
+This is the classic small datapath-plus-steering example: two ALU
+subtractors, two less-than comparators and two selectors steering each
+register's next value.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SpecificationError
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+
+def build_gcd_spec(
+    a0: int, b0: int, traced: bool = True, cycles: int | None = None
+) -> Specification:
+    """Build a GCD machine initialised with the operands *a0* and *b0*."""
+    if a0 <= 0 or b0 <= 0:
+        raise SpecificationError("GCD operands must be positive")
+    builder = SpecBuilder(f"# euclid gcd of {a0} and {b0}", cycles=cycles)
+    builder.alu("agtb", 13, "b", "a")          # 1 when a > b
+    builder.alu("altb", 13, "a", "b")          # 1 when a < b
+    builder.alu("asub", 5, "a", "b")
+    builder.alu("bsub", 5, "b", "a")
+    builder.alu("done", 12, "a", "b", traced=traced)   # 1 when a == b
+    builder.selector("anext", "agtb", ["a", "asub"])
+    builder.selector("bnext", "altb", ["b", "bsub"])
+    builder.register("a", data="anext", initial_value=a0, traced=traced)
+    builder.register("b", data="bnext", initial_value=b0, traced=traced)
+    return builder.build()
+
+
+def cycles_to_converge(a0: int, b0: int) -> int:
+    """Upper bound on the cycles the machine needs to reach gcd(a0, b0).
+
+    Subtractive GCD performs at most ``a0/g + b0/g`` reductions; one extra
+    cycle covers the register latency.
+    """
+    g = math.gcd(a0, b0)
+    return a0 // g + b0 // g + 2
+
+
+def expected_gcd(a0: int, b0: int) -> int:
+    return math.gcd(a0, b0)

@@ -1,0 +1,102 @@
+"""Registry of the bundled example machines.
+
+The registry gives benchmarks, tests and examples one place to enumerate
+"every machine that ships with the library", each with a short description
+and a zero-argument builder returning a ready-to-run specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.machines.counter import build_counter_spec
+from repro.machines.fibonacci import build_fibonacci_spec
+from repro.machines.gcd import build_gcd_spec
+from repro.machines.sieve import prepare_sieve_workload
+from repro.machines.stack_machine import build_stack_machine_spec
+from repro.machines.tiny_computer import (
+    build_tiny_computer_spec,
+    prepare_division_workload,
+)
+from repro.machines.traffic_light import build_traffic_light_spec
+from repro.rtl.spec import Specification
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    """One bundled machine: a name, a description and a builder."""
+
+    name: str
+    description: str
+    build: Callable[[], Specification]
+    #: a reasonable number of cycles to simulate for a demonstration run
+    demo_cycles: int
+
+
+def _sieve_spec() -> Specification:
+    return build_stack_machine_spec(prepare_sieve_workload(10).program)
+
+
+def _tiny_spec() -> Specification:
+    return build_tiny_computer_spec(prepare_division_workload(60, 7).program)
+
+
+_MACHINES: tuple[MachineEntry, ...] = (
+    MachineEntry(
+        name="counter",
+        description="4-bit wrapping counter with memory-mapped output",
+        build=lambda: build_counter_spec(width_bits=4),
+        demo_cycles=40,
+    ),
+    MachineEntry(
+        name="fibonacci",
+        description="two-register Fibonacci generator",
+        build=build_fibonacci_spec,
+        demo_cycles=20,
+    ),
+    MachineEntry(
+        name="gcd",
+        description="Euclid GCD engine (subtractive)",
+        build=lambda: build_gcd_spec(252, 105),
+        demo_cycles=16,
+    ),
+    MachineEntry(
+        name="traffic-light",
+        description="three-state traffic light controller",
+        build=build_traffic_light_spec,
+        demo_cycles=30,
+    ),
+    MachineEntry(
+        name="stack-machine-sieve",
+        description="microcoded stack machine running a small Sieve of Eratosthenes",
+        build=_sieve_spec,
+        demo_cycles=4000,
+    ),
+    MachineEntry(
+        name="tiny-computer",
+        description="Appendix-F style 10-bit accumulator machine dividing 60 by 7",
+        build=_tiny_spec,
+        demo_cycles=400,
+    ),
+)
+
+
+def machine_names() -> list[str]:
+    """Names of every bundled machine."""
+    return [entry.name for entry in _MACHINES]
+
+
+def all_machines() -> tuple[MachineEntry, ...]:
+    """Every bundled machine entry."""
+    return _MACHINES
+
+
+def get_machine(name: str) -> MachineEntry:
+    """Look up a bundled machine by name."""
+    for entry in _MACHINES:
+        if entry.name == name:
+            return entry
+    raise KeyError(
+        f"unknown machine '{name}'; available: {', '.join(machine_names())}"
+    )

@@ -1,0 +1,208 @@
+"""The Sieve of Eratosthenes workload (the paper's benchmark program).
+
+Appendix D of the paper runs "the popular Sieve of Eratosthenes (a prime
+number generator implemented with a standard algorithm to assure similar
+test conditions among the various machines being benchmarked)" on the stack
+machine.  This module generates the same algorithm — the classic Byte-
+benchmark formulation where slot *i* of the flags array represents the odd
+number ``2*i + 3`` — as stack machine assembly, assembles it, and provides
+the reference outputs the RTL and ISP simulators are checked against.
+
+The program's observable output is every prime it finds (via the
+memory-mapped output port) followed by the prime count, exactly like the
+thesis's simulator whose "output ... consists of the prime numbers generated
+by the simulator".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Program, assemble_stack_program
+from repro.isa.isp import StackIspSimulator
+
+#: Data memory layout (cell addresses) used by the generated program.
+VAR_I = 0
+VAR_COUNT = 1
+VAR_PRIME = 2
+VAR_K = 3
+FLAGS_BASE = 10
+
+#: Default sieve size: flags[0..SIZE] represent the odd numbers 3..2*SIZE+3.
+DEFAULT_SIZE = 20
+
+
+def sieve_assembly(size: int = DEFAULT_SIZE) -> str:
+    """Generate the sieve as stack machine assembly source."""
+    if size < 1:
+        raise ValueError("sieve size must be at least 1")
+    limit = size + 1
+    return f"""\
+; Sieve of Eratosthenes over the odd numbers 3 .. {2 * size + 3}
+; flags[i] (data cell {FLAGS_BASE}+i) is 1 when 2*i+3 is still prime.
+.equ I {VAR_I}
+.equ COUNT {VAR_COUNT}
+.equ PRIME {VAR_PRIME}
+.equ K {VAR_K}
+.equ FLAGS {FLAGS_BASE}
+.equ LIMIT {limit}
+
+        PUSH 0          ; count = 0
+        PUSH COUNT
+        STORE
+        PUSH 0          ; i = 0
+        PUSH I
+        STORE
+
+INIT:   PUSH I          ; while i < LIMIT: flags[i] = 1
+        LOAD
+        PUSH LIMIT
+        LT
+        JZ INITDONE
+        PUSH 1
+        PUSH I
+        LOAD
+        PUSH FLAGS
+        ADD
+        STORE
+        PUSH I          ; i = i + 1
+        LOAD
+        PUSH 1
+        ADD
+        PUSH I
+        STORE
+        JMP INIT
+
+INITDONE:
+        PUSH 0          ; i = 0
+        PUSH I
+        STORE
+
+OUTER:  PUSH I          ; while i < LIMIT
+        LOAD
+        PUSH LIMIT
+        LT
+        JZ DONE
+        PUSH I          ; if flags[i] == 0: next i
+        LOAD
+        PUSH FLAGS
+        ADD
+        LOAD
+        JZ NEXT
+        PUSH I          ; prime = i + i + 3
+        LOAD
+        DUP
+        ADD
+        PUSH 3
+        ADD
+        PUSH PRIME
+        STORE
+        PUSH PRIME      ; output the prime
+        LOAD
+        OUT
+        PUSH COUNT      ; count = count + 1
+        LOAD
+        PUSH 1
+        ADD
+        PUSH COUNT
+        STORE
+        PUSH I          ; k = i + prime
+        LOAD
+        PUSH PRIME
+        LOAD
+        ADD
+        PUSH K
+        STORE
+
+INNER:  PUSH K          ; while k < LIMIT: flags[k] = 0; k += prime
+        LOAD
+        PUSH LIMIT
+        LT
+        JZ NEXT
+        PUSH 0
+        PUSH K
+        LOAD
+        PUSH FLAGS
+        ADD
+        STORE
+        PUSH K
+        LOAD
+        PUSH PRIME
+        LOAD
+        ADD
+        PUSH K
+        STORE
+        JMP INNER
+
+NEXT:   PUSH I          ; i = i + 1
+        LOAD
+        PUSH 1
+        ADD
+        PUSH I
+        STORE
+        JMP OUTER
+
+DONE:   PUSH COUNT      ; output the prime count, then halt
+        LOAD
+        OUT
+        HALT
+"""
+
+
+def sieve_program(size: int = DEFAULT_SIZE) -> Program:
+    """Assemble the sieve program for the given *size*."""
+    return assemble_stack_program(sieve_assembly(size))
+
+
+# ---------------------------------------------------------------------------
+# Reference model
+# ---------------------------------------------------------------------------
+
+
+def expected_primes(size: int = DEFAULT_SIZE) -> list[int]:
+    """Primes the sieve finds: every prime ``2*i + 3`` for ``i`` in 0..size.
+
+    Computed directly (trial division) so that the simulators are checked
+    against an independent implementation of the same definition.
+    """
+    primes = []
+    for i in range(size + 1):
+        candidate = 2 * i + 3
+        is_prime = all(candidate % d for d in range(2, int(candidate ** 0.5) + 1))
+        if is_prime:
+            primes.append(candidate)
+    return primes
+
+
+def expected_outputs(size: int = DEFAULT_SIZE) -> list[int]:
+    """The exact output sequence: each prime, then the count of primes."""
+    primes = expected_primes(size)
+    return primes + [len(primes)]
+
+
+@dataclass(frozen=True)
+class SieveWorkload:
+    """A fully prepared sieve workload for benchmarks and tests."""
+
+    size: int
+    program: Program
+    instructions_executed: int
+    outputs: list[int]
+
+    @property
+    def cycles_needed(self) -> int:
+        from repro.machines.stack_machine import cycles_for_instructions
+
+        return cycles_for_instructions(self.instructions_executed)
+
+
+def prepare_sieve_workload(size: int = DEFAULT_SIZE) -> SieveWorkload:
+    """Assemble the sieve and measure it with the ISP golden model."""
+    program = sieve_program(size)
+    result = StackIspSimulator(program).run()
+    return SieveWorkload(
+        size=size,
+        program=program,
+        instructions_executed=result.instructions_executed,
+        outputs=list(result.outputs),
+    )

@@ -1,0 +1,275 @@
+"""The microcoded stack machine (the paper's Appendix D workload, rebuilt).
+
+The paper's headline benchmark runs the Sieve of Eratosthenes on an "Itty
+Bitty Stack Machine" described entirely with ASIM II's three primitives.
+This module rebuilds such a machine from scratch (see DESIGN.md for why the
+appendix's own ROM encoding is not transcribed verbatim): a 4-phase
+fetch / decode / execute / refill datapath whose control is a set of
+selectors indexed by the opcode field of the instruction register — the
+selector-as-decode-ROM style the thesis itself uses.
+
+Datapath summary (every instruction takes exactly four cycles):
+
+=====  ======================================================================
+phase  activity
+=====  ======================================================================
+0      fetch: program ROM is read at ``pc``; the stack RAM is read at
+       ``sp-1`` so the next-on-stack value is available one cycle later
+1      decode: the fetched word is latched into ``ir`` and the stack read
+       into ``nos``; the data RAM is read at ``tos`` (for LOAD)
+2      execute: decode selectors produce the next ``tos``/``sp``/``pc``;
+       pushes write the stack RAM, STORE writes the data RAM, OUT drives the
+       memory-mapped output port; STORE also issues the stack read that will
+       refill ``tos``
+3      refill: STORE latches the refilled ``tos``; everything else holds
+=====  ======================================================================
+
+Registers (``pc``, ``sp``, ``tos``, ``nos``, ``ir``, ``phase``) are
+single-cell memories that write every cycle; their data inputs are selectors
+indexed by the phase counter, so "hold" simply re-writes the current value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.isa.assembler import Program
+from repro.isa.stack_isa import (
+    ALU_OPCODES,
+    OPCODE_COUNT,
+    Op,
+    encode,
+)
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+#: Every instruction takes exactly this many cycles on the RTL machine.
+CYCLES_PER_INSTRUCTION = 4
+
+#: Default sizes (cells); both must be powers of two because addresses are
+#: masked with ``size - 1`` using an AND ALU.
+DEFAULT_DATA_SIZE = 512
+DEFAULT_STACK_SIZE = 512
+
+#: The memory-mapped output port writes integers at this address.
+OUTPUT_ADDRESS = 1
+
+#: Components worth tracing when debugging the machine.
+DEBUG_TRACE = ("phase", "pc", "ir", "tos", "sp")
+
+
+def _require_power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise SpecificationError(f"{what} must be a power of two, got {value}")
+
+
+def _next_power_of_two(value: int) -> int:
+    size = 1
+    while size < value:
+        size *= 2
+    return size
+
+
+def _per_opcode(default: object, overrides: dict[Op, object]) -> list[object]:
+    """Build a decode-selector case list indexed by opcode."""
+    cases: list[object] = [default] * OPCODE_COUNT
+    for op, value in overrides.items():
+        cases[int(op)] = value
+    return cases
+
+
+@dataclass(frozen=True)
+class StackMachine:
+    """A built stack machine: its specification plus layout facts."""
+
+    spec: Specification
+    program_words: tuple[int, ...]
+    program_size: int
+    data_size: int
+    stack_size: int
+
+    def cycles_for(self, instructions: int, slack_instructions: int = 4) -> int:
+        """Cycles needed to execute *instructions* instructions (plus slack)."""
+        return (instructions + slack_instructions) * CYCLES_PER_INSTRUCTION
+
+
+def _program_words(program: Program | Sequence[int]) -> list[int]:
+    if isinstance(program, Program):
+        return list(program.words)
+    return list(program)
+
+
+def build_stack_machine(
+    program: Program | Sequence[int],
+    data_size: int = DEFAULT_DATA_SIZE,
+    stack_size: int = DEFAULT_STACK_SIZE,
+    trace: Sequence[str] = (),
+    cycles: int | None = None,
+) -> StackMachine:
+    """Build the stack machine specification around an assembled *program*.
+
+    The program ROM is padded to a power of two with HALT instructions so a
+    runaway program counter simply halts.
+    """
+    _require_power_of_two(data_size, "data_size")
+    _require_power_of_two(stack_size, "stack_size")
+    words = _program_words(program)
+    if not words:
+        raise SpecificationError("the stack machine needs a non-empty program")
+    program_size = _next_power_of_two(len(words))
+    halt_word = encode(Op.HALT)
+    rom_contents = words + [halt_word] * (program_size - len(words))
+
+    builder = SpecBuilder(
+        "# Itty Bitty Stack Machine (ASIM II reproduction)", cycles=cycles
+    )
+
+    # ---- instruction fields and simple arithmetic --------------------------------
+    builder.alu("opcode", 2, "ir.16.23", 0)
+    builder.alu("operand", 2, "ir.0.15", 0)
+    builder.alu("pcp1", 4, "pc", 1)
+    builder.alu("spp1", 4, "sp", 1)
+    builder.alu("spm1", 5, "sp", 1)
+    builder.alu("spm2", 5, "sp", 2)
+    builder.alu("iszero", 12, "tos", 0)
+
+    # ---- the working ALU (function chosen by the decode selector) ------------------
+    builder.selector(
+        "alufn",
+        "opcode",
+        _per_opcode(0, {op: funct for op, funct in ALU_OPCODES.items()}),
+    )
+    builder.alu("alures", "alufn", "nos", "tos")
+
+    # ---- decode selectors: next register values -------------------------------------
+    alu_results = {op: "alures" for op in ALU_OPCODES}
+    builder.selector(
+        "tosnext",
+        "opcode",
+        _per_opcode(
+            "tos",
+            {
+                Op.PUSH: "operand",
+                **alu_results,
+                Op.DROP: "nos",
+                Op.SWAP: "nos",
+                Op.LOAD: "dmem",
+                Op.JZ: "nos",
+                Op.OUT: "nos",
+            },
+        ),
+    )
+    pops_one = {op: "spm1" for op in ALU_OPCODES}
+    builder.selector(
+        "spnext",
+        "opcode",
+        _per_opcode(
+            "sp",
+            {
+                Op.PUSH: "spp1",
+                **pops_one,
+                Op.DUP: "spp1",
+                Op.DROP: "spm1",
+                Op.STORE: "spm2",
+                Op.JZ: "spm1",
+                Op.OUT: "spm1",
+            },
+        ),
+    )
+    builder.selector("jztarget", "iszero", ["pcp1", "operand"])
+    builder.selector(
+        "pcnext",
+        "opcode",
+        _per_opcode(
+            "pcp1",
+            {Op.JMP: "operand", Op.JZ: "jztarget", Op.HALT: "pc"},
+        ),
+    )
+    builder.selector("tosfill", "opcode", _per_opcode("tos", {Op.STORE: "stack"}))
+
+    # ---- decode selectors: memory control ----------------------------------------------
+    builder.selector(
+        "stackop2",
+        "opcode",
+        _per_opcode(0, {Op.PUSH: 1, Op.DUP: 1, Op.SWAP: 1}),
+    )
+    builder.selector(
+        "stackaddr2",
+        "opcode",
+        _per_opcode("sp", {Op.SWAP: "spm1", Op.STORE: "spm2"}),
+    )
+    builder.selector("dmemop2", "opcode", _per_opcode(0, {Op.STORE: 1}))
+    builder.selector("outop2", "opcode", _per_opcode(0, {Op.OUT: 3}))
+
+    # ---- phase sequencing ----------------------------------------------------------------
+    builder.alu("phinc", 4, "phase", 1)
+    builder.alu("phnext", 8, "phinc", 3)
+    builder.selector("pcsel", "phase", ["pc", "pc", "pcnext", "pc"])
+    builder.selector("spsel", "phase", ["sp", "sp", "spnext", "sp"])
+    builder.selector("tossel", "phase", ["tos", "tos", "tosnext", "tosfill"])
+    builder.selector("nossel", "phase", ["nos", "stack", "nos", "nos"])
+    builder.selector("irsel", "phase", ["ir", "prog", "ir", "ir"])
+    builder.selector(
+        "stackaddrsel", "phase", ["spm1", "spm1", "stackaddr2", "sp"]
+    )
+    builder.selector("stackop", "phase", [0, 0, "stackop2", 0])
+    builder.selector("dmemop", "phase", [0, 0, "dmemop2", 0])
+    builder.selector("outopsel", "phase", [0, 0, "outop2", 0])
+
+    # ---- address masking -----------------------------------------------------------------
+    builder.alu("stackaddr", 8, "stackaddrsel", stack_size - 1)
+    builder.alu("dmaddr", 8, "tos", data_size - 1)
+    builder.alu("pcmask", 8, "pc", program_size - 1)
+
+    # ---- registers -------------------------------------------------------------------------
+    builder.register("phase", data="phnext")
+    builder.register("pc", data="pcsel")
+    builder.register("sp", data="spsel")
+    builder.register("tos", data="tossel")
+    builder.register("nos", data="nossel")
+    builder.register("ir", data="irsel")
+
+    # ---- memories ----------------------------------------------------------------------------
+    builder.rom("prog", address="pcmask", contents=rom_contents, size=program_size)
+    builder.memory(
+        "stack", address="stackaddr", data="tos", operation="stackop",
+        size=stack_size,
+    )
+    builder.memory(
+        "dmem", address="dmaddr", data="nos", operation="dmemop", size=data_size
+    )
+    builder.memory(
+        "outport", address=OUTPUT_ADDRESS, data="tos", operation="outopsel", size=2
+    )
+
+    if trace:
+        builder.trace(*trace)
+
+    return StackMachine(
+        spec=builder.build(),
+        program_words=tuple(words),
+        program_size=program_size,
+        data_size=data_size,
+        stack_size=stack_size,
+    )
+
+
+def build_stack_machine_spec(
+    program: Program | Sequence[int],
+    data_size: int = DEFAULT_DATA_SIZE,
+    stack_size: int = DEFAULT_STACK_SIZE,
+    trace: Sequence[str] = (),
+    cycles: int | None = None,
+) -> Specification:
+    """Convenience wrapper returning only the :class:`Specification`."""
+    return build_stack_machine(
+        program, data_size=data_size, stack_size=stack_size, trace=trace,
+        cycles=cycles,
+    ).spec
+
+
+def cycles_for_instructions(instructions: int, slack_instructions: int = 4) -> int:
+    """Cycle budget for a program known to execute *instructions* instructions."""
+    return (instructions + slack_instructions) * CYCLES_PER_INSTRUCTION

@@ -1,0 +1,237 @@
+"""The Appendix-F tiny computer.
+
+Appendix F of the paper gives "an example of a hardware specification and
+circuit for a small 10 bit microprocessor with five instructions (load,
+store, branch, branch on borrow, and subtract) and 128 bytes of program and
+data memory".  This module rebuilds that machine on our grammar:
+
+* one 128-cell memory shared by program and data;
+* an accumulator ``ac``, a ``borrow`` flag, ``pc``, ``ir`` and a 2-bit phase
+  counter;
+* four phases per instruction: fetch, latch ``ir``, operand fetch, execute;
+* a store to address 127 is additionally routed to the memory-mapped output
+  port so programs have observable output.
+
+The bundled demonstration program divides two numbers by repeated
+subtraction (the natural workload for a machine whose only arithmetic
+instruction is subtract) and outputs the quotient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.isa import tiny_isa
+from repro.isa.assembler import Program, assemble_tiny_program
+from repro.isa.isp import TinyIspSimulator
+from repro.rtl.bits import WORD_MASK
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+#: Every instruction takes exactly this many cycles on the RTL machine.
+CYCLES_PER_INSTRUCTION = 4
+
+#: The borrow flag is this bit of the 31-bit subtraction result.
+BORROW_BIT = 30
+
+#: Components worth tracing when debugging the machine.
+DEBUG_TRACE = ("phase", "pc", "ir", "ac", "borrow")
+
+
+@dataclass(frozen=True)
+class TinyComputer:
+    """A built tiny computer: its specification plus program facts."""
+
+    spec: Specification
+    program_words: tuple[int, ...]
+
+    def cycles_for(self, instructions: int, slack_instructions: int = 4) -> int:
+        return (instructions + slack_instructions) * CYCLES_PER_INSTRUCTION
+
+
+def _program_words(program: Program | Sequence[int]) -> list[int]:
+    if isinstance(program, Program):
+        return list(program.words)
+    return list(program)
+
+
+def build_tiny_computer(
+    program: Program | Sequence[int],
+    trace: Sequence[str] = (),
+    cycles: int | None = None,
+) -> TinyComputer:
+    """Build the tiny computer specification around an assembled *program*."""
+    words = _program_words(program)
+    if not words:
+        raise SpecificationError("the tiny computer needs a non-empty program")
+    if len(words) > tiny_isa.MEMORY_CELLS:
+        raise SpecificationError(
+            f"program of {len(words)} words exceeds the tiny computer's "
+            f"{tiny_isa.MEMORY_CELLS} cells"
+        )
+    memory_contents = words + [0] * (tiny_isa.MEMORY_CELLS - len(words))
+
+    builder = SpecBuilder(
+        "# tiny computer specification (Appendix F reproduction)", cycles=cycles
+    )
+
+    ld, st, bb, br, su = (
+        int(tiny_isa.TinyOp.LD),
+        int(tiny_isa.TinyOp.ST),
+        int(tiny_isa.TinyOp.BB),
+        int(tiny_isa.TinyOp.BR),
+        int(tiny_isa.TinyOp.SU),
+    )
+
+    def per_opcode(default: object, overrides: dict[int, object]) -> list[object]:
+        cases: list[object] = [default] * 8
+        for code, value in overrides.items():
+            cases[code] = value
+        return cases
+
+    # ---- instruction fields and arithmetic -----------------------------------------
+    builder.alu("opcode", 2, "ir.7.9", 0)
+    builder.alu("addrfield", 2, "ir.0.6", 0)
+    builder.alu("pcp1", 4, "pc", 1)
+    builder.alu("subres", 5, "ac", "mem")
+    builder.alu("borrowbit", 2, f"subres.{BORROW_BIT}", 0)
+    builder.alu("isout", 12, "addrfield", tiny_isa.OUTPUT_ADDRESS)
+
+    # ---- execute-phase decode ----------------------------------------------------------
+    builder.selector(
+        "acnext", "opcode", per_opcode("ac", {ld: "mem", su: "subres"})
+    )
+    builder.selector(
+        "borrownext", "opcode", per_opcode("borrow", {su: "borrowbit"})
+    )
+    builder.selector("pcbranch", "borrow", ["pcp1", "addrfield"])
+    builder.selector(
+        "pcnext",
+        "opcode",
+        per_opcode("pcp1", {bb: "pcbranch", br: "addrfield"}),
+    )
+    builder.selector("memop3", "opcode", per_opcode(0, {st: 1}))
+    builder.selector("outselect", "isout", [0, 3])
+    builder.selector("outop3", "opcode", per_opcode(0, {st: "outselect"}))
+
+    # ---- phase sequencing ------------------------------------------------------------------
+    builder.alu("phinc", 4, "phase", 1)
+    builder.alu("phnext", 8, "phinc", 3)
+    builder.selector("memaddr", "phase", ["pc", "pc", "addrfield", "addrfield"])
+    builder.selector("memop", "phase", [0, 0, 0, "memop3"])
+    builder.selector("outop", "phase", [0, 0, 0, "outop3"])
+    builder.selector("acsel", "phase", ["ac", "ac", "ac", "acnext"])
+    builder.selector("pcsel", "phase", ["pc", "pc", "pc", "pcnext"])
+    builder.selector("irsel", "phase", ["ir", "mem", "ir", "ir"])
+    builder.selector(
+        "borrowsel", "phase", ["borrow", "borrow", "borrow", "borrownext"]
+    )
+
+    # ---- registers and memory ------------------------------------------------------------------
+    builder.register("phase", data="phnext")
+    builder.register("pc", data="pcsel")
+    builder.register("ir", data="irsel")
+    builder.register("ac", data="acsel")
+    builder.register("borrow", data="borrowsel")
+    builder.memory(
+        "mem",
+        address="memaddr",
+        data="ac",
+        operation="memop",
+        size=tiny_isa.MEMORY_CELLS,
+        initial_values=memory_contents,
+    )
+    builder.memory("outport", address=1, data="ac", operation="outop", size=2)
+
+    if trace:
+        builder.trace(*trace)
+
+    return TinyComputer(spec=builder.build(), program_words=tuple(words))
+
+
+def build_tiny_computer_spec(
+    program: Program | Sequence[int],
+    trace: Sequence[str] = (),
+    cycles: int | None = None,
+) -> Specification:
+    """Convenience wrapper returning only the :class:`Specification`."""
+    return build_tiny_computer(program, trace=trace, cycles=cycles).spec
+
+
+# ---------------------------------------------------------------------------
+# Bundled demonstration program: division by repeated subtraction
+# ---------------------------------------------------------------------------
+
+#: ``NEG1`` holds -1 modulo 2**31; subtracting it increments the accumulator.
+MINUS_ONE = WORD_MASK
+
+
+def division_assembly(dividend: int = 100, divisor: int = 7) -> str:
+    """Assembly that computes ``dividend // divisor`` and outputs it.
+
+    The only arithmetic instruction is subtract, so the quotient is counted
+    by repeatedly subtracting the divisor until a borrow occurs; the counter
+    is incremented by subtracting -1 (stored as ``2**31 - 1``).
+    """
+    if divisor <= 0 or dividend < 0:
+        raise ValueError("dividend must be >= 0 and divisor > 0")
+    return f"""\
+; divide A by B by repeated subtraction; output the quotient to cell 127
+.equ OUT 127
+LOOP:   LD A        ; ac = a
+        SU B        ; ac = a - b (sets borrow when a < b)
+        BB DONE     ; stop when it went negative
+        ST A        ; a = a - b
+        LD Q        ; q = q + 1 (subtracting -1 increments)
+        SU NEG1
+        ST Q
+        BR LOOP
+DONE:   LD Q        ; output the quotient
+        ST OUT
+HALT:   BR HALT
+A:      .word {dividend}
+B:      .word {divisor}
+Q:      .word 0
+NEG1:   .word {MINUS_ONE}
+"""
+
+
+def division_program(dividend: int = 100, divisor: int = 7) -> Program:
+    """Assemble the division demonstration program."""
+    return assemble_tiny_program(division_assembly(dividend, divisor))
+
+
+@dataclass(frozen=True)
+class DivisionWorkload:
+    """A prepared division workload with its ISP-measured reference."""
+
+    dividend: int
+    divisor: int
+    program: Program
+    instructions_executed: int
+    outputs: list[int]
+
+    @property
+    def expected_quotient(self) -> int:
+        return self.dividend // self.divisor
+
+    @property
+    def cycles_needed(self) -> int:
+        return (self.instructions_executed + 4) * CYCLES_PER_INSTRUCTION
+
+
+def prepare_division_workload(
+    dividend: int = 100, divisor: int = 7
+) -> DivisionWorkload:
+    """Assemble the division program and measure it with the ISP model."""
+    program = division_program(dividend, divisor)
+    result = TinyIspSimulator(program).run()
+    return DivisionWorkload(
+        dividend=dividend,
+        divisor=divisor,
+        program=program,
+        instructions_executed=result.instructions_executed,
+        outputs=list(result.outputs),
+    )

@@ -1,0 +1,85 @@
+"""A traffic light controller: the textbook finite state machine.
+
+Three states (green, yellow, red) with configurable dwell times, built from
+a state register, a dwell-time counter and selectors for the next state and
+the lamp outputs.  It demonstrates selector-driven control without any
+datapath, complementing the pure-datapath examples (counter, Fibonacci).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.spec import Specification
+
+#: Encoded state values.
+STATE_GREEN = 0
+STATE_YELLOW = 1
+STATE_RED = 2
+
+#: Lamp output encodings (one-hot: green=1, yellow=2, red=4).
+LAMP_VALUES = {STATE_GREEN: 1, STATE_YELLOW: 2, STATE_RED: 4}
+
+
+def build_traffic_light_spec(
+    green_cycles: int = 4,
+    yellow_cycles: int = 2,
+    red_cycles: int = 3,
+    traced: bool = True,
+    cycles: int | None = None,
+) -> Specification:
+    """Build the controller with the given per-state dwell times (in cycles)."""
+    dwells = (green_cycles, yellow_cycles, red_cycles)
+    if any(d < 1 for d in dwells):
+        raise SpecificationError("every dwell time must be at least one cycle")
+    builder = SpecBuilder("# traffic light controller", cycles=cycles)
+    # dwell limit for the current state, and whether the timer reached it
+    builder.selector(
+        "limit", "state", [green_cycles - 1, yellow_cycles - 1, red_cycles - 1]
+    )
+    builder.alu("expired", 12, "timer", "limit", traced=False)
+    builder.alu("timerinc", 4, "timer", 1)
+    builder.selector("timernext", "expired", ["timerinc", 0])
+    # state advance on expiry (green -> yellow -> red -> green)
+    builder.selector("advance", "state", [STATE_YELLOW, STATE_RED, STATE_GREEN])
+    builder.selector("statenext", "expired", ["state", "advance"])
+    # lamp outputs
+    builder.selector(
+        "lamps",
+        "state",
+        [LAMP_VALUES[STATE_GREEN], LAMP_VALUES[STATE_YELLOW], LAMP_VALUES[STATE_RED]],
+        traced=traced,
+    )
+    builder.register("state", data="statenext", traced=traced)
+    builder.register("timer", data="timernext")
+    return builder.build()
+
+
+def expected_states(
+    cycles: int,
+    green_cycles: int = 4,
+    yellow_cycles: int = 2,
+    red_cycles: int = 3,
+) -> list[int]:
+    """Reference sequence of the state register's visible value per cycle."""
+    dwell = {
+        STATE_GREEN: green_cycles,
+        STATE_YELLOW: yellow_cycles,
+        STATE_RED: red_cycles,
+    }
+    order = {
+        STATE_GREEN: STATE_YELLOW,
+        STATE_YELLOW: STATE_RED,
+        STATE_RED: STATE_GREEN,
+    }
+    states = []
+    state = STATE_GREEN
+    timer = 0
+    for _ in range(cycles):
+        states.append(state)
+        if timer == dwell[state] - 1:
+            state = order[state]
+            timer = 0
+        else:
+            timer += 1
+    return states

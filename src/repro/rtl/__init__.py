@@ -1,0 +1,80 @@
+"""The ASIM II register transfer language: model, parser and analysis.
+
+This package implements the specification language of the paper — the three
+primitives (ALU, selector, memory), the expression syntax with bit fields
+and concatenation, macros, the file format, dependency ordering and
+validation.  Everything downstream (the interpreter, the compiler, the
+bundled machines and the hardware-construction pass) works from the
+:class:`~repro.rtl.spec.Specification` objects produced here.
+"""
+
+from repro.rtl.bits import WORD_BITS, WORD_MASK, land, mask_word
+from repro.rtl.builder import SpecBuilder, as_expression
+from repro.rtl.components import (
+    Alu,
+    Component,
+    ComponentKind,
+    Memory,
+    Selector,
+)
+from repro.rtl.dependency import (
+    build_dependency_graph,
+    dependency_depths,
+    evaluation_order,
+    has_combinational_cycle,
+    sort_combinational,
+)
+from repro.rtl.expressions import (
+    BitStringField,
+    ComponentRef,
+    ConstantField,
+    Expression,
+    Field,
+    constant_expression,
+    parse_expression,
+    reference_expression,
+)
+from repro.rtl.macros import MacroTable
+from repro.rtl.numbers import parse_number, parse_signed_count
+from repro.rtl.parser import parse_spec, parse_spec_file
+from repro.rtl.spec import Declaration, Specification
+from repro.rtl.validate import ValidationReport, ensure_valid, validate
+from repro.rtl.writer import spec_to_text
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_MASK",
+    "land",
+    "mask_word",
+    "SpecBuilder",
+    "as_expression",
+    "Alu",
+    "Component",
+    "ComponentKind",
+    "Memory",
+    "Selector",
+    "build_dependency_graph",
+    "dependency_depths",
+    "evaluation_order",
+    "has_combinational_cycle",
+    "sort_combinational",
+    "BitStringField",
+    "ComponentRef",
+    "ConstantField",
+    "Expression",
+    "Field",
+    "constant_expression",
+    "parse_expression",
+    "reference_expression",
+    "MacroTable",
+    "parse_number",
+    "parse_signed_count",
+    "parse_spec",
+    "parse_spec_file",
+    "Declaration",
+    "Specification",
+    "ValidationReport",
+    "ensure_valid",
+    "validate",
+    "spec_to_text",
+]

@@ -1,0 +1,108 @@
+"""Bit-level utilities shared by the whole simulator.
+
+ASIM II works on a 31-bit machine word (the generated Pascal code uses
+``mask = 2147483647``).  Every value flowing between components is an
+unsigned integer in ``[0, 2**31)``.  This module centralises the word size,
+masking, bit-field extraction and the ``land`` (logical and) helper that the
+original Pascal runtime exposed, so that the interpreter, the compiler and
+the generated code all agree on the arithmetic.
+"""
+
+from __future__ import annotations
+
+#: Number of bits in the simulated machine word (paper: 31).
+WORD_BITS = 31
+
+#: All-ones mask for a machine word, ``2**31 - 1`` (paper: ``mask``).
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def land(a: int, b: int) -> int:
+    """Bitwise AND of two word values (the paper's ``land`` function).
+
+    The original Pascal had no bitwise operators and implemented this with a
+    variant-record set trick; in Python it is simply ``&`` restricted to the
+    machine word.
+    """
+    return (a & b) & WORD_MASK
+
+
+def mask_word(value: int) -> int:
+    """Wrap *value* into the 31-bit machine word (two's complement wrap)."""
+    return value & WORD_MASK
+
+
+def mask_for_width(width: int) -> int:
+    """Return an all-ones mask of *width* bits (``width`` may be 0)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if width >= WORD_BITS:
+        return WORD_MASK
+    return (1 << width) - 1
+
+
+def extract_field(value: int, low: int, high: int) -> int:
+    """Extract bits *low*..*high* (inclusive, zero-based) of *value*.
+
+    This is the semantics of a component reference ``name.low.high`` in an
+    ASIM II expression: the selected bits are shifted down so that bit *low*
+    of *value* becomes bit 0 of the result.
+    """
+    if low < 0 or high < low:
+        raise ValueError(f"invalid bit field {low}..{high}")
+    width = high - low + 1
+    return (value >> low) & mask_for_width(width)
+
+
+def extract_bit(value: int, bit: int) -> int:
+    """Extract a single bit (``name.bit`` in an expression)."""
+    return extract_field(value, bit, bit)
+
+
+def insert_field(base: int, value: int, low: int, width: int) -> int:
+    """Place *value* (masked to *width* bits) at bit position *low* of *base*."""
+    field_mask = mask_for_width(width)
+    cleared = base & ~(field_mask << low)
+    return mask_word(cleared | ((value & field_mask) << low))
+
+
+def concatenate(fields: list[tuple[int, int]]) -> int:
+    """Concatenate ``(value, width)`` fields, leftmost field most significant.
+
+    Mirrors Figure 3.1 of the paper: ``mem.3.4, #01, count.1`` places the
+    ``count.1`` bit at bit 0, the binary string above it and the memory field
+    on top.  Fields wider than the remaining word raise ``ValueError``.
+    """
+    result = 0
+    offset = 0
+    for value, width in reversed(fields):
+        if width < 0:
+            raise ValueError("field width must be non-negative")
+        if offset + width > WORD_BITS:
+            raise ValueError("concatenation exceeds the 31-bit machine word")
+        result |= (value & mask_for_width(width)) << offset
+        offset += width
+    return mask_word(result)
+
+
+def bits_required(value: int) -> int:
+    """Number of bits needed to represent a non-negative *value* (min 1)."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return max(1, value.bit_length())
+
+
+def to_bit_string(value: int, width: int) -> str:
+    """Render *value* as a binary string of exactly *width* characters."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return format(value & mask_for_width(width), f"0{width}b")
+
+
+def sign_value(value: int, width: int = WORD_BITS) -> int:
+    """Interpret a *width*-bit unsigned value as a signed integer."""
+    value &= mask_for_width(width)
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value

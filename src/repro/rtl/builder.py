@@ -1,0 +1,232 @@
+"""Programmatic specification builder.
+
+Writing large specifications as raw text is error prone (the thesis's stack
+machine in Appendix D is several pages of hand-maintained decode ROM).  The
+:class:`SpecBuilder` offers a small fluent API for constructing
+specifications from Python, used heavily by :mod:`repro.machines`:
+
+>>> from repro.rtl.builder import SpecBuilder
+>>> b = SpecBuilder("three-bit counter")
+>>> _ = b.alu("next", 4, "count", 1)          # count + 1
+>>> _ = b.alu("wrapped", 8, "next", 7)        # next AND 7
+>>> _ = b.register("count", data="wrapped", traced=True)
+>>> spec = b.build()
+
+Expression arguments may be plain integers (becoming constants), strings in
+specification syntax (``"ir.0.6"``), or already-parsed ``Expression``
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.errors import SpecificationError
+from repro.rtl.components import Alu, Component, Memory, Selector
+from repro.rtl.expressions import Expression, constant_expression, parse_expression
+from repro.rtl.spec import Declaration, Specification
+from repro.rtl.validate import ensure_valid
+from repro.rtl.writer import spec_to_text
+
+#: Things accepted wherever an expression is expected.
+ExpressionLike = Union[int, str, Expression]
+
+
+def as_expression(value: ExpressionLike) -> Expression:
+    """Coerce an int / str / Expression into an :class:`Expression`."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, bool):
+        return constant_expression(int(value))
+    if isinstance(value, int):
+        if value < 0:
+            raise SpecificationError(
+                f"expressions cannot hold the negative constant {value}"
+            )
+        return constant_expression(value)
+    if isinstance(value, str):
+        return parse_expression(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+class SpecBuilder:
+    """Incrementally build a :class:`Specification`."""
+
+    def __init__(self, title: str, cycles: int | None = None) -> None:
+        self._title = title
+        self._cycles = cycles
+        self._components: list[Component] = []
+        self._traced: dict[str, bool] = {}
+
+    # -- component constructors ------------------------------------------------
+
+    def _add(self, component: Component, traced: bool) -> "SpecBuilder":
+        if any(existing.name == component.name for existing in self._components):
+            raise SpecificationError(
+                f"component '{component.name}' defined more than once"
+            )
+        self._components.append(component)
+        self._traced[component.name] = traced
+        return self
+
+    def alu(
+        self,
+        name: str,
+        funct: ExpressionLike,
+        left: ExpressionLike,
+        right: ExpressionLike,
+        traced: bool = False,
+    ) -> "SpecBuilder":
+        """Add ``A name funct left right``."""
+        return self._add(
+            Alu(
+                name=name,
+                funct=as_expression(funct),
+                left=as_expression(left),
+                right=as_expression(right),
+            ),
+            traced,
+        )
+
+    def selector(
+        self,
+        name: str,
+        select: ExpressionLike,
+        cases: Sequence[ExpressionLike],
+        traced: bool = False,
+    ) -> "SpecBuilder":
+        """Add ``S name select case0 case1 ...``."""
+        return self._add(
+            Selector(
+                name=name,
+                select=as_expression(select),
+                cases=tuple(as_expression(case) for case in cases),
+            ),
+            traced,
+        )
+
+    def memory(
+        self,
+        name: str,
+        address: ExpressionLike,
+        data: ExpressionLike,
+        operation: ExpressionLike,
+        size: int,
+        initial_values: Iterable[int] | None = None,
+        traced: bool = False,
+    ) -> "SpecBuilder":
+        """Add ``M name address data operation size [init...]``.
+
+        If *initial_values* is given it is padded with zeros to *size* cells
+        (a convenience over the raw format, which requires every value).
+        """
+        values: tuple[int, ...] = ()
+        if initial_values is not None:
+            provided = list(initial_values)
+            if len(provided) > size:
+                raise SpecificationError(
+                    f"memory '{name}' has {len(provided)} initial values for "
+                    f"{size} cells"
+                )
+            values = tuple(provided + [0] * (size - len(provided)))
+        return self._add(
+            Memory(
+                name=name,
+                address=as_expression(address),
+                data=as_expression(data),
+                operation=as_expression(operation),
+                size=size,
+                initial_values=values,
+            ),
+            traced,
+        )
+
+    def register(
+        self,
+        name: str,
+        data: ExpressionLike,
+        operation: ExpressionLike = 1,
+        initial_value: int | None = None,
+        traced: bool = False,
+    ) -> "SpecBuilder":
+        """Add a single-cell memory used as a register.
+
+        By default the register writes every cycle (operation ``1``); pass a
+        different operation expression to gate the write.
+        """
+        initial = None if initial_value is None else [initial_value]
+        return self.memory(
+            name,
+            address=0,
+            data=data,
+            operation=operation,
+            size=1,
+            initial_values=initial,
+            traced=traced,
+        )
+
+    def rom(
+        self,
+        name: str,
+        address: ExpressionLike,
+        contents: Sequence[int],
+        size: int | None = None,
+        traced: bool = False,
+    ) -> "SpecBuilder":
+        """Add a read-only memory initialised with *contents*."""
+        cells = size if size is not None else max(1, len(contents))
+        return self.memory(
+            name,
+            address=address,
+            data=0,
+            operation=0,
+            size=cells,
+            initial_values=contents,
+            traced=traced,
+        )
+
+    # -- other settings ----------------------------------------------------------
+
+    def trace(self, *names: str) -> "SpecBuilder":
+        """Mark already-added components for per-cycle tracing."""
+        known = {component.name for component in self._components}
+        for name in names:
+            if name not in known:
+                raise SpecificationError(
+                    f"cannot trace unknown component '{name}'"
+                )
+            self._traced[name] = True
+        return self
+
+    def cycles(self, count: int) -> "SpecBuilder":
+        """Set the default cycle count recorded in the specification."""
+        if count < 0:
+            raise SpecificationError("cycle count must be non-negative")
+        self._cycles = count
+        return self
+
+    # -- output -------------------------------------------------------------------
+
+    def build(self, validate: bool = True, strict: bool = False) -> Specification:
+        """Produce the (optionally validated) :class:`Specification`."""
+        declarations = tuple(
+            Declaration(name=component.name, traced=self._traced[component.name])
+            for component in self._components
+        )
+        header = self._title
+        if not header.startswith("#"):
+            header = "# " + header
+        spec = Specification(
+            header_comment=header,
+            components=tuple(self._components),
+            declarations=declarations,
+            cycles=self._cycles,
+            source_name=self._title,
+        )
+        if validate:
+            ensure_valid(spec, strict=strict)
+        return spec
+
+    def to_text(self) -> str:
+        """Serialise the built specification to source text."""
+        return spec_to_text(self.build(validate=False))

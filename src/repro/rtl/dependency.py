@@ -1,0 +1,136 @@
+"""Dependency analysis and evaluation ordering.
+
+Section 4.3 of the paper: "To eliminate the need for actual parallel
+processing of the components, the components are sorted in a dependency
+order. ...  Memories are not sorted.  Instead, their results are stored in
+temporary memories while the new value is being computed."
+
+Combinational components (ALUs and selectors) must therefore be evaluated
+producers-before-consumers within a cycle; a combinational cycle is an error
+("Circular dependency with X and/or Y").  References to memories impose no
+ordering because a memory's visible output is the value latched at the end
+of the previous cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircularDependencyError
+from repro.rtl.components import Component
+from repro.rtl.spec import Specification
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """Dependency edges between the combinational components of a spec."""
+
+    #: name -> set of combinational component names it reads.
+    depends_on: dict[str, set[str]]
+    #: name -> set of combinational component names that read it.
+    consumers: dict[str, set[str]]
+
+    def dependencies_of(self, name: str) -> set[str]:
+        return set(self.depends_on.get(name, set()))
+
+    def consumers_of(self, name: str) -> set[str]:
+        return set(self.consumers.get(name, set()))
+
+
+def build_dependency_graph(spec: Specification) -> DependencyGraph:
+    """Build the combinational dependency graph of *spec*."""
+    combinational_names = {c.name for c in spec.combinational()}
+    depends_on: dict[str, set[str]] = {name: set() for name in combinational_names}
+    consumers: dict[str, set[str]] = {name: set() for name in combinational_names}
+    for component in spec.combinational():
+        for referenced in component.referenced_names():
+            if referenced in combinational_names and referenced != component.name:
+                depends_on[component.name].add(referenced)
+                consumers[referenced].add(component.name)
+    # Self-references of a combinational component are a (minimal) cycle;
+    # record them so sorting reports the error.
+    for component in spec.combinational():
+        if component.name in component.referenced_names():
+            depends_on[component.name].add(component.name)
+            consumers[component.name].add(component.name)
+    return DependencyGraph(depends_on=depends_on, consumers=consumers)
+
+
+def _find_cycle(depends_on: dict[str, set[str]], unresolved: set[str]) -> list[str]:
+    """Return one combinational cycle among the *unresolved* components."""
+    # Walk dependency edges until a node repeats; the repeated segment is a
+    # cycle.  Deterministic (sorted choices) so error messages are stable.
+    start = sorted(unresolved)[0]
+    path: list[str] = []
+    seen_at: dict[str, int] = {}
+    node = start
+    while node not in seen_at:
+        seen_at[node] = len(path)
+        path.append(node)
+        candidates = sorted(n for n in depends_on[node] if n in unresolved)
+        node = candidates[0]
+    return path[seen_at[node]:]
+
+
+def sort_combinational(spec: Specification) -> list[Component]:
+    """Topologically sort ALUs and selectors (dependencies first).
+
+    The sort is stable with respect to definition order among components
+    whose dependencies are satisfied at the same step.  Raises
+    :class:`CircularDependencyError` naming the components of one cycle.
+    """
+    graph = build_dependency_graph(spec)
+    combinational = spec.combinational()
+    remaining_deps = {
+        component.name: set(graph.depends_on[component.name])
+        for component in combinational
+    }
+    ordered: list[Component] = []
+    pending = list(combinational)
+    while pending:
+        ready = [c for c in pending if not remaining_deps[c.name]]
+        if not ready:
+            unresolved = {c.name for c in pending}
+            cycle = _find_cycle(graph.depends_on, unresolved)
+            raise CircularDependencyError(cycle)
+        ready_names = {component.name for component in ready}
+        for component in ready:
+            ordered.append(component)
+            for consumer in graph.consumers_of(component.name):
+                remaining_deps.get(consumer, set()).discard(component.name)
+        pending = [c for c in pending if c.name not in ready_names]
+    return ordered
+
+
+def evaluation_order(spec: Specification) -> list[Component]:
+    """Full per-cycle evaluation order: sorted combinational, then memories.
+
+    This mirrors ``orderit`` in the original compiler: ALUs and selectors in
+    dependency order followed by the memories in their definition order.
+    """
+    return sort_combinational(spec) + list(spec.memories())
+
+
+def has_combinational_cycle(spec: Specification) -> bool:
+    """True if the specification contains a combinational cycle."""
+    try:
+        sort_combinational(spec)
+    except CircularDependencyError:
+        return True
+    return False
+
+
+def dependency_depths(spec: Specification) -> dict[str, int]:
+    """Longest combinational path (in components) ending at each component.
+
+    Useful for reporting the critical path of a design; memories have depth 0.
+    """
+    depths: dict[str, int] = {memory.name: 0 for memory in spec.memories()}
+    for component in sort_combinational(spec):
+        graph_deps = [
+            depths[name]
+            for name in component.referenced_names()
+            if name in depths
+        ]
+        depths[component.name] = 1 + max(graph_deps, default=0)
+    return depths

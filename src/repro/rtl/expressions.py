@@ -1,0 +1,399 @@
+"""Expression model for the ASIM II specification language.
+
+An expression is a comma-separated concatenation of *fields* (Figure 3.1 of
+the paper).  The leftmost field occupies the most significant bits of the
+result and the rightmost field bit 0.  A field is one of:
+
+* a numeric constant (``3048``, ``$3a``, ``%110``, ``^8`` or sums of these),
+  optionally restricted to an explicit width with ``constant.width``;
+* a binary bit string ``#0101`` whose width is its number of digits;
+* a component reference ``name``, ``name.bit`` or ``name.from.to``
+  (bit positions zero-based, inclusive).
+
+A field with no explicit width (a bare constant or a whole-component
+reference) occupies all remaining bits of the 31-bit word, so it may only
+appear as the leftmost field of a concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import (
+    ExpressionWidthError,
+    MalformedExpressionError,
+    MalformedNumberError,
+)
+from repro.rtl import numbers
+from repro.rtl.bits import WORD_BITS, mask_for_width, mask_word
+
+#: Type of the value-lookup callable handed to :meth:`Expression.evaluate`.
+ValueLookup = Callable[[str], int]
+#: Type of the name-resolver handed to the code generators.
+NameResolver = Callable[[str], str]
+
+
+@dataclass(frozen=True)
+class Field:
+    """Base class for expression fields."""
+
+    @property
+    def width(self) -> int | None:
+        """Field width in bits, or ``None`` for "all remaining bits"."""
+        raise NotImplementedError
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    def referenced_components(self) -> Iterator[str]:
+        """Yield the names of components this field reads."""
+        return iter(())
+
+    def evaluate(self, lookup: ValueLookup) -> int:
+        """Value of the field (already masked to its width)."""
+        raise NotImplementedError
+
+    def to_python(self, resolve: NameResolver) -> str:
+        """Python expression computing this field's value."""
+        raise NotImplementedError
+
+    def to_spec(self) -> str:
+        """Render the field back into specification syntax."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantField(Field):
+    """A numeric constant, optionally limited to an explicit width."""
+
+    value: int
+    explicit_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise MalformedExpressionError(f"negative constant {self.value}")
+        if self.explicit_width is not None and self.explicit_width <= 0:
+            raise MalformedExpressionError(
+                f"constant width must be positive, got {self.explicit_width}"
+            )
+
+    @property
+    def width(self) -> int | None:
+        return self.explicit_width
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    @property
+    def masked_value(self) -> int:
+        if self.explicit_width is None:
+            return mask_word(self.value)
+        return self.value & mask_for_width(self.explicit_width)
+
+    def evaluate(self, lookup: ValueLookup) -> int:
+        return self.masked_value
+
+    def to_python(self, resolve: NameResolver) -> str:
+        return str(self.masked_value)
+
+    def to_spec(self) -> str:
+        if self.explicit_width is None:
+            return str(self.value)
+        return f"{self.value}.{self.explicit_width}"
+
+
+@dataclass(frozen=True)
+class BitStringField(Field):
+    """A ``#``-prefixed binary string with an explicit width."""
+
+    bits: str
+
+    def __post_init__(self) -> None:
+        if not self.bits or any(ch not in "01" for ch in self.bits):
+            raise MalformedExpressionError(f"malformed bit string '#{self.bits}'")
+
+    @property
+    def width(self) -> int | None:
+        return len(self.bits)
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    @property
+    def value(self) -> int:
+        return int(self.bits, 2)
+
+    def evaluate(self, lookup: ValueLookup) -> int:
+        return self.value
+
+    def to_python(self, resolve: NameResolver) -> str:
+        return str(self.value)
+
+    def to_spec(self) -> str:
+        return f"#{self.bits}"
+
+
+@dataclass(frozen=True)
+class ComponentRef(Field):
+    """A reference to another component, optionally to a bit field of it."""
+
+    name: str
+    low: int | None = None
+    high: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.high is not None and self.low is None:
+            raise MalformedExpressionError(
+                f"component reference '{self.name}' has a high bit but no low bit"
+            )
+        if self.low is not None and self.low < 0:
+            raise MalformedExpressionError(
+                f"negative bit position in reference to '{self.name}'"
+            )
+        if self.high is not None and self.high < self.low:
+            raise MalformedExpressionError(
+                f"bit field {self.low}..{self.high} of '{self.name}' is reversed"
+            )
+
+    @property
+    def width(self) -> int | None:
+        if self.low is None:
+            return None
+        if self.high is None:
+            return 1
+        return self.high - self.low + 1
+
+    def referenced_components(self) -> Iterator[str]:
+        yield self.name
+
+    def evaluate(self, lookup: ValueLookup) -> int:
+        value = lookup(self.name)
+        if self.low is None:
+            return mask_word(value)
+        width = self.width
+        assert width is not None
+        return (value >> self.low) & mask_for_width(width)
+
+    def to_python(self, resolve: NameResolver) -> str:
+        ref = resolve(self.name)
+        if self.low is None:
+            return ref
+        width = self.width
+        assert width is not None
+        mask = mask_for_width(width)
+        if self.low == 0:
+            return f"({ref} & {mask})"
+        return f"(({ref} >> {self.low}) & {mask})"
+
+    def to_spec(self) -> str:
+        if self.low is None:
+            return self.name
+        if self.high is None:
+            return f"{self.name}.{self.low}"
+        return f"{self.name}.{self.low}.{self.high}"
+
+
+@dataclass(frozen=True)
+class Expression:
+    """A concatenation of fields, leftmost field most significant."""
+
+    fields: tuple[Field, ...]
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise MalformedExpressionError("empty expression")
+        self._check_widths()
+
+    def _check_widths(self) -> None:
+        """Static width check: bounded fields must fit in the word and an
+        unbounded field may only appear leftmost."""
+        offset = 0
+        for position, field in enumerate(reversed(self.fields)):
+            is_leftmost = position == len(self.fields) - 1
+            width = field.width
+            if width is None:
+                if not is_leftmost:
+                    raise ExpressionWidthError(
+                        f"field '{field.to_spec()}' has no explicit width and is "
+                        f"not the leftmost field of '{self.describe()}'"
+                    )
+                width = WORD_BITS - offset
+            if offset + width > WORD_BITS:
+                raise ExpressionWidthError(
+                    f"too many bits in expression '{self.describe()}'"
+                )
+            offset += width
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> str:
+        return self.source or self.to_spec()
+
+    @property
+    def is_constant(self) -> bool:
+        return all(field.is_constant for field in self.fields)
+
+    def constant_value(self) -> int:
+        """Value of a constant expression (raises if not constant)."""
+        if not self.is_constant:
+            raise MalformedExpressionError(
+                f"expression '{self.describe()}' is not constant"
+            )
+        return self.evaluate(lambda name: 0)
+
+    @property
+    def total_width(self) -> int:
+        """Width of the expression in bits (unbounded fields count as 31)."""
+        offset = 0
+        for field in reversed(self.fields):
+            width = field.width
+            if width is None:
+                return WORD_BITS
+            offset += width
+        return min(offset, WORD_BITS)
+
+    def referenced_components(self) -> Iterator[str]:
+        for field in self.fields:
+            yield from field.referenced_components()
+
+    def referenced_names(self) -> set[str]:
+        return set(self.referenced_components())
+
+    # -- evaluation & code generation ---------------------------------------
+
+    def evaluate(self, lookup: ValueLookup) -> int:
+        """Evaluate against *lookup*, which maps component name -> value."""
+        result = 0
+        offset = 0
+        for field in reversed(self.fields):
+            value = field.evaluate(lookup)
+            width = field.width
+            if width is None:
+                result |= value << offset
+                offset = WORD_BITS
+            else:
+                result |= (value & mask_for_width(width)) << offset
+                offset += width
+        return mask_word(result)
+
+    def evaluate_in(self, values: Mapping[str, int]) -> int:
+        """Convenience wrapper: evaluate against a mapping of values."""
+        return self.evaluate(lambda name: values[name])
+
+    def to_python(self, resolve: NameResolver) -> str:
+        """Emit a Python expression computing this value.
+
+        Constant expressions fold to a literal; single fields emit without a
+        wrapping mask (each field already masks itself).
+        """
+        if self.is_constant:
+            return str(self.constant_value())
+        parts: list[str] = []
+        offset = 0
+        for field in reversed(self.fields):
+            code = field.to_python(resolve)
+            if offset:
+                code = f"({code} << {offset})"
+            parts.append(code)
+            width = field.width
+            offset = WORD_BITS if width is None else offset + width
+        if len(parts) == 1:
+            return parts[0]
+        # the leftmost field may be unbounded: mask the concatenation back
+        # into the machine word exactly as evaluate() does
+        joined = " | ".join(reversed(parts))
+        return f"(({joined}) & {mask_for_width(WORD_BITS)})"
+
+    def to_spec(self) -> str:
+        return ",".join(field.to_spec() for field in self.fields)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_LETTERS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_NAME_CHARS = _LETTERS | set("0123456789")
+
+
+def _parse_constant_field(text: str) -> ConstantField:
+    head, sep, tail = text.partition(".")
+    try:
+        value = numbers.parse_number(head)
+    except MalformedNumberError as exc:
+        raise MalformedExpressionError(str(exc)) from exc
+    if not sep:
+        return ConstantField(value)
+    try:
+        width = numbers.parse_number(tail)
+    except MalformedNumberError as exc:
+        raise MalformedExpressionError(
+            f"malformed width in constant field '{text}'"
+        ) from exc
+    return ConstantField(value, width)
+
+
+def _parse_component_ref(text: str) -> ComponentRef:
+    parts = text.split(".")
+    name = parts[0]
+    if not name or name[0] not in _LETTERS or any(
+        ch not in _NAME_CHARS for ch in name
+    ):
+        raise MalformedExpressionError(f"invalid component name '{name}'")
+    if len(parts) == 1:
+        return ComponentRef(name)
+    try:
+        if len(parts) == 2:
+            return ComponentRef(name, numbers.parse_number(parts[1]))
+        if len(parts) == 3:
+            return ComponentRef(
+                name, numbers.parse_number(parts[1]), numbers.parse_number(parts[2])
+            )
+    except MalformedNumberError as exc:
+        raise MalformedExpressionError(
+            f"malformed bit position in reference '{text}'"
+        ) from exc
+    raise MalformedExpressionError(f"too many bit positions in reference '{text}'")
+
+
+def parse_field(text: str) -> Field:
+    """Parse a single field of an expression."""
+    if not text:
+        raise MalformedExpressionError("empty field in expression")
+    first = text[0]
+    if first == "#":
+        return BitStringField(text[1:])
+    if numbers.is_number_start(first):
+        return _parse_constant_field(text)
+    if first in _LETTERS:
+        return _parse_component_ref(text)
+    raise MalformedExpressionError(f"malformed expression field '{text}'")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a whitespace-free expression token into an :class:`Expression`.
+
+    Macro references must already have been expanded by the caller.
+    """
+    if text is None or text == "":
+        raise MalformedExpressionError("empty expression")
+    fields = tuple(parse_field(part) for part in text.split(","))
+    return Expression(fields, source=text)
+
+
+def constant_expression(value: int, width: int | None = None) -> Expression:
+    """Build an expression consisting of a single constant field."""
+    return Expression((ConstantField(value, width),), source=str(value))
+
+
+def reference_expression(
+    name: str, low: int | None = None, high: int | None = None
+) -> Expression:
+    """Build an expression consisting of a single component reference."""
+    ref = ComponentRef(name, low, high)
+    return Expression((ref,), source=ref.to_spec())

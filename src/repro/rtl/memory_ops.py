@@ -1,0 +1,104 @@
+"""Memory operation semantics.
+
+Appendix A defines the memory operation word as a small bit field:
+
+========  =====================================
+value     meaning
+========  =====================================
+``0``     read (low two bits ``00``)
+``1``     write (low two bits ``01``)
+``2``     input  — memory-mapped input
+``3``     output — memory-mapped output
+``4``     trace writes (bit 2)
+``8``     trace reads (bit 3)
+========  =====================================
+
+The low two bits select the operation performed this cycle; bits 2 and 3 are
+trace enables that may be OR-ed onto any operation.  The generated Pascal
+code prints a "Write to" line when ``land(op, 5) = 5`` and a "Read from"
+line when ``land(op, 9) = 8``; those exact conditions are reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class MemoryOperation(IntEnum):
+    """The four memory operations selected by the low two bits."""
+
+    READ = 0
+    WRITE = 1
+    INPUT = 2
+    OUTPUT = 3
+
+
+#: Bit that enables write tracing when set in the operation word.
+TRACE_WRITES_BIT = 4
+#: Bit that enables read tracing when set in the operation word.
+TRACE_READS_BIT = 8
+
+#: Mask of all meaningful bits in an operation word.
+OPERATION_MASK = 0xF
+
+
+@dataclass(frozen=True)
+class DecodedOperation:
+    """A memory operation word split into its meaningful pieces."""
+
+    operation: MemoryOperation
+    trace_write: bool
+    trace_read: bool
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation is MemoryOperation.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is MemoryOperation.READ
+
+    @property
+    def is_input(self) -> bool:
+        return self.operation is MemoryOperation.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.operation is MemoryOperation.OUTPUT
+
+
+def decode_operation(op_word: int) -> DecodedOperation:
+    """Split a raw operation word into operation + trace enables."""
+    operation = MemoryOperation(op_word & 3)
+    return DecodedOperation(
+        operation=operation,
+        trace_write=should_trace_write(op_word),
+        trace_read=should_trace_read(op_word),
+    )
+
+
+def should_trace_write(op_word: int) -> bool:
+    """Paper condition ``land(operation, 5) = 5``: trace bit set and writing."""
+    return (op_word & 5) == 5
+
+
+def should_trace_read(op_word: int) -> bool:
+    """Paper condition ``land(operation, 9) = 8``: trace bit set, not writing."""
+    return (op_word & 9) == 8
+
+
+def operation_name(op_word: int) -> str:
+    """Human-readable name for the operation selected by *op_word*."""
+    return MemoryOperation(op_word & 3).name.lower()
+
+
+def may_trace(op_word_bits: int) -> bool:
+    """Whether an operation expression with this many bits could ever trace.
+
+    The code generator decides whether to emit trace statements for a memory
+    based on the *width* of its operation expression (paper's
+    ``numberofbits``): an operation expression at least 3 bits wide can carry
+    the trace-writes bit and one at least 4 bits wide the trace-reads bit.
+    """
+    return op_word_bits >= 3

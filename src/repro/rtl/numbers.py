@@ -1,0 +1,120 @@
+"""Numeric literal parsing for the ASIM II specification language.
+
+Appendix B of the paper defines a ``number`` as a sum (joined by ``+``) of
+any combination of:
+
+* decimal integers (``128``),
+* hexadecimal integers prefixed by ``$`` (``$3a``),
+* binary integers prefixed by ``%`` (``%1101``),
+* powers of two prefixed by ``^`` (``^8`` is ``256``).
+
+Bit strings prefixed by ``#`` are *not* numbers: they carry an explicit width
+and only appear inside expressions (see :mod:`repro.rtl.expressions`).
+
+The original ``str2num`` routine accepted these sums anywhere a number is
+allowed — memory sizes, cycle counts, selector indices inside the decode ROM
+of Appendix D (``128+3+^8``) and bit positions.  This module reproduces that
+behaviour with explicit error reporting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MalformedNumberError
+
+_DECIMAL_DIGITS = set("0123456789")
+_HEX_DIGITS = set("0123456789ABCDEFabcdef")
+_BINARY_DIGITS = set("01")
+
+#: Characters that may start a numeric literal.
+NUMBER_START_CHARS = frozenset("0123456789$%^")
+
+
+def is_number_start(char: str) -> bool:
+    """Return True if *char* can begin a numeric literal."""
+    return char in NUMBER_START_CHARS
+
+
+def looks_like_number(text: str) -> bool:
+    """Cheap test used by the optimizer: could *text* be a numeric constant?
+
+    Mirrors the paper's ``numeric`` function, which checks that every
+    character belongs to the numeric alphabet.  It does not guarantee the
+    literal parses; use :func:`parse_number` for that.
+    """
+    if not text:
+        return False
+    allowed = _HEX_DIGITS | {"+", "$", "%", "^"}
+    return all(ch in allowed for ch in text)
+
+
+def _parse_term(term: str) -> int:
+    """Parse a single (non-sum) numeric term."""
+    if not term:
+        raise MalformedNumberError("empty numeric term")
+    prefix = term[0]
+    body = term[1:]
+    if prefix == "$":
+        if not body or any(ch not in _HEX_DIGITS for ch in body):
+            raise MalformedNumberError(f"malformed hexadecimal number '{term}'")
+        return int(body, 16)
+    if prefix == "%":
+        if not body or any(ch not in _BINARY_DIGITS for ch in body):
+            raise MalformedNumberError(f"malformed binary number '{term}'")
+        return int(body, 2)
+    if prefix == "^":
+        if not body or any(ch not in _DECIMAL_DIGITS for ch in body):
+            raise MalformedNumberError(f"malformed power-of-two number '{term}'")
+        return 2 ** int(body, 10)
+    if any(ch not in _DECIMAL_DIGITS for ch in term):
+        raise MalformedNumberError(f"malformed number '{term}'")
+    return int(term, 10)
+
+
+def parse_number(text: str) -> int:
+    """Parse an ASIM II numeric literal (a ``+``-joined sum of terms).
+
+    >>> parse_number("128+3+^8")
+    387
+    >>> parse_number("$3a")
+    58
+    >>> parse_number("%1101")
+    13
+    """
+    if text is None or text == "":
+        raise MalformedNumberError("empty number")
+    total = 0
+    for term in text.split("+"):
+        total += _parse_term(term)
+    return total
+
+
+def parse_signed_count(text: str) -> int:
+    """Parse a memory cell count, which may carry a leading ``-``.
+
+    A negative count means "this memory is initialised from the value list
+    that follows and has ``abs(count)`` cells" (Appendix A).
+    """
+    if text.startswith("-"):
+        return -parse_number(text[1:])
+    return parse_number(text)
+
+
+def format_number(value: int, style: str = "decimal") -> str:
+    """Render an integer back into specification syntax.
+
+    ``style`` may be ``decimal``, ``hex``, ``binary`` or ``power2`` (the
+    latter only for exact powers of two).  Used by the specification writer.
+    """
+    if value < 0:
+        raise MalformedNumberError(f"cannot format negative value {value}")
+    if style == "decimal":
+        return str(value)
+    if style == "hex":
+        return "$" + format(value, "X")
+    if style == "binary":
+        return "%" + format(value, "b")
+    if style == "power2":
+        if value <= 0 or value & (value - 1):
+            raise MalformedNumberError(f"{value} is not a power of two")
+        return "^" + str(value.bit_length() - 1)
+    raise ValueError(f"unknown number style '{style}'")

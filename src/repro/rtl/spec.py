@@ -1,0 +1,133 @@
+"""The parsed specification object.
+
+A :class:`Specification` is the fully parsed, macro-expanded, declarative
+form of an ASIM II source file: the header comment, the optional cycle
+count, the declaration list (with trace flags) and the ordered component
+definitions.  It is immutable and carries no behaviour beyond lookups; the
+interpreter and compiler packages consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DuplicateComponentError, UnknownComponentError
+from repro.rtl.components import Alu, Component, Memory, Selector
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One entry of the name list at the top of a specification."""
+
+    name: str
+    traced: bool = False
+
+    def to_spec(self) -> str:
+        return f"{self.name}*" if self.traced else self.name
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A complete parsed hardware specification."""
+
+    header_comment: str
+    components: tuple[Component, ...]
+    declarations: tuple[Declaration, ...] = ()
+    cycles: int | None = None
+    macros: dict[str, str] = field(default_factory=dict)
+    source_name: str = "<specification>"
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for component in self.components:
+            if component.name in seen:
+                raise DuplicateComponentError(
+                    f"component '{component.name}' defined more than once"
+                )
+            seen.add(component.name)
+
+    # -- lookups -------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return any(component.name == name for component in self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    @property
+    def component_map(self) -> dict[str, Component]:
+        return {component.name: component for component in self.components}
+
+    def component(self, name: str) -> Component:
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise UnknownComponentError(f"component <{name}> not found")
+
+    def alus(self) -> list[Alu]:
+        return [c for c in self.components if isinstance(c, Alu)]
+
+    def selectors(self) -> list[Selector]:
+        return [c for c in self.components if isinstance(c, Selector)]
+
+    def memories(self) -> list[Memory]:
+        return [c for c in self.components if isinstance(c, Memory)]
+
+    def combinational(self) -> list[Component]:
+        """ALUs and selectors in definition order."""
+        return [c for c in self.components if c.is_combinational]
+
+    def component_names(self) -> list[str]:
+        return [component.name for component in self.components]
+
+    # -- declarations & tracing ----------------------------------------------
+
+    @property
+    def declared_names(self) -> list[str]:
+        return [declaration.name for declaration in self.declarations]
+
+    @property
+    def traced_names(self) -> list[str]:
+        """Names to print each cycle, in declaration order (paper Sec. 4.5)."""
+        return [d.name for d in self.declarations if d.traced]
+
+    def is_traced(self, name: str) -> bool:
+        return any(d.traced and d.name == name for d in self.declarations)
+
+    # -- whole-spec queries ----------------------------------------------------
+
+    def referenced_names(self) -> set[str]:
+        """Every component name read by any expression in the specification."""
+        names: set[str] = set()
+        for component in self.components:
+            names |= component.referenced_names()
+        return names
+
+    def undefined_references(self) -> set[str]:
+        """Referenced names with no matching component definition."""
+        return self.referenced_names() - set(self.component_names())
+
+    def iter_expressions(self) -> Iterator[tuple[Component, str, object]]:
+        """Yield ``(component, role, expression)`` for every expression."""
+        for component in self.components:
+            if isinstance(component, Alu):
+                yield component, "function", component.funct
+                yield component, "left", component.left
+                yield component, "right", component.right
+            elif isinstance(component, Selector):
+                yield component, "select", component.select
+                for index, case in enumerate(component.cases):
+                    yield component, f"case{index}", case
+            elif isinstance(component, Memory):
+                yield component, "address", component.address
+                yield component, "data", component.data
+                yield component, "operation", component.operation
+
+    def summary(self) -> str:
+        """One-line description used by logs and the CLI examples."""
+        return (
+            f"{self.source_name}: {len(self.alus())} ALUs, "
+            f"{len(self.selectors())} selectors, {len(self.memories())} memories"
+            f" ({len(self.components)} components)"
+        )

@@ -1,0 +1,148 @@
+"""Specification validation.
+
+The original compiler performs two kinds of checks after reading a
+specification:
+
+* hard errors — a referenced component that is never defined ("Component <x>
+  not found"), circular combinational dependencies, invalid names;
+* warnings (``checkdcl``) — names declared in the name list but never
+  defined, and components defined but never declared.
+
+:func:`validate` reproduces both: hard errors raise, warnings are returned
+so the caller (or the ``Simulator`` facade) can surface them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.rtl.bits import WORD_BITS
+from repro.rtl.components import Memory, Selector
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.expressions import ComponentRef
+from repro.rtl.spec import Specification
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a specification."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise ValidationError(self.errors)
+
+
+def _check_references(spec: Specification, report: ValidationReport) -> None:
+    defined = set(spec.component_names())
+    for component, role, expression in spec.iter_expressions():
+        for name in expression.referenced_names():  # type: ignore[attr-defined]
+            if name not in defined:
+                report.errors.append(
+                    f"component <{name}> not found "
+                    f"(referenced by {component.name} {role})"
+                )
+
+
+def _check_bit_fields(spec: Specification, report: ValidationReport) -> None:
+    for component, role, expression in spec.iter_expressions():
+        for fld in expression.fields:  # type: ignore[attr-defined]
+            if isinstance(fld, ComponentRef) and fld.low is not None:
+                high = fld.high if fld.high is not None else fld.low
+                if high >= WORD_BITS:
+                    report.errors.append(
+                        f"bit {high} of '{fld.name}' referenced by "
+                        f"{component.name} {role} exceeds the {WORD_BITS}-bit word"
+                    )
+
+
+def _check_memory_addresses(spec: Specification, report: ValidationReport) -> None:
+    for memory in spec.memories():
+        if not isinstance(memory, Memory):
+            continue
+        if memory.address.is_constant:
+            address = memory.address.constant_value()
+            if address >= memory.size:
+                report.errors.append(
+                    f"memory '{memory.name}' has a constant address {address} "
+                    f"outside its declared range 0..{memory.size - 1}"
+                )
+
+
+def _check_selector_coverage(spec: Specification, report: ValidationReport) -> None:
+    """Warn when a selector's index width can exceed its case list.
+
+    Appendix A leaves coverage to the user ("It is up to the user to provide
+    enough values for all possible address values"), so this is a warning,
+    not an error — but only when the width of the select expression is known
+    to allow out-of-range indices.
+    """
+    for selector in spec.selectors():
+        if not isinstance(selector, Selector):
+            continue
+        if selector.select.is_constant:
+            index = selector.select.constant_value()
+            if index >= selector.case_count:
+                report.errors.append(
+                    f"selector '{selector.name}' has constant index {index} but "
+                    f"only {selector.case_count} cases"
+                )
+            continue
+        width = selector.select.total_width
+        if width < WORD_BITS and (1 << width) > selector.case_count:
+            report.warnings.append(
+                f"selector '{selector.name}' index is {width} bits wide "
+                f"({1 << width} possible values) but only "
+                f"{selector.case_count} cases are defined"
+            )
+
+
+def _check_declarations(spec: Specification, report: ValidationReport) -> None:
+    declared = set(spec.declared_names)
+    defined = set(spec.component_names())
+    if not spec.declarations:
+        return
+    for name in sorted(declared - defined):
+        report.warnings.append(f"{name} declared but not defined")
+    for name in sorted(defined - declared):
+        report.warnings.append(f"{name} defined but not declared")
+
+
+def _check_dependencies(spec: Specification, report: ValidationReport) -> None:
+    try:
+        sort_combinational(spec)
+    except Exception as exc:  # CircularDependencyError
+        report.errors.append(str(exc))
+
+
+def validate(spec: Specification, strict: bool = False) -> ValidationReport:
+    """Validate *spec* and return a :class:`ValidationReport`.
+
+    With ``strict=True`` warnings are promoted to errors.
+    """
+    report = ValidationReport()
+    _check_references(spec, report)
+    _check_bit_fields(spec, report)
+    _check_memory_addresses(spec, report)
+    _check_selector_coverage(spec, report)
+    _check_declarations(spec, report)
+    if not report.errors:
+        _check_dependencies(spec, report)
+    if strict and report.warnings:
+        report.errors.extend(report.warnings)
+        report.warnings = []
+    return report
+
+
+def ensure_valid(spec: Specification, strict: bool = False) -> ValidationReport:
+    """Validate and raise :class:`ValidationError` on any error."""
+    report = validate(spec, strict=strict)
+    report.raise_if_failed()
+    return report

@@ -1,0 +1,66 @@
+"""Render a :class:`Specification` back into ASIM II source text.
+
+The writer produces a canonical form: macros are already expanded (the
+parser substitutes them), expressions are re-serialised from their ASTs and
+one component is emitted per line.  Round-tripping a specification through
+``parse_spec(spec_to_text(spec))`` yields an equivalent specification, which
+the property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.components import Alu, Component, Memory, Selector
+from repro.rtl.spec import Specification
+
+
+def _format_declarations(spec: Specification) -> str:
+    if not spec.declarations:
+        names = " ".join(component.name for component in spec.components)
+    else:
+        names = " ".join(d.to_spec() for d in spec.declarations)
+    return f"{names} ." if names else "."
+
+
+def _format_component(component: Component) -> str:
+    if isinstance(component, Alu):
+        return (
+            f"A {component.name} {component.funct.to_spec()} "
+            f"{component.left.to_spec()} {component.right.to_spec()}"
+        )
+    if isinstance(component, Selector):
+        cases = " ".join(case.to_spec() for case in component.cases)
+        return f"S {component.name} {component.select.to_spec()} {cases}"
+    if isinstance(component, Memory):
+        if component.has_initial_values:
+            values = " ".join(str(v) for v in component.initial_values)
+            return (
+                f"M {component.name} {component.address.to_spec()} "
+                f"{component.data.to_spec()} {component.operation.to_spec()} "
+                f"-{component.size} {values}"
+            )
+        return (
+            f"M {component.name} {component.address.to_spec()} "
+            f"{component.data.to_spec()} {component.operation.to_spec()} "
+            f"{component.size}"
+        )
+    raise TypeError(f"unknown component type {type(component)!r}")
+
+
+def spec_to_text(spec: Specification) -> str:
+    """Serialise *spec* into specification source text."""
+    header = spec.header_comment
+    if not header.startswith("#"):
+        header = "# " + header
+    lines = [header]
+    if spec.cycles is not None:
+        lines.append(f"= {spec.cycles}")
+    lines.append(_format_declarations(spec))
+    for component in spec.components:
+        lines.append(_format_component(component))
+    lines.append(".")
+    return "\n".join(lines) + "\n"
+
+
+def component_to_text(component: Component) -> str:
+    """Serialise a single component definition (useful in error messages)."""
+    return _format_component(component)

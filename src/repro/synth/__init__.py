@@ -1,0 +1,29 @@
+"""Hardware construction: netlists, part mapping and bills of materials."""
+
+from repro.synth.mapper import PartUse, map_component, map_specification
+from repro.synth.netlist import Netlist, Wire, extract_netlist, infer_widths
+from repro.synth.parts import APPENDIX_F_PART_NAMES, CATALOG, Part, get_part
+from repro.synth.report import (
+    BillOfMaterials,
+    HardwareReport,
+    bill_of_materials,
+    hardware_report,
+)
+
+__all__ = [
+    "PartUse",
+    "map_component",
+    "map_specification",
+    "Netlist",
+    "Wire",
+    "extract_netlist",
+    "infer_widths",
+    "APPENDIX_F_PART_NAMES",
+    "CATALOG",
+    "Part",
+    "get_part",
+    "BillOfMaterials",
+    "HardwareReport",
+    "bill_of_materials",
+    "hardware_report",
+]

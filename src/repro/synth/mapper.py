@@ -1,0 +1,132 @@
+"""Map specification components onto catalog parts.
+
+Section 5.3: "Each component in the specification can be replaced with a
+hardware component when constructing the prototype ... Enough information
+exists so that the engineer can choose appropriate components which perform
+the function of the specified component."  The mapper makes that choice the
+way the Appendix F diagram does:
+
+* an ALU with a constant gate-like function becomes gate packages (quad
+  AND/OR/XOR, hex inverter), a constant add/subtract becomes 4-bit adders, a
+  comparison becomes 4-bit comparators, anything else a generic 4-bit ALU;
+* a selector becomes multiplexor packages sized by its case count;
+* a single-cell memory becomes D flip-flops, a multi-cell memory becomes
+  RAM packages.
+
+Component widths come from :func:`repro.synth.netlist.infer_widths`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.optimizer import constant_alu_function
+from repro.errors import SynthesisError
+from repro.rtl import alu_ops
+from repro.rtl.components import Alu, Component, Memory, Selector
+from repro.rtl.spec import Specification
+from repro.synth.netlist import infer_widths
+from repro.synth.parts import CATALOG, RAM_BITS_PER_PACKAGE
+
+
+@dataclass(frozen=True)
+class PartUse:
+    """A quantity of one catalog part assigned to one component."""
+
+    component: str
+    part: str
+    quantity: int
+
+    def __post_init__(self) -> None:
+        if self.part not in CATALOG:
+            raise SynthesisError(f"unknown part '{self.part}'")
+        if self.quantity <= 0:
+            raise SynthesisError("part quantity must be positive")
+
+
+def _packages(width: int, bits_per_package: int) -> int:
+    return max(1, math.ceil(width / bits_per_package))
+
+
+_GATE_PARTS = {
+    alu_ops.FN_AND: "quad AND",
+    alu_ops.FN_OR: "quad OR",
+    alu_ops.FN_XOR: "quad XOR",
+    alu_ops.FN_NOT: "hex inverter",
+}
+
+_ADDER_FUNCTIONS = {alu_ops.FN_ADD, alu_ops.FN_SUB}
+_COMPARATOR_FUNCTIONS = {alu_ops.FN_EQ, alu_ops.FN_LT}
+_WIRE_FUNCTIONS = {alu_ops.FN_ZERO, alu_ops.FN_LEFT, alu_ops.FN_RIGHT,
+                   alu_ops.FN_UNUSED}
+
+
+def map_alu(alu: Alu, width: int) -> list[PartUse]:
+    """Choose parts for one ALU of the given output *width*."""
+    constant = constant_alu_function(alu)
+    if constant is not None:
+        if constant in _WIRE_FUNCTIONS:
+            # pure wiring / constant output: no package needed
+            return []
+        if constant in _GATE_PARTS:
+            part = _GATE_PARTS[constant]
+            return [PartUse(alu.name, part, _packages(width, CATALOG[part].bits_per_package))]
+        if constant in _ADDER_FUNCTIONS:
+            return [PartUse(alu.name, "4 bit adder", _packages(width, 4))]
+        if constant in _COMPARATOR_FUNCTIONS:
+            return [PartUse(alu.name, "4 bit comparator", _packages(width, 4))]
+    return [PartUse(alu.name, "4 bit alu", _packages(width, 4))]
+
+
+def map_selector(selector: Selector, width: int) -> list[PartUse]:
+    """Choose multiplexor packages for one selector."""
+    inputs = selector.case_count
+    if inputs <= 1:
+        return []
+    if inputs <= 2:
+        part = "quad 2 to 1 multiplexor"
+    elif inputs <= 4:
+        part = "dual 4 to 1 multiplexor"
+    else:
+        part = "8 to 1 multiplexor"
+    info = CATALOG[part]
+    packages = _packages(width, info.bits_per_package)
+    if inputs > info.inputs_per_package:
+        # cascade multiplexors in a tree for wide selectors (decode ROM style)
+        packages *= math.ceil(inputs / info.inputs_per_package)
+    return [PartUse(selector.name, part, packages)]
+
+
+def map_memory(memory: Memory, width: int) -> list[PartUse]:
+    """Choose storage parts for one memory."""
+    if memory.is_register:
+        if width <= 2:
+            return [PartUse(memory.name, "dual D flip flop", 1)]
+        if width <= 4:
+            return [PartUse(memory.name, "quad D flip flop", 1)]
+        return [PartUse(memory.name, "hex D flip flop", _packages(width, 6))]
+    total_bits = memory.size * width
+    return [
+        PartUse(memory.name, "2K x 8 bit RAM", _packages(total_bits, RAM_BITS_PER_PACKAGE))
+    ]
+
+
+def map_component(component: Component, width: int) -> list[PartUse]:
+    """Choose parts for any component kind."""
+    if isinstance(component, Alu):
+        return map_alu(component, width)
+    if isinstance(component, Selector):
+        return map_selector(component, width)
+    if isinstance(component, Memory):
+        return map_memory(component, width)
+    raise SynthesisError(f"unknown component type {type(component)!r}")
+
+
+def map_specification(spec: Specification) -> list[PartUse]:
+    """Map every component of *spec* onto catalog parts."""
+    widths = infer_widths(spec)
+    uses: list[PartUse] = []
+    for component in spec.components:
+        uses.extend(map_component(component, widths[component.name]))
+    return uses

@@ -1,0 +1,139 @@
+"""Netlist extraction (Section 5.3: "Hardware Construction").
+
+"Essentially, ASIM II is a list of hardware components with the wiring
+interconnection specified by the names of the components and their bit
+fields. ... The specification is most like a block diagram of the circuit."
+
+This module makes that block diagram explicit: every component becomes a
+block, every component reference inside an expression becomes a wire from
+the producing block's output to a named input port of the consuming block,
+carrying the referenced bit range.  The mapper and report modules build the
+bill of materials and wiring list from this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.bits import WORD_BITS
+from repro.rtl.components import Component
+from repro.rtl.expressions import ComponentRef, Expression
+from repro.rtl.spec import Specification
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A connection from one component's output into another's input port."""
+
+    source: str
+    destination: str
+    port: str            # which input of the destination ("left", "address", "case3", ...)
+    low_bit: int
+    high_bit: int
+
+    @property
+    def width(self) -> int:
+        return self.high_bit - self.low_bit + 1
+
+    def render(self) -> str:
+        if self.low_bit == 0 and self.high_bit == WORD_BITS - 1:
+            bits = ""
+        elif self.low_bit == self.high_bit:
+            bits = f".{self.low_bit}"
+        else:
+            bits = f".{self.low_bit}.{self.high_bit}"
+        return f"{self.source}{bits} -> {self.destination}.{self.port}"
+
+
+@dataclass
+class Netlist:
+    """Blocks (components) and the wires between them."""
+
+    spec: Specification
+    wires: list[Wire] = field(default_factory=list)
+
+    @property
+    def blocks(self) -> list[Component]:
+        return list(self.spec.components)
+
+    def wires_into(self, name: str) -> list[Wire]:
+        return [wire for wire in self.wires if wire.destination == name]
+
+    def wires_out_of(self, name: str) -> list[Wire]:
+        return [wire for wire in self.wires if wire.source == name]
+
+    def fanout(self, name: str) -> int:
+        """Number of distinct components reading *name*."""
+        return len({wire.destination for wire in self.wires_out_of(name)})
+
+    def render_wiring_list(self) -> str:
+        """The plain-text wiring list an engineer would wire a prototype from."""
+        lines = [f"wiring list for {self.spec.source_name}"]
+        for component in self.blocks:
+            lines.append(f"{component.kind.name} {component.name}:")
+            for wire in self.wires_into(component.name):
+                lines.append(f"  {wire.render()}")
+        return "\n".join(lines)
+
+
+def _wires_for_expression(
+    expression: Expression, destination: str, port: str
+) -> list[Wire]:
+    wires = []
+    for fld in expression.fields:
+        if isinstance(fld, ComponentRef):
+            low = fld.low if fld.low is not None else 0
+            high = (
+                fld.high
+                if fld.high is not None
+                else (fld.low if fld.low is not None else WORD_BITS - 1)
+            )
+            wires.append(
+                Wire(
+                    source=fld.name,
+                    destination=destination,
+                    port=port,
+                    low_bit=low,
+                    high_bit=high,
+                )
+            )
+    return wires
+
+
+def extract_netlist(spec: Specification) -> Netlist:
+    """Build the :class:`Netlist` of a specification."""
+    netlist = Netlist(spec=spec)
+    for component, role, expression in spec.iter_expressions():
+        netlist.wires.extend(
+            _wires_for_expression(expression, component.name, role)  # type: ignore[arg-type]
+        )
+    return netlist
+
+
+def infer_widths(spec: Specification) -> dict[str, int]:
+    """Estimate how many bits of each component are actually used.
+
+    A component referenced only through bit fields needs just enough bits to
+    cover the highest referenced bit; a component referenced whole (or a
+    memory holding large initial values) is assumed to need the full word.
+    The Appendix F diagram performs the same narrowing when it picks 4-bit
+    and 10-bit parts for the tiny computer.
+    """
+    widths: dict[str, int] = {}
+    whole_word: set[str] = set()
+    for _component, _role, expression in spec.iter_expressions():
+        for fld in expression.fields:  # type: ignore[attr-defined]
+            if not isinstance(fld, ComponentRef):
+                continue
+            if fld.low is None:
+                whole_word.add(fld.name)
+                continue
+            high = fld.high if fld.high is not None else fld.low
+            widths[fld.name] = max(widths.get(fld.name, 1), high + 1)
+    result: dict[str, int] = {}
+    for component in spec.components:
+        if component.name in whole_word or component.name not in widths:
+            result[component.name] = WORD_BITS
+        else:
+            result[component.name] = widths[component.name]
+    return result

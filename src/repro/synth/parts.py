@@ -1,0 +1,84 @@
+"""Hardware part catalog.
+
+Appendix F of the paper closes with the parts used to realise the tiny
+computer by hand: "2K x 8 bit RAM, quad AND, dual D flip flop, 4 bit adder,
+4 bit comparator, 8 to 1 multiplexor, dual 4 to 1 multiplexor, quad 2 to 1
+multiplexor, hex D flip flop, quad D flip flop, 4 bit alu".  This module
+defines that catalog so the mapper (:mod:`repro.synth.mapper`) can turn a
+specification into a bill of materials using the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Part:
+    """One catalog part (roughly, one 7400-series style package)."""
+
+    name: str
+    category: str           # "gate", "arithmetic", "multiplexor", "storage"
+    bits_per_package: int    # how many signal bits one package covers
+    inputs_per_package: int  # for multiplexors: selectable inputs
+    description: str
+
+
+#: The Appendix F part list, plus a handful of gates the ALU inliner can use.
+CATALOG: dict[str, Part] = {
+    "2K x 8 bit RAM": Part(
+        "2K x 8 bit RAM", "storage", 8, 1, "2048-cell by 8-bit random access memory"
+    ),
+    "quad AND": Part("quad AND", "gate", 4, 2, "four 2-input AND gates"),
+    "quad OR": Part("quad OR", "gate", 4, 2, "four 2-input OR gates"),
+    "quad XOR": Part("quad XOR", "gate", 4, 2, "four 2-input XOR gates"),
+    "hex inverter": Part("hex inverter", "gate", 6, 1, "six NOT gates"),
+    "dual D flip flop": Part(
+        "dual D flip flop", "storage", 2, 1, "two edge-triggered D flip-flops"
+    ),
+    "quad D flip flop": Part(
+        "quad D flip flop", "storage", 4, 1, "four edge-triggered D flip-flops"
+    ),
+    "hex D flip flop": Part(
+        "hex D flip flop", "storage", 6, 1, "six edge-triggered D flip-flops"
+    ),
+    "4 bit adder": Part("4 bit adder", "arithmetic", 4, 2, "4-bit binary full adder"),
+    "4 bit comparator": Part(
+        "4 bit comparator", "arithmetic", 4, 2, "4-bit magnitude comparator"
+    ),
+    "4 bit alu": Part(
+        "4 bit alu", "arithmetic", 4, 2, "4-bit arithmetic logic unit (74181 style)"
+    ),
+    "quad 2 to 1 multiplexor": Part(
+        "quad 2 to 1 multiplexor", "multiplexor", 4, 2, "four 2-input multiplexors"
+    ),
+    "dual 4 to 1 multiplexor": Part(
+        "dual 4 to 1 multiplexor", "multiplexor", 2, 4, "two 4-input multiplexors"
+    ),
+    "8 to 1 multiplexor": Part(
+        "8 to 1 multiplexor", "multiplexor", 1, 8, "one 8-input multiplexor"
+    ),
+}
+
+#: Capacity (cells x bits) of the catalog RAM part.
+RAM_BITS_PER_PACKAGE = 2048 * 8
+
+#: The exact list printed at the end of Appendix F, for the fidelity test.
+APPENDIX_F_PART_NAMES: tuple[str, ...] = (
+    "2K x 8 bit RAM",
+    "quad AND",
+    "dual D flip flop",
+    "4 bit adder",
+    "4 bit comparator",
+    "8 to 1 multiplexor",
+    "dual 4 to 1 multiplexor",
+    "quad 2 to 1 multiplexor",
+    "hex D flip flop",
+    "quad D flip flop",
+    "4 bit alu",
+)
+
+
+def get_part(name: str) -> Part:
+    """Look up a catalog part by name."""
+    return CATALOG[name]

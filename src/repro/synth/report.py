@@ -1,0 +1,76 @@
+"""Bill of materials and hardware construction report."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.rtl.spec import Specification
+from repro.synth.mapper import PartUse, map_specification
+from repro.synth.netlist import Netlist, extract_netlist, infer_widths
+
+
+@dataclass
+class BillOfMaterials:
+    """Aggregated part counts for one specification."""
+
+    spec: Specification
+    part_uses: list[PartUse] = field(default_factory=list)
+
+    @property
+    def part_counts(self) -> dict[str, int]:
+        counts: Counter = Counter()
+        for use in self.part_uses:
+            counts[use.part] += use.quantity
+        return dict(counts)
+
+    @property
+    def total_packages(self) -> int:
+        return sum(use.quantity for use in self.part_uses)
+
+    @property
+    def part_names(self) -> set[str]:
+        return {use.part for use in self.part_uses}
+
+    def parts_for(self, component: str) -> list[PartUse]:
+        return [use for use in self.part_uses if use.component == component]
+
+    def render(self) -> str:
+        lines = [f"bill of materials for {self.spec.source_name}"]
+        for part, count in sorted(self.part_counts.items()):
+            lines.append(f"  {count:3d} x {part}")
+        lines.append(f"  total packages: {self.total_packages}")
+        return "\n".join(lines)
+
+
+@dataclass
+class HardwareReport:
+    """Everything the hardware-construction pass produces for one spec."""
+
+    spec: Specification
+    netlist: Netlist
+    bill_of_materials: BillOfMaterials
+    widths: dict[str, int]
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                self.bill_of_materials.render(),
+                self.netlist.render_wiring_list(),
+            ]
+        )
+
+
+def bill_of_materials(spec: Specification) -> BillOfMaterials:
+    """Compute the bill of materials for *spec*."""
+    return BillOfMaterials(spec=spec, part_uses=map_specification(spec))
+
+
+def hardware_report(spec: Specification) -> HardwareReport:
+    """Produce the full hardware-construction report for *spec*."""
+    return HardwareReport(
+        spec=spec,
+        netlist=extract_netlist(spec),
+        bill_of_materials=bill_of_materials(spec),
+        widths=infer_widths(spec),
+    )

@@ -1,0 +1,121 @@
+"""Tests for fault injection (Section 2.3.2)."""
+
+import pytest
+
+from repro.analysis.faults import (
+    TransientFault,
+    inject_stuck_at,
+    inject_stuck_bit,
+    stuck_at_override,
+    transient_override,
+)
+from repro.core.comparison import compare_backends
+from repro.core.simulator import Simulator
+from repro.errors import FaultConfigurationError
+from repro.machines import build_gcd_spec
+
+
+class TestStuckAt:
+    def test_component_forced_to_constant(self, counter_spec):
+        faulty = inject_stuck_at(counter_spec, "wrapped", 5)
+        result = Simulator(faulty).run(cycles=10)
+        assert result.value("count") == 5
+        assert result.output_integers()[1:] == [5] * 9
+
+    def test_original_spec_untouched(self, counter_spec):
+        inject_stuck_at(counter_spec, "wrapped", 5)
+        assert Simulator(counter_spec).run(cycles=3).value("count") == 3
+
+    def test_fault_works_on_both_backends(self, counter_spec):
+        faulty = inject_stuck_at(counter_spec, "next", 1)
+        assert compare_backends(faulty, cycles=20).equivalent
+
+    def test_header_notes_fault(self, counter_spec):
+        faulty = inject_stuck_at(counter_spec, "next", 0)
+        assert "fault" in faulty.header_comment
+
+    def test_unknown_component_rejected(self, counter_spec):
+        with pytest.raises(FaultConfigurationError):
+            inject_stuck_at(counter_spec, "ghost", 0)
+
+    def test_memory_rejected(self, counter_spec):
+        with pytest.raises(FaultConfigurationError):
+            inject_stuck_at(counter_spec, "count", 0)
+
+    def test_value_masked_to_word(self, counter_spec):
+        faulty = inject_stuck_at(counter_spec, "wrapped", 2 ** 31 + 3)
+        assert Simulator(faulty).run(cycles=3).value("count") == 3
+
+
+class TestStuckBit:
+    def test_stuck_at_one_forces_bit(self, counter_spec):
+        faulty = inject_stuck_bit(counter_spec, "wrapped", 0, 1)
+        result = Simulator(faulty).run(cycles=8, trace=True)
+        assert all(value & 1 for value in result.trace.values_of("count")[1:])
+
+    def test_stuck_at_zero_clears_bit(self, counter_spec):
+        faulty = inject_stuck_bit(counter_spec, "wrapped", 0, 0)
+        result = Simulator(faulty).run(cycles=8, trace=True)
+        assert all(value & 1 == 0 for value in result.trace.values_of("count"))
+
+    def test_stuck_low_bit_freezes_the_counter(self, counter_spec):
+        # with bit 0 of the increment path stuck at 0, count+1 always loses
+        # its low bit and the counter can never leave zero
+        faulty = inject_stuck_bit(counter_spec, "wrapped", 0, 0)
+        result = Simulator(faulty).run(cycles=8, trace=True)
+        assert result.trace.values_of("count") == [0] * 8
+
+    def test_selector_can_be_faulted(self):
+        spec = build_gcd_spec(12, 8)
+        faulty = inject_stuck_bit(spec, "anext", 1, 1)
+        # still runs on both backends and differs from the good machine
+        good = Simulator(spec).run(cycles=10).value("a")
+        bad = Simulator(faulty).run(cycles=10).value("a")
+        assert good != bad
+
+    def test_invalid_bit_rejected(self, counter_spec):
+        with pytest.raises(FaultConfigurationError):
+            inject_stuck_bit(counter_spec, "wrapped", 31, 1)
+
+    def test_invalid_stuck_value_rejected(self, counter_spec):
+        with pytest.raises(FaultConfigurationError):
+            inject_stuck_bit(counter_spec, "wrapped", 0, 2)
+
+    def test_backends_agree_on_faulty_design(self, counter_spec):
+        faulty = inject_stuck_bit(counter_spec, "next", 2, 1)
+        assert compare_backends(faulty, cycles=20).equivalent
+
+
+class TestTransientFaults:
+    def test_bit_flip_window(self, counter_spec):
+        fault = TransientFault(name="wrapped", bit=0, first_cycle=3, last_cycle=3)
+        override = transient_override([fault])
+        result = Simulator(counter_spec, backend="interpreter").run(
+            cycles=8, override=override, trace=True
+        )
+        values = result.trace.values_of("count")
+        # cycle 3 writes a flipped value; later cycles recover by counting on
+        assert values[4] != 4
+
+    def test_fault_active_window(self):
+        fault = TransientFault("x", 0, first_cycle=2, last_cycle=4)
+        assert not fault.active(1)
+        assert fault.active(2) and fault.active(4)
+        assert not fault.active(5)
+
+    def test_open_ended_fault(self):
+        fault = TransientFault("x", 0, first_cycle=2)
+        assert fault.active(1000)
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(FaultConfigurationError):
+            transient_override([TransientFault("x", 40, 0)])
+
+    def test_stuck_at_override_also_covers_memories(self, counter_spec):
+        override = stuck_at_override("count", 7)
+        result = Simulator(counter_spec, backend="interpreter").run(
+            cycles=5, override=override
+        )
+        assert result.value("count") == 7
+        # the first output was latched before the first override took effect
+        assert result.output_integers() == [0, 7, 7, 7, 7]

@@ -1,0 +1,69 @@
+"""Tests for activity profiling and coverage reporting."""
+
+from repro.analysis.profiling import profile_activity
+from repro.machines import (
+    build_gcd_spec,
+    build_stack_machine_spec,
+    build_traffic_light_spec,
+    prepare_sieve_workload,
+)
+
+
+class TestToggleCounts:
+    def test_counter_components_toggle(self, counter_spec):
+        profile = profile_activity(counter_spec, cycles=16)
+        assert profile.toggle_counts["count"] == 15
+        assert profile.toggle_counts["next"] == 15
+
+    def test_idle_components_detected(self):
+        spec = build_gcd_spec(8, 8)   # already equal: nothing ever changes
+        profile = profile_activity(spec, cycles=10)
+        assert "a" in profile.idle_components()
+        assert "b" in profile.idle_components()
+
+    def test_most_active_ranking(self, counter_spec):
+        profile = profile_activity(counter_spec, cycles=20)
+        names = [name for name, _ in profile.most_active(2)]
+        assert len(names) == 2
+        assert set(names) <= set(counter_spec.component_names())
+
+
+class TestSelectorCoverage:
+    def test_traffic_light_covers_all_states(self):
+        spec = build_traffic_light_spec(green_cycles=2, yellow_cycles=1, red_cycles=1)
+        profile = profile_activity(spec, cycles=20)
+        assert profile.coverage_fraction("lamps") == 1.0
+        assert profile.uncovered_selector_cases["lamps"] == []
+
+    def test_uncovered_cases_reported(self):
+        spec = build_gcd_spec(9, 3)
+        profile = profile_activity(spec, cycles=12)
+        # a > b throughout, so the "keep b" case of bnext is the only one taken
+        assert 1 in profile.uncovered_selector_cases["bnext"]
+        assert profile.coverage_fraction("bnext") < 1.0
+
+    def test_stack_machine_decode_coverage(self):
+        workload = prepare_sieve_workload(4)
+        spec = build_stack_machine_spec(workload.program)
+        profile = profile_activity(spec, cycles=workload.cycles_needed)
+        # the sieve exercises most of the instruction set
+        taken = set(profile.selector_coverage["tosnext"])
+        from repro.isa.stack_isa import Op
+
+        assert {int(Op.PUSH), int(Op.ADD), int(Op.LT), int(Op.LOAD),
+                int(Op.STORE), int(Op.JZ), int(Op.JMP), int(Op.OUT)} <= taken
+        # but MUL never runs in the sieve
+        assert int(Op.MUL) in profile.uncovered_selector_cases["tosnext"]
+
+
+class TestRendering:
+    def test_render_mentions_activity_and_gaps(self):
+        spec = build_gcd_spec(9, 3)
+        text = profile_activity(spec, cycles=12).render()
+        assert "activity profile" in text
+        assert "most active" in text
+
+    def test_alu_usage_collected(self, counter_spec):
+        profile = profile_activity(counter_spec, cycles=5)
+        assert profile.alu_function_usage[4] == 5
+        assert profile.stats.cycles == 5

@@ -1,0 +1,132 @@
+"""Unit tests for the Pascal code generator (Appendix E output style)."""
+
+from repro.compiler.codegen_pascal import PascalCodeGenerator, generate_pascal
+from repro.compiler.optimizer import CodegenOptions
+from repro.rtl.parser import parse_spec
+
+
+class TestProgramSkeleton:
+    def test_program_header_and_footer(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        assert source.startswith("program simulator (input, output);")
+        assert source.rstrip().endswith("end.")
+
+    def test_runtime_functions_present(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        for fragment in (
+            "function land (a, b: integer): integer;",
+            "function dologic (funct, left, right: integer): integer;",
+            "function sinput (address: integer): integer;",
+            "procedure soutput (address, data: integer);",
+            "procedure initvalues;",
+        ):
+            assert fragment in source
+
+    def test_word_mask_constant(self, counter_spec):
+        assert "const mask = 2147483647;" in generate_pascal(counter_spec)
+
+    def test_variable_declarations_use_ljb_prefix(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        assert "ljbnext" in source
+        assert "tempcount" in source
+        assert "ljbcount: array[0..0] of integer;" in source
+
+    def test_cycle_loop(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        assert "while cyclecount <= cycles do begin" in source
+        assert "cyclecount := cyclecount + 1;" in source
+
+
+class TestFigure41Alu:
+    def test_generic_alu_calls_dologic(self, figure_4_1_spec):
+        source = generate_pascal(figure_4_1_spec)
+        assert "ljbalu := dologic(tempcompute, templeft, 3048);" in source
+
+    def test_constant_add_inlined(self, figure_4_1_spec):
+        # Figure 4.1: "add := left + 3048;"
+        source = generate_pascal(figure_4_1_spec)
+        assert "ljbadd := templeft + 3048;" in source
+
+    def test_comparison_functions_emit_if(self):
+        spec = parse_spec("# t\nq r .\nA q 12 r 7\nM r 0 q 1 1\n.")
+        source = generate_pascal(spec)
+        assert "if tempr = 7 then ljbq := 1" in source
+
+    def test_inline_disabled(self, figure_4_1_spec):
+        source = generate_pascal(
+            figure_4_1_spec, CodegenOptions(inline_constant_functions=False)
+        )
+        assert "ljbadd := dologic(4, templeft, 3048);" in source
+
+
+class TestFigure42Selector:
+    def test_case_statement(self, figure_4_2_spec):
+        # Figure 4.2: "case index of / 0 selector = value0; ..."
+        source = generate_pascal(figure_4_2_spec)
+        assert "case tempindex of" in source
+        assert "0 : ljbselector := tempvalue0;" in source
+        assert "3 : ljbselector := tempvalue3;" in source
+
+
+class TestFigure43Memory:
+    def test_operation_case_dispatch(self, figure_4_3_spec):
+        source = generate_pascal(figure_4_3_spec)
+        assert "case land(opnmemory, 3) of" in source
+        assert "tempmemory := ljbmemory[adrmemory];" in source
+        assert "tempmemory := sinput(adrmemory);" in source
+        assert "soutput(adrmemory, datamemory)" in source
+
+    def test_initialisation_from_value_list(self, figure_4_3_spec):
+        source = generate_pascal(figure_4_3_spec)
+        assert "ljbmemory[0] := 12;" in source
+        assert "ljbmemory[3] := 78;" in source
+
+    def test_trace_statements(self, figure_4_3_spec):
+        source = generate_pascal(figure_4_3_spec)
+        assert "if land(opnmemory, 5) = 5 then" in source
+        assert "if land(opnmemory, 9) = 8 then" in source
+        assert "'Write to memory at '" in source
+
+    def test_constant_operation_drops_case(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        assert "case land(opncount, 3) of" not in source
+        assert "ljbcount[adrcount] := datacount" in source
+
+
+class TestTraceStatements:
+    def test_cycle_trace_prints_starred_components(self, counter_spec):
+        source = generate_pascal(counter_spec)
+        assert "write('Cycle ', cyclecount:3);" in source
+        assert "write(' count= ', tempcount:1);" in source
+
+    def test_trace_suppressed_without_stars(self):
+        spec = parse_spec("# t\nx r .\nA x 4 r 1\nM r 0 x 1 1\n.")
+        assert "Cycle" not in generate_pascal(spec)
+
+
+class TestExpressionRendering:
+    def test_bit_field_uses_land_and_div(self):
+        spec = parse_spec("# t\nx r .\nA x 2 r.3.4 0\nM r 0 x 1 1\n.")
+        generator = PascalCodeGenerator(spec)
+        rendered = generator.pascal_expression(spec.component("x").left)
+        assert rendered == "land(tempr, 24) div 8"
+
+    def test_concatenation_uses_multipliers(self):
+        spec = parse_spec("# t\nx r .\nA x 2 r.0.3,#01 0\nM r 0 x 1 1\n.")
+        generator = PascalCodeGenerator(spec)
+        rendered = generator.pascal_expression(spec.component("x").left)
+        assert "* 4" in rendered
+        assert "+ 1" in rendered
+
+    def test_constant_folds(self, counter_spec):
+        generator = PascalCodeGenerator(counter_spec)
+        assert generator.pascal_expression(
+            counter_spec.component("wrapped").right
+        ) == "7"
+
+    def test_whole_stack_machine_generates(self):
+        from repro.machines import build_stack_machine_spec, sieve_program
+
+        source = generate_pascal(build_stack_machine_spec(sieve_program(3)))
+        assert source.count("case") > 10
+        assert "ljbprog" in source

@@ -1,0 +1,163 @@
+"""Unit tests for the Python code generator (the ASIM II contribution)."""
+
+import pytest
+
+from repro.compiler.codegen_python import PythonCodeGenerator, generate_python
+from repro.compiler.optimizer import CodegenOptions
+from repro.rtl.parser import parse_spec
+
+
+def compile_module(source):
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    return namespace
+
+
+class TestGeneratedStructure:
+    def test_module_compiles(self, counter_spec):
+        namespace = compile_module(generate_python(counter_spec))
+        assert callable(namespace["simulate"])
+        assert namespace["COMPONENT_COUNT"] == 4
+
+    def test_header_mentions_source(self, counter_spec):
+        source = generate_python(counter_spec)
+        assert "three bit counter" in source
+
+    def test_variables_follow_paper_naming(self, counter_spec):
+        source = generate_python(counter_spec)
+        assert "v_next" in source        # paper: ljbnext
+        assert "t_count" in source       # paper: tempcount
+        assert "m_count" in source       # paper: ljbcount[...]
+
+    def test_initial_values_emitted(self, figure_4_3_spec):
+        source = generate_python(figure_4_3_spec)
+        assert "m_memory = [0] * 4" in source
+        assert "m_memory[0] = 12" in source
+        assert "m_memory[3] = 78" in source
+
+
+class TestFigure41AluGeneration:
+    """Figure 4.1: generic dologic call vs inlined constant function."""
+
+    def test_generic_alu_calls_dologic(self, figure_4_1_spec):
+        source = generate_python(figure_4_1_spec)
+        assert "v_alu = dologic(t_compute, t_left, 3048)" in source
+
+    def test_constant_function_inlined(self, figure_4_1_spec):
+        source = generate_python(figure_4_1_spec)
+        assert "v_add = (((t_left) + (3048)) & 2147483647)" in source
+
+    def test_inlining_disabled_by_option(self, figure_4_1_spec):
+        source = generate_python(
+            figure_4_1_spec, CodegenOptions(inline_constant_functions=False)
+        )
+        assert "v_add = dologic(4, t_left, 3048)" in source
+
+
+class TestFigure42SelectorGeneration:
+    """Figure 4.2: the selector becomes a case dispatch on the index."""
+
+    def test_case_dispatch(self, figure_4_2_spec):
+        source = generate_python(figure_4_2_spec)
+        assert "_i = t_index" in source
+        assert "if _i == 0:" in source
+        assert "elif _i == 3:" in source
+        assert "v_selector = t_value0" in source
+
+    def test_out_of_range_raises(self, figure_4_2_spec):
+        source = generate_python(figure_4_2_spec)
+        assert "selector_case_error('selector', _i, 4, cyclecount)" in source
+
+    def test_constant_selector_folded_to_table(self):
+        spec = parse_spec("# t\ns r .\nS s r.0.1 10 20 30 40\nM r 0 0 1 1\n.")
+        source = generate_python(spec)
+        assert "_SEL_s = (10, 20, 30, 40)" in source
+        assert "v_s = _SEL_s[_i]" in source
+
+    def test_constant_folding_disabled_by_option(self):
+        spec = parse_spec("# t\ns r .\nS s r.0.1 10 20 30 40\nM r 0 0 1 1\n.")
+        source = generate_python(spec, CodegenOptions(fold_constant_selectors=False))
+        assert "_SEL_s" not in source
+        assert "if _i == 0:" in source
+
+
+class TestFigure43MemoryGeneration:
+    """Figure 4.3: operation dispatch, initialisation and trace statements."""
+
+    def test_dynamic_operation_dispatch(self, figure_4_3_spec):
+        source = generate_python(figure_4_3_spec)
+        assert "_op = o_memory & 3" in source
+        assert "t_memory = m_memory[a_memory]" in source
+        assert "m_memory[a_memory] = d_memory" in source
+        assert "io.read(a_memory, cycle=cyclecount)" in source
+        assert "io.write(a_memory, d_memory, cycle=cyclecount)" in source
+
+    def test_trace_conditions_match_paper(self, figure_4_3_spec):
+        source = generate_python(figure_4_3_spec)
+        assert "(o_memory & 5) == 5" in source    # paper: land(operation,5)=5
+        assert "(o_memory & 9) == 8" in source    # paper: land(operation,9)=8
+
+    def test_constant_operation_specialised(self, counter_spec):
+        source = generate_python(counter_spec)
+        # the counter register always writes: no dispatch emitted for it
+        assert "_op = o_count" not in source
+        assert "m_count[a_count] = d_count" in source
+
+    def test_constant_specialisation_disabled_by_option(self, counter_spec):
+        source = generate_python(
+            counter_spec, CodegenOptions(specialize_constant_memory_ops=False)
+        )
+        assert "_op = o_count & 3" in source
+
+    def test_bounds_check_emitted(self, figure_4_3_spec):
+        source = generate_python(figure_4_3_spec)
+        assert "memory_range_error('memory', a_memory, 4, cyclecount)" in source
+
+    def test_bounds_check_can_be_disabled(self, figure_4_3_spec):
+        source = generate_python(
+            figure_4_3_spec, CodegenOptions(emit_bounds_checks=False)
+        )
+        assert "memory_range_error('" not in source
+
+
+class TestTraceGeneration:
+    def test_traced_components_recorded(self, counter_spec):
+        source = generate_python(counter_spec)
+        assert "trace_log.record_cycle(cyclecount, {'count': t_count})" in source
+
+    def test_trace_suppressed_by_option(self, counter_spec):
+        source = generate_python(counter_spec, CodegenOptions.fastest())
+        assert "record_cycle" not in source
+
+    def test_no_trace_code_without_star_declarations(self):
+        spec = parse_spec("# t\nx r .\nA x 4 r 1\nM r 0 x 1 1\n.")
+        assert "record_cycle" not in generate_python(spec)
+
+
+class TestResolver:
+    def test_resolve_distinguishes_memories(self, counter_spec):
+        generator = PythonCodeGenerator(counter_spec)
+        assert generator.resolve("next") == "v_next"
+        assert generator.resolve("count") == "t_count"
+
+
+class TestGeneratedSemantics:
+    @pytest.mark.parametrize("options", [CodegenOptions(), CodegenOptions.unoptimized()])
+    def test_counter_behaviour(self, counter_spec, options):
+        from repro.core.iosystem import QueueIO
+
+        namespace = compile_module(generate_python(counter_spec, options))
+        io = QueueIO()
+        raw = namespace["simulate"](10, io, None, None)
+        assert raw["values"]["count"] == 2
+        assert io.output_values() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_stats_object_updated(self, counter_spec):
+        from repro.core.iosystem import QueueIO
+        from repro.core.stats import SimulationStats
+
+        namespace = compile_module(generate_python(counter_spec))
+        stats = SimulationStats()
+        namespace["simulate"](7, QueueIO(), None, stats)
+        assert stats.cycles == 7
+        assert stats.component_evaluations == 7 * 4

@@ -1,0 +1,117 @@
+"""Unit tests for the compiled backend (prepare / run / timing split)."""
+
+import pytest
+
+from repro.compiler.compiled import CompiledBackend, compile_spec
+from repro.compiler.optimizer import CodegenOptions
+from repro.core.iosystem import QueueIO
+from repro.core.trace import TraceOptions
+from repro.errors import BackendError, MemoryRangeError, SelectorRangeError
+from repro.rtl.parser import parse_spec
+
+
+@pytest.fixture
+def backend():
+    return CompiledBackend()
+
+
+class TestPrepare:
+    def test_prepare_exposes_source_and_timings(self, backend, counter_spec):
+        prepared = backend.prepare(counter_spec)
+        assert "def simulate" in prepared.source
+        assert prepared.generate_seconds >= 0
+        assert prepared.compile_seconds >= 0
+        assert prepared.prepare_seconds == pytest.approx(
+            prepared.generate_seconds + prepared.compile_seconds
+        )
+
+    def test_write_source(self, backend, counter_spec, tmp_path):
+        prepared = backend.prepare(counter_spec)
+        path = prepared.write_source(tmp_path / "simulator.py")
+        assert path.read_text() == prepared.source
+
+    def test_compile_spec_helper(self, counter_spec):
+        assert compile_spec(counter_spec).spec is counter_spec
+
+
+class TestRun:
+    def test_counter_behaviour(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=10)
+        assert result.backend == "compiled"
+        assert result.value("count") == 2
+        assert result.output_integers() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+        assert result.memory("count") == [2]
+
+    def test_run_reuses_prepared_simulation(self, backend, counter_spec):
+        prepared = backend.prepare(counter_spec)
+        first = prepared.run(cycles=6)
+        second = prepared.run(cycles=6)
+        assert first.final_values == second.final_values
+
+    def test_trace_collection(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=5, trace=True)
+        assert result.trace.values_of("count") == [0, 1, 2, 3, 4]
+
+    def test_trace_disabled(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=5, trace=False)
+        assert len(result.trace) == 0
+
+    def test_stats(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=9)
+        assert result.stats.cycles == 9
+        assert result.stats.component_evaluations == 9 * 4
+
+    def test_inputs(self, backend):
+        spec = parse_spec("# io\nacc inport .\nA acc 4 inport 0\nM inport 1 0 2 2\n.")
+        result = backend.run(spec, cycles=3, io=QueueIO([10, 20, 30]))
+        assert result.value("inport") == 30
+
+    def test_override_rejected(self, backend, counter_spec):
+        with pytest.raises(BackendError):
+            backend.run(
+                counter_spec, cycles=1, override=lambda n, v, c: v
+            )
+
+    def test_trace_options_passed(self, backend, counter_spec):
+        result = backend.run(
+            counter_spec,
+            cycles=4,
+            trace=TraceOptions(trace_cycles=True, trace_memory_accesses=False),
+        )
+        assert len(result.trace.cycles) == 4
+
+
+class TestRuntimeErrors:
+    def test_selector_out_of_range(self, backend):
+        spec = parse_spec(
+            "# bad\ns r .\nS s r 1 2\nM r 0 5 1 1\n.",
+        )
+        with pytest.raises(SelectorRangeError):
+            backend.run(spec, cycles=3)
+
+    def test_memory_address_out_of_range(self, backend):
+        spec = parse_spec(
+            "# bad\nm r .\nM m r 0 0 4\nM r 0 9 1 1\n.",
+        )
+        with pytest.raises(MemoryRangeError):
+            backend.run(spec, cycles=3)
+
+
+class TestOptimizationEquivalence:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            CodegenOptions(),
+            CodegenOptions.unoptimized(),
+            CodegenOptions(fold_constant_selectors=False),
+            CodegenOptions(emit_bounds_checks=False),
+        ],
+    )
+    def test_all_option_sets_agree_on_sieve(self, options):
+        from repro.machines import build_stack_machine_spec, prepare_sieve_workload
+
+        workload = prepare_sieve_workload(5)
+        spec = build_stack_machine_spec(workload.program)
+        backend = CompiledBackend(options)
+        result = backend.run(spec, cycles=workload.cycles_needed)
+        assert result.output_integers() == workload.outputs

@@ -1,0 +1,101 @@
+"""Unit tests for code-generation options and constant analysis."""
+
+from repro.compiler.optimizer import (
+    CodegenOptions,
+    analyze_specification,
+    constant_alu_function,
+    constant_memory_operation,
+    memory_may_trace_reads,
+    memory_may_trace_writes,
+    selector_constant_cases,
+)
+from repro.rtl.parser import parse_spec
+
+
+class TestOptions:
+    def test_defaults_enable_paper_optimizations(self):
+        options = CodegenOptions()
+        assert options.inline_constant_functions
+        assert options.specialize_constant_memory_ops
+
+    def test_unoptimized_profile(self):
+        options = CodegenOptions.unoptimized()
+        assert not options.inline_constant_functions
+        assert not options.specialize_constant_memory_ops
+        assert not options.fold_constant_selectors
+
+    def test_fastest_profile_disables_tracing(self):
+        options = CodegenOptions.fastest()
+        assert not options.emit_cycle_trace
+        assert not options.emit_access_trace
+        assert options.inline_constant_functions
+
+
+class TestConstantAnalyses:
+    def test_constant_alu_function(self, figure_4_1_spec):
+        assert constant_alu_function(figure_4_1_spec.component("add")) == 4
+        assert constant_alu_function(figure_4_1_spec.component("alu")) is None
+
+    def test_invalid_constant_function_treated_as_generic(self):
+        spec = parse_spec("# t\nx .\nA x 99 1 2\n.")
+        assert constant_alu_function(spec.component("x")) is None
+
+    def test_constant_memory_operation(self, counter_spec):
+        assert constant_memory_operation(counter_spec.component("count")) == 1
+        assert constant_memory_operation(counter_spec.component("outport")) == 3
+
+    def test_non_constant_memory_operation(self):
+        spec = parse_spec("# t\nm op .\nM m 0 0 op 1\nM op 0 0 0 1\n.")
+        assert constant_memory_operation(spec.component("m")) is None
+
+    def test_selector_constant_cases(self, figure_4_2_spec):
+        spec = parse_spec("# t\ns r .\nS s r.0.1 10 20 30 40\nM r 0 0 1 1\n.")
+        assert selector_constant_cases(spec.component("s")) == [10, 20, 30, 40]
+        assert selector_constant_cases(figure_4_2_spec.component("selector")) is None
+
+
+class TestTraceHeuristics:
+    def test_constant_operation_with_trace_bits(self):
+        spec = parse_spec("# t\nm n .\nM m 0 1 5 1\nM n 0 1 8 2\n.")
+        assert memory_may_trace_writes(spec.component("m"))
+        assert not memory_may_trace_reads(spec.component("m"))
+        assert memory_may_trace_reads(spec.component("n"))
+
+    def test_constant_operation_without_trace_bits(self, counter_spec):
+        assert not memory_may_trace_writes(counter_spec.component("count"))
+        assert not memory_may_trace_reads(counter_spec.component("count"))
+
+    def test_wide_dynamic_operation_may_trace(self):
+        spec = parse_spec("# t\nm op .\nM m 0 0 op.0.3 1\nM op 0 0 0 1\n.")
+        assert memory_may_trace_writes(spec.component("m"))
+        assert memory_may_trace_reads(spec.component("m"))
+
+    def test_narrow_dynamic_operation_cannot_trace(self):
+        spec = parse_spec("# t\nm op .\nM m 0 0 op.0.1 1\nM op 0 0 0 1\n.")
+        assert not memory_may_trace_writes(spec.component("m"))
+        assert not memory_may_trace_reads(spec.component("m"))
+
+
+class TestAnalysisReport:
+    def test_counts_for_counter(self, counter_spec):
+        report = analyze_specification(counter_spec)
+        assert set(report.inlined_alus) == {"next", "wrapped"}
+        assert report.generic_alus == ()
+        assert set(report.specialized_memories) == {"count", "outport"}
+
+    def test_unoptimized_report_everything_generic(self, counter_spec):
+        report = analyze_specification(counter_spec, CodegenOptions.unoptimized())
+        assert report.inlined_alus == ()
+        assert set(report.generic_alus) == {"next", "wrapped"}
+        assert report.specialized_memories == ()
+
+    def test_stack_machine_mixed(self):
+        from repro.machines import build_stack_machine_spec, sieve_program
+
+        spec = build_stack_machine_spec(sieve_program(3))
+        report = analyze_specification(spec)
+        # the working ALU has a selector-driven function: stays generic
+        assert "alures" in report.generic_alus
+        assert report.inlined_alu_count >= 8
+        assert "prog" in report.specialized_memories
+        assert "stack" in report.generic_memories

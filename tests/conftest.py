@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.parser import parse_spec
+
+#: A minimal but complete specification: a 3-bit counter with memory-mapped
+#: output, used anywhere a "small real spec" is needed.
+COUNTER_SPEC = """\
+# three bit counter with output
+count* next wrapped outport .
+A next 4 count 1
+A wrapped 8 next 7
+M count 0 wrapped 1 1
+M outport 1 count 3 2
+.
+"""
+
+#: The paper's Figure 4.1 ALU examples, embedded in a minimal valid spec.
+FIGURE_4_1_SPEC = """\
+# figure 4.1 alu example
+alu add compute left .
+A alu compute left 3048
+A add 4 left 3048
+M compute 0 0 1 1
+M left 0 1 1 1
+.
+"""
+
+#: The paper's Figure 4.2 selector example, embedded in a minimal valid spec.
+FIGURE_4_2_SPEC = """\
+# figure 4.2 selector example
+selector index value0 value1 value2 value3 .
+S selector index value0 value1 value2 value3
+M index 0 selector 1 1
+M value0 0 0 0 -1 10
+M value1 0 0 0 -1 11
+M value2 0 0 0 -1 12
+M value3 0 0 0 -1 13
+.
+"""
+
+#: The paper's Figure 4.3 memory example (negative count = initial values).
+FIGURE_4_3_SPEC = """\
+# figure 4.3 memory example
+memory address data operation .
+M memory address data operation -4 12 34 56 78
+M address 0 1 1 1
+M data 0 2 1 1
+M operation 0 0 1 1
+.
+"""
+
+
+@pytest.fixture
+def counter_spec_text() -> str:
+    return COUNTER_SPEC
+
+
+@pytest.fixture
+def counter_spec():
+    return parse_spec(COUNTER_SPEC)
+
+
+@pytest.fixture
+def figure_4_1_spec():
+    return parse_spec(FIGURE_4_1_SPEC)
+
+
+@pytest.fixture
+def figure_4_2_spec():
+    return parse_spec(FIGURE_4_2_SPEC)
+
+
+@pytest.fixture
+def figure_4_3_spec():
+    return parse_spec(FIGURE_4_3_SPEC)

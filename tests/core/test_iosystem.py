@@ -1,0 +1,127 @@
+"""Unit tests for the memory-mapped I/O system."""
+
+import io as stdio
+
+import pytest
+
+from repro.core.iosystem import (
+    NullIO,
+    OutputEvent,
+    QueueIO,
+    StreamIO,
+    coerce_io,
+)
+from repro.errors import InputExhaustedError
+
+
+class TestOutputEvent:
+    def test_character_rendering(self):
+        event = OutputEvent(address=0, value=ord("A"))
+        assert event.is_character
+        assert event.character == "A"
+        assert event.render() == "A"
+
+    def test_integer_rendering(self):
+        assert OutputEvent(address=1, value=42).render() == "42"
+
+    def test_addressed_rendering_matches_paper(self):
+        # paper: writeln('Output to address ', address:1, ': ', data:1)
+        assert OutputEvent(address=7, value=9).render() == "Output to address 7: 9"
+
+
+class TestQueueIO:
+    def test_reads_in_order(self):
+        io = QueueIO([1, 2, 3])
+        assert [io.read(1) for _ in range(3)] == [1, 2, 3]
+        assert io.inputs_consumed == 3
+
+    def test_characters_converted(self):
+        io = QueueIO(["A", 66])
+        assert io.read(0) == 65
+        assert io.read(0) == 66
+
+    def test_strict_exhaustion(self):
+        io = QueueIO([1])
+        io.read(1)
+        with pytest.raises(InputExhaustedError):
+            io.read(1)
+
+    def test_non_strict_returns_zero(self):
+        io = QueueIO([], strict=False)
+        assert io.read(1) == 0
+
+    def test_remaining_inputs(self):
+        io = QueueIO([5, 6])
+        io.read(1)
+        assert io.remaining_inputs() == 1
+
+    def test_outputs_recorded(self):
+        io = QueueIO()
+        io.write(1, 10, cycle=3)
+        io.write(0, 65)
+        assert io.output_values() == [10, 65]
+        assert io.output_values(address=1) == [10]
+        assert io.outputs[0].cycle == 3
+
+    def test_output_text(self):
+        io = QueueIO()
+        io.write(1, 7)
+        io.write(0, ord("!"))
+        assert io.output_text() == "7\n!"
+
+
+class TestNullIO:
+    def test_reads_zero_forever(self):
+        io = NullIO()
+        assert io.read(0) == 0
+        assert io.read(99) == 0
+
+    def test_records_outputs(self):
+        io = NullIO()
+        io.write(1, 5)
+        assert io.output_values() == [5]
+
+
+class TestStreamIO:
+    def test_integer_io(self):
+        stdin = stdio.StringIO("10 20\n30")
+        stdout = stdio.StringIO()
+        io = StreamIO(stdin=stdin, stdout=stdout)
+        assert io.read(1) == 10
+        assert io.read(1) == 20
+        assert io.read(2) == 30
+        io.write(1, 99)
+        assert stdout.getvalue() == "99\n"
+
+    def test_character_io(self):
+        stdin = stdio.StringIO("AB")
+        stdout = stdio.StringIO()
+        io = StreamIO(stdin=stdin, stdout=stdout)
+        assert io.read(0) == ord("A")
+        io.write(0, ord("Z"))
+        assert stdout.getvalue() == "Z"
+
+    def test_exhausted_stream(self):
+        io = StreamIO(stdin=stdio.StringIO(""), stdout=stdio.StringIO())
+        with pytest.raises(InputExhaustedError):
+            io.read(1)
+
+    def test_addressed_output(self):
+        stdout = stdio.StringIO()
+        io = StreamIO(stdin=stdio.StringIO(), stdout=stdout)
+        io.write(5, 3)
+        assert stdout.getvalue() == "Output to address 5: 3\n"
+
+
+class TestCoerceIO:
+    def test_none_becomes_null(self):
+        assert isinstance(coerce_io(None), NullIO)
+
+    def test_iterable_becomes_queue(self):
+        io = coerce_io([1, 2])
+        assert isinstance(io, QueueIO)
+        assert io.remaining_inputs() == 2
+
+    def test_existing_instance_passed_through(self):
+        io = QueueIO()
+        assert coerce_io(io) is io

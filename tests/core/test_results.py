@@ -1,0 +1,51 @@
+"""Unit tests for the SimulationResult container."""
+
+from repro.core.iosystem import OutputEvent
+from repro.core.results import SimulationResult
+
+
+def make_result():
+    return SimulationResult(
+        backend="interpreter",
+        cycles_run=10,
+        final_values={"pc": 4, "ram": 7},
+        memory_contents={"ram": [7, 0]},
+        outputs=[
+            OutputEvent(address=1, value=3, cycle=2),
+            OutputEvent(address=0, value=65, cycle=3),
+            OutputEvent(address=1, value=9, cycle=5),
+        ],
+        prepare_seconds=0.25,
+        run_seconds=0.75,
+    )
+
+
+class TestAccessors:
+    def test_value_and_memory(self):
+        result = make_result()
+        assert result.value("pc") == 4
+        assert result.memory("ram") == [7, 0]
+
+    def test_output_filters(self):
+        result = make_result()
+        assert result.output_values() == [3, 65, 9]
+        assert result.output_integers() == [3, 9]
+        assert result.output_values(address=0) == [65]
+
+    def test_output_text(self):
+        assert make_result().output_text() == "3\nA9\n"
+
+    def test_total_seconds(self):
+        assert make_result().total_seconds == 1.0
+
+    def test_summary(self):
+        summary = make_result().summary()
+        assert "interpreter" in summary
+        assert "10 cycles" in summary
+
+    def test_defaults(self):
+        result = SimulationResult(backend="compiled", cycles_run=0)
+        assert result.final_values == {}
+        assert result.outputs == []
+        assert result.stats.cycles == 0
+        assert len(result.trace) == 0

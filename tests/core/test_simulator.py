@@ -1,0 +1,88 @@
+"""Unit tests for the public Simulator facade."""
+
+import pytest
+
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions
+from repro.core.simulator import BACKEND_NAMES, Simulator, make_backend, simulate
+from repro.errors import BackendError
+from repro.interp.interpreter import InterpreterBackend
+from repro.rtl.builder import SpecBuilder
+
+
+class TestMakeBackend:
+    def test_names(self):
+        assert isinstance(make_backend("interpreter"), InterpreterBackend)
+        assert isinstance(make_backend("compiled"), CompiledBackend)
+        assert set(BACKEND_NAMES) == {"interpreter", "compiled"}
+
+    def test_instance_passthrough(self):
+        backend = InterpreterBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BackendError):
+            make_backend("fpga")
+
+    def test_codegen_options_forwarded(self):
+        backend = make_backend("compiled", CodegenOptions.unoptimized())
+        assert not backend.options.inline_constant_functions
+
+
+class TestConstruction:
+    def test_from_text(self, counter_spec_text):
+        simulator = Simulator.from_text(counter_spec_text)
+        assert simulator.backend_name == "compiled"
+        assert simulator.spec.component("count")
+
+    def test_from_file(self, tmp_path, counter_spec_text):
+        path = tmp_path / "counter.asim"
+        path.write_text(counter_spec_text)
+        simulator = Simulator.from_file(path, backend="interpreter")
+        assert simulator.backend_name == "interpreter"
+
+    def test_from_builder(self):
+        builder = SpecBuilder("builder machine")
+        builder.alu("inc", 4, "r", 1)
+        builder.register("r", data="inc", traced=True)
+        simulator = Simulator.from_builder(builder)
+        assert simulator.run(cycles=5).value("r") == 5
+
+    def test_from_spec_object(self, counter_spec):
+        assert Simulator(counter_spec).spec is counter_spec
+
+
+class TestRunning:
+    def test_both_backends_give_same_answer(self, counter_spec):
+        expected = [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+        for backend in BACKEND_NAMES:
+            result = Simulator(counter_spec, backend=backend).run(cycles=10)
+            assert result.output_integers() == expected
+
+    def test_generated_source_only_for_compiled(self, counter_spec):
+        assert Simulator(counter_spec, backend="compiled").generated_source
+        assert Simulator(counter_spec, backend="interpreter").generated_source is None
+
+    def test_prepare_seconds_exposed(self, counter_spec):
+        assert Simulator(counter_spec).prepare_seconds >= 0
+
+    def test_validation_report(self, counter_spec):
+        report = Simulator(counter_spec).validation_report()
+        assert report.ok
+
+    def test_simulate_one_shot_helper(self, counter_spec_text):
+        result = simulate(counter_spec_text, cycles=8, backend="interpreter")
+        assert result.cycles_run == 8
+
+    def test_run_uses_spec_cycles(self):
+        builder = SpecBuilder("with cycles", cycles=7)
+        builder.alu("inc", 4, "r", 1)
+        builder.register("r", data="inc")
+        result = Simulator.from_builder(builder).run()
+        assert result.cycles_run == 7
+
+    def test_docstring_example(self):
+        # keep the module docstring example honest
+        import repro.core.simulator as module
+
+        assert ">>> result.value(\"count\")" in module.__doc__

@@ -1,0 +1,81 @@
+"""Unit tests for trace records and the trace log."""
+
+import pytest
+
+from repro.core.trace import CycleTrace, MemoryAccessTrace, TraceLog, TraceOptions
+
+
+class TestRecords:
+    def test_cycle_trace_rendering(self):
+        trace = CycleTrace(cycle=12, values={"pc": 3, "ac": 7})
+        rendered = trace.render()
+        assert rendered.startswith("Cycle  12")
+        assert "pc= 3" in rendered and "ac= 7" in rendered
+
+    def test_access_trace_rendering(self):
+        write = MemoryAccessTrace(1, "ram", "write", 5, 9)
+        read = MemoryAccessTrace(2, "ram", "read", 5, 9)
+        assert write.render() == "Write to ram at 5: 9"
+        assert read.render() == "Read from ram at 5: 9"
+
+
+class TestTraceLog:
+    def test_recording_and_queries(self):
+        log = TraceLog()
+        log.record_cycle(0, {"a": 1})
+        log.record_cycle(1, {"a": 2})
+        log.record_access(1, "ram", "write", 0, 5)
+        assert len(log) == 2
+        assert log.values_of("a") == [1, 2]
+        assert log.cycle(1).values == {"a": 2}
+        assert log.accesses_of("ram", "write")[0].value == 5
+        assert log.accesses_of("ram", "read") == []
+
+    def test_missing_cycle_raises(self):
+        with pytest.raises(KeyError):
+            TraceLog().cycle(3)
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record_cycle(0, {"a": 1})
+        log.record_access(0, "m", "read", 0, 0)
+        assert len(log) == 0
+        assert log.accesses == []
+
+    def test_values_are_copied(self):
+        log = TraceLog()
+        values = {"a": 1}
+        log.record_cycle(0, values)
+        values["a"] = 99
+        assert log.cycle(0).values == {"a": 1}
+
+    def test_render_interleaves_by_cycle(self):
+        log = TraceLog()
+        log.record_cycle(0, {"a": 1})
+        log.record_cycle(1, {"a": 2})
+        log.record_access(0, "ram", "write", 3, 4)
+        rendered = log.render()
+        assert rendered.index("Write to ram") < rendered.index("Cycle   1")
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.record_cycle(0, {"a": 1})
+        assert [trace.cycle for trace in log] == [0]
+
+
+class TestTraceOptions:
+    def test_disabled_profile(self):
+        options = TraceOptions.disabled()
+        assert not options.trace_cycles
+        assert not options.trace_memory_accesses
+
+    def test_full_profile(self):
+        options = TraceOptions.full()
+        assert options.trace_cycles
+        assert options.trace_memory_accesses
+
+    def test_defaults(self):
+        options = TraceOptions()
+        assert not options.trace_cycles
+        assert options.names is None
+        assert options.limit is None

@@ -1,0 +1,117 @@
+"""End-to-end scenarios exercising the whole public API surface."""
+
+from repro import (
+    QueueIO,
+    Simulator,
+    SpecBuilder,
+    TraceOptions,
+    compare_backends,
+    parse_spec,
+    simulate,
+)
+from repro.analysis import fault_detection_experiment, profile_activity
+from repro.compiler import generate_pascal, generate_python
+from repro.machines import (
+    build_stack_machine,
+    prepare_division_workload,
+    prepare_sieve_workload,
+)
+from repro.machines.tiny_computer import build_tiny_computer
+from repro.synth import bill_of_materials, extract_netlist
+
+
+class TestSpecTextWorkflow:
+    """Parse a hand-written specification, simulate it, inspect everything."""
+
+    SPEC = """\
+# accumulating adder with memory mapped input and output
+total* inport sum outport .
+A sum 4 total inport
+M inport 1 0 2 2
+M total 0 sum 1 1
+M outport 1 total 3 2
+.
+"""
+
+    def test_full_workflow(self):
+        spec = parse_spec(self.SPEC)
+        simulator = Simulator(spec, backend="compiled")
+        io = QueueIO([5, 10, 20, 40], strict=False)
+        result = simulator.run(cycles=6, io=io, trace=True)
+        # the running total accumulates the inputs with the pipeline latency
+        # of one cycle per memory stage
+        assert result.output_integers()[-1] == 75
+        assert result.trace.values_of("total")[-1] == 75
+        assert result.stats.cycles == 6
+
+    def test_one_shot_helper_and_backends_agree(self):
+        interp = simulate(self.SPEC, cycles=6, backend="interpreter",
+                          io=QueueIO([5, 10, 20, 40], strict=False))
+        compiled = simulate(self.SPEC, cycles=6, backend="compiled",
+                            io=QueueIO([5, 10, 20, 40], strict=False))
+        assert interp.output_integers() == compiled.output_integers()
+
+    def test_generated_code_available_for_inspection(self):
+        spec = parse_spec(self.SPEC)
+        python_source = generate_python(spec)
+        pascal_source = generate_pascal(spec)
+        assert "def simulate" in python_source
+        assert "program simulator" in pascal_source
+
+
+class TestBuilderWorkflow:
+    """Build a machine programmatically, verify, fault and synthesise it."""
+
+    def build(self):
+        builder = SpecBuilder("pulse divider")
+        builder.alu("tick", 4, "count", 1)
+        builder.alu("wrapped", 8, "tick", 15)
+        builder.alu("pulse", 12, "wrapped", 0, traced=True)
+        builder.register("count", data="wrapped", traced=True)
+        builder.memory("outport", address=1, data="pulse", operation=3, size=2)
+        return builder.build()
+
+    def test_simulate_verify_and_profile(self):
+        spec = self.build()
+        assert compare_backends(spec, cycles=64).equivalent
+        profile = profile_activity(spec, cycles=64)
+        assert profile.toggle_counts["pulse"] > 0
+
+    def test_fault_detection_and_synthesis(self):
+        spec = self.build()
+        detections = fault_detection_experiment(spec, ["wrapped"], cycles=40)
+        assert detections[0].detected
+        bom = bill_of_materials(spec)
+        assert bom.total_packages > 0
+        netlist = extract_netlist(spec)
+        assert netlist.fanout("wrapped") == 2
+
+
+class TestProcessorWorkflow:
+    """The paper's headline scenario: simulate whole processors."""
+
+    def test_sieve_on_the_stack_machine(self):
+        workload = prepare_sieve_workload(8)
+        machine = build_stack_machine(workload.program)
+        result = Simulator(machine.spec, backend="compiled").run(
+            cycles=workload.cycles_needed
+        )
+        assert result.output_integers() == workload.outputs
+        assert result.stats.cycles == workload.cycles_needed
+
+    def test_division_on_the_tiny_computer_with_trace(self):
+        workload = prepare_division_workload(45, 6)
+        machine = build_tiny_computer(workload.program, trace=("pc", "ac"))
+        result = Simulator(machine.spec, backend="interpreter").run(
+            cycles=workload.cycles_needed,
+            trace=TraceOptions(trace_cycles=True, limit=32),
+        )
+        assert result.output_integers() == [7]
+        assert len(result.trace.cycles) == 32
+
+    def test_cross_backend_equivalence_on_processors(self):
+        workload = prepare_sieve_workload(4)
+        machine = build_stack_machine(workload.program)
+        comparison = compare_backends(machine.spec, cycles=workload.cycles_needed)
+        assert comparison.equivalent
+        assert comparison.speedup > 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for per-component evaluation rules."""
+
+import pytest
+
+from repro.core.iosystem import QueueIO
+from repro.errors import (
+    InvalidAluFunctionError,
+    MemoryRangeError,
+    SelectorRangeError,
+)
+from repro.interp.evaluator import (
+    apply_memory_request,
+    evaluate_alu,
+    evaluate_selector,
+    latch_memory_request,
+)
+from repro.interp.state import MachineState
+from repro.rtl.parser import parse_spec
+
+SPEC = """\
+# evaluator test bench
+adder sel ram reg .
+A adder 4 reg 10
+S sel reg.0.1 100 adder reg 7
+M ram reg adder reg.0.3 8
+M reg 0 adder 1 1
+.
+"""
+
+
+@pytest.fixture
+def spec():
+    return parse_spec(SPEC)
+
+
+@pytest.fixture
+def state(spec):
+    return MachineState.initial(spec)
+
+
+class TestAluEvaluation:
+    def test_constant_function(self, spec, state):
+        state.set_memory_output("reg", 5)
+        funct, value = evaluate_alu(spec.component("adder"), state)
+        assert funct == 4
+        assert value == 15
+
+    def test_invalid_function_rejected(self, state):
+        spec = parse_spec("# t\nx r .\nA x r 1 2\nM r 0 0 0 -1 20\n.")
+        state = MachineState.initial(spec)
+        state.set_memory_output("r", 20)
+        with pytest.raises(InvalidAluFunctionError):
+            evaluate_alu(spec.component("x"), state)
+
+
+class TestSelectorEvaluation:
+    def test_case_selection(self, spec, state):
+        state.set_memory_output("reg", 0)
+        state.set_value("adder", 55)
+        index, value = evaluate_selector(spec.component("sel"), state)
+        assert (index, value) == (0, 100)
+        state.set_memory_output("reg", 1)
+        index, value = evaluate_selector(spec.component("sel"), state)
+        assert (index, value) == (1, 55)
+
+    def test_out_of_range_rejected(self, spec, state):
+        state.set_memory_output("reg", 7)   # no case 7 (only 4 cases, index 0..3)
+        spec2 = parse_spec(
+            "# t\nsel reg .\nS sel reg 1 2\nM reg 0 0 1 1\n."
+        )
+        state2 = MachineState.initial(spec2)
+        state2.set_memory_output("reg", 5)
+        with pytest.raises(SelectorRangeError):
+            evaluate_selector(spec2.component("sel"), state2)
+
+
+class TestMemoryRequests:
+    def test_latch_uses_current_values(self, spec, state):
+        state.set_memory_output("reg", 3)
+        state.set_value("adder", 13)
+        request = latch_memory_request(spec.component("ram"), state)
+        assert request.address == 3
+        assert request.data == 13
+        assert request.operation == 3  # reg.0.3 of 3
+
+    def test_read(self, spec, state):
+        ram = spec.component("ram")
+        state.memory_arrays["ram"][2] = 42
+        state.set_memory_output("reg", 2)
+        state.set_value("adder", 0)
+        # force a read operation by zeroing reg's low bits contribution
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=2, data=0, operation=0)
+        effect = apply_memory_request(request, state, QueueIO())
+        assert effect.new_output == 42
+        assert state.lookup("ram") == 42
+
+    def test_write(self, spec, state):
+        ram = spec.component("ram")
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=5, data=77, operation=1)
+        effect = apply_memory_request(request, state, QueueIO())
+        assert effect.wrote_cell
+        assert state.read_cell("ram", 5) == 77
+        assert state.lookup("ram") == 77
+
+    def test_input(self, spec, state):
+        ram = spec.component("ram")
+        io = QueueIO([123])
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=1, data=0, operation=2)
+        effect = apply_memory_request(request, state, io)
+        assert effect.new_output == 123
+        assert io.inputs_consumed == 1
+
+    def test_output(self, spec, state):
+        ram = spec.component("ram")
+        io = QueueIO()
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=1, data=88, operation=3)
+        apply_memory_request(request, state, io)
+        assert io.output_values() == [88]
+
+    def test_address_out_of_range_rejected(self, spec, state):
+        ram = spec.component("ram")
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=8, data=0, operation=0)
+        with pytest.raises(MemoryRangeError):
+            apply_memory_request(request, state, QueueIO())
+
+    def test_output_address_not_bounds_checked(self, spec, state):
+        # memory-mapped I/O addresses are not cell indices (paper's sinput/soutput)
+        ram = spec.component("ram")
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=4096, data=5, operation=3)
+        io = QueueIO()
+        apply_memory_request(request, state, io)
+        assert io.outputs[0].address == 4096
+
+    def test_trace_flags_reported(self, spec, state):
+        ram = spec.component("ram")
+        request = latch_memory_request(ram, state)
+        request = type(request)(memory=ram, address=0, data=9, operation=5)
+        effect = apply_memory_request(request, state, QueueIO())
+        assert effect.trace_write and not effect.trace_read

@@ -1,0 +1,154 @@
+"""Unit tests for the ASIM-style interpreter backend."""
+
+import pytest
+
+from repro.core.iosystem import QueueIO
+from repro.core.trace import TraceOptions
+from repro.errors import InputExhaustedError, SimulationError
+from repro.interp.interpreter import InterpreterBackend
+from repro.rtl.parser import parse_spec
+
+
+@pytest.fixture
+def backend():
+    return InterpreterBackend()
+
+
+class TestBasicRuns:
+    def test_counter_counts(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=10)
+        assert result.value("count") == 2          # 3-bit counter wraps at 8
+        assert result.output_integers() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_zero_cycles(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=0)
+        assert result.cycles_run == 0
+        assert result.value("count") == 0
+
+    def test_cycles_from_spec_declaration(self, backend):
+        spec = parse_spec("# t\n= 5\nx r .\nA x 4 r 1\nM r 0 x 1 1\n.")
+        result = backend.run(spec)
+        assert result.cycles_run == 5
+
+    def test_missing_cycle_count_rejected(self, backend, counter_spec):
+        with pytest.raises(SimulationError):
+            backend.run(counter_spec)
+
+    def test_negative_cycdescribed_rejected(self, backend, counter_spec):
+        with pytest.raises(SimulationError):
+            backend.run(counter_spec, cycles=-1)
+
+    def test_memory_contents_in_result(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=4)
+        assert result.memory("count") == [4]
+
+    def test_prepare_then_run_repeatedly(self, backend, counter_spec):
+        prepared = backend.prepare(counter_spec)
+        first = prepared.run(cycles=8)
+        second = prepared.run(cycles=8)
+        assert first.final_values == second.final_values
+
+
+class TestMemoryMappedIO:
+    def test_input_values_consumed(self, backend):
+        spec = parse_spec(
+            "# io\nacc inport .\n"
+            "A acc 4 inport 0\n"
+            "M inport 1 0 2 2\n"
+            ".",
+        )
+        result = backend.run(spec, cycles=3, io=QueueIO([10, 20, 30]))
+        # each cycle reads the next input; acc sees it one cycle later
+        assert result.value("inport") == 30
+
+    def test_input_exhaustion_raises(self, backend):
+        spec = parse_spec("# io\ninport .\nM inport 1 0 2 2\n.")
+        with pytest.raises(InputExhaustedError):
+            backend.run(spec, cycles=3, io=QueueIO([1]))
+
+    def test_plain_iterable_accepted_as_io(self, backend):
+        spec = parse_spec("# io\ninport .\nM inport 1 0 2 2\n.")
+        result = backend.run(spec, cycles=2, io=[5, 6])
+        assert result.value("inport") == 6
+
+    def test_output_events_tagged_with_cycle(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=3)
+        assert [event.cycle for event in result.outputs] == [0, 1, 2]
+
+
+class TestTracing:
+    def test_trace_disabled_by_default_when_no_stars(self, backend):
+        spec = parse_spec("# t\nx r .\nA x 4 r 1\nM r 0 x 1 1\n.")
+        result = backend.run(spec, cycles=3)
+        assert len(result.trace) == 0
+
+    def test_star_declarations_enable_tracing(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=5)
+        assert result.trace.values_of("count") == [0, 1, 2, 3, 4]
+
+    def test_trace_false_overrides_stars(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=5, trace=False)
+        assert len(result.trace) == 0
+
+    def test_trace_options_name_override(self, backend, counter_spec):
+        options = TraceOptions(trace_cycles=True, names=("next",))
+        result = backend.run(counter_spec, cycles=3, trace=options)
+        assert result.trace.values_of("next") == [1, 2, 3]
+
+    def test_trace_limit(self, backend, counter_spec):
+        options = TraceOptions(trace_cycles=True, limit=2)
+        result = backend.run(counter_spec, cycles=10, trace=options)
+        assert len(result.trace) == 2
+
+    def test_memory_access_trace(self, backend):
+        spec = parse_spec(
+            "# traced writes\nr .\nM r 0 5 5 1\n.",   # operation 5 = write + trace
+        )
+        result = backend.run(spec, cycles=2, trace=True)
+        writes = result.trace.accesses_of("r", "write")
+        assert len(writes) == 2
+        assert writes[0].value == 5
+
+
+class TestStats:
+    def test_cycle_and_evaluation_counts(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=10)
+        assert result.stats.cycles == 10
+        assert result.stats.component_evaluations == 10 * 4
+
+    def test_memory_access_counts(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=10)
+        count_stats = result.stats.memories["count"]
+        assert count_stats.writes == 10
+        outport_stats = result.stats.memories["outport"]
+        assert outport_stats.outputs == 10
+
+    def test_alu_function_usage(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=4)
+        assert result.stats.alu_function_usage[4] == 4   # add
+        assert result.stats.alu_function_usage[8] == 4   # and
+
+    def test_stats_can_be_disabled(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=4, collect_stats=False)
+        assert result.stats.cycles == 0
+
+
+class TestOverrides:
+    def test_override_forces_value(self, backend, counter_spec):
+        result = backend.run(
+            counter_spec,
+            cycles=5,
+            override=lambda name, value, cycle: 0 if name == "wrapped" else value,
+        )
+        assert result.value("count") == 0
+
+    def test_override_sees_cycle_numbers(self, backend, counter_spec):
+        seen = []
+
+        def override(name, value, cycle):
+            if name == "next":
+                seen.append(cycle)
+            return value
+
+        backend.run(counter_spec, cycles=3, override=override)
+        assert seen == [0, 1, 2]

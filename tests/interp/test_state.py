@@ -1,0 +1,71 @@
+"""Unit tests for the interpreter's machine state."""
+
+import pytest
+
+from repro.errors import UnknownComponentError
+from repro.interp.state import MachineState
+from repro.rtl.parser import parse_spec
+
+
+@pytest.fixture
+def state(counter_spec):
+    return MachineState.initial(counter_spec)
+
+
+class TestInitialState:
+    def test_combinational_values_start_at_zero(self, state):
+        assert state.values == {"next": 0, "wrapped": 0}
+
+    def test_memory_outputs_start_at_zero(self, state):
+        assert state.memory_outputs == {"count": 0, "outport": 0}
+
+    def test_memory_arrays_sized(self, state):
+        assert state.memory_arrays["count"] == [0]
+        assert state.memory_arrays["outport"] == [0, 0]
+
+    def test_initial_values_applied(self):
+        spec = parse_spec("# t\nm .\nM m 0 0 0 -3 7 8 9\n.")
+        state = MachineState.initial(spec)
+        assert state.memory_arrays["m"] == [7, 8, 9]
+
+    def test_register_initial_output(self):
+        spec = parse_spec("# t\nr .\nM r 0 r 1 -1 42\n.")
+        state = MachineState.initial(spec)
+        assert state.memory_outputs["r"] == 42
+
+    def test_cycle_starts_at_zero(self, state):
+        assert state.cycle == 0
+
+
+class TestLookup:
+    def test_combinational_lookup(self, state):
+        state.set_value("next", 5)
+        assert state.lookup("next") == 5
+
+    def test_memory_lookup_uses_latched_output(self, state):
+        state.write_cell("count", 0, 99)
+        assert state.lookup("count") == 0
+        state.set_memory_output("count", 99)
+        assert state.lookup("count") == 99
+
+    def test_unknown_component_rejected(self, state):
+        with pytest.raises(UnknownComponentError):
+            state.lookup("ghost")
+
+    def test_visible_values_merges_both(self, state):
+        state.set_value("next", 3)
+        state.set_memory_output("count", 4)
+        visible = state.visible_values()
+        assert visible["next"] == 3
+        assert visible["count"] == 4
+
+
+class TestMutation:
+    def test_write_and_read_cell(self, state):
+        state.write_cell("outport", 1, 17)
+        assert state.read_cell("outport", 1) == 17
+
+    def test_memory_snapshot_is_a_copy(self, state):
+        snapshot = state.memory_snapshot()
+        snapshot["count"][0] = 123
+        assert state.read_cell("count", 0) == 0

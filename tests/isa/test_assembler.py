@@ -1,0 +1,122 @@
+"""Unit tests for the two-pass assemblers."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import stack_isa, tiny_isa
+from repro.isa.assembler import assemble_stack_program, assemble_tiny_program
+
+
+class TestStackAssembler:
+    def test_simple_program(self):
+        program = assemble_stack_program("PUSH 3\nPUSH 4\nADD\nOUT\nHALT\n")
+        assert len(program) == 5
+        assert stack_isa.decode(program.word(0)).op is stack_isa.Op.PUSH
+        assert stack_isa.decode(program.word(2)).op is stack_isa.Op.ADD
+
+    def test_labels_resolve_forward_and_backward(self):
+        source = """
+        START:  PUSH 1
+                JZ END
+                JMP START
+        END:    HALT
+        """
+        program = assemble_stack_program(source)
+        assert program.address_of("START") == 0
+        assert program.address_of("END") == 3
+        assert stack_isa.decode(program.word(1)).operand == 3
+        assert stack_isa.decode(program.word(2)).operand == 0
+
+    def test_equ_symbols(self):
+        program = assemble_stack_program(".equ FLAGS 10\nPUSH FLAGS\nHALT\n")
+        assert stack_isa.decode(program.word(0)).operand == 10
+
+    def test_label_arithmetic(self):
+        program = assemble_stack_program("A: PUSH 0\nPUSH A+3\nHALT\n")
+        assert stack_isa.decode(program.word(1)).operand == 3
+
+    def test_comments_and_blank_lines(self):
+        program = assemble_stack_program(
+            "; leading comment\n\nPUSH 1 ; trailing\n   \nHALT\n"
+        )
+        assert len(program) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble_stack_program("push 9\nhalt\n")
+        assert stack_isa.decode(program.word(0)).operand == 9
+
+    def test_listing_produced(self):
+        program = assemble_stack_program("PUSH 1\nHALT\n")
+        assert program.listing[0].endswith("PUSH 1")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_stack_program("FROB 1\n")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_stack_program("JMP NOWHERE\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_stack_program("X: HALT\nX: HALT\n")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_stack_program("PUSH\n")
+
+    def test_unexpected_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_stack_program("ADD 3\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble_stack_program("PUSH 1\nBROKEN\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_label_only_line(self):
+        program = assemble_stack_program("LOOP:\nJMP LOOP\n")
+        assert program.address_of("LOOP") == 0
+
+
+class TestTinyAssembler:
+    def test_instructions_and_data(self):
+        source = """
+        START: LD A
+               SU B
+               ST A
+               BR START
+        A:     .word 50
+        B:     .word 8
+        """
+        program = assemble_tiny_program(source)
+        assert len(program) == 6
+        assert program.word(0) == tiny_isa.encode(tiny_isa.TinyOp.LD, 4)
+        assert program.word(4) == 50
+
+    def test_equ_and_label_mix(self):
+        program = assemble_tiny_program(".equ OUT 127\nLD V\nST OUT\nV: .word 3\n")
+        assert program.word(1) == tiny_isa.encode(tiny_isa.TinyOp.ST, 127)
+
+    def test_word_values_can_exceed_ten_bits(self):
+        # NEG1 = 2**31 - 1 is stored as plain data (increment-by-subtraction trick)
+        program = assemble_tiny_program("N: .word 2147483647\n")
+        assert program.word(0) == 2147483647
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_tiny_program("LD\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_tiny_program("NOP 3\n")
+
+    def test_program_too_large_rejected(self):
+        source = "\n".join(f"X{i}: .word {i}" for i in range(200))
+        with pytest.raises(AssemblyError):
+            assemble_tiny_program(source)
+
+    def test_address_of_unknown_label(self):
+        program = assemble_tiny_program("LD X\nX: .word 1\n")
+        with pytest.raises(AssemblyError):
+            program.address_of("missing")

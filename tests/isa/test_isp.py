@@ -1,0 +1,139 @@
+"""Unit tests for the instruction-set-level (ISP) simulators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble_stack_program, assemble_tiny_program
+from repro.isa.isp import StackIspSimulator, TinyIspSimulator
+
+
+class TestStackIsp:
+    def run(self, source, **kwargs):
+        return StackIspSimulator(assemble_stack_program(source), **kwargs).run()
+
+    def test_arithmetic(self):
+        result = self.run("PUSH 6\nPUSH 7\nMUL\nOUT\nHALT\n")
+        assert result.outputs == [42]
+        assert result.halted
+
+    def test_stack_manipulation(self):
+        result = self.run("PUSH 1\nPUSH 2\nSWAP\nOUT\nOUT\nHALT\n")
+        assert result.outputs == [1, 2]
+
+    def test_dup_and_drop(self):
+        result = self.run("PUSH 5\nDUP\nADD\nPUSH 9\nDROP\nOUT\nHALT\n")
+        assert result.outputs == [10]
+
+    def test_memory_load_store(self):
+        result = self.run(
+            "PUSH 99\nPUSH 7\nSTORE\nPUSH 7\nLOAD\nOUT\nHALT\n"
+        )
+        assert result.outputs == [99]
+        assert result.data_memory[7] == 99
+
+    def test_conditional_branches(self):
+        source = """
+            PUSH 0
+            JZ TAKEN
+            PUSH 111
+            OUT
+        TAKEN: PUSH 222
+            OUT
+            HALT
+        """
+        assert self.run(source).outputs == [222]
+
+    def test_comparison_and_loop(self):
+        # count down from 3, outputting each value
+        source = """
+        .equ N 0
+                PUSH 3
+                PUSH N
+                STORE
+        LOOP:   PUSH N
+                LOAD
+                JZ DONE
+                PUSH N
+                LOAD
+                OUT
+                PUSH N
+                LOAD
+                PUSH 1
+                SUB
+                PUSH N
+                STORE
+                JMP LOOP
+        DONE:   HALT
+        """
+        assert self.run(source).outputs == [3, 2, 1]
+
+    def test_underflow_detected(self):
+        with pytest.raises(SimulationError):
+            self.run("ADD\nHALT\n")
+
+    def test_runaway_pc_detected(self):
+        with pytest.raises(SimulationError):
+            self.run("PUSH 1\n")   # falls off the end
+
+    def test_instruction_budget(self):
+        program = assemble_stack_program("LOOP: JMP LOOP\n")
+        result = StackIspSimulator(program).run(max_instructions=50)
+        assert result.instructions_executed == 50
+        assert not result.halted
+
+    def test_instruction_count(self):
+        result = self.run("PUSH 1\nPUSH 2\nADD\nOUT\nHALT\n")
+        assert result.instructions_executed == 5
+
+
+class TestTinyIsp:
+    def test_division_by_repeated_subtraction(self):
+        from repro.machines.tiny_computer import division_program
+
+        result = TinyIspSimulator(division_program(100, 7)).run()
+        assert result.outputs == [14]
+        assert result.halted
+
+    def test_store_to_output_address(self):
+        source = ".equ OUT 127\nLD V\nST OUT\nH: BR H\nV: .word 9\n"
+        result = TinyIspSimulator(assemble_tiny_program(source)).run()
+        assert result.outputs == [9]
+
+    def test_borrow_controls_branch(self):
+        source = """
+        .equ OUT 127
+            LD A
+            SU B
+            BB NEG
+            LD ONE
+            ST OUT
+            BR H
+        NEG: LD TWO
+            ST OUT
+        H:  BR H
+        A:  .word 3
+        B:  .word 5
+        ONE: .word 1
+        TWO: .word 2
+        """
+        result = TinyIspSimulator(assemble_tiny_program(source)).run()
+        assert result.outputs == [2]    # 3 - 5 borrows
+
+    def test_halt_is_branch_to_self(self):
+        result = TinyIspSimulator(assemble_tiny_program("H: BR H\n")).run()
+        assert result.halted
+        assert result.instructions_executed == 1
+
+    def test_program_too_large_rejected(self):
+        with pytest.raises(SimulationError):
+            TinyIspSimulator(list(range(300)))
+
+    def test_data_word_is_skipped(self):
+        result = TinyIspSimulator([7, tiny_encode_halt()]).run()
+        assert result.halted
+
+
+def tiny_encode_halt():
+    from repro.isa import tiny_isa
+
+    return tiny_isa.encode(tiny_isa.TinyOp.BR, 1)

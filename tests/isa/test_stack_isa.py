@@ -1,0 +1,67 @@
+"""Unit tests for the stack machine instruction set."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import stack_isa
+from repro.isa.stack_isa import Instruction, Op
+
+
+class TestEncoding:
+    def test_opcode_in_high_bits(self):
+        word = stack_isa.encode(Op.PUSH, 5)
+        assert word == (0 << 16) | 5
+        word = stack_isa.encode(Op.JMP, 0x1234)
+        assert word >> 16 == int(Op.JMP)
+        assert word & 0xFFFF == 0x1234
+
+    def test_decode_round_trip(self):
+        for op in Op:
+            operand = 17 if op in stack_isa.OPERAND_OPCODES else 0
+            word = stack_isa.encode(op, operand)
+            decoded = stack_isa.decode(word)
+            assert decoded.op is op
+            assert decoded.operand == operand
+
+    def test_operand_range_checked(self):
+        with pytest.raises(AssemblyError):
+            stack_isa.encode(Op.PUSH, 1 << 16)
+
+    def test_operand_on_wrong_opcode_rejected(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Op.ADD, 5)
+
+    def test_decode_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblyError):
+            stack_isa.decode(200 << 16)
+
+    def test_render(self):
+        assert Instruction(Op.PUSH, 3).render() == "PUSH 3"
+        assert Instruction(Op.HALT).render() == "HALT"
+
+
+class TestTables:
+    def test_opcode_count(self):
+        assert stack_isa.OPCODE_COUNT == 18
+
+    def test_mnemonics_cover_all_opcodes(self):
+        assert set(stack_isa.mnemonics().values()) == set(Op)
+
+    def test_alu_opcodes_use_valid_functions(self):
+        from repro.rtl.alu_ops import is_valid_function
+
+        for op, funct in stack_isa.ALU_OPCODES.items():
+            assert op in Op
+            assert is_valid_function(funct)
+
+    def test_stack_effect_covers_all_opcodes(self):
+        assert set(stack_isa.STACK_EFFECT) == set(Op)
+
+    def test_stack_effects_consistent_with_semantics(self):
+        assert stack_isa.STACK_EFFECT[Op.PUSH] == 1
+        assert stack_isa.STACK_EFFECT[Op.ADD] == -1
+        assert stack_isa.STACK_EFFECT[Op.STORE] == -2
+        assert stack_isa.STACK_EFFECT[Op.SWAP] == 0
+
+    def test_operand_opcodes(self):
+        assert stack_isa.OPERAND_OPCODES == {Op.PUSH, Op.JMP, Op.JZ}

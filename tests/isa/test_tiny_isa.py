@@ -1,0 +1,46 @@
+"""Unit tests for the tiny computer instruction set (Appendix F encoding)."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import tiny_isa
+from repro.isa.tiny_isa import TinyInstruction, TinyOp
+
+
+class TestEncoding:
+    def test_appendix_f_macro_values(self):
+        # The thesis defines ~LD 256 ~ST 384 ~BB 512 ~BR 640 ~SU 768.
+        for name, value in tiny_isa.APPENDIX_F_MACROS.items():
+            assert tiny_isa.encode(TinyOp[name], 0) == value
+
+    def test_address_in_low_bits(self):
+        word = tiny_isa.encode(TinyOp.LD, 30)
+        assert word == 256 + 30
+
+    def test_decode_round_trip(self):
+        for op in TinyOp:
+            for address in (0, 1, 127):
+                decoded = tiny_isa.decode(tiny_isa.encode(op, address))
+                assert decoded.op is op
+                assert decoded.address == address
+
+    def test_decode_data_word_returns_none(self):
+        assert tiny_isa.decode(0) is None          # opcode field 0 is not defined
+        assert tiny_isa.decode(127) is None
+
+    def test_address_range_checked(self):
+        with pytest.raises(AssemblyError):
+            tiny_isa.encode(TinyOp.LD, 128)
+
+    def test_render(self):
+        assert TinyInstruction(TinyOp.SU, 31).render() == "SU 31"
+
+
+class TestConstants:
+    def test_memory_geometry(self):
+        assert tiny_isa.MEMORY_CELLS == 128
+        assert tiny_isa.ADDRESS_BITS == 7
+        assert tiny_isa.OUTPUT_ADDRESS == 127
+
+    def test_mnemonics(self):
+        assert set(tiny_isa.MNEMONICS) == {"LD", "ST", "BB", "BR", "SU"}

@@ -1,0 +1,35 @@
+"""Tests for the bundled-machine registry."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.machines.library import all_machines, get_machine, machine_names
+
+
+class TestRegistry:
+    def test_expected_machines_present(self):
+        names = machine_names()
+        assert "counter" in names
+        assert "stack-machine-sieve" in names
+        assert "tiny-computer" in names
+        assert len(names) == len(set(names)) >= 6
+
+    def test_get_machine(self):
+        entry = get_machine("counter")
+        assert entry.name == "counter"
+        assert entry.demo_cycles > 0
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError):
+            get_machine("cray-1")
+
+    def test_every_entry_builds_and_runs(self):
+        for entry in all_machines():
+            spec = entry.build()
+            cycles = min(entry.demo_cycles, 200)
+            result = Simulator(spec, backend="interpreter").run(cycles=cycles)
+            assert result.cycles_run == cycles
+
+    def test_descriptions_are_informative(self):
+        for entry in all_machines():
+            assert len(entry.description) > 10

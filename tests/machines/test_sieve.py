@@ -1,0 +1,78 @@
+"""Tests for the Sieve of Eratosthenes workload (the Figure 5.1 program)."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.isa.isp import StackIspSimulator
+from repro.machines.sieve import (
+    expected_outputs,
+    expected_primes,
+    prepare_sieve_workload,
+    sieve_assembly,
+    sieve_program,
+)
+from repro.machines.stack_machine import build_stack_machine
+
+
+class TestReferenceModel:
+    def test_small_prime_lists(self):
+        assert expected_primes(1) == [3, 5]
+        assert expected_primes(5) == [3, 5, 7, 11, 13]
+
+    def test_composites_excluded(self):
+        primes = expected_primes(20)
+        assert 9 not in primes and 15 not in primes and 21 not in primes
+        assert primes[-1] <= 2 * 20 + 3
+
+    def test_outputs_end_with_count(self):
+        outputs = expected_outputs(10)
+        assert outputs[-1] == len(outputs) - 1
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            sieve_assembly(0)
+
+
+class TestIspExecution:
+    @pytest.mark.parametrize("size", [1, 4, 10, 20])
+    def test_isp_matches_reference(self, size):
+        result = StackIspSimulator(sieve_program(size)).run()
+        assert result.halted
+        assert result.outputs == expected_outputs(size)
+
+    def test_workload_preparation(self):
+        workload = prepare_sieve_workload(8)
+        assert workload.outputs == expected_outputs(8)
+        assert workload.instructions_executed > 100
+        assert workload.cycles_needed >= 4 * workload.instructions_executed
+
+    def test_flags_array_consistent(self):
+        size = 12
+        result = StackIspSimulator(sieve_program(size)).run()
+        from repro.machines.sieve import FLAGS_BASE
+
+        flags = result.data_memory[FLAGS_BASE : FLAGS_BASE + size + 1]
+        primes = [2 * i + 3 for i, flag in enumerate(flags) if flag]
+        assert primes == expected_primes(size)
+
+
+class TestRtlExecution:
+    @pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+    def test_rtl_machine_reproduces_reference(self, backend):
+        workload = prepare_sieve_workload(6)
+        machine = build_stack_machine(workload.program)
+        result = Simulator(machine.spec, backend=backend).run(
+            cycles=workload.cycles_needed
+        )
+        assert result.output_integers() == workload.outputs
+
+    def test_paper_scale_workload_runs_5545_cycles(self):
+        """Size 20 gives a workload of the same order as the paper's 5545 cycles."""
+        workload = prepare_sieve_workload(20)
+        assert 4000 <= workload.cycles_needed <= 8000
+        machine = build_stack_machine(workload.program)
+        result = Simulator(machine.spec, backend="compiled").run(cycles=5545)
+        produced = result.output_integers()
+        # after exactly 5545 cycles nearly the whole prime list has appeared
+        assert produced == workload.outputs[: len(produced)]
+        assert len(produced) >= len(expected_primes(20)) - 2

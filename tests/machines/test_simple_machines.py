@@ -1,0 +1,111 @@
+"""Integration-style tests for the small bundled machines."""
+
+import pytest
+
+from repro.core.comparison import compare_backends
+from repro.core.simulator import Simulator
+from repro.errors import SpecificationError
+from repro.machines.counter import build_counter_spec, expected_counter_values
+from repro.machines.fibonacci import build_fibonacci_spec, expected_fibonacci_values
+from repro.machines.gcd import build_gcd_spec, cycles_to_converge, expected_gcd
+from repro.machines.traffic_light import (
+    LAMP_VALUES,
+    STATE_GREEN,
+    build_traffic_light_spec,
+    expected_states,
+)
+
+
+class TestCounter:
+    @pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+    def test_counts_and_wraps(self, backend):
+        spec = build_counter_spec(width_bits=3)
+        result = Simulator(spec, backend=backend).run(cycles=20, trace=True)
+        assert result.trace.values_of("count") == expected_counter_values(3, 20)
+
+    def test_output_port_mirrors_count(self):
+        spec = build_counter_spec(width_bits=4)
+        result = Simulator(spec).run(cycles=10)
+        assert result.output_integers() == expected_counter_values(4, 10)
+
+    def test_width_validation(self):
+        with pytest.raises(SpecificationError):
+            build_counter_spec(width_bits=0)
+        with pytest.raises(SpecificationError):
+            build_counter_spec(width_bits=31)
+
+    def test_no_output_variant(self):
+        spec = build_counter_spec(output_every_cycle=False)
+        result = Simulator(spec).run(cycles=5)
+        assert result.outputs == []
+
+    def test_backends_agree(self):
+        assert compare_backends(build_counter_spec(), cycles=40).equivalent
+
+
+class TestFibonacci:
+    def test_sequence(self):
+        result = Simulator(build_fibonacci_spec()).run(cycles=15, trace=True)
+        assert result.trace.values_of("a") == expected_fibonacci_values(15)
+
+    def test_output_port(self):
+        result = Simulator(build_fibonacci_spec()).run(cycles=10)
+        assert result.output_integers() == expected_fibonacci_values(10)
+
+    def test_wraps_at_31_bits(self):
+        values = expected_fibonacci_values(80)
+        assert all(0 <= value < 2 ** 31 for value in values)
+        result = Simulator(build_fibonacci_spec()).run(cycles=80, trace=True)
+        assert result.trace.values_of("a") == values
+
+    def test_backends_agree(self):
+        assert compare_backends(build_fibonacci_spec(), cycles=30).equivalent
+
+
+class TestGcd:
+    @pytest.mark.parametrize("a,b", [(252, 105), (17, 5), (8, 8), (1, 9), (100, 75)])
+    def test_converges_to_gcd(self, a, b):
+        spec = build_gcd_spec(a, b)
+        result = Simulator(spec).run(cycles=cycles_to_converge(a, b))
+        assert result.value("a") == expected_gcd(a, b)
+        assert result.value("b") == expected_gcd(a, b)
+        assert result.value("done") == 1
+
+    def test_stays_stable_after_convergence(self):
+        spec = build_gcd_spec(12, 18)
+        result = Simulator(spec).run(cycles=cycles_to_converge(12, 18) + 50)
+        assert result.value("a") == 6
+
+    def test_invalid_operands_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_gcd_spec(0, 5)
+        with pytest.raises(SpecificationError):
+            build_gcd_spec(5, -1)
+
+    def test_backends_agree(self):
+        assert compare_backends(build_gcd_spec(36, 28), cycles=20).equivalent
+
+
+class TestTrafficLight:
+    def test_state_sequence(self):
+        spec = build_traffic_light_spec(green_cycles=4, yellow_cycles=2, red_cycles=3)
+        result = Simulator(spec).run(cycles=27, trace=True)
+        assert result.trace.values_of("state") == expected_states(27, 4, 2, 3)
+
+    def test_lamp_outputs_track_state(self):
+        spec = build_traffic_light_spec(green_cycles=2, yellow_cycles=1, red_cycles=1)
+        result = Simulator(spec).run(cycles=12, trace=True)
+        states = result.trace.values_of("state")
+        lamps = result.trace.values_of("lamps")
+        assert all(LAMP_VALUES[state] == lamp for state, lamp in zip(states, lamps))
+
+    def test_starts_green(self):
+        result = Simulator(build_traffic_light_spec()).run(cycles=1, trace=True)
+        assert result.trace.values_of("state") == [STATE_GREEN]
+
+    def test_dwell_validation(self):
+        with pytest.raises(SpecificationError):
+            build_traffic_light_spec(green_cycles=0)
+
+    def test_backends_agree(self):
+        assert compare_backends(build_traffic_light_spec(), cycles=30).equivalent

@@ -1,0 +1,176 @@
+"""Tests for the microcoded stack machine (RTL vs ISP golden model)."""
+
+import pytest
+
+from repro.core.comparison import compare_backends
+from repro.core.simulator import Simulator
+from repro.errors import SpecificationError
+from repro.isa.assembler import assemble_stack_program
+from repro.isa.isp import StackIspSimulator
+from repro.machines.stack_machine import (
+    CYCLES_PER_INSTRUCTION,
+    build_stack_machine,
+    build_stack_machine_spec,
+    cycles_for_instructions,
+)
+
+
+def run_rtl(source, backend="compiled", **build_kwargs):
+    """Assemble, measure with the ISP model, then run the RTL machine."""
+    program = assemble_stack_program(source)
+    golden = StackIspSimulator(program).run()
+    machine = build_stack_machine(program, **build_kwargs)
+    cycles = machine.cycles_for(golden.instructions_executed)
+    result = Simulator(machine.spec, backend=backend).run(cycles=cycles)
+    return golden, result
+
+
+class TestConstruction:
+    def test_spec_shape(self):
+        machine = build_stack_machine(assemble_stack_program("HALT\n"))
+        spec = machine.spec
+        assert {"pc", "sp", "tos", "nos", "ir", "phase"} <= set(spec.component_names())
+        assert {"prog", "stack", "dmem", "outport"} <= set(spec.component_names())
+
+    def test_program_padded_to_power_of_two(self):
+        machine = build_stack_machine(assemble_stack_program("PUSH 1\nOUT\nHALT\n"))
+        assert machine.program_size == 4
+        rom = machine.spec.component("prog")
+        assert rom.size == 4
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_stack_machine([])
+
+    def test_non_power_of_two_sizes_rejected(self):
+        program = assemble_stack_program("HALT\n")
+        with pytest.raises(SpecificationError):
+            build_stack_machine(program, data_size=100)
+        with pytest.raises(SpecificationError):
+            build_stack_machine(program, stack_size=300)
+
+    def test_cycles_helper(self):
+        assert cycles_for_instructions(10, slack_instructions=0) == 40
+        assert CYCLES_PER_INSTRUCTION == 4
+
+    def test_trace_names(self):
+        program = assemble_stack_program("HALT\n")
+        spec = build_stack_machine_spec(program, trace=("pc", "tos"))
+        assert spec.traced_names == ["pc", "tos"]
+
+
+class TestInstructionSemantics:
+    """Each test exercises specific opcodes and checks against the ISP model."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "PUSH 6\nPUSH 7\nADD\nOUT\nHALT\n",
+            "PUSH 10\nPUSH 3\nSUB\nOUT\nHALT\n",
+            "PUSH 6\nPUSH 7\nMUL\nOUT\nHALT\n",
+            "PUSH 3\nPUSH 7\nLT\nOUT\nPUSH 7\nPUSH 3\nLT\nOUT\nHALT\n",
+            "PUSH 5\nPUSH 5\nEQ\nOUT\nHALT\n",
+            "PUSH 12\nPUSH 10\nAND\nOUT\nHALT\n",
+            "PUSH 12\nPUSH 10\nOR\nOUT\nHALT\n",
+            "PUSH 12\nPUSH 10\nXOR\nOUT\nHALT\n",
+        ],
+        ids=["add", "sub", "mul", "lt", "eq", "and", "or", "xor"],
+    )
+    def test_binary_operators(self, source):
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs
+
+    def test_stack_manipulation(self):
+        source = "PUSH 1\nPUSH 2\nPUSH 3\nSWAP\nOUT\nOUT\nOUT\nHALT\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [2, 3, 1]
+
+    def test_dup_and_drop(self):
+        source = "PUSH 8\nDUP\nADD\nPUSH 99\nDROP\nOUT\nHALT\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [16]
+
+    def test_load_store(self):
+        source = "PUSH 44\nPUSH 9\nSTORE\nPUSH 9\nLOAD\nOUT\nHALT\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == [44]
+        assert result.memory("dmem")[9] == 44
+
+    def test_deep_stack(self):
+        pushes = "\n".join(f"PUSH {i}" for i in range(1, 9))
+        adds = "\n".join("ADD" for _ in range(7))
+        source = f"{pushes}\n{adds}\nOUT\nHALT\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == [36]
+
+    def test_jumps_and_conditionals(self):
+        source = """
+                PUSH 0
+                JZ TAKEN
+                PUSH 111
+                OUT
+        TAKEN:  PUSH 1
+                JZ NOTTAKEN
+                PUSH 222
+                OUT
+        NOTTAKEN: HALT
+        """
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [222]
+
+    def test_loop_counts_down(self):
+        source = """
+        .equ N 0
+                PUSH 5
+                PUSH N
+                STORE
+        LOOP:   PUSH N
+                LOAD
+                JZ DONE
+                PUSH N
+                LOAD
+                OUT
+                PUSH N
+                LOAD
+                PUSH 1
+                SUB
+                PUSH N
+                STORE
+                JMP LOOP
+        DONE:   HALT
+        """
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [5, 4, 3, 2, 1]
+
+    def test_halt_holds_machine(self):
+        program = assemble_stack_program("PUSH 7\nOUT\nHALT\n")
+        machine = build_stack_machine(program)
+        result = Simulator(machine.spec).run(cycles=400)
+        # stays halted: exactly one output even after many extra cycles
+        assert result.output_integers() == [7]
+
+    def test_interpreter_and_compiled_agree_cycle_by_cycle(self):
+        program = assemble_stack_program("PUSH 2\nPUSH 3\nADD\nOUT\nHALT\n")
+        spec = build_stack_machine_spec(program, trace=("pc", "tos", "sp", "phase"))
+        comparison = compare_backends(spec, cycles=40)
+        assert comparison.equivalent
+
+
+class TestMicroarchitecture:
+    def test_four_cycles_per_instruction(self):
+        program = assemble_stack_program("PUSH 1\nPUSH 2\nADD\nOUT\nHALT\n")
+        spec = build_stack_machine_spec(program, trace=("pc",))
+        result = Simulator(spec, backend="interpreter").run(cycles=20, trace=True)
+        pcs = result.trace.values_of("pc")
+        # the pc changes exactly every CYCLES_PER_INSTRUCTION cycles
+        # the pc is written during the execute phase and becomes visible one
+        # cycle later, so it advances on cycles 3, 7, 11, ... — one step per
+        # 4-cycle instruction
+        changes = [i for i in range(1, len(pcs)) if pcs[i] != pcs[i - 1]]
+        assert changes == [3, 7, 11, 15]
+
+    def test_phase_counter_cycles(self):
+        program = assemble_stack_program("HALT\n")
+        spec = build_stack_machine_spec(program, trace=("phase",))
+        result = Simulator(spec, backend="interpreter").run(cycles=9, trace=True)
+        assert result.trace.values_of("phase") == [0, 1, 2, 3, 0, 1, 2, 3, 0]

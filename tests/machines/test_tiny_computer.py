@@ -1,0 +1,144 @@
+"""Tests for the Appendix-F tiny computer (RTL vs ISP golden model)."""
+
+import pytest
+
+from repro.core.comparison import compare_backends
+from repro.core.simulator import Simulator
+from repro.errors import SpecificationError
+from repro.isa import tiny_isa
+from repro.isa.assembler import assemble_tiny_program
+from repro.isa.isp import TinyIspSimulator
+from repro.machines.tiny_computer import (
+    CYCLES_PER_INSTRUCTION,
+    build_tiny_computer,
+    build_tiny_computer_spec,
+    division_assembly,
+    division_program,
+    prepare_division_workload,
+)
+
+
+def run_rtl(source, backend="compiled"):
+    program = assemble_tiny_program(source)
+    golden = TinyIspSimulator(program).run()
+    machine = build_tiny_computer(program)
+    cycles = machine.cycles_for(golden.instructions_executed)
+    result = Simulator(machine.spec, backend=backend).run(cycles=cycles)
+    return golden, result
+
+
+class TestConstruction:
+    def test_spec_shape(self):
+        machine = build_tiny_computer(assemble_tiny_program("H: BR H\n"))
+        names = set(machine.spec.component_names())
+        assert {"pc", "ir", "ac", "borrow", "phase", "mem", "outport"} <= names
+
+    def test_memory_is_128_cells(self):
+        machine = build_tiny_computer(assemble_tiny_program("H: BR H\n"))
+        assert machine.spec.component("mem").size == tiny_isa.MEMORY_CELLS
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_tiny_computer([])
+
+    def test_oversized_program_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_tiny_computer(list(range(200)))
+
+    def test_cycles_per_instruction(self):
+        assert CYCLES_PER_INSTRUCTION == 4
+
+
+class TestInstructionSemantics:
+    def test_load_store_output(self):
+        source = ".equ OUT 127\nLD V\nST OUT\nH: BR H\nV: .word 55\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [55]
+
+    def test_store_updates_memory(self):
+        source = "LD V\nST D\nH: BR H\nV: .word 9\nD: .word 0\n"
+        golden, result = run_rtl(source)
+        data_address = assemble_tiny_program(source).address_of("D")
+        assert result.memory("mem")[data_address] == 9
+
+    def test_subtract_without_borrow(self):
+        source = ".equ OUT 127\nLD A\nSU B\nST OUT\nH: BR H\nA: .word 9\nB: .word 4\n"
+        golden, result = run_rtl(source)
+        assert result.output_integers() == [5]
+
+    def test_branch_on_borrow_taken(self):
+        source = """
+        .equ OUT 127
+            LD A
+            SU B
+            BB NEG
+            LD ONE
+            ST OUT
+            BR H
+        NEG: LD TWO
+            ST OUT
+        H:  BR H
+        A:  .word 3
+        B:  .word 5
+        ONE: .word 1
+        TWO: .word 2
+        """
+        golden, result = run_rtl(source)
+        assert result.output_integers() == golden.outputs == [2]
+
+    def test_branch_on_borrow_not_taken(self):
+        source = """
+        .equ OUT 127
+            LD A
+            SU B
+            BB NEG
+            LD ONE
+            ST OUT
+            BR H
+        NEG: LD TWO
+            ST OUT
+        H:  BR H
+        A:  .word 9
+        B:  .word 5
+        ONE: .word 1
+        TWO: .word 2
+        """
+        golden, result = run_rtl(source)
+        assert result.output_integers() == [1]
+
+    def test_unconditional_branch(self):
+        source = """
+        .equ OUT 127
+            BR SKIP
+            LD BAD
+            ST OUT
+        SKIP: LD GOOD
+            ST OUT
+        H:  BR H
+        BAD: .word 666
+        GOOD: .word 42
+        """
+        golden, result = run_rtl(source)
+        assert result.output_integers() == [42]
+
+
+class TestDivisionWorkload:
+    @pytest.mark.parametrize("dividend,divisor", [(100, 7), (60, 7), (21, 3), (5, 9)])
+    def test_quotients(self, dividend, divisor):
+        workload = prepare_division_workload(dividend, divisor)
+        assert workload.outputs == [dividend // divisor]
+        machine = build_tiny_computer(workload.program)
+        result = Simulator(machine.spec).run(cycles=workload.cycles_needed)
+        assert result.output_integers() == [dividend // divisor]
+
+    def test_invalid_operands_rejected(self):
+        with pytest.raises(ValueError):
+            division_assembly(10, 0)
+
+    def test_division_program_fits_memory(self):
+        assert len(division_program(100, 7)) <= tiny_isa.MEMORY_CELLS
+
+    def test_backends_agree(self):
+        workload = prepare_division_workload(30, 4)
+        spec = build_tiny_computer_spec(workload.program, trace=("pc", "ac", "borrow"))
+        assert compare_backends(spec, cycles=workload.cycles_needed).equivalent

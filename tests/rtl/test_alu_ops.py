@@ -1,0 +1,119 @@
+"""Unit tests for the fourteen ALU functions (Appendix A list)."""
+
+import pytest
+
+from repro.errors import InvalidAluFunctionError
+from repro.rtl import alu_ops
+from repro.rtl.bits import WORD_MASK
+
+
+class TestDologic:
+    def test_zero(self):
+        assert alu_ops.dologic(0, 123, 456) == 0
+
+    def test_right(self):
+        assert alu_ops.dologic(1, 123, 456) == 456
+
+    def test_left(self):
+        assert alu_ops.dologic(2, 123, 456) == 123
+
+    def test_not_left(self):
+        assert alu_ops.dologic(3, 0, 0) == WORD_MASK
+        assert alu_ops.dologic(3, WORD_MASK, 0) == 0
+        assert alu_ops.dologic(3, 0b1010, 0) == WORD_MASK - 0b1010
+
+    def test_add(self):
+        assert alu_ops.dologic(4, 2, 3) == 5
+
+    def test_add_wraps(self):
+        assert alu_ops.dologic(4, WORD_MASK, 1) == 0
+
+    def test_subtract(self):
+        assert alu_ops.dologic(5, 10, 3) == 7
+
+    def test_subtract_wraps_negative(self):
+        assert alu_ops.dologic(5, 0, 1) == WORD_MASK
+
+    def test_shift_left(self):
+        assert alu_ops.dologic(6, 1, 4) == 16
+        assert alu_ops.dologic(6, 3, 2) == 12
+
+    def test_shift_left_by_zero(self):
+        assert alu_ops.dologic(6, 7, 0) == 7
+
+    def test_shift_left_overflow_drops_bits(self):
+        assert alu_ops.dologic(6, 1, 31) == 0
+        assert alu_ops.dologic(6, 1, 100) == 0
+
+    def test_multiply(self):
+        assert alu_ops.dologic(7, 6, 7) == 42
+
+    def test_multiply_wraps(self):
+        assert alu_ops.dologic(7, 2 ** 20, 2 ** 20) == (2 ** 40) & WORD_MASK
+
+    def test_and(self):
+        assert alu_ops.dologic(8, 0b1100, 0b1010) == 0b1000
+
+    def test_or(self):
+        assert alu_ops.dologic(9, 0b1100, 0b1010) == 0b1110
+
+    def test_xor(self):
+        assert alu_ops.dologic(10, 0b1100, 0b1010) == 0b0110
+
+    def test_unused_is_zero(self):
+        assert alu_ops.dologic(11, 99, 98) == 0
+
+    def test_equal(self):
+        assert alu_ops.dologic(12, 5, 5) == 1
+        assert alu_ops.dologic(12, 5, 6) == 0
+
+    def test_less_than(self):
+        assert alu_ops.dologic(13, 5, 6) == 1
+        assert alu_ops.dologic(13, 6, 5) == 0
+        assert alu_ops.dologic(13, 6, 6) == 0
+
+    def test_operands_masked(self):
+        assert alu_ops.dologic(2, 2 ** 31 + 3, 0) == 3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(InvalidAluFunctionError):
+            alu_ops.dologic(14, 1, 2)
+        with pytest.raises(InvalidAluFunctionError):
+            alu_ops.dologic(-1, 1, 2)
+
+
+class TestFunctionTable:
+    def test_every_code_has_info(self):
+        for code in range(alu_ops.FUNCTION_COUNT):
+            info = alu_ops.function_info(code)
+            assert info.code == code
+            assert info.name == alu_ops.FUNCTION_NAMES[code]
+
+    def test_function_count_is_fourteen(self):
+        assert alu_ops.FUNCTION_COUNT == 14
+
+    def test_is_valid_function(self):
+        assert alu_ops.is_valid_function(0)
+        assert alu_ops.is_valid_function(13)
+        assert not alu_ops.is_valid_function(14)
+        assert not alu_ops.is_valid_function(-1)
+
+    def test_invalid_code_info_rejected(self):
+        with pytest.raises(InvalidAluFunctionError):
+            alu_ops.function_info(99)
+
+    @pytest.mark.parametrize("code", range(alu_ops.FUNCTION_COUNT))
+    def test_python_templates_match_dologic(self, code):
+        """The inline templates used by the compiler agree with dologic."""
+        info = alu_ops.function_info(code)
+        namespace = {"_shift_left": alu_ops.shift_left}
+        for left, right in [(0, 0), (5, 3), (3, 5), (WORD_MASK, 1), (1, WORD_MASK)]:
+            expression = info.python_template.format(l=left, r=right)
+            assert eval(expression, namespace) == alu_ops.dologic(code, left, right)
+
+
+class TestShiftLeft:
+    def test_matches_multiplication_by_power_of_two(self):
+        for left in (0, 1, 5, 1000):
+            for right in range(0, 12):
+                assert alu_ops.shift_left(left, right) == (left * 2 ** right) & WORD_MASK

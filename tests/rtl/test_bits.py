@@ -1,0 +1,121 @@
+"""Unit tests for the bit-manipulation utilities."""
+
+import pytest
+
+from repro.rtl import bits
+
+
+class TestWordConstants:
+    def test_word_is_31_bits(self):
+        assert bits.WORD_BITS == 31
+
+    def test_word_mask_matches_paper_constant(self):
+        # The generated Pascal code uses mask = 2147483647 (Appendix E).
+        assert bits.WORD_MASK == 2147483647
+
+
+class TestLand:
+    def test_land_is_bitwise_and(self):
+        assert bits.land(0b1100, 0b1010) == 0b1000
+
+    def test_land_masks_to_word(self):
+        assert bits.land(-1, -1) == bits.WORD_MASK
+
+    def test_land_with_zero(self):
+        assert bits.land(12345, 0) == 0
+
+
+class TestMaskWord:
+    def test_small_values_unchanged(self):
+        assert bits.mask_word(42) == 42
+
+    def test_wraps_overflow(self):
+        assert bits.mask_word(2 ** 31) == 0
+        assert bits.mask_word(2 ** 31 + 5) == 5
+
+    def test_wraps_negative(self):
+        assert bits.mask_word(-1) == bits.WORD_MASK
+
+
+class TestMaskForWidth:
+    def test_zero_width(self):
+        assert bits.mask_for_width(0) == 0
+
+    def test_small_widths(self):
+        assert bits.mask_for_width(1) == 1
+        assert bits.mask_for_width(4) == 0xF
+
+    def test_width_at_or_above_word(self):
+        assert bits.mask_for_width(31) == bits.WORD_MASK
+        assert bits.mask_for_width(64) == bits.WORD_MASK
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask_for_width(-1)
+
+
+class TestExtractField:
+    def test_single_bit(self):
+        assert bits.extract_bit(0b1010, 1) == 1
+        assert bits.extract_bit(0b1010, 2) == 0
+
+    def test_field_is_inclusive(self):
+        # bits 3..4 of 0b11000 are 0b11
+        assert bits.extract_field(0b11000, 3, 4) == 0b11
+
+    def test_field_shifts_to_zero(self):
+        assert bits.extract_field(0xF0, 4, 7) == 0xF
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(ValueError):
+            bits.extract_field(1, 3, 2)
+        with pytest.raises(ValueError):
+            bits.extract_field(1, -1, 2)
+
+
+class TestInsertField:
+    def test_insert_into_zero(self):
+        assert bits.insert_field(0, 0b11, 2, 2) == 0b1100
+
+    def test_insert_replaces_existing_bits(self):
+        assert bits.insert_field(0b1111, 0, 1, 2) == 0b1001
+
+    def test_value_masked_to_width(self):
+        assert bits.insert_field(0, 0xFF, 0, 4) == 0xF
+
+
+class TestConcatenate:
+    def test_figure_3_1_layout(self):
+        # mem.3.4, #01, count.1 : leftmost field most significant
+        mem_field = (0b10, 2)     # two bits from mem
+        bit_string = (0b01, 2)
+        count_bit = (1, 1)
+        value = bits.concatenate([mem_field, bit_string, count_bit])
+        assert value == 0b10_01_1
+
+    def test_single_field(self):
+        assert bits.concatenate([(5, 8)]) == 5
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits.concatenate([(1, 20), (1, 20)])
+
+    def test_values_masked_to_width(self):
+        assert bits.concatenate([(0xFF, 4), (0, 4)]) == 0xF0
+
+
+class TestHelpers:
+    def test_bits_required(self):
+        assert bits.bits_required(0) == 1
+        assert bits.bits_required(1) == 1
+        assert bits.bits_required(255) == 8
+        assert bits.bits_required(256) == 9
+
+    def test_to_bit_string(self):
+        assert bits.to_bit_string(5, 4) == "0101"
+        assert bits.to_bit_string(0xFF, 4) == "1111"
+
+    def test_sign_value(self):
+        assert bits.sign_value(bits.WORD_MASK) == -1
+        assert bits.sign_value(5) == 5
+        assert bits.sign_value(0b1000, width=4) == -8

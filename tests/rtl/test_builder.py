@@ -1,0 +1,132 @@
+"""Unit tests for the programmatic SpecBuilder."""
+
+import pytest
+
+from repro.errors import SpecificationError, ValidationError
+from repro.rtl.builder import SpecBuilder, as_expression
+from repro.rtl.expressions import Expression
+from repro.rtl.parser import parse_spec
+
+
+class TestAsExpression:
+    def test_int_becomes_constant(self):
+        assert as_expression(7).constant_value() == 7
+
+    def test_bool_becomes_constant(self):
+        assert as_expression(True).constant_value() == 1
+
+    def test_string_is_parsed(self):
+        expr = as_expression("ir.0.6")
+        assert expr.referenced_names() == {"ir"}
+
+    def test_expression_passes_through(self):
+        expr = as_expression("x")
+        assert as_expression(expr) is expr
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(SpecificationError):
+            as_expression(-1)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            as_expression(3.14)
+
+
+class TestBuilder:
+    def build_counter(self):
+        builder = SpecBuilder("counter")
+        builder.alu("next", 4, "count", 1)
+        builder.alu("wrapped", 8, "next", 7)
+        builder.register("count", data="wrapped", traced=True)
+        return builder
+
+    def test_build_produces_valid_spec(self):
+        spec = self.build_counter().build()
+        assert len(spec) == 3
+        assert spec.traced_names == ["count"]
+
+    def test_header_gets_hash_prefix(self):
+        assert self.build_counter().build().header_comment.startswith("#")
+
+    def test_to_text_parses_back(self):
+        text = self.build_counter().to_text()
+        spec = parse_spec(text)
+        assert set(spec.component_names()) == {"next", "wrapped", "count"}
+
+    def test_duplicate_names_rejected(self):
+        builder = self.build_counter()
+        with pytest.raises(SpecificationError):
+            builder.alu("next", 0, 0, 0)
+
+    def test_validation_failure_propagates(self):
+        builder = SpecBuilder("bad")
+        builder.alu("x", 4, "ghost", 1)
+        with pytest.raises(ValidationError):
+            builder.build()
+        # but validation can be skipped
+        assert builder.build(validate=False).component("x")
+
+    def test_cycles(self):
+        spec = self.build_counter().cycles(99).build()
+        assert spec.cycles == 99
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(SpecificationError):
+            SpecBuilder("x").cycles(-1)
+
+
+class TestMemoryHelpers:
+    def test_register_defaults(self):
+        builder = SpecBuilder("regs")
+        builder.register("r", data=5)
+        spec = builder.build()
+        register = spec.component("r")
+        assert register.size == 1
+        assert register.operation.constant_value() == 1
+
+    def test_register_initial_value(self):
+        builder = SpecBuilder("regs")
+        builder.register("r", data="r", initial_value=42)
+        register = builder.build().component("r")
+        assert register.initial_values == (42,)
+        assert register.initial_output == 42
+
+    def test_rom_pads_contents(self):
+        builder = SpecBuilder("rom")
+        builder.register("addr", data=0)
+        builder.rom("prog", address="addr", contents=[1, 2, 3], size=8)
+        rom = builder.build().component("prog")
+        assert rom.size == 8
+        assert rom.initial_values == (1, 2, 3, 0, 0, 0, 0, 0)
+        assert rom.operation.constant_value() == 0
+
+    def test_memory_too_many_initial_values_rejected(self):
+        builder = SpecBuilder("bad")
+        with pytest.raises(SpecificationError):
+            builder.memory("m", 0, 0, 0, size=2, initial_values=[1, 2, 3])
+
+    def test_selector_builder(self):
+        builder = SpecBuilder("sel")
+        builder.register("idx", data=0)
+        builder.selector("pick", "idx", [10, 20, "idx"])
+        selector = builder.build().component("pick")
+        assert selector.case_count == 3
+
+
+class TestTrace:
+    def test_trace_marks_components(self):
+        builder = SpecBuilder("t")
+        builder.alu("a", 0, 0, 0)
+        builder.alu("b", 0, 0, 0)
+        builder.trace("b")
+        assert builder.build().traced_names == ["b"]
+
+    def test_trace_unknown_component_rejected(self):
+        builder = SpecBuilder("t")
+        with pytest.raises(SpecificationError):
+            builder.trace("ghost")
+
+    def test_expression_objects_accepted(self):
+        builder = SpecBuilder("t")
+        builder.alu("a", as_expression(4), as_expression(1), as_expression(2))
+        assert isinstance(builder.build().component("a").left, Expression)

@@ -1,0 +1,127 @@
+"""Unit tests for dependency analysis and evaluation ordering."""
+
+import pytest
+
+from repro.errors import CircularDependencyError
+from repro.rtl.dependency import (
+    build_dependency_graph,
+    dependency_depths,
+    evaluation_order,
+    has_combinational_cycle,
+    sort_combinational,
+)
+from repro.rtl.parser import parse_spec
+
+
+def order_names(spec):
+    return [component.name for component in sort_combinational(spec)]
+
+
+class TestGraph:
+    def test_edges(self, counter_spec):
+        graph = build_dependency_graph(counter_spec)
+        assert graph.dependencies_of("wrapped") == {"next"}
+        assert graph.dependencies_of("next") == set()
+        assert graph.consumers_of("next") == {"wrapped"}
+
+    def test_memory_references_create_no_edges(self, counter_spec):
+        graph = build_dependency_graph(counter_spec)
+        # "next" reads the memory "count": not an edge in the combinational graph
+        assert "count" not in graph.dependencies_of("next")
+
+
+class TestSorting:
+    def test_simple_chain(self, counter_spec):
+        assert order_names(counter_spec) == ["next", "wrapped"]
+
+    def test_reversed_definition_order(self):
+        spec = parse_spec(
+            "# t\na b c .\n"
+            "A c 4 b 1\n"
+            "A b 4 a 1\n"
+            "A a 4 reg 1\n"
+            "M reg 0 c 1 1\n"
+            ".",
+        )
+        assert order_names(spec) == ["a", "b", "c"]
+
+    def test_sort_is_stable_for_independent_components(self):
+        spec = parse_spec(
+            "# t\nx y z .\nA x 0 0 0\nA y 0 0 0\nA z 0 0 0\n.",
+        )
+        assert order_names(spec) == ["x", "y", "z"]
+
+    def test_diamond_dependency(self):
+        spec = parse_spec(
+            "# t\nsrc l r top .\n"
+            "A top 4 l r\n"
+            "A l 4 src 1\n"
+            "A r 4 src 2\n"
+            "A src 2 reg 0\n"
+            "M reg 0 top 1 1\n"
+            ".",
+        )
+        names = order_names(spec)
+        assert names.index("src") < names.index("l")
+        assert names.index("src") < names.index("r")
+        assert names.index("l") < names.index("top")
+        assert names.index("r") < names.index("top")
+
+    def test_all_components_present_exactly_once(self):
+        spec = parse_spec(
+            "# t\na b c d .\n"
+            "A a 2 reg 0\nA b 4 a 1\nS c b a b\nA d 4 c b\nM reg 0 d 1 1\n.",
+        )
+        names = order_names(spec)
+        assert sorted(names) == ["a", "b", "c", "d"]
+
+    def test_evaluation_order_appends_memories(self, counter_spec):
+        names = [c.name for c in evaluation_order(counter_spec)]
+        assert names == ["next", "wrapped", "count", "outport"]
+
+
+class TestCycles:
+    def make_cyclic(self):
+        return parse_spec(
+            "# t\na b .\nA a 4 b 1\nA b 4 a 1\n.", validate=False
+        )
+
+    def test_cycle_detected(self):
+        spec = self.make_cyclic()
+        assert has_combinational_cycle(spec)
+        with pytest.raises(CircularDependencyError) as excinfo:
+            sort_combinational(spec)
+        assert set(excinfo.value.names) == {"a", "b"}
+
+    def test_self_reference_detected(self):
+        spec = parse_spec("# t\na .\nA a 4 a 1\n.", validate=False)
+        with pytest.raises(CircularDependencyError):
+            sort_combinational(spec)
+
+    def test_memory_feedback_loop_is_fine(self, counter_spec):
+        # count -> next -> wrapped -> count is fine because count is a memory
+        assert not has_combinational_cycle(counter_spec)
+
+    def test_error_message_names_components(self):
+        with pytest.raises(CircularDependencyError) as excinfo:
+            sort_combinational(self.make_cyclic())
+        message = str(excinfo.value)
+        assert "a" in message and "b" in message
+
+
+class TestDepths:
+    def test_depths(self, counter_spec):
+        depths = dependency_depths(counter_spec)
+        assert depths["count"] == 0
+        assert depths["next"] == 1
+        assert depths["wrapped"] == 2
+
+    def test_depths_on_stack_machine(self):
+        from repro.machines import prepare_sieve_workload, build_stack_machine_spec
+
+        spec = build_stack_machine_spec(prepare_sieve_workload(3).program)
+        depths = dependency_depths(spec)
+        # the critical path runs through opcode decode into the next-state logic
+        assert depths["opcode"] >= 1
+        assert depths["tosnext"] > depths["opcode"]
+        assert max(depths.values()) >= 3

@@ -1,0 +1,213 @@
+"""Unit tests for expression parsing and evaluation (Figure 3.1 semantics)."""
+
+import pytest
+
+from repro.errors import ExpressionWidthError, MalformedExpressionError
+from repro.rtl.bits import WORD_MASK
+from repro.rtl.expressions import (
+    BitStringField,
+    ComponentRef,
+    ConstantField,
+    Expression,
+    constant_expression,
+    parse_expression,
+    parse_field,
+    reference_expression,
+)
+
+
+def lookup(values):
+    return lambda name: values[name]
+
+
+class TestFieldParsing:
+    def test_decimal_constant(self):
+        field = parse_field("3048")
+        assert isinstance(field, ConstantField)
+        assert field.value == 3048
+        assert field.width is None
+
+    def test_constant_with_width(self):
+        field = parse_field("5.3")
+        assert isinstance(field, ConstantField)
+        assert field.value == 5
+        assert field.width == 3
+
+    def test_hex_constant(self):
+        assert parse_field("$ff").value == 255
+
+    def test_bit_string(self):
+        field = parse_field("#0101")
+        assert isinstance(field, BitStringField)
+        assert field.value == 5
+        assert field.width == 4
+
+    def test_bad_bit_string(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_field("#012")
+
+    def test_whole_component(self):
+        field = parse_field("mem")
+        assert isinstance(field, ComponentRef)
+        assert field.name == "mem"
+        assert field.width is None
+
+    def test_single_bit_reference(self):
+        field = parse_field("count.1")
+        assert field.low == 1 and field.high is None
+        assert field.width == 1
+
+    def test_bit_range_reference(self):
+        field = parse_field("mem.3.4")
+        assert field.low == 3 and field.high == 4
+        assert field.width == 2
+
+    def test_reversed_bit_range_rejected(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_field("mem.4.3")
+
+    def test_too_many_bit_positions(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_field("mem.1.2.3")
+
+    def test_garbage_field(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_field("*foo")
+
+    def test_empty_field(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_field("")
+
+
+class TestFigure31Concatenation:
+    """The worked example of Figure 3.1: mem.3.4, #01, count.1."""
+
+    def test_layout(self):
+        expr = parse_expression("mem.3.4,#01,count.1")
+        # mem = ...11000 (bits 3..4 are 11), count bit 1 set
+        values = {"mem": 0b11000, "count": 0b10}
+        # result: [mem.4 mem.3 | 0 1 | count.1] = 0b11_01_1
+        assert expr.evaluate(lookup(values)) == 0b11011
+
+    def test_total_width(self):
+        expr = parse_expression("mem.3.4,#01,count.1")
+        assert expr.total_width == 5
+
+    def test_rightmost_field_is_least_significant(self):
+        expr = parse_expression("a.0,b.0")
+        assert expr.evaluate(lookup({"a": 1, "b": 0})) == 0b10
+        assert expr.evaluate(lookup({"a": 0, "b": 1})) == 0b01
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert parse_expression("42").evaluate(lookup({})) == 42
+
+    def test_constant_sum(self):
+        assert parse_expression("128+3+^8").evaluate(lookup({})) == 387
+
+    def test_constant_with_width_masks(self):
+        assert parse_expression("255.4").evaluate(lookup({})) == 15
+
+    def test_whole_component(self):
+        assert parse_expression("x").evaluate(lookup({"x": 99})) == 99
+
+    def test_whole_component_masked_to_word(self):
+        assert parse_expression("x").evaluate(lookup({"x": 2 ** 32 + 7})) == 7
+
+    def test_bit_extraction(self):
+        assert parse_expression("x.4.7").evaluate(lookup({"x": 0xA5})) == 0xA
+
+    def test_unbounded_constant_leftmost_allowed(self):
+        # Appendix D uses forms like "1,rom.9,prog.0.3".
+        expr = parse_expression("1,flag.0")
+        assert expr.evaluate(lookup({"flag": 0})) == 0b10
+        assert expr.evaluate(lookup({"flag": 1})) == 0b11
+
+    def test_evaluate_in_mapping(self):
+        expr = parse_expression("a,b.0")
+        assert expr.evaluate_in({"a": 1, "b": 1}) == 3
+
+
+class TestWidthChecking:
+    def test_unbounded_field_not_leftmost_rejected(self):
+        with pytest.raises(ExpressionWidthError):
+            parse_expression("a.0,b")
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ExpressionWidthError):
+            parse_expression("a.0.20,b.0.20")
+
+    def test_exactly_31_bits_allowed(self):
+        expr = parse_expression("a.0.15,b.0.14")
+        assert expr.total_width == 31
+
+
+class TestConstantFolding:
+    def test_is_constant(self):
+        assert parse_expression("5,#01").is_constant
+        assert not parse_expression("a,#01").is_constant
+
+    def test_constant_value(self):
+        assert parse_expression("5.3,#01").constant_value() == 0b101_01
+
+    def test_constant_value_raises_for_non_constant(self):
+        with pytest.raises(MalformedExpressionError):
+            parse_expression("a").constant_value()
+
+
+class TestReferencedNames:
+    def test_collects_all_names(self):
+        expr = parse_expression("b,a.1,#11")
+        assert expr.referenced_names() == {"a", "b"}
+
+    def test_constants_reference_nothing(self):
+        assert parse_expression("#01,7.2").referenced_names() == set()
+
+
+class TestCodeGeneration:
+    def test_constant_folds_to_literal(self):
+        assert parse_expression("128+3").to_python(lambda n: n) == "131"
+
+    def test_whole_reference(self):
+        assert parse_expression("x").to_python(lambda n: f"v_{n}") == "v_x"
+
+    def test_bit_field_reference(self):
+        code = parse_expression("x.4.7").to_python(lambda n: f"v_{n}")
+        assert eval(code, {"v_x": 0xA5}) == 0xA
+
+    def test_concatenation_matches_evaluation(self):
+        expr = parse_expression("x.3.4,#01,y.1")
+        values = {"x": 0b11000, "y": 0b10}
+        code = expr.to_python(lambda n: f"v_{n}")
+        generated = eval(code, {f"v_{k}": v for k, v in values.items()})
+        assert generated == expr.evaluate(lookup(values))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        ["42", "x", "x.3", "x.3.4", "#0101", "x.3.4,#01,y.1", "5.3", "1,flag.0"],
+    )
+    def test_to_spec_reparses_equal(self, source):
+        expr = parse_expression(source)
+        again = parse_expression(expr.to_spec())
+        assert again.fields == expr.fields
+
+
+class TestConstructors:
+    def test_constant_expression(self):
+        assert constant_expression(7).constant_value() == 7
+        assert constant_expression(255, width=4).constant_value() == 15
+
+    def test_reference_expression(self):
+        expr = reference_expression("pc", 0, 6)
+        assert expr.referenced_names() == {"pc"}
+        assert expr.evaluate(lookup({"pc": 0x1FF})) == 0x7F
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(MalformedExpressionError):
+            Expression(())
+
+    def test_word_mask_constant(self):
+        assert constant_expression(WORD_MASK).constant_value() == WORD_MASK

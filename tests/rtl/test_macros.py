@@ -1,0 +1,111 @@
+"""Unit tests for macro definition and expansion (Appendix A macro rules)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidNameError,
+    MacroRedefinitionError,
+    UndefinedMacroError,
+)
+from repro.rtl.macros import MacroTable, is_macro_definition_token, validate_macro_name
+
+
+class TestDefinition:
+    def test_define_and_lookup(self):
+        table = MacroTable()
+        table.define("k", "10")
+        assert "k" in table
+        assert table.body("k") == "10"
+        assert len(table) == 1
+
+    def test_redefinition_rejected(self):
+        table = MacroTable()
+        table.define("k", "10")
+        with pytest.raises(MacroRedefinitionError):
+            table.define("k", "11")
+
+    def test_invalid_name_rejected(self):
+        table = MacroTable()
+        with pytest.raises(InvalidNameError):
+            table.define("2bad", "x")
+        with pytest.raises(InvalidNameError):
+            table.define("has-dash", "x")
+
+    def test_names_preserve_definition_order(self):
+        table = MacroTable()
+        table.define("b", "1")
+        table.define("a", "2")
+        assert table.names() == ["b", "a"]
+
+    def test_body_of_undefined_macro(self):
+        with pytest.raises(UndefinedMacroError):
+            MacroTable().body("missing")
+
+
+class TestExpansion:
+    def test_simple_substitution(self):
+        table = MacroTable()
+        table.define("w", "8")
+        assert table.expand("rom.~w") == "rom.8"
+
+    def test_macro_inside_longer_token(self):
+        table = MacroTable()
+        table.define("d", "5")
+        table.define("dd", "7")
+        # The longest run of name characters after ~ is the macro name.
+        assert table.expand("parm.~d") == "parm.5"
+        assert table.expand("parm.~dd") == "parm.7"
+
+    def test_multiple_references(self):
+        table = MacroTable()
+        table.define("a", "1")
+        table.define("b", "2")
+        assert table.expand("~a,~b,~a") == "1,2,1"
+
+    def test_text_without_macros_unchanged(self):
+        assert MacroTable().expand("state.0.5") == "state.0.5"
+
+    def test_undefined_reference_rejected(self):
+        table = MacroTable()
+        with pytest.raises(UndefinedMacroError):
+            table.expand("~nope")
+
+    def test_bare_sigil_rejected(self):
+        table = MacroTable()
+        table.define("a", "1")
+        with pytest.raises(UndefinedMacroError):
+            table.expand("x~,y")
+
+    def test_nested_definition_expands_at_definition_time(self):
+        # "A macro may contain a macro name, as long as that name has
+        # already been defined."
+        table = MacroTable()
+        table.define("base", "10")
+        table.define("derived", "~base+1")
+        assert table.body("derived") == "10+1"
+        assert table.expand("~derived") == "10+1"
+
+    def test_as_dict_snapshot(self):
+        table = MacroTable()
+        table.define("k", "10")
+        snapshot = table.as_dict()
+        snapshot["k"] = "changed"
+        assert table.body("k") == "10"
+
+
+class TestDefinitionTokens:
+    def test_tilde_definition_recognised(self):
+        assert is_macro_definition_token("~pack")
+
+    def test_dash_tolerated(self):
+        assert is_macro_definition_token("-pack")
+
+    def test_plain_name_not_a_definition(self):
+        assert not is_macro_definition_token("pack")
+        assert not is_macro_definition_token("~")
+        assert not is_macro_definition_token("~1abc")
+
+    def test_validate_macro_name(self):
+        validate_macro_name("ok123")
+        with pytest.raises(InvalidNameError):
+            validate_macro_name("")

@@ -1,0 +1,96 @@
+"""Unit tests for memory operation decoding (Appendix A operation bits)."""
+
+import pytest
+
+from repro.rtl import memory_ops
+
+
+class TestDecodeOperation:
+    def test_read(self):
+        decoded = memory_ops.decode_operation(0)
+        assert decoded.is_read and not decoded.is_write
+        assert not decoded.trace_read and not decoded.trace_write
+
+    def test_write(self):
+        decoded = memory_ops.decode_operation(1)
+        assert decoded.is_write
+
+    def test_input(self):
+        assert memory_ops.decode_operation(2).is_input
+
+    def test_output(self):
+        assert memory_ops.decode_operation(3).is_output
+
+    def test_only_low_bits_select_operation(self):
+        assert memory_ops.decode_operation(4).is_read
+        assert memory_ops.decode_operation(5).is_write
+        assert memory_ops.decode_operation(8 | 2).is_input
+
+
+class TestTraceConditions:
+    """The exact conditions of the generated Pascal code (Figure 4.3)."""
+
+    def test_trace_write_requires_write_and_bit4(self):
+        # land(operation, 5) = 5
+        assert memory_ops.should_trace_write(5)
+        assert memory_ops.should_trace_write(4 + 1)
+        assert not memory_ops.should_trace_write(4)      # trace bit, but reading
+        assert not memory_ops.should_trace_write(1)      # write, no trace bit
+
+    def test_trace_read_requires_bit8_and_not_write(self):
+        # land(operation, 9) = 8
+        assert memory_ops.should_trace_read(8)
+        assert memory_ops.should_trace_read(8 + 2)
+        assert not memory_ops.should_trace_read(8 + 1)   # writing
+        assert not memory_ops.should_trace_read(0)
+
+    def test_decode_carries_trace_flags(self):
+        decoded = memory_ops.decode_operation(8 + 4 + 1)
+        assert decoded.trace_write
+        assert not decoded.trace_read
+
+    def test_appendix_d_value_eleven(self):
+        # The stack machine's RAM uses operation bits "the 11 sets trace
+        # reads & writes" on top of a write: 8 + 2 + 1 = 11.
+        assert memory_ops.should_trace_write(4 + 1)
+        decoded = memory_ops.decode_operation(11)
+        assert decoded.operation is memory_ops.MemoryOperation.OUTPUT
+
+
+class TestNames:
+    def test_operation_name(self):
+        assert memory_ops.operation_name(0) == "read"
+        assert memory_ops.operation_name(1) == "write"
+        assert memory_ops.operation_name(2) == "input"
+        assert memory_ops.operation_name(3) == "output"
+        assert memory_ops.operation_name(7) == "output"
+
+    def test_may_trace_width_heuristic(self):
+        assert not memory_ops.may_trace(2)
+        assert memory_ops.may_trace(3)
+        assert memory_ops.may_trace(4)
+
+    def test_enum_round_trip(self):
+        for op in memory_ops.MemoryOperation:
+            assert memory_ops.MemoryOperation(int(op)) is op
+
+    def test_operation_mask(self):
+        assert memory_ops.OPERATION_MASK == 0xF
+        assert memory_ops.TRACE_WRITES_BIT == 4
+        assert memory_ops.TRACE_READS_BIT == 8
+
+    def test_invalid_low_bits_impossible(self):
+        # any integer's low two bits decode to a valid operation
+        for word in range(16):
+            memory_ops.decode_operation(word)
+
+    def test_decode_rejects_nothing(self):
+        assert memory_ops.decode_operation(0xF).operation is memory_ops.MemoryOperation.OUTPUT
+
+    def test_pytest_importable(self):
+        assert memory_ops is not None
+
+
+@pytest.mark.parametrize("word,expected", [(0, "read"), (5, "write"), (10, "input")])
+def test_operation_name_parametrised(word, expected):
+    assert memory_ops.operation_name(word) == expected

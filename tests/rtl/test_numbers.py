@@ -1,0 +1,127 @@
+"""Unit tests for numeric literal parsing (Appendix B 'number' syntax)."""
+
+import pytest
+
+from repro.errors import MalformedNumberError
+from repro.rtl import numbers
+
+
+class TestDecimal:
+    def test_simple(self):
+        assert numbers.parse_number("0") == 0
+        assert numbers.parse_number("128") == 128
+
+    def test_leading_zero(self):
+        assert numbers.parse_number("007") == 7
+
+
+class TestHex:
+    def test_dollar_prefix(self):
+        assert numbers.parse_number("$3a") == 0x3A
+        assert numbers.parse_number("$FF") == 255
+
+    def test_bad_hex_digit(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("$3G")
+
+    def test_empty_hex(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("$")
+
+
+class TestBinary:
+    def test_percent_prefix(self):
+        assert numbers.parse_number("%1101") == 13
+        assert numbers.parse_number("%0") == 0
+
+    def test_bad_binary_digit(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("%102")
+
+
+class TestPowerOfTwo:
+    def test_caret_prefix(self):
+        assert numbers.parse_number("^0") == 1
+        assert numbers.parse_number("^8") == 256
+        assert numbers.parse_number("^10") == 1024
+
+    def test_bad_power(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("^x")
+
+
+class TestSums:
+    def test_appendix_d_style_sum(self):
+        # The decode ROM of Appendix D uses values like 128+3+^8.
+        assert numbers.parse_number("128+3+^8") == 128 + 3 + 256
+
+    def test_mixed_bases(self):
+        assert numbers.parse_number("$10+%10+2") == 16 + 2 + 2
+
+    def test_trailing_plus_rejected(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("1+")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.parse_number("")
+
+
+class TestSignedCount:
+    def test_positive(self):
+        assert numbers.parse_signed_count("4096") == 4096
+
+    def test_negative_means_initialised(self):
+        assert numbers.parse_signed_count("-4") == -4
+
+    def test_negative_with_sum(self):
+        assert numbers.parse_signed_count("-^7") == -128
+
+
+class TestLooksLikeNumber:
+    def test_accepts_numeric_alphabet(self):
+        assert numbers.looks_like_number("128+^3")
+        assert numbers.looks_like_number("$ff")
+
+    def test_rejects_names(self):
+        assert not numbers.looks_like_number("left")
+        assert not numbers.looks_like_number("")
+
+    def test_is_number_start(self):
+        assert numbers.is_number_start("5")
+        assert numbers.is_number_start("$")
+        assert numbers.is_number_start("%")
+        assert numbers.is_number_start("^")
+        assert not numbers.is_number_start("a")
+
+
+class TestFormatNumber:
+    def test_decimal(self):
+        assert numbers.format_number(42) == "42"
+
+    def test_hex(self):
+        assert numbers.format_number(255, "hex") == "$FF"
+
+    def test_binary(self):
+        assert numbers.format_number(5, "binary") == "%101"
+
+    def test_power2(self):
+        assert numbers.format_number(256, "power2") == "^8"
+
+    def test_power2_rejects_non_power(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.format_number(6, "power2")
+
+    def test_roundtrip(self):
+        for value in (0, 1, 2, 77, 1023, 2 ** 30):
+            for style in ("decimal", "hex", "binary"):
+                text = numbers.format_number(value, style)
+                assert numbers.parse_number(text) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(MalformedNumberError):
+            numbers.format_number(-1)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            numbers.format_number(1, "roman")

@@ -1,0 +1,171 @@
+"""Unit tests for the specification parser (Appendix A file format)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidNameError,
+    MalformedNumberError,
+    MissingCommentError,
+    SpecificationError,
+    UndefinedMacroError,
+    ValidationError,
+)
+from repro.rtl.components import Alu, Memory, Selector
+from repro.rtl.parser import check_component_name, parse_spec, parse_spec_file
+
+
+class TestBasicStructure:
+    def test_counter_spec(self, counter_spec):
+        assert len(counter_spec) == 4
+        assert counter_spec.declared_names == ["count", "next", "wrapped", "outport"]
+        assert counter_spec.traced_names == ["count"]
+
+    def test_component_kinds(self, counter_spec):
+        assert isinstance(counter_spec.component("next"), Alu)
+        assert isinstance(counter_spec.component("count"), Memory)
+
+    def test_header_comment_preserved(self, counter_spec):
+        assert counter_spec.header_comment.startswith("#")
+
+    def test_missing_comment_rejected(self):
+        with pytest.raises(MissingCommentError):
+            parse_spec("a .\n.")
+
+
+class TestCycleCount:
+    def test_cycles_parsed(self):
+        spec = parse_spec("# t\n= 5545\nx .\nA x 0 0 0\n.")
+        assert spec.cycles == 5545
+
+    def test_cycles_attached_to_equals(self):
+        spec = parse_spec("# t\n=100\nx .\nA x 0 0 0\n.")
+        assert spec.cycles == 100
+
+    def test_cycles_optional(self):
+        spec = parse_spec("# t\nx .\nA x 0 0 0\n.")
+        assert spec.cycles is None
+
+    def test_bad_cycle_count_rejected(self):
+        with pytest.raises(MalformedNumberError):
+            parse_spec("# t\n= lots\nx .\nA x 0 0 0\n.")
+
+
+class TestMacros:
+    def test_macro_substitution(self):
+        spec = parse_spec(
+            "# t\n~w 8\nx .\nA x 2 rom.~w 0\nM rom 0 0 0 1\n.",
+            validate=False,
+        )
+        alu = spec.component("x")
+        assert alu.left.to_spec() == "rom.8"
+
+    def test_macro_recorded(self):
+        spec = parse_spec("# t\n~w 8\nx .\nA x 0 0 ~w\n.")
+        assert spec.macros == {"w": "8"}
+
+    def test_macro_referencing_macro(self):
+        spec = parse_spec("# t\n~a 4\n~b ~a+1\nx .\nA x 0 0 ~b\n.")
+        assert spec.component("x").right.constant_value() == 5
+
+    def test_undefined_macro_rejected(self):
+        with pytest.raises(UndefinedMacroError):
+            parse_spec("# t\nx .\nA x 0 0 ~nope\n.")
+
+    def test_dash_definition_tolerated(self):
+        spec = parse_spec("# t\n-w 9\nx .\nA x 0 0 ~w\n.")
+        assert spec.component("x").right.constant_value() == 9
+
+
+class TestComponents:
+    def test_alu_fields(self, figure_4_1_spec):
+        alu = figure_4_1_spec.component("alu")
+        assert alu.funct.to_spec() == "compute"
+        assert alu.left.to_spec() == "left"
+        assert alu.right.constant_value() == 3048
+
+    def test_selector_cases(self, figure_4_2_spec):
+        selector = figure_4_2_spec.component("selector")
+        assert isinstance(selector, Selector)
+        assert selector.case_count == 4
+
+    def test_selector_terminated_by_next_component(self):
+        spec = parse_spec(
+            "# t\ns x .\nS s x 1 2 3\nM x 0 0 0 1\n.", validate=False
+        )
+        assert spec.component("s").case_count == 3
+
+    def test_memory_with_initial_values(self, figure_4_3_spec):
+        memory = figure_4_3_spec.component("memory")
+        assert memory.size == 4
+        assert memory.initial_values == (12, 34, 56, 78)
+
+    def test_memory_without_initial_values(self, counter_spec):
+        memory = counter_spec.component("count")
+        assert memory.size == 1
+        assert memory.initial_values == ()
+
+    def test_memory_zero_cells_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("# t\nm .\nM m 0 0 0 0\n.")
+
+    def test_unknown_component_letter_rejected(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            parse_spec("# t\nx .\nQ x 0 0 0\n.")
+        assert "Q" in str(excinfo.value)
+
+    def test_truncated_component_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("# t\nx .\nA x 4 1")
+
+    def test_error_mentions_last_component(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            parse_spec("# t\nx .\nA x 4 1 1\nA y 4 bad..bits 1\n.")
+        assert "x" in str(excinfo.value) or "y" in str(excinfo.value)
+
+
+class TestNames:
+    def test_invalid_component_name_rejected(self):
+        with pytest.raises(InvalidNameError):
+            parse_spec("# t\nx .\nA 9lives 0 0 0\n.")
+
+    def test_check_component_name_helper(self):
+        assert check_component_name("alu2") == "alu2"
+        with pytest.raises(InvalidNameError):
+            check_component_name("has space")
+
+
+class TestValidationIntegration:
+    def test_unknown_reference_rejected_by_default(self):
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec("# t\nx .\nA x 4 ghost 1\n.")
+        assert "ghost" in str(excinfo.value)
+
+    def test_validation_can_be_disabled(self):
+        spec = parse_spec("# t\nx .\nA x 4 ghost 1\n.", validate=False)
+        assert "ghost" in spec.undefined_references()
+
+    def test_circular_dependency_rejected(self):
+        source = "# t\na b .\nA a 4 b 1\nA b 4 a 1\n.\n"
+        with pytest.raises(ValidationError) as excinfo:
+            parse_spec(source)
+        assert "circular" in str(excinfo.value).lower()
+
+    def test_strict_mode_promotes_warnings(self):
+        # declared but never defined -> warning normally, error when strict
+        source = "# t\nx ghost .\nA x 0 0 0\n.\n"
+        parse_spec(source)
+        with pytest.raises(ValidationError):
+            parse_spec(source, strict=True)
+
+
+class TestFileParsing:
+    def test_parse_spec_file(self, tmp_path, counter_spec_text):
+        path = tmp_path / "counter.asim"
+        path.write_text(counter_spec_text)
+        spec = parse_spec_file(path)
+        assert spec.source_name == "counter.asim"
+        assert len(spec) == 4
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("# t\nx .\nA x 0 0 0\nA x 1 0 0\n.")

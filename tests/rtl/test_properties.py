@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the RTL substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import alu_ops, bits, numbers
+from repro.rtl.builder import SpecBuilder
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.expressions import parse_expression
+from repro.rtl.parser import parse_spec
+from repro.rtl.writer import spec_to_text
+
+words = st.integers(min_value=0, max_value=bits.WORD_MASK)
+small_values = st.integers(min_value=0, max_value=2 ** 16 - 1)
+
+
+class TestBitProperties:
+    @given(words, words)
+    def test_land_commutative(self, a, b):
+        assert bits.land(a, b) == bits.land(b, a)
+
+    @given(words)
+    def test_land_idempotent(self, a):
+        assert bits.land(a, a) == a
+
+    @given(words)
+    def test_mask_word_idempotent(self, a):
+        assert bits.mask_word(bits.mask_word(a)) == bits.mask_word(a)
+
+    @given(words, st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_extract_field_within_mask(self, value, low, span):
+        high = min(low + span, bits.WORD_BITS - 1)
+        extracted = bits.extract_field(value, low, high)
+        assert 0 <= extracted <= bits.mask_for_width(high - low + 1)
+
+    @given(words, st.integers(min_value=0, max_value=30))
+    def test_extract_then_insert_round_trips(self, value, low):
+        high = min(low + 4, bits.WORD_BITS - 1)
+        width = high - low + 1
+        field = bits.extract_field(value, low, high)
+        rebuilt = bits.insert_field(value, field, low, width)
+        assert rebuilt == bits.mask_word(value)
+
+
+class TestNumberProperties:
+    @given(small_values)
+    def test_decimal_round_trip(self, value):
+        assert numbers.parse_number(str(value)) == value
+
+    @given(small_values)
+    def test_hex_round_trip(self, value):
+        assert numbers.parse_number(numbers.format_number(value, "hex")) == value
+
+    @given(small_values)
+    def test_binary_round_trip(self, value):
+        assert numbers.parse_number(numbers.format_number(value, "binary")) == value
+
+    @given(small_values, small_values)
+    def test_sum_of_terms(self, a, b):
+        assert numbers.parse_number(f"{a}+{b}") == a + b
+
+
+class TestAluProperties:
+    @given(words, words)
+    def test_results_stay_in_word(self, left, right):
+        for code in range(alu_ops.FUNCTION_COUNT):
+            result = alu_ops.dologic(code, left, right)
+            assert 0 <= result <= bits.WORD_MASK
+
+    @given(words, words)
+    def test_add_sub_inverse(self, left, right):
+        total = alu_ops.dologic(alu_ops.FN_ADD, left, right)
+        back = alu_ops.dologic(alu_ops.FN_SUB, total, right)
+        assert back == left
+
+    @given(words, words)
+    def test_xor_self_inverse(self, left, right):
+        once = alu_ops.dologic(alu_ops.FN_XOR, left, right)
+        twice = alu_ops.dologic(alu_ops.FN_XOR, once, right)
+        assert twice == left
+
+    @given(words, words)
+    def test_and_or_absorption(self, left, right):
+        conj = alu_ops.dologic(alu_ops.FN_AND, left, right)
+        disj = alu_ops.dologic(alu_ops.FN_OR, left, conj)
+        assert disj == left
+
+    @given(words)
+    def test_not_is_involution(self, value):
+        negated = alu_ops.dologic(alu_ops.FN_NOT, value, 0)
+        assert alu_ops.dologic(alu_ops.FN_NOT, negated, 0) == value
+
+    @given(words, words)
+    def test_comparisons_are_boolean_and_consistent(self, left, right):
+        eq = alu_ops.dologic(alu_ops.FN_EQ, left, right)
+        lt = alu_ops.dologic(alu_ops.FN_LT, left, right)
+        gt = alu_ops.dologic(alu_ops.FN_LT, right, left)
+        assert eq in (0, 1) and lt in (0, 1)
+        assert eq + lt + gt == 1  # exactly one of <, =, > holds
+
+
+# ---------------------------------------------------------------------------
+# expression round trips
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c", "src", "reg9"])
+bit_positions = st.integers(min_value=0, max_value=14)
+
+
+@st.composite
+def field_texts(draw, bounded=True):
+    kind = draw(st.sampled_from(["const", "bits", "ref"] if not bounded
+                                else ["widthconst", "bits", "bitref"]))
+    if kind == "const":
+        return str(draw(small_values))
+    if kind == "widthconst":
+        return f"{draw(small_values)}.{draw(st.integers(min_value=1, max_value=8))}"
+    if kind == "bits":
+        return "#" + "".join(draw(st.lists(st.sampled_from("01"), min_size=1, max_size=6)))
+    if kind == "ref":
+        return draw(names)
+    low = draw(bit_positions)
+    high = low + draw(st.integers(min_value=0, max_value=3))
+    return f"{draw(names)}.{low}.{high}"
+
+
+@st.composite
+def expression_texts(draw):
+    leftmost = draw(field_texts(bounded=False))
+    rest = draw(st.lists(field_texts(bounded=True), min_size=0, max_size=3))
+    return ",".join([leftmost] + rest)
+
+
+class TestExpressionProperties:
+    @given(expression_texts())
+    @settings(max_examples=200)
+    def test_parse_write_reparse_is_stable(self, text):
+        expr = parse_expression(text)
+        again = parse_expression(expr.to_spec())
+        assert again.fields == expr.fields
+
+    @given(expression_texts(), st.dictionaries(names, words, min_size=5, max_size=5))
+    @settings(max_examples=200)
+    def test_evaluation_matches_generated_python(self, text, values):
+        expr = parse_expression(text)
+        env = {f"v_{name}": value for name, value in values.items()}
+        code = expr.to_python(lambda n: f"v_{n}")
+        assert eval(code, dict(env)) == expr.evaluate(lambda n: values[n])
+
+    @given(expression_texts())
+    def test_width_never_exceeds_word(self, text):
+        assert parse_expression(text).total_width <= bits.WORD_BITS
+
+
+# ---------------------------------------------------------------------------
+# specification round trips and dependency sorting
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chain_specs(draw):
+    """A random straight-line spec: a register feeding a chain of ALUs."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    builder = SpecBuilder("property chain")
+    previous = "reg"
+    functions = draw(
+        st.lists(
+            st.sampled_from([alu_ops.FN_ADD, alu_ops.FN_AND, alu_ops.FN_OR,
+                             alu_ops.FN_XOR, alu_ops.FN_SUB]),
+            min_size=length, max_size=length,
+        )
+    )
+    constants = draw(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=length,
+                 max_size=length)
+    )
+    for index in range(length):
+        builder.alu(f"n{index}", functions[index], previous, constants[index])
+        previous = f"n{index}"
+    builder.register("reg", data=previous, traced=True)
+    return builder.build()
+
+
+class TestSpecificationProperties:
+    @given(chain_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_components(self, spec):
+        again = parse_spec(spec_to_text(spec))
+        assert again.component_names() == spec.component_names()
+
+    @given(chain_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_dependency_sort_respects_edges(self, spec):
+        order = [c.name for c in sort_combinational(spec)]
+        position = {name: index for index, name in enumerate(order)}
+        combinational = set(order)
+        for component in spec.combinational():
+            for dependency in component.referenced_names():
+                if dependency in combinational:
+                    assert position[dependency] < position[component.name]

@@ -1,0 +1,88 @@
+"""Unit tests for the Specification container object."""
+
+import pytest
+
+from repro.errors import DuplicateComponentError, UnknownComponentError
+from repro.rtl.parser import parse_spec
+from repro.rtl.spec import Declaration, Specification
+
+
+class TestLookups:
+    def test_contains_and_len(self, counter_spec):
+        assert "count" in counter_spec
+        assert "missing" not in counter_spec
+        assert len(counter_spec) == 4
+
+    def test_component_lookup(self, counter_spec):
+        assert counter_spec.component("next").name == "next"
+
+    def test_unknown_component_rejected(self, counter_spec):
+        with pytest.raises(UnknownComponentError):
+            counter_spec.component("ghost")
+
+    def test_kind_queries(self, counter_spec):
+        assert [c.name for c in counter_spec.alus()] == ["next", "wrapped"]
+        assert [c.name for c in counter_spec.memories()] == ["count", "outport"]
+        assert counter_spec.selectors() == []
+        assert [c.name for c in counter_spec.combinational()] == ["next", "wrapped"]
+
+    def test_component_map(self, counter_spec):
+        mapping = counter_spec.component_map
+        assert set(mapping) == {"next", "wrapped", "count", "outport"}
+
+
+class TestDeclarations:
+    def test_traced_names_order(self):
+        spec = parse_spec("# t\nb* a* .\nA a 0 0 0\nA b 0 0 0\n.")
+        assert spec.traced_names == ["b", "a"]
+
+    def test_is_traced(self, counter_spec):
+        assert counter_spec.is_traced("count")
+        assert not counter_spec.is_traced("next")
+
+    def test_declaration_to_spec(self):
+        assert Declaration("pc", traced=True).to_spec() == "pc*"
+        assert Declaration("pc").to_spec() == "pc"
+
+
+class TestWholeSpecQueries:
+    def test_referenced_names(self, counter_spec):
+        assert counter_spec.referenced_names() == {"count", "next", "wrapped"}
+
+    def test_undefined_references_empty_for_valid_spec(self, counter_spec):
+        assert counter_spec.undefined_references() == set()
+
+    def test_iter_expressions_roles(self, counter_spec):
+        roles = {
+            (component.name, role)
+            for component, role, _ in counter_spec.iter_expressions()
+        }
+        assert ("next", "function") in roles
+        assert ("count", "address") in roles
+        assert ("count", "operation") in roles
+
+    def test_iter_expressions_selector_cases(self, figure_4_2_spec):
+        roles = [
+            role
+            for component, role, _ in figure_4_2_spec.iter_expressions()
+            if component.name == "selector"
+        ]
+        assert roles == ["select", "case0", "case1", "case2", "case3"]
+
+    def test_summary_mentions_counts(self, counter_spec):
+        summary = counter_spec.summary()
+        assert "2 ALUs" in summary
+        assert "2 memories" in summary
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self, counter_spec):
+        components = counter_spec.components + (counter_spec.components[0],)
+        with pytest.raises(DuplicateComponentError):
+            Specification(header_comment="# dup", components=components)
+
+    def test_minimal_specification(self):
+        spec = parse_spec("# tiny\nx .\nA x 0 0 0\n.")
+        assert spec.cycles is None
+        assert spec.macros == {}
+        assert spec.declared_names == ["x"]

@@ -1,0 +1,112 @@
+"""Unit tests for specification validation (hard errors and checkdcl warnings)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.rtl.parser import parse_spec
+from repro.rtl.validate import ensure_valid, validate
+
+
+def parse_raw(source):
+    return parse_spec(source, validate=False)
+
+
+class TestReferenceChecks:
+    def test_valid_spec_passes(self, counter_spec):
+        report = validate(counter_spec)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_unknown_reference_is_error(self):
+        spec = parse_raw("# t\nx .\nA x 4 ghost 1\n.")
+        report = validate(spec)
+        assert not report.ok
+        assert any("ghost" in error for error in report.errors)
+
+    def test_error_names_consumer_and_role(self):
+        spec = parse_raw("# t\nx .\nA x 4 ghost 1\n.")
+        report = validate(spec)
+        assert any("x left" in error for error in report.errors)
+
+
+class TestBitFieldChecks:
+    def test_bit_past_word_is_error(self):
+        spec = parse_raw("# t\nx r .\nA x 2 r.40 0\nM r 0 0 0 1\n.")
+        report = validate(spec)
+        assert any("exceeds" in error for error in report.errors)
+
+    def test_bit_30_allowed(self):
+        spec = parse_raw("# t\nx r .\nA x 2 r.30 0\nM r 0 0 0 1\n.")
+        assert validate(spec).ok
+
+
+class TestMemoryAddressChecks:
+    def test_constant_address_out_of_range(self):
+        spec = parse_raw("# t\nm .\nM m 5 0 0 4\n.")
+        report = validate(spec)
+        assert any("outside its declared range" in error for error in report.errors)
+
+    def test_constant_address_in_range(self):
+        spec = parse_raw("# t\nm .\nM m 3 0 0 4\n.")
+        assert validate(spec).ok
+
+
+class TestSelectorChecks:
+    def test_constant_index_out_of_range_is_error(self):
+        spec = parse_raw("# t\ns .\nS s 5 1 2 3\n.")
+        report = validate(spec)
+        assert not report.ok
+
+    def test_narrow_index_with_missing_cases_warns(self):
+        spec = parse_raw("# t\ns r .\nS s r.0.2 1 2 3\nM r 0 0 0 1\n.")
+        report = validate(spec)
+        assert report.ok
+        assert any("only 3 cases" in warning for warning in report.warnings)
+
+    def test_fully_covered_selector_no_warning(self):
+        spec = parse_raw("# t\ns r .\nS s r.0.1 1 2 3 4\nM r 0 0 0 1\n.")
+        report = validate(spec)
+        assert report.warnings == []
+
+
+class TestDeclarationChecks:
+    def test_declared_but_not_defined_warns(self):
+        spec = parse_raw("# t\nx ghost .\nA x 0 0 0\n.")
+        report = validate(spec)
+        assert any("declared but not defined" in w for w in report.warnings)
+
+    def test_defined_but_not_declared_warns(self):
+        spec = parse_raw("# t\nx .\nA x 0 0 0\nA extra 0 0 0\n.")
+        report = validate(spec)
+        assert any("defined but not declared" in w for w in report.warnings)
+
+    def test_empty_declaration_list_not_checked(self):
+        spec = parse_raw("# t\n.\nA x 0 0 0\n.")
+        assert validate(spec).warnings == []
+
+
+class TestStrictAndEnsure:
+    def test_strict_promotes_warnings(self):
+        spec = parse_raw("# t\nx ghost .\nA x 0 0 0\n.")
+        assert validate(spec).ok
+        assert not validate(spec, strict=True).ok
+
+    def test_ensure_valid_raises(self):
+        spec = parse_raw("# t\nx .\nA x 4 ghost 1\n.")
+        with pytest.raises(ValidationError):
+            ensure_valid(spec)
+
+    def test_ensure_valid_returns_report(self, counter_spec):
+        report = ensure_valid(counter_spec)
+        assert report.ok
+
+    def test_circular_dependency_reported(self):
+        spec = parse_raw("# t\na b .\nA a 4 b 1\nA b 4 a 1\n.")
+        report = validate(spec)
+        assert any("circular" in error.lower() for error in report.errors)
+
+    def test_validation_error_collects_problems(self):
+        spec = parse_raw("# t\nx .\nA x 4 ghost spook\n.")
+        with pytest.raises(ValidationError) as excinfo:
+            ensure_valid(spec)
+        assert len(excinfo.value.problems) >= 2

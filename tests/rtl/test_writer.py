@@ -1,0 +1,75 @@
+"""Unit tests for serialising specifications back to source text."""
+
+from repro.rtl.parser import parse_spec
+from repro.rtl.writer import component_to_text, spec_to_text
+
+
+class TestRoundTrip:
+    def test_counter_round_trips(self, counter_spec):
+        text = spec_to_text(counter_spec)
+        again = parse_spec(text)
+        assert again.component_names() == counter_spec.component_names()
+        assert again.traced_names == counter_spec.traced_names
+        for name in counter_spec.component_names():
+            assert type(again.component(name)) is type(counter_spec.component(name))
+
+    def test_memory_initial_values_round_trip(self, figure_4_3_spec):
+        again = parse_spec(spec_to_text(figure_4_3_spec), validate=False)
+        memory = again.component("memory")
+        assert memory.initial_values == (12, 34, 56, 78)
+        assert memory.size == 4
+
+    def test_cycles_round_trip(self):
+        spec = parse_spec("# t\n= 123\nx .\nA x 0 0 0\n.")
+        again = parse_spec(spec_to_text(spec))
+        assert again.cycles == 123
+
+    def test_expressions_survive(self, counter_spec):
+        again = parse_spec(spec_to_text(counter_spec))
+        assert again.component("wrapped").right.constant_value() == 7
+        assert again.component("next").left.to_spec() == "count"
+
+
+class TestFormatting:
+    def test_header_always_starts_with_hash(self, counter_spec):
+        assert spec_to_text(counter_spec).startswith("#")
+
+    def test_ends_with_terminator(self, counter_spec):
+        assert spec_to_text(counter_spec).rstrip().endswith(".")
+
+    def test_traced_names_get_star(self, counter_spec):
+        assert "count*" in spec_to_text(counter_spec)
+
+    def test_component_to_text_alu(self, counter_spec):
+        assert component_to_text(counter_spec.component("next")) == "A next 4 count 1"
+
+    def test_component_to_text_memory(self, counter_spec):
+        assert component_to_text(counter_spec.component("count")) == "M count 0 wrapped 1 1"
+
+    def test_component_to_text_selector(self, figure_4_2_spec):
+        text = component_to_text(figure_4_2_spec.component("selector"))
+        assert text.startswith("S selector index")
+        assert text.endswith("value3")
+
+    def test_memory_with_initial_values_uses_negative_count(self, figure_4_3_spec):
+        text = component_to_text(figure_4_3_spec.component("memory"))
+        assert "-4 12 34 56 78" in text
+
+
+class TestBuilderSpecsRoundTrip:
+    def test_stack_machine_round_trips(self):
+        from repro.machines import build_stack_machine_spec, sieve_program
+
+        spec = build_stack_machine_spec(sieve_program(3))
+        again = parse_spec(spec_to_text(spec))
+        assert set(again.component_names()) == set(spec.component_names())
+
+    def test_simulation_equivalence_after_round_trip(self, counter_spec):
+        from repro.core.comparison import compare_backends
+        from repro.core.simulator import Simulator
+
+        original = Simulator(counter_spec, backend="interpreter").run(cycles=20)
+        reparsed = parse_spec(spec_to_text(counter_spec))
+        again = Simulator(reparsed, backend="interpreter").run(cycles=20)
+        assert original.output_integers() == again.output_integers()
+        assert compare_backends(reparsed, cycles=20).equivalent

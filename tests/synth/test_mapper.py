@@ -1,0 +1,99 @@
+"""Tests for component-to-part mapping."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.rtl.parser import parse_spec
+from repro.synth.mapper import PartUse, map_component, map_specification
+from repro.synth.netlist import infer_widths
+
+
+def parts_for(source, name):
+    spec = parse_spec(source, validate=False)
+    widths = infer_widths(spec)
+    return map_component(spec.component(name), widths[name])
+
+
+class TestAluMapping:
+    def test_constant_and_becomes_gates(self):
+        # the consumer only reads 4 bits of x, so one quad AND package suffices
+        uses = parts_for("# t\nx r .\nA x 8 r.0.3 15\nM r 0 x.0.3 1 1\n.", "x")
+        assert uses[0].part == "quad AND"
+        assert uses[0].quantity == 1
+
+    def test_wide_consumer_forces_more_gate_packages(self):
+        uses = parts_for("# t\nx r .\nA x 8 r.0.3 15\nM r 0 x 1 1\n.", "x")
+        assert uses[0].part == "quad AND"
+        assert uses[0].quantity == 8   # conservatively sized for a 31-bit bus
+
+    def test_add_becomes_adders(self):
+        uses = parts_for("# t\nx r .\nA x 4 r 1\nM r 0 x 1 1\n.", "x")
+        assert uses[0].part == "4 bit adder"
+        assert uses[0].quantity == 8   # 31 bits / 4 per package
+
+    def test_comparison_becomes_comparators(self):
+        uses = parts_for("# t\nx r .\nA x 13 r.0.7 9\nM r 0 x 1 1\n.", "x")
+        assert uses[0].part == "4 bit comparator"
+
+    def test_dynamic_function_becomes_generic_alu(self):
+        uses = parts_for("# t\nx f r .\nA x f r 1\nM r 0 x 1 1\nM f 0 0 0 1\n.", "x")
+        assert uses[0].part == "4 bit alu"
+
+    def test_wire_function_needs_no_parts(self):
+        uses = parts_for("# t\nx r .\nA x 2 r 0\nM r 0 x 1 1\n.", "x")
+        assert uses == []
+
+
+class TestSelectorMapping:
+    def test_two_way_selector(self):
+        uses = parts_for("# t\ns r .\nS s r.0 1 2\nM r 0 s 1 1\n.", "s")
+        assert uses[0].part == "quad 2 to 1 multiplexor"
+
+    def test_four_way_selector(self):
+        uses = parts_for("# t\ns r .\nS s r.0.1 1 2 3 4\nM r 0 s 1 1\n.", "s")
+        assert uses[0].part == "dual 4 to 1 multiplexor"
+
+    def test_wide_selector_cascades(self):
+        cases = " ".join(str(i) for i in range(18))
+        uses = parts_for(f"# t\ns r .\nS s r.0.4 {cases}\nM r 0 s 1 1\n.", "s")
+        assert uses[0].part == "8 to 1 multiplexor"
+        assert uses[0].quantity >= 3   # 18 inputs need a cascaded tree
+
+    def test_single_case_selector_is_wiring(self):
+        uses = parts_for("# t\ns r .\nS s r.0 7\nM r 0 s 1 1\n.", "s")
+        assert uses == []
+
+
+class TestMemoryMapping:
+    def test_narrow_register_uses_small_flip_flops(self):
+        uses = parts_for("# t\nr x .\nA x 2 r.0.1 0\nM r 0 x 1 1\n.", "r")
+        assert uses[0].part == "dual D flip flop"
+
+    def test_wide_register_uses_hex_flip_flops(self):
+        uses = parts_for("# t\nr x .\nA x 2 r 0\nM r 0 x 1 1\n.", "r")
+        assert uses[0].part == "hex D flip flop"
+        assert uses[0].quantity == 6   # ceil(31 / 6)
+
+    def test_ram_uses_ram_packages(self):
+        uses = parts_for("# t\nm r .\nM m r.0.6 r 0 128\nM r 0 1 1 1\n.", "m")
+        assert uses[0].part == "2K x 8 bit RAM"
+
+    def test_large_ram_needs_multiple_packages(self):
+        uses = parts_for("# t\nm r .\nM m r.0.11 r 0 4096\nM r 0 1 1 1\n.", "m")
+        ram = uses[0]
+        assert ram.part == "2K x 8 bit RAM"
+        assert ram.quantity == 8   # 4096 cells x 31 bits / 16384 bits per chip
+
+
+class TestSpecificationMapping:
+    def test_every_component_considered(self, counter_spec):
+        uses = map_specification(counter_spec)
+        components = {use.component for use in uses}
+        assert "next" in components
+        assert "count" in components
+
+    def test_part_use_validation(self):
+        with pytest.raises(SynthesisError):
+            PartUse("x", "warp drive", 1)
+        with pytest.raises(SynthesisError):
+            PartUse("x", "4 bit alu", 0)

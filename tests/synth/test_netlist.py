@@ -1,0 +1,84 @@
+"""Tests for netlist extraction and width inference."""
+
+from repro.machines import build_stack_machine_spec, sieve_program
+from repro.rtl.bits import WORD_BITS
+from repro.rtl.parser import parse_spec
+from repro.synth.netlist import Wire, extract_netlist, infer_widths
+
+
+class TestWires:
+    def test_wire_rendering(self):
+        full = Wire("alu", "reg", "data", 0, WORD_BITS - 1)
+        single = Wire("ir", "decode", "select", 7, 7)
+        ranged = Wire("ir", "decode", "select", 0, 6)
+        assert full.render() == "alu -> reg.data"
+        assert single.render() == "ir.7 -> decode.select"
+        assert ranged.render() == "ir.0.6 -> decode.select"
+        assert ranged.width == 7
+
+
+class TestExtraction:
+    def test_counter_netlist(self, counter_spec):
+        netlist = extract_netlist(counter_spec)
+        assert len(netlist.blocks) == 4
+        destinations = {(w.source, w.destination, w.port) for w in netlist.wires}
+        assert ("count", "next", "left") in destinations
+        assert ("next", "wrapped", "left") in destinations
+        assert ("wrapped", "count", "data") in destinations
+        assert ("count", "outport", "data") in destinations
+
+    def test_fanout(self, counter_spec):
+        netlist = extract_netlist(counter_spec)
+        assert netlist.fanout("count") == 2      # next and outport read it
+        assert netlist.fanout("outport") == 0
+
+    def test_wires_into_and_out_of(self, counter_spec):
+        netlist = extract_netlist(counter_spec)
+        assert {w.source for w in netlist.wires_into("count")} == {"wrapped"}
+        assert {w.destination for w in netlist.wires_out_of("next")} == {"wrapped"}
+
+    def test_bit_fields_recorded(self):
+        spec = parse_spec("# t\nd r .\nA d 2 r.7.9 0\nM r 0 d 1 1\n.")
+        netlist = extract_netlist(spec)
+        wire = netlist.wires_into("d")[0]
+        assert (wire.low_bit, wire.high_bit) == (7, 9)
+
+    def test_wiring_list_renders_every_block(self, counter_spec):
+        text = extract_netlist(counter_spec).render_wiring_list()
+        for name in counter_spec.component_names():
+            assert name in text
+
+    def test_selector_cases_produce_wires(self, figure_4_2_spec):
+        netlist = extract_netlist(figure_4_2_spec)
+        ports = {w.port for w in netlist.wires_into("selector")}
+        assert "select" in ports
+        assert "case0" in ports and "case3" in ports
+
+
+class TestWidthInference:
+    def test_whole_reference_gets_full_word(self, counter_spec):
+        widths = infer_widths(counter_spec)
+        assert widths["count"] == WORD_BITS
+
+    def test_bit_field_reference_narrows(self):
+        spec = parse_spec("# t\nd r .\nA d 2 r.0.9 0\nM r 0 d 1 1\n.")
+        widths = infer_widths(spec)
+        assert widths["r"] == 10
+
+    def test_unreferenced_component_defaults_to_word(self, counter_spec):
+        widths = infer_widths(counter_spec)
+        assert widths["outport"] == WORD_BITS
+
+    def test_narrowing_requires_every_consumer_to_use_fields(self):
+        # "ir" is read through bit fields by the decoders but held whole by its
+        # own hold path, so the inference stays conservative at the full word.
+        spec = build_stack_machine_spec(sieve_program(3))
+        widths = infer_widths(spec)
+        assert widths["ir"] == WORD_BITS
+        assert widths["phase"] <= WORD_BITS
+
+    def test_narrowing_applies_when_all_consumers_use_fields(self):
+        spec = parse_spec(
+            "# t\nhi lo r .\nA hi 2 r.8.15 0\nA lo 2 r.0.7 0\nM r 0 hi 1 1\n.",
+        )
+        assert infer_widths(spec)["r"] == 16

@@ -1,0 +1,65 @@
+"""Tests for the bill of materials and the Appendix-F fidelity check."""
+
+from repro.machines import prepare_division_workload
+from repro.machines.tiny_computer import build_tiny_computer_spec
+from repro.synth.parts import APPENDIX_F_PART_NAMES, CATALOG
+from repro.synth.report import bill_of_materials, hardware_report
+
+
+class TestCatalog:
+    def test_appendix_f_parts_all_in_catalog(self):
+        for name in APPENDIX_F_PART_NAMES:
+            assert name in CATALOG
+
+    def test_catalog_entries_have_positive_capacity(self):
+        for part in CATALOG.values():
+            assert part.bits_per_package > 0
+            assert part.inputs_per_package > 0
+
+
+class TestBillOfMaterials:
+    def test_counter_bom(self, counter_spec):
+        bom = bill_of_materials(counter_spec)
+        assert bom.total_packages > 0
+        counts = bom.part_counts
+        assert "4 bit adder" in counts          # the increment ALU
+        assert "hex D flip flop" in counts      # the count register
+
+    def test_parts_for_component(self, counter_spec):
+        bom = bill_of_materials(counter_spec)
+        assert all(use.component == "next" for use in bom.parts_for("next"))
+
+    def test_render_lists_every_part(self, counter_spec):
+        text = bill_of_materials(counter_spec).render()
+        assert "total packages" in text
+        for part in bill_of_materials(counter_spec).part_names:
+            assert part in text
+
+
+class TestTinyComputerFidelity:
+    """Section 5.3 / Appendix F: the tiny computer maps onto the same part
+    vocabulary the thesis lists for its hand-drawn circuit."""
+
+    def spec(self):
+        return build_tiny_computer_spec(prepare_division_workload(60, 7).program)
+
+    def test_parts_drawn_from_appendix_f_vocabulary(self):
+        bom = bill_of_materials(self.spec())
+        allowed = set(APPENDIX_F_PART_NAMES) | {"quad OR", "quad XOR", "hex inverter"}
+        assert bom.part_names <= allowed
+
+    def test_uses_ram_flip_flops_mux_adder_and_comparator(self):
+        bom = bill_of_materials(self.spec())
+        assert "2K x 8 bit RAM" in bom.part_names       # the 128-word memory
+        assert "hex D flip flop" in bom.part_names      # pc / ac / ir registers
+        assert "4 bit adder" in bom.part_names          # pc increment / subtract
+        assert "4 bit comparator" in bom.part_names     # output-address compare
+        assert any("multiplexor" in name for name in bom.part_names)
+
+    def test_hardware_report_combines_netlist_and_bom(self):
+        report = hardware_report(self.spec())
+        text = report.render()
+        assert "bill of materials" in text
+        assert "wiring list" in text
+        assert set(report.widths) == set(self.spec().component_names())
+        assert len(report.netlist.wires) > 30
