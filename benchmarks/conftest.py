@@ -13,6 +13,10 @@ factor), which the modules assert explicitly.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.machines.sieve import prepare_sieve_workload
@@ -24,6 +28,59 @@ PAPER_SIEVE_SIZE = 20
 
 #: The exact cycle count reported in Figure 5.1.
 PAPER_CYCLES = 5545
+
+#: Machine-readable performance trajectory written after the Figure 5.1
+#: module runs: per-backend prepare/run seconds plus speedup ratios, so CI
+#: can hold the perf line across PRs without parsing benchmark output.
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_fig5_1.json"
+
+#: Schema version of the trajectory file (bump when keys change).
+TRAJECTORY_SCHEMA = 1
+
+
+def write_trajectory(
+    backends: dict[str, dict[str, float]],
+    cycles: int = PAPER_CYCLES,
+    path: Path = TRAJECTORY_PATH,
+) -> dict:
+    """Write ``BENCH_fig5_1.json`` from per-backend timing rows.
+
+    *backends* maps backend name to a dict with at least
+    ``prepare_seconds`` and ``run_seconds``.  Speedups are computed against
+    the interpreter row (run phase, and prepare+run end to end).
+    """
+    interpreter = backends["interpreter"]
+    speedups = {}
+    for name, row in backends.items():
+        if name == "interpreter":
+            continue
+        if row["run_seconds"] > 0:
+            speedups[f"{name}_vs_interpreter"] = round(
+                interpreter["run_seconds"] / row["run_seconds"], 3
+            )
+        total = row["prepare_seconds"] + row["run_seconds"]
+        reference_total = (
+            interpreter["prepare_seconds"] + interpreter["run_seconds"]
+        )
+        if total > 0:
+            speedups[f"{name}_end_to_end"] = round(reference_total / total, 3)
+    document = {
+        "schema": TRAJECTORY_SCHEMA,
+        "figure": "5.1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": {
+            "machine": "stack-machine-sieve",
+            "sieve_size": PAPER_SIEVE_SIZE,
+            "cycles": cycles,
+        },
+        "backends": {
+            name: {key: round(value, 6) for key, value in row.items()}
+            for name, row in backends.items()
+        },
+        "speedups": speedups,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
 
 
 @pytest.fixture(scope="session")

@@ -16,28 +16,42 @@ The package is organised around the paper's two systems and their substrate:
 * :mod:`repro.analysis` — fault injection, profiling and equivalence checks.
 """
 
-from repro.core.comparison import compare_backends
+# repro.core must initialise before repro.compiler: the comparison module
+# (loaded by repro.core) pulls the backends in, and they in turn import the
+# already-loaded repro.core submodules.
+from repro.core.comparison import compare_all_backends, compare_backends
 from repro.core.iosystem import QueueIO, StreamIO
 from repro.core.results import SimulationResult
-from repro.core.simulator import Simulator, simulate
+from repro.core.simulator import BACKEND_NAMES, Simulator, simulate
 from repro.core.trace import TraceOptions
+from repro.compiler.cache import clear_prepare_cache, prepare_cache_stats
+from repro.compiler.specopt import SpecOptPasses, SpecOptReport, optimize_spec
+from repro.compiler.threaded import ThreadedBackend
 from repro.rtl.builder import SpecBuilder
 from repro.rtl.parser import parse_spec, parse_spec_file
 from repro.rtl.spec import Specification
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BACKEND_NAMES",
+    "compare_all_backends",
     "compare_backends",
     "QueueIO",
     "StreamIO",
     "SimulationResult",
     "Simulator",
     "simulate",
+    "ThreadedBackend",
     "TraceOptions",
     "SpecBuilder",
+    "SpecOptPasses",
+    "SpecOptReport",
+    "optimize_spec",
     "parse_spec",
     "parse_spec_file",
+    "prepare_cache_stats",
+    "clear_prepare_cache",
     "Specification",
     "__version__",
 ]

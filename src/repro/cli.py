@@ -23,7 +23,7 @@ from typing import Sequence
 
 from repro.compiler import CodegenOptions, generate_pascal, generate_python
 from repro.core.iosystem import QueueIO
-from repro.core.simulator import Simulator
+from repro.core.simulator import BACKEND_NAMES, Simulator
 from repro.errors import AsimError
 from repro.machines.library import all_machines, get_machine
 from repro.rtl.parser import parse_spec_file
@@ -66,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="number of cycles (default: the spec's '= N' declaration)",
     )
     run_parser.add_argument(
-        "-b", "--backend", choices=("compiled", "interpreter"), default="compiled",
+        "-b", "--backend", choices=BACKEND_NAMES, default="compiled",
         help="simulation backend (default: compiled)",
     )
     run_parser.add_argument(
@@ -86,7 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("name", help="machine name (see 'machines')")
     demo_parser.add_argument("-c", "--cycles", type=int, default=None)
     demo_parser.add_argument(
-        "-b", "--backend", choices=("compiled", "interpreter"), default="compiled"
+        "-b", "--backend", choices=BACKEND_NAMES, default="compiled"
     )
 
     netlist_parser = subparsers.add_parser(

@@ -1,5 +1,19 @@
-"""ASIM II-style compilation: specification -> simulator program."""
+"""ASIM II-style compilation: specification -> simulator program.
 
+Three layers live here: the paper's code generators (Python and Pascal),
+the threaded-code backend (closures over pre-bound locals — the middle
+point between interpreting and compiling), and the performance plumbing
+shared by all backends (spec-level optimization passes, prepare cache).
+"""
+
+from repro.compiler.cache import (
+    CacheStats,
+    GLOBAL_PREPARE_CACHE,
+    PrepareCache,
+    clear_prepare_cache,
+    prepare_cache_stats,
+    spec_fingerprint,
+)
 from repro.compiler.codegen_pascal import PascalCodeGenerator, generate_pascal
 from repro.compiler.codegen_python import PythonCodeGenerator, generate_python
 from repro.compiler.compiled import CompiledBackend, CompiledSimulation, compile_spec
@@ -8,6 +22,13 @@ from repro.compiler.optimizer import (
     OptimizationReport,
     analyze_specification,
 )
+from repro.compiler.specopt import (
+    SpecOptPasses,
+    SpecOptReport,
+    optimize_spec,
+    restore_observables,
+)
+from repro.compiler.threaded import ThreadedBackend, ThreadedSimulation, thread_spec
 
 __all__ = [
     "PascalCodeGenerator",
@@ -17,7 +38,20 @@ __all__ = [
     "CompiledBackend",
     "CompiledSimulation",
     "compile_spec",
+    "ThreadedBackend",
+    "ThreadedSimulation",
+    "thread_spec",
     "CodegenOptions",
     "OptimizationReport",
     "analyze_specification",
+    "SpecOptPasses",
+    "SpecOptReport",
+    "optimize_spec",
+    "restore_observables",
+    "CacheStats",
+    "GLOBAL_PREPARE_CACHE",
+    "PrepareCache",
+    "clear_prepare_cache",
+    "prepare_cache_stats",
+    "spec_fingerprint",
 ]

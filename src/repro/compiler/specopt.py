@@ -1,0 +1,343 @@
+"""Spec-to-spec optimization passes shared by all backends.
+
+Section 4.4 of the paper optimises *within* one component: a constant ALU
+function is inlined, a constant memory operation drops its case dispatch.
+This module extends those constant analyses to whole-specification scope
+with three classic passes, each producing a new (smaller, faster)
+:class:`~repro.rtl.spec.Specification` that any backend — interpreter,
+threaded or compiled — can consume:
+
+* **constant propagation** — a combinational component whose inputs are all
+  constants computes the same value every cycle; that value is substituted
+  into every expression that reads the component (bit-field references fold
+  to the extracted bits);
+* **dead-component elimination** — a constant-valued component that is no
+  longer referenced (and is not traced) is removed from the specification;
+  its statically-known per-cycle value is recorded so backends can restore
+  it into ``final_values``;
+* **common-subexpression de-duplication** — two combinational components
+  with identical definitions compute identical values every cycle; the
+  duplicate is removed and its readers re-pointed at the survivor.
+
+The passes are *observably* semantics-preserving: memory-mapped outputs,
+memory contents, per-cycle traces of ``*``-marked components, and (after
+:func:`restore_observables`) the ``final_values`` dict are all bit-identical
+to running the unoptimized specification.  Traced components are never
+removed.  Simulation statistics may legitimately differ (fewer components
+are evaluated — that is the point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compiler.optimizer import (
+    CodegenOptions,
+    OptimizationReport,
+    analyze_specification,
+)
+from repro.rtl.alu_ops import dologic, is_valid_function
+from repro.rtl.bits import extract_field, mask_word
+from repro.rtl.components import Alu, Component, Memory, Selector
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.expressions import ComponentRef, ConstantField, Expression
+from repro.rtl.spec import Specification
+
+
+@dataclass(frozen=True)
+class SpecOptPasses:
+    """Which spec-level passes to run (all on by default)."""
+
+    propagate_constants: bool = True
+    eliminate_dead: bool = True
+    merge_duplicates: bool = True
+
+    @classmethod
+    def none(cls) -> "SpecOptPasses":
+        return cls(False, False, False)
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.propagate_constants
+            or self.eliminate_dead
+            or self.merge_duplicates
+        )
+
+
+@dataclass(frozen=True)
+class SpecOptReport:
+    """What the spec-level pipeline did, extending the Section 4.4 report.
+
+    ``component_report`` is the paper's per-component
+    :class:`OptimizationReport` computed on the *optimized* specification,
+    so callers see both levels of the story in one object.
+    """
+
+    #: components proven to hold one value every cycle (name -> value),
+    #: whether or not they were subsequently eliminated
+    constant_components: dict[str, int] = field(default_factory=dict)
+    #: removed constant components and their statically-known values
+    eliminated: tuple[tuple[str, int], ...] = ()
+    #: removed duplicates: (duplicate name, surviving name)
+    merged: tuple[tuple[str, str], ...] = ()
+    #: how many component references were rewritten by substitution
+    rewritten_references: int = 0
+    #: per-component (Section 4.4) analysis of the optimized specification
+    component_report: OptimizationReport | None = None
+
+    @property
+    def eliminated_count(self) -> int:
+        return len(self.eliminated)
+
+    @property
+    def merged_count(self) -> int:
+        return len(self.merged)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.eliminated or self.merged or self.rewritten_references)
+
+    def summary(self) -> str:
+        return (
+            f"specopt: {len(self.constant_components)} constant components, "
+            f"{self.eliminated_count} eliminated, {self.merged_count} merged, "
+            f"{self.rewritten_references} references rewritten"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Expression substitution
+# ---------------------------------------------------------------------------
+
+
+class _Substitution:
+    """Rewrites expressions against known constants and renamed components."""
+
+    def __init__(self) -> None:
+        self.constants: dict[str, int] = {}
+        self.renames: dict[str, str] = {}
+        self.rewritten = 0
+
+    def rewrite(self, expression: Expression) -> Expression:
+        """Return *expression* with known refs folded / renamed."""
+        changed = False
+        new_fields = []
+        for f in expression.fields:
+            if isinstance(f, ComponentRef):
+                if f.name in self.constants:
+                    new_fields.append(self._fold_ref(f))
+                    self.rewritten += 1
+                    changed = True
+                    continue
+                if f.name in self.renames:
+                    new_fields.append(replace(f, name=self.renames[f.name]))
+                    self.rewritten += 1
+                    changed = True
+                    continue
+            new_fields.append(f)
+        if not changed:
+            return expression
+        rewritten = Expression(tuple(new_fields))
+        return replace(rewritten, source=rewritten.to_spec())
+
+    def _fold_ref(self, ref: ComponentRef) -> ConstantField:
+        value = self.constants[ref.name]
+        if ref.low is None:
+            # whole-component reference: same width-None semantics as the ref
+            return ConstantField(mask_word(value))
+        high = ref.high if ref.high is not None else ref.low
+        return ConstantField(
+            extract_field(value, ref.low, high), high - ref.low + 1
+        )
+
+
+def _rewrite_component(component: Component, sub: _Substitution) -> Component:
+    if isinstance(component, Alu):
+        return replace(
+            component,
+            funct=sub.rewrite(component.funct),
+            left=sub.rewrite(component.left),
+            right=sub.rewrite(component.right),
+        )
+    if isinstance(component, Selector):
+        return replace(
+            component,
+            select=sub.rewrite(component.select),
+            cases=tuple(sub.rewrite(case) for case in component.cases),
+        )
+    assert isinstance(component, Memory)
+    return replace(
+        component,
+        address=sub.rewrite(component.address),
+        data=sub.rewrite(component.data),
+        operation=sub.rewrite(component.operation),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constant folding of whole components
+# ---------------------------------------------------------------------------
+
+
+def _fold_component(component: Component) -> int | None:
+    """Per-cycle value of *component* if it is statically constant.
+
+    Returns ``None`` when the component is not constant **or** when folding
+    would hide a runtime error (invalid ALU function, selector index out of
+    range) — those must still fail at simulation time.
+    """
+    if isinstance(component, Alu):
+        if not (component.funct.is_constant and component.left.is_constant
+                and component.right.is_constant):
+            return None
+        code = component.funct.constant_value()
+        if not is_valid_function(code):
+            return None
+        return dologic(
+            code,
+            component.left.constant_value(),
+            component.right.constant_value(),
+        )
+    if isinstance(component, Selector):
+        if not component.select.is_constant:
+            return None
+        index = component.select.constant_value()
+        if index >= component.case_count:
+            return None
+        case = component.cases[index]
+        if not case.is_constant:
+            return None
+        return case.constant_value()
+    return None  # memories are stateful, never constant
+
+
+# ---------------------------------------------------------------------------
+# Duplicate detection
+# ---------------------------------------------------------------------------
+
+
+def _signature(component: Component) -> tuple | None:
+    """Hashable identity of a combinational component's definition."""
+    if isinstance(component, Alu):
+        return (
+            "A",
+            component.funct.to_spec(),
+            component.left.to_spec(),
+            component.right.to_spec(),
+        )
+    if isinstance(component, Selector):
+        return (
+            "S",
+            component.select.to_spec(),
+            tuple(case.to_spec() for case in component.cases),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+def optimize_spec(
+    spec: Specification,
+    passes: SpecOptPasses | None = None,
+    codegen_options: CodegenOptions | None = None,
+) -> tuple[Specification, SpecOptReport]:
+    """Run the enabled spec-level passes and return (new spec, report)."""
+    passes = passes or SpecOptPasses()
+    sub = _Substitution()
+    traced = set(spec.traced_names)
+    constant_components: dict[str, int] = {}
+    eliminated: list[tuple[str, int]] = []
+    merged: list[tuple[str, str]] = []
+    seen_signatures: dict[tuple, str] = {}
+    removed: set[str] = set()
+
+    # Pass 1 — analysis in dependency order (producers before consumers), so
+    # every component is inspected after its combinational inputs have been
+    # resolved.  Specifications may contain forward references, which is why
+    # analysis order and rewrite order must differ.
+    if passes.propagate_constants or passes.merge_duplicates:
+        for component in sort_combinational(spec):
+            rewritten = _rewrite_component(component, sub)
+            if passes.propagate_constants:
+                value = _fold_component(rewritten)
+                if value is not None:
+                    constant_components[component.name] = value
+                    sub.constants[component.name] = value
+                    if passes.eliminate_dead and component.name not in traced:
+                        # every reference folds to the constant, so the
+                        # component is dead once substitution has run
+                        eliminated.append((component.name, value))
+                        removed.add(component.name)
+                    continue  # constant components are not merge candidates
+            if passes.merge_duplicates:
+                signature = _signature(rewritten)
+                if signature is not None:
+                    survivor = seen_signatures.get(signature)
+                    if survivor is not None and component.name not in traced:
+                        merged.append((component.name, survivor))
+                        sub.renames[component.name] = survivor
+                        removed.add(component.name)
+                        continue
+                    # traced components can survive as merge targets but are
+                    # never merged away themselves
+                    seen_signatures.setdefault(signature, component.name)
+
+    # Pass 2 — rewrite every surviving component (in definition order)
+    # against the complete substitution.
+    sub.rewritten = 0
+    kept: list[Component] = [
+        _rewrite_component(component, sub)
+        for component in spec.components
+        if component.name not in removed
+    ]
+    declarations = tuple(
+        declaration
+        for declaration in spec.declarations
+        if declaration.name not in removed
+    )
+    optimized = Specification(
+        header_comment=spec.header_comment,
+        components=tuple(kept),
+        declarations=declarations,
+        cycles=spec.cycles,
+        macros=dict(spec.macros),
+        source_name=spec.source_name,
+    )
+    report = SpecOptReport(
+        constant_components=constant_components,
+        eliminated=tuple(eliminated),
+        merged=tuple(merged),
+        rewritten_references=sub.rewritten,
+        component_report=analyze_specification(optimized, codegen_options),
+    )
+    return optimized, report
+
+
+def restore_observables(
+    report: SpecOptReport,
+    final_values: dict[str, int],
+    cycles_run: int,
+) -> None:
+    """Add eliminated/merged components back into a ``final_values`` dict.
+
+    A constant component holds its value from the first evaluated cycle on;
+    with zero cycles run nothing was ever evaluated, so every combinational
+    value is still the initial zero (matching the interpreter exactly).
+    """
+    for name, value in report.eliminated:
+        final_values[name] = value if cycles_run > 0 else 0
+    for duplicate, survivor in report.merged:
+        final_values[duplicate] = final_values.get(survivor, 0)
+
+
+def resolve_passes(specopt: "bool | SpecOptPasses | None") -> SpecOptPasses:
+    """Normalise the ``specopt`` argument backends accept."""
+    if isinstance(specopt, SpecOptPasses):
+        return specopt
+    if specopt:
+        return SpecOptPasses()
+    return SpecOptPasses.none()

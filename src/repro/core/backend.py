@@ -1,10 +1,13 @@
 """Simulation backend interface.
 
-Two backends implement this interface, mirroring the two systems of the
-paper:
+Three backends implement this interface — the two systems of the paper
+plus the classic middle point of the design space they frame:
 
 * :class:`repro.interp.interpreter.InterpreterBackend` — ASIM: the
   specification is read into tables and interpreted every cycle;
+* :class:`repro.compiler.threaded.ThreadedBackend` — threaded code: every
+  component is compiled into a Python closure over pre-bound locals and the
+  closures are chained into a flat per-cycle op list;
 * :class:`repro.compiler.compiled.CompiledBackend` — ASIM II: the
   specification is compiled into a program which is then executed.
 

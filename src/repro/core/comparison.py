@@ -15,6 +15,8 @@ from typing import Iterable, Sequence
 
 from repro.compiler.compiled import CompiledBackend
 from repro.compiler.optimizer import CodegenOptions
+from repro.compiler.specopt import SpecOptPasses
+from repro.compiler.threaded import ThreadedBackend
 from repro.core.backend import Backend
 from repro.core.iosystem import QueueIO
 from repro.core.results import SimulationResult
@@ -128,6 +130,41 @@ def compare_backends(
     )
 
 
+def compare_all_backends(
+    spec: Specification,
+    cycles: int | None = None,
+    inputs: Sequence[int | str] = (),
+    trace: bool = True,
+    specopt: bool | SpecOptPasses = False,
+) -> dict[str, ComparisonResult]:
+    """Run *spec* on every registered backend against the interpreter.
+
+    The ASIM-style interpreter is the reference; every other registered
+    backend is compared to it with identical inputs.  ``specopt`` applies
+    the spec-level optimization pipeline to each candidate, so the
+    pipeline's observable-equivalence claim is checked in the same sweep.
+    """
+    from repro.core.simulator import BACKEND_NAMES
+
+    builders = {
+        "threaded": lambda: ThreadedBackend(specopt=specopt),
+        "compiled": lambda: CompiledBackend(specopt=specopt),
+    }
+    # derive the candidate list from the registry so a newly registered
+    # backend cannot silently fall out of the equivalence sweep
+    candidates: dict[str, Backend] = {
+        name: builders[name]()
+        for name in BACKEND_NAMES
+        if name != "interpreter"
+    }
+    return {
+        name: compare_backends(
+            spec, cycles=cycles, inputs=inputs, candidate=candidate, trace=trace
+        )
+        for name, candidate in candidates.items()
+    }
+
+
 def assert_equivalent(
     spec: Specification,
     cycles: int | None = None,
@@ -140,3 +177,23 @@ def assert_equivalent(
             "backends disagree:\n  " + "\n  ".join(result.mismatches)
         )
     return result
+
+
+def assert_all_backends_equivalent(
+    spec: Specification,
+    cycles: int | None = None,
+    inputs: Iterable[int | str] = (),
+    specopt: bool | SpecOptPasses = False,
+) -> dict[str, ComparisonResult]:
+    """Raise ``AssertionError`` unless every backend agrees on *spec*."""
+    results = compare_all_backends(
+        spec, cycles=cycles, inputs=tuple(inputs), specopt=specopt
+    )
+    problems = [
+        f"{name}: {mismatch}"
+        for name, result in results.items()
+        for mismatch in result.mismatches
+    ]
+    if problems:
+        raise AssertionError("backends disagree:\n  " + "\n  ".join(problems))
+    return results

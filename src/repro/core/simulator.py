@@ -24,6 +24,7 @@ from typing import Iterable, Union
 
 from repro.compiler.compiled import CompiledBackend
 from repro.compiler.optimizer import CodegenOptions
+from repro.compiler.threaded import ThreadedBackend
 from repro.core.backend import Backend, PreparedSimulation, ValueOverride
 from repro.core.iosystem import IOSystem
 from repro.core.results import SimulationResult
@@ -38,8 +39,9 @@ from repro.rtl.validate import ValidationReport, validate
 #: What the ``backend`` argument accepts.
 BackendLike = Union[str, Backend]
 
-#: Registered backend names (the two systems compared in the paper).
-BACKEND_NAMES = ("interpreter", "compiled")
+#: Registered backend names: the paper's two systems plus the threaded-code
+#: middle point (closures over pre-bound locals, see repro.compiler.threaded).
+BACKEND_NAMES = ("interpreter", "threaded", "compiled")
 
 
 def make_backend(
@@ -51,6 +53,8 @@ def make_backend(
         return backend
     if backend == "interpreter":
         return InterpreterBackend()
+    if backend == "threaded":
+        return ThreadedBackend()
     if backend == "compiled":
         return CompiledBackend(codegen_options)
     raise BackendError(

@@ -1,6 +1,18 @@
-"""ASIM-style interpreter backend (the paper's baseline simulator)."""
+"""ASIM-style interpreter backend (the paper's baseline simulator).
 
+This package also hosts the closure compiler (:mod:`repro.interp.closures`)
+that lowers specifications to threaded code; the backend wrapping it lives
+in :mod:`repro.compiler.threaded`.
+"""
+
+from repro.interp.closures import RunContext, ThreadedProgram
 from repro.interp.interpreter import InterpreterBackend, InterpreterSimulation
 from repro.interp.state import MachineState
 
-__all__ = ["InterpreterBackend", "InterpreterSimulation", "MachineState"]
+__all__ = [
+    "InterpreterBackend",
+    "InterpreterSimulation",
+    "MachineState",
+    "RunContext",
+    "ThreadedProgram",
+]

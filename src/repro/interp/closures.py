@@ -1,0 +1,568 @@
+"""Closure compilation of specification expressions (threaded code).
+
+The interpreter backend re-walks every expression tree through
+``state.lookup`` dict lookups on every cycle; the compiled backend goes to
+the other extreme and generates a whole Python module.  This module is the
+classic middle point of that design space: **threaded code**.  At prepare
+time every ALU, selector and memory expression is compiled into a Python
+closure over pre-bound locals — slot indices into a flat ``values`` list,
+pre-computed masks and shifts, the memory cell lists — and the closures are
+chained into one flat per-cycle op list.  Running a cycle is then just
+
+    for op in ops:
+        op()
+
+with no tree walk, no name lookup and no per-cycle dataclass allocation.
+
+Compilation is split into two phases so a prepared simulation can be run
+many times (and with different run options) without re-walking the trees:
+
+* *plan* time (``ThreadedProgram`` construction, done once per ``prepare``):
+  expressions are lowered to small descriptor tuples and each component
+  gets a ``bind`` function;
+* *bind* time (start of each ``run``): the ``bind`` functions close the
+  descriptors over this run's mutable state (the ``values`` list, the
+  memory cell arrays, the I/O system, optional stats / trace / override
+  hooks) and return the zero-argument per-cycle ops.
+
+The fast path — no stats, no override, no tracing — binds ops that do
+nothing but compute and store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (
+    InvalidAluFunctionError,
+    MemoryRangeError,
+    SelectorRangeError,
+)
+from repro.rtl.alu_ops import FUNCTION_COUNT, dologic, shift_left
+from repro.rtl.bits import WORD_BITS, WORD_MASK, mask_for_width
+from repro.rtl.components import Alu, Memory, Selector
+from repro.rtl.dependency import sort_combinational
+from repro.rtl.expressions import ComponentRef, Expression
+from repro.rtl.spec import Specification
+
+#: A bound per-cycle operation: computes and stores, returns nothing.
+Op = Callable[[], None]
+#: A bound value producer: returns one masked machine word.
+Pull = Callable[[], int]
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering: Expression -> descriptor -> bound closure
+# ---------------------------------------------------------------------------
+#
+# Descriptors are small tuples so that plans are cheap to build, hash and
+# cache.  Kinds:
+#   ("const", value)                       constant (already masked)
+#   ("ref", slot)                          whole-component reference
+#   ("bits", slot, low, mask)              bit-field reference
+#   ("concat", ((field_desc, offset), ...))  multi-field concatenation
+
+
+def lower_expression(expression: Expression, slots: dict[str, int]) -> tuple:
+    """Lower *expression* to a descriptor against the slot assignment."""
+    if expression.is_constant:
+        return ("const", expression.constant_value())
+    fields = expression.fields
+    if len(fields) == 1:
+        return _lower_field(fields[0], slots)
+    parts: list[tuple[tuple, int]] = []
+    offset = 0
+    for f in reversed(fields):
+        parts.append((_lower_field(f, slots), offset))
+        width = f.width
+        offset = WORD_BITS if width is None else offset + width
+    return ("concat", tuple(parts))
+
+
+def _lower_field(f, slots: dict[str, int]) -> tuple:
+    if f.is_constant:
+        return ("const", f.evaluate(lambda name: 0))
+    assert isinstance(f, ComponentRef)
+    slot = slots[f.name]
+    if f.low is None:
+        return ("ref", slot)
+    width = f.width
+    assert width is not None
+    return ("bits", slot, f.low, mask_for_width(width))
+
+
+def bind_pull(desc: tuple, values: list[int]) -> Pull:
+    """Bind a descriptor to *values*, returning a zero-argument producer.
+
+    Whole-component references mask on read (like the interpreter's
+    ``ComponentRef.evaluate``) because stored values may be raw — e.g. a
+    memory-mapped input or an override hook can deposit anything.
+    """
+    kind = desc[0]
+    if kind == "const":
+        constant = desc[1]
+        return lambda: constant
+    if kind == "ref":
+        slot = desc[1]
+        return lambda: values[slot] & WORD_MASK
+    if kind == "bits":
+        _, slot, low, mask = desc
+        if low == 0:
+            return lambda: values[slot] & mask
+        return lambda: (values[slot] >> low) & mask
+    parts = tuple(
+        (bind_pull(part, values), offset) for part, offset in desc[1]
+    )
+    if len(parts) == 2:
+        (pull_a, off_a), (pull_b, off_b) = parts
+        return lambda: ((pull_a() << off_a) | (pull_b() << off_b)) & WORD_MASK
+
+    def pull() -> int:
+        result = 0
+        for part_pull, offset in parts:
+            result |= part_pull() << offset
+        return result & WORD_MASK
+
+    return pull
+
+
+# ---------------------------------------------------------------------------
+# ALU compute closures, specialised per constant function code
+# ---------------------------------------------------------------------------
+
+_M = WORD_MASK
+
+
+def _alu_zero(l: Pull, r: Pull) -> Pull:
+    return lambda: 0
+
+
+def _alu_right(l: Pull, r: Pull) -> Pull:
+    return r
+
+
+def _alu_left(l: Pull, r: Pull) -> Pull:
+    return l
+
+
+def _alu_not(l: Pull, r: Pull) -> Pull:
+    return lambda: _M - l()
+
+
+def _alu_add(l: Pull, r: Pull) -> Pull:
+    return lambda: (l() + r()) & _M
+
+
+def _alu_sub(l: Pull, r: Pull) -> Pull:
+    return lambda: (l() - r()) & _M
+
+
+def _alu_shift_left(l: Pull, r: Pull) -> Pull:
+    return lambda: shift_left(l(), r())
+
+
+def _alu_mul(l: Pull, r: Pull) -> Pull:
+    return lambda: (l() * r()) & _M
+
+
+def _alu_and(l: Pull, r: Pull) -> Pull:
+    return lambda: l() & r()
+
+
+def _alu_or(l: Pull, r: Pull) -> Pull:
+    return lambda: l() | r()
+
+
+def _alu_xor(l: Pull, r: Pull) -> Pull:
+    return lambda: l() ^ r()
+
+
+def _alu_eq(l: Pull, r: Pull) -> Pull:
+    return lambda: 1 if l() == r() else 0
+
+
+def _alu_lt(l: Pull, r: Pull) -> Pull:
+    return lambda: 1 if l() < r() else 0
+
+
+#: Closure builders indexed by ALU function code (mirrors ``dologic``).
+ALU_CLOSURE_BUILDERS: tuple[Callable[[Pull, Pull], Pull], ...] = (
+    _alu_zero,       # 0 zero
+    _alu_right,      # 1 right
+    _alu_left,       # 2 left
+    _alu_not,        # 3 not-left
+    _alu_add,        # 4 add
+    _alu_sub,        # 5 subtract
+    _alu_shift_left, # 6 shift-left
+    _alu_mul,        # 7 multiply
+    _alu_and,        # 8 and
+    _alu_or,         # 9 or
+    _alu_xor,        # 10 xor
+    _alu_zero,       # 11 unused
+    _alu_eq,         # 12 equal
+    _alu_lt,         # 13 less-than
+)
+
+
+# ---------------------------------------------------------------------------
+# Runtime context: everything a bind function may close over
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunContext:
+    """Mutable per-run state the bound closures operate on."""
+
+    #: flat value array: combinational slots, memory-output slots, latch slots
+    values: list[int]
+    #: one mutable cell list per memory, keyed by name
+    memory_arrays: dict[str, list[int]]
+    #: single-element list holding the current cycle (shared by all closures)
+    cycle_box: list[int]
+    io: object = None
+    stats: object = None
+    override: Callable[[str, int, int], int] | None = None
+    trace_log: object = None
+    trace_accesses: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Component plans
+# ---------------------------------------------------------------------------
+
+
+def _plan_alu(alu: Alu, slots: dict[str, int]):
+    """Build the bind function for one ALU."""
+    name = alu.name
+    slot = slots[name]
+    left_desc = lower_expression(alu.left, slots)
+    right_desc = lower_expression(alu.right, slots)
+    constant_funct: int | None = None
+    funct_desc: tuple | None = None
+    if alu.funct.is_constant:
+        code = alu.funct.constant_value()
+        if 0 <= code < FUNCTION_COUNT:
+            constant_funct = code
+        else:
+            funct_desc = ("const", code)
+    else:
+        funct_desc = lower_expression(alu.funct, slots)
+
+    def bind(ctx: RunContext) -> Op:
+        values = ctx.values
+        left = bind_pull(left_desc, values)
+        right = bind_pull(right_desc, values)
+        override = ctx.override
+        stats = ctx.stats
+        cycle_box = ctx.cycle_box
+        if constant_funct is not None:
+            compute = ALU_CLOSURE_BUILDERS[constant_funct](left, right)
+            if override is None and stats is None:
+                def op() -> None:
+                    values[slot] = compute()
+                return op
+            record = stats.record_alu_function if stats is not None else None
+            code = constant_funct
+
+            def op() -> None:
+                value = compute()
+                if record is not None:
+                    record(code)
+                if override is not None:
+                    value = override(name, value, cycle_box[0])
+                values[slot] = value
+            return op
+
+        funct = bind_pull(funct_desc, values)
+        record = stats.record_alu_function if stats is not None else None
+
+        def op() -> None:
+            code = funct()
+            if not 0 <= code < FUNCTION_COUNT:
+                raise InvalidAluFunctionError(
+                    f"ALU '{name}' computed function code {code}", cycle_box[0]
+                )
+            if record is not None:
+                record(code)
+            value = dologic(code, left(), right())
+            if override is not None:
+                value = override(name, value, cycle_box[0])
+            values[slot] = value
+        return op
+
+    return bind
+
+
+def _plan_selector(selector: Selector, slots: dict[str, int]):
+    """Build the bind function for one selector."""
+    name = selector.name
+    slot = slots[name]
+    count = selector.case_count
+    select_desc = lower_expression(selector.select, slots)
+    case_descs = tuple(lower_expression(c, slots) for c in selector.cases)
+    constant_cases: tuple[int, ...] | None = None
+    if all(desc[0] == "const" for desc in case_descs):
+        constant_cases = tuple(desc[1] for desc in case_descs)
+
+    def bind(ctx: RunContext) -> Op:
+        values = ctx.values
+        select = bind_pull(select_desc, values)
+        override = ctx.override
+        stats = ctx.stats
+        cycle_box = ctx.cycle_box
+        plain = override is None and stats is None
+        if constant_cases is not None:
+            table = constant_cases
+            if plain:
+                def op() -> None:
+                    index = select()
+                    if index >= count:
+                        raise SelectorRangeError(
+                            f"selector '{name}' index {index} exceeds its "
+                            f"{count} cases", cycle_box[0],
+                        )
+                    values[slot] = table[index]
+                return op
+        cases = tuple(bind_pull(desc, values) for desc in case_descs)
+        if plain:
+            def op() -> None:
+                index = select()
+                if index >= count:
+                    raise SelectorRangeError(
+                        f"selector '{name}' index {index} exceeds its "
+                        f"{count} cases", cycle_box[0],
+                    )
+                values[slot] = cases[index]()
+            return op
+
+        record = stats.record_selector_case if stats is not None else None
+
+        def op() -> None:
+            index = select()
+            if index >= count:
+                raise SelectorRangeError(
+                    f"selector '{name}' index {index} exceeds its "
+                    f"{count} cases", cycle_box[0],
+                )
+            if record is not None:
+                record(name, index)
+            value = cases[index]()
+            if override is not None:
+                value = override(name, value, cycle_box[0])
+            values[slot] = value
+        return op
+
+    return bind
+
+
+def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
+    """Build the (latch, apply) bind functions for one memory.
+
+    ``latch_base`` indexes three scratch slots in the values list holding
+    this memory's latched address / data / operation for the current cycle,
+    so every memory sees a consistent pre-update view (all registers clock
+    together) without allocating a request object per cycle.
+    """
+    name = memory.name
+    out_slot = slots[name]
+    size = memory.size
+    address_desc = lower_expression(memory.address, slots)
+    data_desc = lower_expression(memory.data, slots)
+    operation_desc = lower_expression(memory.operation, slots)
+    addr_slot, data_slot, op_slot = latch_base, latch_base + 1, latch_base + 2
+
+    def bind_latch(ctx: RunContext) -> Op:
+        values = ctx.values
+        address = bind_pull(address_desc, values)
+        data = bind_pull(data_desc, values)
+        operation = bind_pull(operation_desc, values)
+
+        def op() -> None:
+            values[addr_slot] = address()
+            values[data_slot] = data()
+            values[op_slot] = operation()
+        return op
+
+    def bind_apply(ctx: RunContext) -> Op:
+        values = ctx.values
+        cells = ctx.memory_arrays[name]
+        io = ctx.io
+        cycle_box = ctx.cycle_box
+        override = ctx.override
+        stats = ctx.stats
+        trace_log = ctx.trace_log if ctx.trace_accesses else None
+        plain = override is None and stats is None and trace_log is None
+        io_read = io.read
+        io_write = io.write
+
+        if plain:
+            def op() -> None:
+                op_word = values[op_slot] & 3
+                address = values[addr_slot]
+                if op_word == 0:
+                    if address >= size:
+                        raise MemoryRangeError(
+                            f"memory '{name}' address {address} outside its "
+                            f"declared range 0..{size - 1}", cycle_box[0],
+                        )
+                    values[out_slot] = cells[address]
+                elif op_word == 1:
+                    if address >= size:
+                        raise MemoryRangeError(
+                            f"memory '{name}' address {address} outside its "
+                            f"declared range 0..{size - 1}", cycle_box[0],
+                        )
+                    values[out_slot] = cells[address] = values[data_slot]
+                elif op_word == 2:
+                    values[out_slot] = io_read(address, cycle=cycle_box[0])
+                else:
+                    data = values[data_slot]
+                    io_write(address, data, cycle=cycle_box[0])
+                    values[out_slot] = data
+            return op
+
+        record = stats.record_memory_access if stats is not None else None
+
+        def op() -> None:
+            op_word = values[op_slot]
+            operation = op_word & 3
+            address = values[addr_slot]
+            if operation == 0:
+                if address >= size:
+                    raise MemoryRangeError(
+                        f"memory '{name}' address {address} outside its "
+                        f"declared range 0..{size - 1}", cycle_box[0],
+                    )
+                output = cells[address]
+            elif operation == 1:
+                if address >= size:
+                    raise MemoryRangeError(
+                        f"memory '{name}' address {address} outside its "
+                        f"declared range 0..{size - 1}", cycle_box[0],
+                    )
+                output = cells[address] = values[data_slot]
+            elif operation == 2:
+                output = io_read(address, cycle=cycle_box[0])
+            else:
+                output = values[data_slot]
+                io_write(address, output, cycle=cycle_box[0])
+            values[out_slot] = output
+            if override is not None:
+                values[out_slot] = override(name, output, cycle_box[0])
+            if record is not None:
+                record(name, op_word, address)
+            if trace_log is not None:
+                if (op_word & 5) == 5:
+                    trace_log.record_access(
+                        cycle_box[0], name, "write", address, output
+                    )
+                elif (op_word & 9) == 8:
+                    trace_log.record_access(
+                        cycle_box[0], name, "read", address, output
+                    )
+        return op
+
+    return bind_latch, bind_apply
+
+
+# ---------------------------------------------------------------------------
+# The whole program
+# ---------------------------------------------------------------------------
+
+
+class ThreadedProgram:
+    """A specification lowered to closure plans, ready to bind and run.
+
+    Built once per ``prepare``; :meth:`bind` is called at the start of every
+    ``run`` to close the plans over that run's mutable state.
+    """
+
+    def __init__(self, spec: Specification) -> None:
+        self.spec = spec
+        self.ordered = sort_combinational(spec)
+        self.memories = spec.memories()
+        # slot layout: combinational values, then memory outputs, then three
+        # latch scratch slots per memory
+        self.slots: dict[str, int] = {}
+        for component in self.ordered:
+            self.slots[component.name] = len(self.slots)
+        for memory in self.memories:
+            self.slots[memory.name] = len(self.slots)
+        self.latch_base = len(self.slots)
+        self.value_count = self.latch_base + 3 * len(self.memories)
+
+        self._combinational_binds = []
+        for component in self.ordered:
+            if isinstance(component, Alu):
+                self._combinational_binds.append(_plan_alu(component, self.slots))
+            else:
+                assert isinstance(component, Selector)
+                self._combinational_binds.append(
+                    _plan_selector(component, self.slots)
+                )
+        self._memory_binds = []
+        for index, memory in enumerate(self.memories):
+            self._memory_binds.append(
+                _plan_memory(memory, self.slots, self.latch_base + 3 * index)
+            )
+
+    # -- per-run state ------------------------------------------------------
+
+    def initial_values(self) -> list[int]:
+        """Fresh values array: zeros plus each memory's initial output."""
+        values = [0] * self.value_count
+        for memory in self.memories:
+            values[self.slots[memory.name]] = memory.initial_output
+        return values
+
+    def initial_memory_arrays(self) -> dict[str, list[int]]:
+        return {
+            memory.name: memory.initial_cell_values()
+            for memory in self.memories
+        }
+
+    def bind(self, ctx: RunContext, traced_names: list[str] | None = None,
+             trace_limit: int | None = None) -> list[Op]:
+        """Bind every plan to *ctx* and return the flat per-cycle op list."""
+        ops: list[Op] = [bind(ctx) for bind in self._combinational_binds]
+        if traced_names:
+            ops.append(self._bind_cycle_trace(ctx, traced_names, trace_limit))
+        latch_ops = []
+        apply_ops = []
+        for bind_latch, bind_apply in self._memory_binds:
+            latch_ops.append(bind_latch(ctx))
+            apply_ops.append(bind_apply(ctx))
+        ops.extend(latch_ops)
+        ops.extend(apply_ops)
+        return ops
+
+    def _bind_cycle_trace(self, ctx: RunContext, traced_names: list[str],
+                          limit: int | None) -> Op:
+        values = ctx.values
+        cycle_box = ctx.cycle_box
+        trace_log = ctx.trace_log
+        pairs = tuple((name, self.slots[name]) for name in traced_names)
+        record = trace_log.record_cycle
+
+        def op() -> None:
+            if limit is not None and len(trace_log.cycles) >= limit:
+                return
+            # raw stored values, exactly like the interpreter's state.lookup
+            # (an override or memory-mapped input may deposit out-of-word
+            # values; the trace shows them unmasked on both backends)
+            record(
+                cycle_box[0],
+                {name: values[slot] for name, slot in pairs},
+            )
+        return op
+
+    # -- results ------------------------------------------------------------
+
+    def visible_values(self, values: list[int]) -> dict[str, int]:
+        """Final values dict in the interpreter's (definition) order."""
+        slots = self.slots
+        return {
+            component.name: values[slots[component.name]]
+            for component in self.spec.components
+        }

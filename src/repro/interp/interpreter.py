@@ -34,7 +34,7 @@ from repro.interp.evaluator import (
     latch_memory_request,
 )
 from repro.interp.state import MachineState
-from repro.rtl.components import Alu, Selector
+from repro.rtl.components import Alu
 from repro.rtl.dependency import sort_combinational
 from repro.rtl.spec import Specification
 
@@ -47,76 +47,12 @@ class InterpreterSimulation(PreparedSimulation):
                          prepare_seconds=prepare_seconds)
         self._ordered = sort_combinational(spec)
         self._memories = spec.memories()
-
-    # -- single cycle -------------------------------------------------------------
-
-    def _step(
-        self,
-        state: MachineState,
-        io: IOSystem,
-        trace_log: TraceLog,
-        options: TraceOptions,
-        stats: SimulationStats | None,
-        override: ValueOverride | None,
-        traced_names: list[str],
-    ) -> None:
-        # 1. combinational components, producers before consumers
-        for component in self._ordered:
-            if isinstance(component, Alu):
-                funct, value = evaluate_alu(component, state)
-                if stats is not None:
-                    stats.record_alu_function(funct)
-            else:
-                assert isinstance(component, Selector)
-                index, value = evaluate_selector(component, state)
-                if stats is not None:
-                    stats.record_selector_case(component.name, index)
-            if override is not None:
-                value = override(component.name, value, state.cycle)
-            state.set_value(component.name, value)
-        if stats is not None:
-            stats.record_evaluation(len(self._ordered) + len(self._memories))
-
-        # 2. cycle trace: traced values as used during this cycle
-        if options.trace_cycles and traced_names:
-            within_limit = options.limit is None or len(trace_log.cycles) < options.limit
-            if within_limit:
-                trace_log.record_cycle(
-                    state.cycle,
-                    {name: state.lookup(name) for name in traced_names},
-                )
-
-        # 3. latch every memory's request against the pre-update state ...
-        requests = [latch_memory_request(memory, state) for memory in self._memories]
-
-        # 4. ... then apply them all
-        for request in requests:
-            effect = apply_memory_request(request, state, io)
-            if override is not None:
-                state.set_memory_output(
-                    request.memory.name,
-                    override(request.memory.name,
-                             state.memory_outputs[request.memory.name],
-                             state.cycle),
-                )
-            if stats is not None:
-                stats.record_memory_access(
-                    effect.memory, effect.operation, effect.address
-                )
-            if options.trace_memory_accesses:
-                if effect.trace_write:
-                    trace_log.record_access(
-                        state.cycle, effect.memory, "write",
-                        effect.address, effect.new_output,
-                    )
-                if effect.trace_read:
-                    trace_log.record_access(
-                        state.cycle, effect.memory, "read",
-                        effect.address, effect.new_output,
-                    )
-        if stats is not None:
-            stats.record_cycle()
-        state.cycle += 1
+        # pre-resolved (is_alu, component) pairs: the run loop dispatches on
+        # a boolean instead of isinstance() per component per cycle
+        self._typed = tuple(
+            (isinstance(component, Alu), component)
+            for component in self._ordered
+        )
 
     # -- full run --------------------------------------------------------------------
 
@@ -141,11 +77,83 @@ class InterpreterSimulation(PreparedSimulation):
         stats = SimulationStats() if collect_stats else None
         state = MachineState.initial(spec)
 
+        # Hoist every method/attribute lookup of the cycle loop into
+        # prebound locals.
+        typed = self._typed
+        memories = self._memories
+        eval_alu = evaluate_alu
+        eval_selector = evaluate_selector
+        latch = latch_memory_request
+        apply_request = apply_memory_request
+        values = state.values
+        memory_outputs = state.memory_outputs
+        lookup = state.lookup
+        set_output = state.set_memory_output
+        record_cycle = trace_log.record_cycle
+        record_access = trace_log.record_access
+        record_alu = stats.record_alu_function if stats is not None else None
+        record_selector = stats.record_selector_case if stats is not None else None
+        record_memory = stats.record_memory_access if stats is not None else None
+        do_cycle_trace = options.trace_cycles and bool(traced_names)
+        trace_limit = options.limit
+        trace_memory = options.trace_memory_accesses
+        evaluations = len(self._ordered) + len(memories)
+
         start = time.perf_counter()
         for _ in range(cycle_count):
-            self._step(
-                state, io_system, trace_log, options, stats, override, traced_names
-            )
+            # 1. combinational components, producers before consumers
+            for is_alu, component in typed:
+                if is_alu:
+                    funct, value = eval_alu(component, state)
+                    if record_alu is not None:
+                        record_alu(funct)
+                else:
+                    index, value = eval_selector(component, state)
+                    if record_selector is not None:
+                        record_selector(component.name, index)
+                if override is not None:
+                    value = override(component.name, value, state.cycle)
+                values[component.name] = value
+            if stats is not None:
+                stats.component_evaluations += evaluations
+
+            # 2. cycle trace: traced values as used during this cycle
+            if do_cycle_trace and (
+                trace_limit is None or len(trace_log.cycles) < trace_limit
+            ):
+                record_cycle(
+                    state.cycle,
+                    {name: lookup(name) for name in traced_names},
+                )
+
+            # 3. latch every memory's request against the pre-update state,
+            #    then apply them all
+            requests = [latch(memory, state) for memory in memories]
+            for request in requests:
+                effect = apply_request(request, state, io_system)
+                if override is not None:
+                    set_output(
+                        request.memory.name,
+                        override(request.memory.name,
+                                 memory_outputs[request.memory.name],
+                                 state.cycle),
+                    )
+                if record_memory is not None:
+                    record_memory(effect.memory, effect.operation, effect.address)
+                if trace_memory:
+                    if effect.trace_write:
+                        record_access(
+                            state.cycle, effect.memory, "write",
+                            effect.address, effect.new_output,
+                        )
+                    if effect.trace_read:
+                        record_access(
+                            state.cycle, effect.memory, "read",
+                            effect.address, effect.new_output,
+                        )
+            if stats is not None:
+                stats.cycles += 1
+            state.cycle += 1
         run_seconds = time.perf_counter() - start
 
         return SimulationResult(

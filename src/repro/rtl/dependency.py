@@ -75,30 +75,45 @@ def _find_cycle(depends_on: dict[str, set[str]], unresolved: set[str]) -> list[s
 def sort_combinational(spec: Specification) -> list[Component]:
     """Topologically sort ALUs and selectors (dependencies first).
 
-    The sort is stable with respect to definition order among components
-    whose dependencies are satisfied at the same step.  Raises
-    :class:`CircularDependencyError` naming the components of one cycle.
+    Kahn's algorithm, processed level by level so the result is stable with
+    respect to definition order among components whose dependencies are
+    satisfied at the same step: each level holds the components whose last
+    dependency resolved in the previous level, sorted by definition order.
+    Every component and edge is visited once — O(V + E), where the previous
+    implementation re-scanned the whole pending list per level (O(V²) on a
+    dependency chain).  Raises :class:`CircularDependencyError` naming the
+    components of one cycle.
     """
     graph = build_dependency_graph(spec)
     combinational = spec.combinational()
-    remaining_deps = {
-        component.name: set(graph.depends_on[component.name])
+    definition_index = {
+        component.name: index for index, component in enumerate(combinational)
+    }
+    by_name = {component.name: component for component in combinational}
+    indegree = {
+        component.name: len(graph.depends_on[component.name])
         for component in combinational
     }
+    consumers = graph.consumers
+
     ordered: list[Component] = []
-    pending = list(combinational)
-    while pending:
-        ready = [c for c in pending if not remaining_deps[c.name]]
-        if not ready:
-            unresolved = {c.name for c in pending}
-            cycle = _find_cycle(graph.depends_on, unresolved)
-            raise CircularDependencyError(cycle)
-        ready_names = {component.name for component in ready}
-        for component in ready:
-            ordered.append(component)
-            for consumer in graph.consumers_of(component.name):
-                remaining_deps.get(consumer, set()).discard(component.name)
-        pending = [c for c in pending if c.name not in ready_names]
+    level = [c.name for c in combinational if indegree[c.name] == 0]
+    while level:
+        next_level: list[str] = []
+        for name in level:
+            ordered.append(by_name[name])
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    next_level.append(consumer)
+        next_level.sort(key=definition_index.__getitem__)
+        level = next_level
+    if len(ordered) < len(combinational):
+        unresolved = {
+            name for name, degree in indegree.items() if degree > 0
+        }
+        cycle = _find_cycle(graph.depends_on, unresolved)
+        raise CircularDependencyError(cycle)
     return ordered
 
 

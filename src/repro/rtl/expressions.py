@@ -26,7 +26,7 @@ from repro.errors import (
     MalformedNumberError,
 )
 from repro.rtl import numbers
-from repro.rtl.bits import WORD_BITS, mask_for_width, mask_word
+from repro.rtl.bits import WORD_BITS, WORD_MASK, mask_for_width, mask_word
 
 #: Type of the value-lookup callable handed to :meth:`Expression.evaluate`.
 ValueLookup = Callable[[str], int]
@@ -78,6 +78,13 @@ class ConstantField(Field):
             raise MalformedExpressionError(
                 f"constant width must be positive, got {self.explicit_width}"
             )
+        # Pre-mask once: evaluate() runs every cycle on the interpreter's
+        # hot path (the dataclass is frozen, hence object.__setattr__).
+        if self.explicit_width is None:
+            masked = mask_word(self.value)
+        else:
+            masked = self.value & mask_for_width(self.explicit_width)
+        object.__setattr__(self, "_masked_value", masked)
 
     @property
     def width(self) -> int | None:
@@ -89,12 +96,10 @@ class ConstantField(Field):
 
     @property
     def masked_value(self) -> int:
-        if self.explicit_width is None:
-            return mask_word(self.value)
-        return self.value & mask_for_width(self.explicit_width)
+        return self._masked_value
 
     def evaluate(self, lookup: ValueLookup) -> int:
-        return self.masked_value
+        return self._masked_value
 
     def to_python(self, resolve: NameResolver) -> str:
         return str(self.masked_value)
@@ -158,6 +163,15 @@ class ComponentRef(Field):
             raise MalformedExpressionError(
                 f"bit field {self.low}..{self.high} of '{self.name}' is reversed"
             )
+        # Pre-compute the field mask once; evaluate() runs every cycle on the
+        # interpreter's hot path (frozen dataclass, hence object.__setattr__).
+        if self.low is None:
+            mask = None
+        elif self.high is None:
+            mask = 1
+        else:
+            mask = mask_for_width(self.high - self.low + 1)
+        object.__setattr__(self, "_field_mask", mask)
 
     @property
     def width(self) -> int | None:
@@ -171,12 +185,10 @@ class ComponentRef(Field):
         yield self.name
 
     def evaluate(self, lookup: ValueLookup) -> int:
-        value = lookup(self.name)
-        if self.low is None:
-            return mask_word(value)
-        width = self.width
-        assert width is not None
-        return (value >> self.low) & mask_for_width(width)
+        mask = self._field_mask
+        if mask is None:
+            return mask_word(lookup(self.name))
+        return (lookup(self.name) >> self.low) & mask
 
     def to_python(self, resolve: NameResolver) -> str:
         ref = resolve(self.name)
@@ -208,6 +220,17 @@ class Expression:
         if not self.fields:
             raise MalformedExpressionError("empty expression")
         self._check_widths()
+        # Pre-compute the concatenation layout — (field, shift, width mask or
+        # None for the unbounded leftmost field) — so evaluate() does no
+        # width arithmetic per cycle (frozen dataclass: object.__setattr__).
+        layout = []
+        offset = 0
+        for field in reversed(self.fields):
+            width = field.width
+            mask = None if width is None else mask_for_width(width)
+            layout.append((field, offset, mask))
+            offset = WORD_BITS if width is None else offset + width
+        object.__setattr__(self, "_layout", tuple(layout))
 
     def _check_widths(self) -> None:
         """Static width check: bounded fields must fit in the word and an
@@ -268,18 +291,18 @@ class Expression:
 
     def evaluate(self, lookup: ValueLookup) -> int:
         """Evaluate against *lookup*, which maps component name -> value."""
+        layout = self._layout
+        if len(layout) == 1:
+            # single field: its own evaluate already masks to width
+            return layout[0][0].evaluate(lookup) & WORD_MASK
         result = 0
-        offset = 0
-        for field in reversed(self.fields):
+        for field, offset, mask in layout:
             value = field.evaluate(lookup)
-            width = field.width
-            if width is None:
+            if mask is None:
                 result |= value << offset
-                offset = WORD_BITS
             else:
-                result |= (value & mask_for_width(width)) << offset
-                offset += width
-        return mask_word(result)
+                result |= (value & mask) << offset
+        return result & WORD_MASK
 
     def evaluate_in(self, values: Mapping[str, int]) -> int:
         """Convenience wrapper: evaluate against a mapping of values."""

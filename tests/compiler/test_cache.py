@@ -1,0 +1,142 @@
+"""Unit tests for the prepare cache (hash-keyed generate/compile skipping)."""
+
+import pytest
+
+from repro.compiler.cache import (
+    PrepareCache,
+    clear_prepare_cache,
+    prepare_cache_stats,
+    spec_fingerprint,
+)
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.optimizer import CodegenOptions
+from repro.compiler.threaded import ThreadedBackend
+from repro.rtl.parser import parse_spec
+
+
+@pytest.fixture
+def private_cache():
+    return PrepareCache(max_entries=4)
+
+
+class TestFingerprint:
+    def test_stable_across_reparses(self, counter_spec_text):
+        first = spec_fingerprint(parse_spec(counter_spec_text))
+        second = spec_fingerprint(parse_spec(counter_spec_text))
+        assert first == second
+
+    def test_source_name_does_not_matter(self, counter_spec_text):
+        a = parse_spec(counter_spec_text, source_name="a.asim")
+        b = parse_spec(counter_spec_text, source_name="b.asim")
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_component_changes_matter(self, counter_spec_text):
+        original = parse_spec(counter_spec_text)
+        changed = parse_spec(counter_spec_text.replace("next 7", "next 3"))
+        assert spec_fingerprint(original) != spec_fingerprint(changed)
+
+    def test_trace_marks_matter(self, counter_spec_text):
+        plain = parse_spec(counter_spec_text.replace("count*", "count"))
+        traced = parse_spec(counter_spec_text)
+        assert spec_fingerprint(plain) != spec_fingerprint(traced)
+
+
+class TestPrepareCacheUnit:
+    def test_get_or_create_counts_hits_and_misses(self, private_cache):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "artifact"
+
+        first, hit1 = private_cache.get_or_create(("k",), factory)
+        second, hit2 = private_cache.get_or_create(("k",), factory)
+        assert (first, hit1) == ("artifact", False)
+        assert (second, hit2) == ("artifact", True)
+        assert len(calls) == 1
+        assert private_cache.stats.hits == 1
+        assert private_cache.stats.misses == 1
+        assert private_cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, private_cache):
+        for index in range(6):
+            private_cache.get_or_create((index,), lambda: index)
+        assert len(private_cache) == 4
+        assert private_cache.stats.evictions == 2
+
+    def test_clear_resets_everything(self, private_cache):
+        private_cache.get_or_create(("k",), lambda: 1)
+        private_cache.clear()
+        assert len(private_cache) == 0
+        assert private_cache.stats.requests == 0
+
+
+class TestCompiledBackendCaching:
+    def test_second_prepare_skips_generation(self, counter_spec, private_cache):
+        backend = CompiledBackend(cache=private_cache)
+        first = backend.prepare(counter_spec)
+        second = backend.prepare(counter_spec)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert private_cache.stats.hits == 1
+        # generation phases were skipped entirely on the hit
+        assert second.generate_seconds == 0.0
+        assert second.compile_seconds == 0.0
+        assert second.source == first.source
+
+    def test_hit_produces_identical_results(self, counter_spec, private_cache):
+        backend = CompiledBackend(cache=private_cache)
+        first = backend.prepare(counter_spec).run(cycles=10)
+        second = backend.prepare(counter_spec).run(cycles=10)
+        assert first.final_values == second.final_values
+        assert first.output_integers() == second.output_integers()
+
+    def test_identical_spec_from_different_objects_hits(
+        self, counter_spec_text, private_cache
+    ):
+        backend = CompiledBackend(cache=private_cache)
+        backend.prepare(parse_spec(counter_spec_text))
+        again = backend.prepare(parse_spec(counter_spec_text))
+        assert again.cache_hit
+
+    def test_different_options_do_not_collide(self, counter_spec, private_cache):
+        CompiledBackend(cache=private_cache).prepare(counter_spec)
+        other = CompiledBackend(
+            CodegenOptions.unoptimized(), cache=private_cache
+        ).prepare(counter_spec)
+        assert not other.cache_hit
+
+    def test_cache_disabled(self, counter_spec):
+        backend = CompiledBackend(cache=False)
+        assert not backend.prepare(counter_spec).cache_hit
+        assert not backend.prepare(counter_spec).cache_hit
+
+
+class TestThreadedBackendCaching:
+    def test_second_prepare_reuses_program(self, counter_spec, private_cache):
+        backend = ThreadedBackend(cache=private_cache)
+        first = backend.prepare(counter_spec)
+        second = backend.prepare(counter_spec)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.program is first.program
+
+    def test_specopt_config_is_part_of_the_key(self, counter_spec, private_cache):
+        ThreadedBackend(specopt=True, cache=private_cache).prepare(counter_spec)
+        other = ThreadedBackend(
+            specopt=False, cache=private_cache
+        ).prepare(counter_spec)
+        assert not other.cache_hit
+
+
+class TestGlobalCache:
+    def test_global_counters_accumulate(self, counter_spec):
+        clear_prepare_cache()
+        backend = CompiledBackend()  # defaults to the process-wide cache
+        backend.prepare(counter_spec)
+        backend.prepare(counter_spec)
+        stats = prepare_cache_stats()
+        assert stats.misses >= 1
+        assert stats.hits >= 1
+        clear_prepare_cache()
+        assert prepare_cache_stats().requests == 0

@@ -1,0 +1,165 @@
+"""Unit tests for the spec-level optimization pipeline."""
+
+import pytest
+
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.specopt import (
+    SpecOptPasses,
+    optimize_spec,
+    resolve_passes,
+    restore_observables,
+)
+from repro.compiler.threaded import ThreadedBackend
+from repro.interp.interpreter import InterpreterBackend
+from repro.rtl.parser import parse_spec
+
+CONSTANT_CHAIN = """\
+# constant chain
+five ten fifteen user r .
+A five 4 2 3
+A ten 7 five 2
+A fifteen 4 ten five
+A user 4 r fifteen
+M r 0 user 1 1
+.
+"""
+
+DUPLICATES = """\
+# duplicated logic
+inc1 inc2 masked r .
+A inc1 4 r 1
+A inc2 4 r 1
+A masked 8 inc2 7
+M r 0 masked 1 1
+.
+"""
+
+FORWARD_REFERENCE = """\
+# consumer defined before its constant producer
+user k r .
+A user 4 r k
+A k 4 20 22
+M r 0 user 1 1
+.
+"""
+
+
+class TestConstantPropagation:
+    def test_chain_folds_and_is_eliminated(self):
+        spec = parse_spec(CONSTANT_CHAIN)
+        optimized, report = optimize_spec(spec)
+        assert report.constant_components == {
+            "five": 5, "ten": 10, "fifteen": 15,
+        }
+        assert dict(report.eliminated) == {"five": 5, "ten": 10, "fifteen": 15}
+        assert optimized.component_names() == ["user", "r"]
+        # the surviving consumer now reads a literal
+        user = optimized.component("user")
+        assert user.right.is_constant
+        assert user.right.constant_value() == 15
+
+    def test_traced_constants_survive(self):
+        spec = parse_spec(CONSTANT_CHAIN.replace("five ten", "five* ten"))
+        optimized, report = optimize_spec(spec)
+        assert "five" in optimized.component_names()
+        assert dict(report.eliminated) == {"ten": 10, "fifteen": 15}
+
+    def test_forward_references_are_resolved(self):
+        spec = parse_spec(FORWARD_REFERENCE)
+        optimized, report = optimize_spec(spec)
+        assert report.constant_components == {"k": 42}
+        assert optimized.undefined_references() == set()
+        assert optimized.component("user").right.constant_value() == 42
+
+    def test_bit_field_references_fold_to_extracted_bits(self):
+        spec = parse_spec(
+            "# bits\nk low r .\nA k 4 12 0\nA low 4 r k.2.3\nM r 0 low 1 1\n."
+        )
+        optimized, report = optimize_spec(spec)
+        # k = 12 = 0b1100, bits 2..3 = 0b11 = 3
+        assert optimized.component("low").right.constant_value() == 3
+
+    def test_out_of_range_selector_not_folded(self):
+        spec = parse_spec(
+            "# bad sel\ns r .\nS s 5 1 2\nM r 0 s 1 1\n.", validate=False
+        )
+        optimized, report = optimize_spec(spec)
+        assert report.constant_components == {}
+        assert "s" in optimized.component_names()
+
+
+class TestDeduplication:
+    def test_duplicate_alus_merge(self):
+        spec = parse_spec(DUPLICATES)
+        optimized, report = optimize_spec(spec)
+        assert report.merged == (("inc2", "inc1"),)
+        assert "inc2" not in optimized.component_names()
+        # the reader was re-pointed at the survivor
+        masked = optimized.component("masked")
+        assert masked.referenced_names() == {"inc1"}
+
+    def test_merge_can_be_disabled(self):
+        spec = parse_spec(DUPLICATES)
+        optimized, report = optimize_spec(
+            spec, SpecOptPasses(merge_duplicates=False)
+        )
+        assert report.merged == ()
+        assert "inc2" in optimized.component_names()
+
+
+class TestRestoration:
+    def test_restore_rebuilds_final_values(self):
+        spec = parse_spec(CONSTANT_CHAIN)
+        _, report = optimize_spec(spec)
+        final_values = {"user": 16, "r": 16}
+        restore_observables(report, final_values, cycles_run=4)
+        assert final_values["five"] == 5
+        assert final_values["fifteen"] == 15
+
+    def test_restore_with_zero_cycles_matches_initial_state(self):
+        spec = parse_spec(CONSTANT_CHAIN)
+        _, report = optimize_spec(spec)
+        final_values = {"user": 0, "r": 0}
+        restore_observables(report, final_values, cycles_run=0)
+        assert final_values["five"] == 0
+
+    def test_merged_component_copies_survivor(self):
+        spec = parse_spec(DUPLICATES)
+        _, report = optimize_spec(spec)
+        final_values = {"inc1": 9, "masked": 1, "r": 8}
+        restore_observables(report, final_values, cycles_run=3)
+        assert final_values["inc2"] == 9
+
+
+class TestBackendParity:
+    """The pipeline's core claim: observables are bit-identical."""
+
+    @pytest.mark.parametrize("source", [CONSTANT_CHAIN, DUPLICATES,
+                                        FORWARD_REFERENCE])
+    @pytest.mark.parametrize("backend_factory", [
+        lambda: ThreadedBackend(specopt=True, cache=False),
+        lambda: CompiledBackend(specopt=True, cache=False),
+    ])
+    def test_optimized_backends_match_interpreter(self, source, backend_factory):
+        spec = parse_spec(source)
+        reference = InterpreterBackend().run(spec, cycles=10)
+        candidate = backend_factory().run(spec, cycles=10)
+        assert candidate.final_values == reference.final_values
+        assert candidate.memory_contents == reference.memory_contents
+        assert candidate.output_integers() == reference.output_integers()
+
+
+class TestResolvePasses:
+    def test_bool_and_instance_inputs(self):
+        assert resolve_passes(True).any_enabled
+        assert not resolve_passes(False).any_enabled
+        assert not resolve_passes(None).any_enabled
+        custom = SpecOptPasses(merge_duplicates=False)
+        assert resolve_passes(custom) is custom
+
+    def test_report_embeds_component_level_analysis(self):
+        spec = parse_spec(CONSTANT_CHAIN)
+        _, report = optimize_spec(spec)
+        assert report.component_report is not None
+        assert "user" in report.component_report.inlined_alus
+        assert report.summary().startswith("specopt:")

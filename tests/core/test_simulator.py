@@ -4,6 +4,7 @@ import pytest
 
 from repro.compiler.compiled import CompiledBackend
 from repro.compiler.optimizer import CodegenOptions
+from repro.compiler.threaded import ThreadedBackend
 from repro.core.simulator import BACKEND_NAMES, Simulator, make_backend, simulate
 from repro.errors import BackendError
 from repro.interp.interpreter import InterpreterBackend
@@ -13,8 +14,9 @@ from repro.rtl.builder import SpecBuilder
 class TestMakeBackend:
     def test_names(self):
         assert isinstance(make_backend("interpreter"), InterpreterBackend)
+        assert isinstance(make_backend("threaded"), ThreadedBackend)
         assert isinstance(make_backend("compiled"), CompiledBackend)
-        assert set(BACKEND_NAMES) == {"interpreter", "compiled"}
+        assert set(BACKEND_NAMES) == {"interpreter", "threaded", "compiled"}
 
     def test_instance_passthrough(self):
         backend = InterpreterBackend()

@@ -1,16 +1,19 @@
-"""Property-based integration tests: interpreter and compiler always agree.
+"""Property-based integration tests: all backends always agree.
 
 This is the library-wide invariant behind the paper's claim that ASIM II
 "significantly reduces the simulation time over an interpreter while
-maintaining the same functionality": for randomly generated specifications,
-the two backends must produce identical outputs, traces, final values and
-memory contents.
+maintaining the same functionality": for randomly generated specifications
+and for every bundled machine, the interpreter, threaded and compiled
+backends must produce identical outputs, traces, final values and memory
+contents — with and without the spec-level optimization pipeline.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.comparison import compare_backends
+from repro.core.comparison import compare_all_backends, compare_backends
+from repro.machines.library import all_machines, get_machine
 from repro.rtl import alu_ops
 from repro.rtl.builder import SpecBuilder
 
@@ -85,6 +88,19 @@ class TestRandomDatapaths:
         comparison = compare_backends(spec, cycles=cycles)
         assert comparison.equivalent, "\n".join(comparison.mismatches)
 
+    @given(random_datapaths(), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_threaded_backend_agrees(self, spec, cycles):
+        from repro.compiler.threaded import ThreadedBackend
+
+        # specopt on: random datapaths routinely draw duplicate ALUs, which
+        # exercises the merge pass against the interpreter reference
+        comparison = compare_backends(
+            spec, cycles=cycles,
+            candidate=ThreadedBackend(specopt=True, cache=False),
+        )
+        assert comparison.equivalent, "\n".join(comparison.mismatches)
+
     @given(random_datapaths())
     @settings(max_examples=20, deadline=None)
     def test_unoptimized_codegen_agrees_with_optimized(self, spec):
@@ -98,6 +114,43 @@ class TestRandomDatapaths:
             candidate=CompiledBackend(CodegenOptions()),
         )
         assert comparison.equivalent, "\n".join(comparison.mismatches)
+
+
+class TestBundledMachines:
+    """Every machine that ships with the library, on every backend.
+
+    The interpreter is the reference; the threaded and compiled backends
+    must match it bit for bit on final values, memory contents and
+    memory-mapped outputs — with the spec-level optimization pipeline both
+    off and on.
+    """
+
+    #: cycle budget per machine: enough to exercise real behaviour while
+    #: keeping the matrix (6 machines x 2 specopt modes x 2 candidates) fast
+    CYCLE_BUDGET = 600
+
+    @pytest.mark.parametrize(
+        "machine_name", [entry.name for entry in all_machines()]
+    )
+    @pytest.mark.parametrize("specopt", [False, True],
+                             ids=["plain", "specopt"])
+    def test_all_backends_bit_identical(self, machine_name, specopt):
+        entry = get_machine(machine_name)
+        spec = entry.build()
+        cycles = min(entry.demo_cycles, self.CYCLE_BUDGET)
+        results = compare_all_backends(spec, cycles=cycles, specopt=specopt)
+        assert set(results) == {"threaded", "compiled"}
+        for backend_name, comparison in results.items():
+            assert comparison.equivalent, (
+                f"{machine_name} [{backend_name}, specopt={specopt}]:\n  "
+                + "\n  ".join(comparison.mismatches)
+            )
+            reference = comparison.reference
+            candidate = comparison.candidate
+            # spell the bit-identity out explicitly (not just "no mismatch")
+            assert candidate.final_values == reference.final_values
+            assert candidate.memory_contents == reference.memory_contents
+            assert candidate.output_integers() == reference.output_integers()
 
 
 class TestRandomStackPrograms:
