@@ -1,0 +1,204 @@
+"""Serving-layer benchmark: batch throughput vs the naive serve loop.
+
+The serving scenario is many small requests against one machine — the
+ROADMAP's "one cached prepare artifact driving many concurrent
+simulations".  The baseline, labelled *sequential* here, is what a naive
+server does: a fresh (uncached) ``prepare`` followed by one ``run`` per
+request, on one thread.  The batch rows push the same requests through
+:class:`~repro.serving.pool.SimulationPool`, where the pool's single warm
+prepare seeds the cache and every worker reuses the shared artifact.
+
+Simulations are pure Python, so workers interleave on the GIL; the
+measured win is prepare amortisation, not CPU parallelism.  That is why
+the interpreter row (whose prepare is trivial) shows no batch win, while
+the threaded and compiled rows — the backends with a real preparation
+phase — must beat the naive loop.  The module writes the machine-readable
+``BENCH_batch.json`` (runs/sec per backend and pool size), schema-checked
+below exactly like ``BENCH_fig5_1.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.compiler.cache import PrepareCache
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.threaded import ThreadedBackend
+from repro.interp.interpreter import InterpreterBackend
+from repro.serving import RunRequest, SimulationPool
+
+#: Machine-readable batch-throughput trajectory (sibling of BENCH_fig5_1.json).
+BATCH_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+#: Schema version of the batch trajectory file (bump when keys change).
+BATCH_TRAJECTORY_SCHEMA = 1
+
+#: Requests per measurement, cycles per request.  256 cycles keeps each
+#: request small enough that preparation is a real fraction of its cost —
+#: the regime the serving layer exists for.
+BATCH_RUNS = 10
+BATCH_CYCLES = 256
+
+#: Pool sizes measured; the acceptance line is drawn at >= 4 workers.
+POOL_SIZES = (1, 2, 4)
+
+#: Backend rows: (sequential factory with caching off, pooled factory with a
+#: private cache).  The interpreter has no prepare cache on either side.
+_BACKENDS = {
+    "interpreter": (
+        lambda: InterpreterBackend(),
+        lambda: InterpreterBackend(),
+    ),
+    "threaded": (
+        lambda: ThreadedBackend(cache=False),
+        lambda: ThreadedBackend(cache=PrepareCache()),
+    ),
+    "compiled": (
+        lambda: CompiledBackend(cache=False),
+        lambda: CompiledBackend(cache=PrepareCache()),
+    ),
+}
+
+#: The trajectory document written by the measurement test *this session*
+#: (None until it runs), so the schema test never validates a stale file.
+_TRAJECTORY_WRITTEN: dict | None = None
+
+
+def _run_observables(result):
+    return (
+        result.final_values,
+        result.memory_contents,
+        [(event.address, event.value) for event in result.outputs],
+    )
+
+
+def _measure_sequential(backend_factory, spec):
+    """The naive serve loop: per-request prepare (uncached) + run."""
+    reference = None
+    start = time.perf_counter()
+    for _ in range(BATCH_RUNS):
+        result = backend_factory().run(
+            spec, cycles=BATCH_CYCLES, collect_stats=False
+        )
+        reference = _run_observables(result)
+    elapsed = time.perf_counter() - start
+    return BATCH_RUNS / elapsed, reference
+
+
+def _measure_batch(backend_factory, spec, pool_size, reference):
+    """The serving layer: one warm prepare, pooled fan-out."""
+    requests = [RunRequest(cycles=BATCH_CYCLES, collect_stats=False)] * BATCH_RUNS
+    with SimulationPool(spec, backend=backend_factory(),
+                        max_workers=pool_size) as pool:
+        batch = pool.run_batch(requests)
+    assert batch.ok, [str(item.error) for item in batch.failures]
+    # bit-identical to the naive loop, for every run in the batch
+    for item in batch.items:
+        assert _run_observables(item.result) == reference
+    return batch.runs_per_second
+
+
+def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH):
+    document = {
+        "schema": BATCH_TRAJECTORY_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": {
+            "machine": "stack-machine-sieve",
+            "sieve_size": 6,
+            "cycles": BATCH_CYCLES,
+            "runs": BATCH_RUNS,
+        },
+        "pool_sizes": list(POOL_SIZES),
+        "backends": backends,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_batch_throughput_table(benchmark, small_sieve_machine):
+    """Measure every backend × pool size and hold the serving line."""
+    spec = small_sieve_machine.spec
+
+    def measure():
+        rows: dict[str, dict] = {}
+        for name, (sequential_factory, pooled_factory) in _BACKENDS.items():
+            sequential_rps, reference = _measure_sequential(
+                sequential_factory, spec
+            )
+            batch_rps = {
+                str(pool_size): round(
+                    _measure_batch(pooled_factory, spec, pool_size, reference), 3
+                )
+                for pool_size in POOL_SIZES
+            }
+            rows[name] = {
+                "sequential_runs_per_second": round(sequential_rps, 3),
+                "batch_runs_per_second": batch_rps,
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    global _TRAJECTORY_WRITTEN
+    _TRAJECTORY_WRITTEN = write_batch_trajectory(rows)
+
+    lines = ["", "Batch serving throughput (runs/sec, "
+             f"{BATCH_RUNS} runs x {BATCH_CYCLES} cycles, small sieve)"]
+    for name, row in rows.items():
+        batches = "  ".join(
+            f"pool{size}={row['batch_runs_per_second'][str(size)]:8.1f}"
+            for size in POOL_SIZES
+        )
+        lines.append(
+            f"  {name:<12s} sequential={row['sequential_runs_per_second']:8.1f}  "
+            + batches
+        )
+    print("\n".join(lines))
+
+    # ---- the serving layer's acceptance line -------------------------------
+    # the backends with a real preparation phase must beat the naive
+    # per-request-prepare loop once the artifact is cached and pooled
+    for name in ("threaded", "compiled"):
+        sequential = rows[name]["sequential_runs_per_second"]
+        pooled = rows[name]["batch_runs_per_second"]["4"]
+        assert pooled > sequential, (
+            f"{name}: pooled {pooled:.1f} runs/sec did not beat the naive "
+            f"sequential loop at {sequential:.1f} runs/sec"
+        )
+        benchmark.extra_info[f"{name}_batch_speedup"] = round(
+            pooled / sequential, 2
+        )
+
+
+def test_bench_batch_schema():
+    """``BENCH_batch.json`` (written by the measurement test above) is
+    well-formed: every backend row has positive throughput per pool size,
+    and the serving win holds for the cache-backed backends."""
+    if _TRAJECTORY_WRITTEN is None:
+        pytest.skip("batch throughput test did not run this session")
+    document = json.loads(BATCH_TRAJECTORY_PATH.read_text())
+    # freshness: the file on disk is the one this session's run produced
+    assert document == _TRAJECTORY_WRITTEN
+    assert document["schema"] == BATCH_TRAJECTORY_SCHEMA
+    assert document["workload"]["machine"] == "stack-machine-sieve"
+    assert document["workload"]["cycles"] == BATCH_CYCLES
+    assert document["pool_sizes"] == list(POOL_SIZES)
+    backends = document["backends"]
+    assert set(backends) == {"interpreter", "threaded", "compiled"}
+    for name, row in backends.items():
+        assert row["sequential_runs_per_second"] > 0, name
+        assert set(row["batch_runs_per_second"]) == {
+            str(size) for size in POOL_SIZES
+        }
+        for rate in row["batch_runs_per_second"].values():
+            assert rate > 0, name
+    for name in ("threaded", "compiled"):
+        row = backends[name]
+        assert (
+            row["batch_runs_per_second"]["4"]
+            > row["sequential_runs_per_second"]
+        ), name

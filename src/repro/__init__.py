@@ -13,7 +13,9 @@ The package is organised around the paper's two systems and their substrate:
 * :mod:`repro.machines` — bundled example machines (counter, stack machine
   running the Sieve of Eratosthenes, the Appendix-F tiny computer, ...);
 * :mod:`repro.synth` — hardware construction (netlist and parts list);
-* :mod:`repro.analysis` — fault injection, profiling and equivalence checks.
+* :mod:`repro.analysis` — fault injection, profiling and equivalence checks;
+* :mod:`repro.serving` — batch/parallel serving: one cached prepare
+  artifact fanned out over many concurrent runs (pool + asyncio front-end).
 """
 
 # repro.core must initialise before repro.compiler: the comparison module
@@ -30,11 +32,25 @@ from repro.compiler.threaded import ThreadedBackend
 from repro.rtl.builder import SpecBuilder
 from repro.rtl.parser import parse_spec, parse_spec_file
 from repro.rtl.spec import Specification
+from repro.serving import (
+    BatchRequest,
+    BatchResult,
+    RunRequest,
+    SimulationPool,
+    async_run_batch,
+    run_batch,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BACKEND_NAMES",
+    "BatchRequest",
+    "BatchResult",
+    "RunRequest",
+    "SimulationPool",
+    "async_run_batch",
+    "run_batch",
     "compare_all_backends",
     "compare_backends",
     "QueueIO",

@@ -1,4 +1,23 @@
-"""Design verification aids: fault injection, profiling, equivalence sweeps."""
+"""Design verification aids: fault injection, profiling, equivalence sweeps.
+
+Section 2.3 of the paper frames simulation as a design-verification tool;
+this package holds the experiments an engineer would run on top of the
+simulator:
+
+* :mod:`repro.analysis.faults` — specification-level stuck-at faults and
+  run-time transient overrides (Section 2.3.2's "inserting a fault in the
+  specification to cause errors by design"), with helpers to test whether
+  a fault is observable at the machine's outputs;
+* :mod:`repro.analysis.profiling` — activity profiles over a run: which
+  components toggle, which memories are touched, where the cycles go;
+* :mod:`repro.analysis.equivalence` — systematic cross-backend sweeps over
+  the bundled machine library, extending the paper's interpreter-vs-
+  compiler equivalence claim to every backend and machine at once.
+
+Fault-injection ``override`` hooks follow the backend capability matrix
+(see :mod:`repro.core.backend`): the compiled backend rejects them, so
+fault experiments run on the interpreter or threaded backend.
+"""
 
 from repro.analysis.equivalence import (
     FaultDetection,

@@ -11,7 +11,10 @@ executable code".  This module provides the modern equivalent as
   outputs and statistics;
 * ``machines`` — list the bundled example machines;
 * ``demo``     — build a bundled machine and run it;
-* ``netlist``  — print the wiring list and bill of materials (Section 5.3).
+* ``netlist``  — print the wiring list and bill of materials (Section 5.3);
+* ``serve-batch`` — fan N runs of one specification out over a worker pool
+  (the serving layer, :mod:`repro.serving`), optionally checking the
+  batched results bit-identical against a sequential run.
 """
 
 from __future__ import annotations
@@ -94,6 +97,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_argument(netlist_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="run a batch of simulations of one specification on a worker pool",
+    )
+    _add_spec_argument(serve_parser)
+    serve_parser.add_argument(
+        "-n", "--runs", type=int, default=8,
+        help="number of runs in the batch (default: 8)",
+    )
+    serve_parser.add_argument(
+        "-w", "--workers", type=int, default=4,
+        help="worker threads in the pool (default: 4)",
+    )
+    serve_parser.add_argument(
+        "-c", "--cycles", type=int, default=None,
+        help="cycles per run (default: the spec's '= N' declaration)",
+    )
+    serve_parser.add_argument(
+        "-b", "--backend", choices=BACKEND_NAMES, default="threaded",
+        help="simulation backend (default: threaded)",
+    )
+    serve_parser.add_argument(
+        "-i", "--input", type=int, action="append", default=[],
+        help="memory-mapped input value given to every run (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--check", action="store_true",
+        help="also run once sequentially and verify the batched results "
+        "are bit-identical",
+    )
+
     return parser
 
 
@@ -164,12 +198,48 @@ def _command_netlist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    from repro.serving import BatchRequest, run_batch
+
+    spec = parse_spec_file(args.spec)
+    request = BatchRequest.repeat(
+        spec, args.runs, cycles=args.cycles, inputs=args.input,
+        backend=args.backend,
+    )
+    batch = run_batch(request, max_workers=args.workers)
+    print(f"{args.spec.name}: {args.runs} runs on {args.backend} "
+          f"({args.workers} workers)")
+    print(batch.summary())
+    for item in batch.failures:
+        print(f"run {item.index} failed: {item.error}", file=sys.stderr)
+    if not batch.ok:
+        return 1
+    if args.check:
+        from repro.core.comparison import compare_results
+
+        reference = Simulator(spec, backend=args.backend).run(
+            cycles=args.cycles, io=QueueIO(args.input, strict=False)
+        )
+        for item in batch.items:
+            mismatches = compare_results(reference, item.result)
+            if mismatches:
+                print(f"check FAILED: run {item.index} differs from the "
+                      "sequential reference:", file=sys.stderr)
+                for mismatch in mismatches:
+                    print(f"  {mismatch}", file=sys.stderr)
+                return 1
+        print(f"check: all {len(batch.items)} batched results bit-identical "
+              "to sequential")
+    return 0
+
+
 _COMMANDS = {
     "compile": _command_compile,
     "run": _command_run,
     "machines": _command_machines,
     "demo": _command_demo,
     "netlist": _command_netlist,
+    "serve-batch": _command_serve_batch,
 }
 
 

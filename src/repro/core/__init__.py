@@ -1,7 +1,12 @@
 """Public simulation API: the Simulator facade, backends, traces and results."""
 
 from repro.core.backend import Backend, PreparedSimulation
-from repro.core.comparison import ComparisonResult, assert_equivalent, compare_backends
+from repro.core.comparison import (
+    ComparisonResult,
+    assert_equivalent,
+    compare_backends,
+    compare_results,
+)
 from repro.core.iosystem import (
     IOSystem,
     NullIO,
@@ -21,6 +26,7 @@ __all__ = [
     "ComparisonResult",
     "assert_equivalent",
     "compare_backends",
+    "compare_results",
     "IOSystem",
     "NullIO",
     "OutputEvent",

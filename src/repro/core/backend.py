@@ -59,7 +59,34 @@ def resolve_trace(spec: Specification, trace: TraceOptions | bool | None) -> Tra
 
 
 class PreparedSimulation(ABC):
-    """A specification made ready to run by a backend."""
+    """A specification made ready to run by a backend.
+
+    A prepared simulation is reusable and re-entrant: every ``run`` builds
+    fresh mutable state (values, memory arrays, I/O), so one prepared
+    instance may be run many times — with different cycle counts, inputs
+    and options — and runs are deterministic given the same arguments.
+    The serving layer (:mod:`repro.serving`) relies on this to fan one
+    prepared machine out over a worker pool.
+
+    Run options are subject to the backend capability matrix:
+
+    * ``override`` — per-cycle value override (fault injection).  The
+      interpreter and threaded backends support it; the threaded backend
+      falls back to a program built from the *unoptimized* specification
+      when spec-level optimization changed the spec (the hook must see
+      every original component).  The compiled backend raises
+      ``BackendError``: use a specification-level fault
+      (:mod:`repro.analysis.faults`) there instead.
+    * ``collect_stats`` — the interpreter and threaded backends record the
+      full breakdown (per-ALU function, per-selector case, per-memory
+      operation); the compiled backend reports cycle and evaluation
+      counts only.
+    * ``trace`` — per-cycle value traces and memory access traces work on
+      all three backends and are bit-identical between them.  Tracing a
+      name the optimizer removed makes the threaded backend fall back to
+      its unoptimized program; an unknown name raises
+      ``UnknownComponentError`` everywhere.
+    """
 
     def __init__(self, spec: Specification, backend_name: str,
                  prepare_seconds: float) -> None:
@@ -87,7 +114,22 @@ class Backend(ABC):
 
     @abstractmethod
     def prepare(self, spec: Specification) -> PreparedSimulation:
-        """Build whatever the backend needs to simulate *spec*."""
+        """Build whatever the backend needs to simulate *spec*.
+
+        This is the paper's preparation phase, and its cost ranks exactly
+        as Figure 5.1 does: trivial for the interpreter (sort the tables,
+        ~0.5 ms on the Fig 5.1 sieve), cheap for the threaded backend
+        (closure compilation, ~2 ms), expensive for the compiled backend
+        (generate + byte-compile a module, ~5 ms).  The threaded and
+        compiled backends consult the prepare cache
+        (:mod:`repro.compiler.cache`, on by default) keyed on a stable
+        content hash of (specification, options), so a repeated
+        ``prepare`` of the same machine returns the cached artifact and
+        sets ``cache_hit`` on the result.  Preparation depends only on
+        the specification — never on run options — which is what lets
+        one prepared artifact serve many concurrent runs
+        (:mod:`repro.serving`).
+        """
 
     def run(
         self,

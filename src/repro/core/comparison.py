@@ -53,6 +53,20 @@ class ComparisonResult:
         )
 
 
+def compare_results(
+    reference: SimulationResult,
+    candidate: SimulationResult,
+    compare_trace: bool = False,
+) -> list[str]:
+    """Mismatch descriptions between two results (empty = bit-identical).
+
+    The canonical observable comparison — final values, memory contents,
+    output events, and optionally the traces — used by the equivalence
+    sweeps and the CLI's ``serve-batch --check``.
+    """
+    return _compare_results(reference, candidate, compare_trace)
+
+
 def _compare_results(
     reference: SimulationResult,
     candidate: SimulationResult,

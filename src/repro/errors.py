@@ -143,3 +143,8 @@ class FaultConfigurationError(AsimError):
 
 class SynthesisError(AsimError):
     """The hardware construction pass could not map a component to parts."""
+
+
+class ServingError(AsimError):
+    """The batch/parallel serving layer was misused (closed pool, spec
+    mismatch between a batch request and the pool it was submitted to)."""

@@ -1,4 +1,20 @@
-"""Instruction sets, assemblers and instruction-set-level simulators."""
+"""Instruction sets, assemblers and instruction-set-level simulators.
+
+The paper's workloads are programs for *microcoded machines*: the stack
+machine of Appendix D and the Appendix-F tiny computer.  This package
+holds the software side of those machines, one level above the RTL:
+
+* :mod:`repro.isa.stack_isa` / :mod:`repro.isa.tiny_isa` — the instruction
+  encodings (opcodes, operand formats) for the two bundled ISAs;
+* :mod:`repro.isa.assembler` — assemblers turning mnemonic programs into
+  the memory images the RTL machines execute;
+* :mod:`repro.isa.isp` — instruction-set-level golden-model simulators
+  ("ISP" in the paper's terminology), used to predict outputs and
+  instruction counts that the cycle-accurate RTL runs are checked against.
+
+The split mirrors the paper's verification argument: the same program runs
+on the fast ISP model and on the RTL machine, and the two must agree.
+"""
 
 from repro.isa.assembler import (
     Program,

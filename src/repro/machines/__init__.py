@@ -1,4 +1,23 @@
-"""Bundled example machines built with the ASIM II primitives."""
+"""Bundled example machines built with the ASIM II primitives.
+
+Every machine is a plain builder function returning a ready-to-run
+:class:`~repro.rtl.spec.Specification`; :mod:`repro.machines.library`
+registers them all (name, description, demo cycle count) so tests,
+benchmarks, examples and the CLI enumerate one canonical list:
+
+* ``counter``, ``fibonacci``, ``gcd``, ``traffic-light`` — small machines
+  exercising one primitive or idiom each;
+* ``stack-machine-sieve`` (:mod:`repro.machines.stack_machine` +
+  :mod:`repro.machines.sieve`) — the paper's headline workload: the
+  microcoded Appendix-D stack machine running the Sieve of Eratosthenes,
+  the Figure 5.1 benchmark subject;
+* ``tiny-computer`` (:mod:`repro.machines.tiny_computer`) — the
+  Appendix-F 10-bit accumulator machine with its division workload.
+
+The workload helpers (``prepare_sieve_workload``,
+``prepare_division_workload``) pair each program with its ISP golden-model
+prediction so runs can be checked end to end.
+"""
 
 from repro.machines.counter import build_counter_spec, expected_counter_values
 from repro.machines.fibonacci import build_fibonacci_spec, expected_fibonacci_values

@@ -1,0 +1,44 @@
+"""Batch/parallel simulation serving: one prepared machine, many runs.
+
+The paper's framing stops at single simulation runs; this package is the
+serving story on top of it.  The observation driving the design is the
+prepare/run split every backend already honours: preparation (table
+building, closure compilation, code generation) depends only on the
+specification, while a run varies cycles, inputs, tracing and fault hooks.
+In a serving setting — the same machine simulated for many concurrent
+requests — preparation should therefore be paid **once** and the runs
+fanned out.
+
+Three pieces implement that:
+
+* :class:`~repro.serving.batch.BatchRequest` / :class:`~repro.serving.batch.BatchResult`
+  (:mod:`repro.serving.batch`) — N run variants against one specification,
+  with per-run outcomes, per-item error capture and throughput aggregates;
+* :class:`~repro.serving.pool.SimulationPool` (:mod:`repro.serving.pool`)
+  — a thread-pool executor with backend-aware dispatch: the cache-backed
+  threaded and compiled backends share one cached prepare artifact and
+  bind it per worker, the interpreter falls back to its (trivial) per-run
+  prepare;
+* :func:`~repro.serving.aio.async_run_batch` (:mod:`repro.serving.aio`)
+  — the asyncio front-end wrapping the pool for async callers.
+
+The CLI exposes the layer as ``repro serve-batch``; the throughput
+benchmark (``benchmarks/test_batch_throughput.py``) writes
+``BENCH_batch.json`` from it, and the equivalence tests prove batched
+results bit-identical to sequential ones on every backend.
+"""
+
+from repro.serving.aio import async_run, async_run_batch
+from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
+from repro.serving.pool import SimulationPool, run_batch
+
+__all__ = [
+    "BatchItem",
+    "BatchRequest",
+    "BatchResult",
+    "RunRequest",
+    "SimulationPool",
+    "async_run",
+    "async_run_batch",
+    "run_batch",
+]

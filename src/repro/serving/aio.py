@@ -1,0 +1,68 @@
+"""Asyncio front-end over :class:`~repro.serving.pool.SimulationPool`.
+
+Async callers (a web handler serving simulation requests, a notebook
+driving many experiments) should not block their event loop on a batch.
+:func:`async_run_batch` submits every run to the pool's executor and
+awaits the wrapped futures, so the loop stays responsive while worker
+threads simulate; :func:`async_run` is the single-request form.
+
+The pool semantics are unchanged — one warm prepare, per-worker program
+binding, per-item error capture — only the waiting is asynchronous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.results import SimulationResult
+from repro.serving.batch import BatchRequest, BatchResult, RunRequest
+from repro.serving.pool import SimulationPool, batch_items
+
+
+async def async_run(pool: SimulationPool, request: RunRequest) -> SimulationResult:
+    """Await one run on *pool* without blocking the event loop."""
+    result, _ = await asyncio.wrap_future(pool._submit_timed(request))
+    return result
+
+
+async def async_run_batch(
+    request: BatchRequest,
+    max_workers: int | None = None,
+    pool: SimulationPool | None = None,
+) -> BatchResult:
+    """Run a batch from async code; returns the same :class:`BatchResult`.
+
+    With ``pool=None`` a pool is built for the request's spec and backend
+    and closed afterwards; pass an open pool to amortise it across batches
+    (the request's spec must then match the pool's).
+    """
+    owns_pool = pool is None
+    if pool is None:
+        pool = SimulationPool(
+            request.spec, backend=request.backend, max_workers=max_workers
+        )
+    try:
+        requests = pool._coerce_runs(request)
+        start = time.perf_counter()
+        futures = []
+        try:
+            for run in requests:
+                futures.append(asyncio.wrap_future(pool._submit_timed(run)))
+        except BaseException:
+            # a mid-loop failure (e.g. the pool closed under us) must not
+            # abandon the futures already created
+            await asyncio.gather(*futures, return_exceptions=True)
+            raise
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        wall_seconds = time.perf_counter() - start
+        return BatchResult(
+            backend=pool.backend_name,
+            pool_size=pool.max_workers,
+            items=batch_items(requests, outcomes),
+            wall_seconds=wall_seconds,
+            prepare_seconds=pool.prepare_seconds,
+        )
+    finally:
+        if owns_pool:
+            pool.close()

@@ -1,0 +1,180 @@
+"""Batch requests and results for the serving layer.
+
+A batch is *N variants of one machine*: the specification (and therefore
+the prepare-time artifact) is fixed, while each :class:`RunRequest` varies
+the things a run may vary — cycle count, memory-mapped inputs, tracing,
+statistics collection and the per-cycle ``override`` hook.  This split is
+what lets the pool pay preparation once and fan the runs out.
+
+:class:`BatchResult` collects one :class:`BatchItem` per request, in
+request order, each holding either a
+:class:`~repro.core.results.SimulationResult` or the exception that run
+raised — a poisoned variant never takes the rest of the batch down.  The
+aggregate exposes the serving numbers (wall-clock seconds, runs per
+second) that the ``BENCH_batch.json`` benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro.core.backend import ValueOverride
+from repro.core.iosystem import IOSystem, QueueIO
+from repro.core.results import SimulationResult
+from repro.core.trace import TraceOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.core.simulator import BackendLike
+    from repro.rtl.spec import Specification
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation run inside a batch.
+
+    ``inputs`` feeds a fresh non-strict :class:`~repro.core.iosystem.QueueIO`
+    per run (an :class:`~repro.core.iosystem.IOSystem` is stateful, so it can
+    never be shared between runs); pass ``io_factory`` to supply any other
+    I/O system.  ``override`` is subject to the backend capability matrix:
+    the compiled backend rejects it with ``BackendError``.
+    """
+
+    cycles: int | None = None
+    inputs: tuple[int | str, ...] = ()
+    trace: TraceOptions | bool | None = None
+    collect_stats: bool = True
+    override: ValueOverride | None = None
+    #: caller-chosen label carried through to the matching :class:`BatchItem`
+    tag: str | None = None
+    #: builds this run's I/O system; defaults to ``QueueIO(inputs, strict=False)``
+    io_factory: Callable[[], IOSystem] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+
+    def make_io(self) -> IOSystem:
+        """Build the fresh per-run I/O system this request describes."""
+        if self.io_factory is not None:
+            return self.io_factory()
+        return QueueIO(self.inputs, strict=False)
+
+
+@dataclass
+class BatchRequest:
+    """N run variants against one machine specification."""
+
+    spec: "Specification"
+    runs: Sequence[RunRequest]
+    backend: "BackendLike" = "threaded"
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @classmethod
+    def repeat(
+        cls,
+        spec: "Specification",
+        count: int,
+        cycles: int | None = None,
+        inputs: Sequence[int | str] = (),
+        backend: "BackendLike" = "threaded",
+        collect_stats: bool = True,
+    ) -> "BatchRequest":
+        """*count* identical runs (the load-test / throughput shape)."""
+        if count < 0:
+            raise ValueError(f"run count must be non-negative, got {count}")
+        run = RunRequest(
+            cycles=cycles, inputs=tuple(inputs), collect_stats=collect_stats
+        )
+        return cls(spec=spec, runs=[run] * count, backend=backend)
+
+    @classmethod
+    def sweep(
+        cls,
+        spec: "Specification",
+        input_sets: Iterable[Sequence[int | str]],
+        cycles: int | None = None,
+        backend: "BackendLike" = "threaded",
+    ) -> "BatchRequest":
+        """One run per input sequence (the parameter-sweep shape)."""
+        runs = [
+            RunRequest(cycles=cycles, inputs=tuple(inputs))
+            for inputs in input_sets
+        ]
+        return cls(spec=spec, runs=runs, backend=backend)
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one request: a result or the exception the run raised."""
+
+    index: int
+    request: RunRequest
+    result: SimulationResult | None = None
+    error: Exception | None = None
+    #: wall-clock seconds this run occupied its worker (prepare + run)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def tag(self) -> str | None:
+        return self.request.tag
+
+
+@dataclass
+class BatchResult:
+    """Everything a batch produced, in request order."""
+
+    backend: str
+    pool_size: int
+    items: list[BatchItem] = field(default_factory=list)
+    #: wall-clock seconds from first submit to last result
+    wall_seconds: float = 0.0
+    #: seconds the pool spent on its warm-up ``prepare`` of the spec
+    prepare_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def ok(self) -> bool:
+        """True when every run in the batch succeeded."""
+        return all(item.ok for item in self.items)
+
+    @property
+    def results(self) -> list[SimulationResult]:
+        """Successful results, in request order."""
+        return [item.result for item in self.items if item.ok]
+
+    @property
+    def failures(self) -> list[BatchItem]:
+        """Items whose run raised, in request order."""
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def runs_per_second(self) -> float:
+        """Batch throughput against wall-clock time."""
+        if self.wall_seconds <= 0.0:
+            return float("inf") if self.items else 0.0
+        return len(self.items) / self.wall_seconds
+
+    def raise_for_errors(self) -> None:
+        """Re-raise the first failure (chained), if any run failed."""
+        for item in self.items:
+            if item.error is not None:
+                raise item.error
+
+    def summary(self) -> str:
+        succeeded = sum(1 for item in self.items if item.ok)
+        return (
+            f"{self.backend}: {succeeded}/{len(self.items)} runs ok on "
+            f"{self.pool_size} workers in {self.wall_seconds:.4f}s wall "
+            f"({self.runs_per_second:.1f} runs/sec)"
+        )

@@ -1,0 +1,251 @@
+"""Thread-pool fan-out of one prepared machine over many runs.
+
+The pool is the serving layer's engine room.  Construction resolves the
+backend and performs one warm ``prepare`` on the caller's thread; for the
+cache-backed backends (threaded, compiled) this pays code generation once
+and seeds the prepare cache, so every later ``prepare`` of the same
+specification is a cache hit returning the *same* artifact.
+
+Dispatch is backend-aware:
+
+* **threaded / compiled** (backend exposes a prepare ``cache``): each worker
+  thread binds its own :class:`~repro.core.backend.PreparedSimulation` the
+  first time it picks up a run and reuses it afterwards.  The per-worker
+  binding matters for the threaded backend — its closure program is bound to
+  fresh per-run state at the start of every ``run``, and the lazily built
+  override fallback program must never be shared between racing threads.
+  The expensive artifact behind each prepared simulation (closure program,
+  byte-compiled module) still comes out of the shared cache.
+* **interpreter** (or any backend without a prepare cache): preparation is
+  re-done per run.  For the interpreter this is the paper's cheap
+  "generate tables" phase, so the fallback costs microseconds.
+
+Note the throughput model: simulations are pure Python, so concurrent
+workers interleave on the GIL rather than running truly in parallel.  The
+serving win measured by ``BENCH_batch.json`` comes from paying preparation
+once instead of per request — many small requests against one machine —
+not from adding CPU cores.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.compiler.cache import spec_fingerprint
+from repro.compiler.optimizer import CodegenOptions
+from repro.core.backend import PreparedSimulation
+from repro.core.results import SimulationResult
+from repro.core.simulator import BackendLike, make_backend
+from repro.errors import ServingError
+from repro.rtl.spec import Specification
+from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
+
+
+def _default_workers() -> int:
+    # at least 4: the serving win is cache amortisation, not CPU parallelism,
+    # so a useful pool does not need one core per worker
+    return max(4, min(8, os.cpu_count() or 1))
+
+
+def batch_items(
+    requests: Sequence[RunRequest],
+    outcomes: Sequence[tuple[SimulationResult, float] | BaseException],
+) -> list[BatchItem]:
+    """Pair requests with their outcomes (result+seconds, or exception)."""
+    items: list[BatchItem] = []
+    for index, (request, outcome) in enumerate(zip(requests, outcomes)):
+        if isinstance(outcome, BaseException):
+            if not isinstance(outcome, Exception):  # let KeyboardInterrupt &c out
+                raise outcome
+            items.append(BatchItem(index=index, request=request, error=outcome))
+        else:
+            result, seconds = outcome
+            items.append(
+                BatchItem(index=index, request=request, result=result,
+                          seconds=seconds)
+            )
+    return items
+
+
+class SimulationPool:
+    """A thread pool serving many runs of one prepared specification.
+
+    The pool is a context manager; ``close()`` (or leaving the ``with``
+    block) waits for in-flight runs and rejects new submissions.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        backend: BackendLike = "threaded",
+        max_workers: int | None = None,
+        codegen_options: CodegenOptions | None = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = _default_workers()
+        if max_workers <= 0:
+            raise ServingError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.spec = spec
+        self.max_workers = max_workers
+        self._backend = make_backend(backend, codegen_options)
+        # warm prepare on the caller's thread: seeds the shared cache (when
+        # the backend has one) and surfaces compilation errors eagerly,
+        # before any worker exists
+        start = time.perf_counter()
+        self._warm: PreparedSimulation = self._backend.prepare(spec)
+        self.prepare_seconds = time.perf_counter() - start
+        self._reuse_prepared = getattr(self._backend, "cache", None) is not None
+        self._local = threading.local()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix=f"repro-{self._backend.name}",
+        )
+        self._closed = False
+        # makes the closed check and the executor submit atomic against a
+        # concurrent close(), so racing submitters always see ServingError
+        # rather than the executor's RuntimeError
+        self._submit_lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- per-worker / per-run binding ---------------------------------------
+
+    def _prepared_for_run(self) -> PreparedSimulation:
+        """Backend-aware dispatch: worker-bound reuse vs per-run prepare."""
+        if not self._reuse_prepared:
+            return self._backend.prepare(self.spec)
+        prepared = getattr(self._local, "prepared", None)
+        if prepared is None:
+            prepared = self._backend.prepare(self.spec)
+            self._local.prepared = prepared
+        return prepared
+
+    def _execute(self, request: RunRequest) -> tuple[SimulationResult, float]:
+        start = time.perf_counter()
+        prepared = self._prepared_for_run()
+        result = prepared.run(
+            cycles=request.cycles,
+            io=request.make_io(),
+            trace=request.trace,
+            collect_stats=request.collect_stats,
+            override=request.override,
+        )
+        return result, time.perf_counter() - start
+
+    # -- submission ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServingError("simulation pool is closed")
+
+    def _submit_timed(
+        self, request: RunRequest
+    ) -> "Future[tuple[SimulationResult, float]]":
+        with self._submit_lock:
+            self._check_open()
+            return self._executor.submit(self._execute, request)
+
+    def submit(self, request: RunRequest) -> "Future[SimulationResult]":
+        """Schedule one run; the future resolves to its SimulationResult."""
+        with self._submit_lock:
+            self._check_open()
+            return self._executor.submit(lambda: self._execute(request)[0])
+
+    def run(self, request: RunRequest) -> SimulationResult:
+        """Run one request on the pool and wait for its result."""
+        return self.submit(request).result()
+
+    def run_batch(
+        self, runs: BatchRequest | Sequence[RunRequest]
+    ) -> BatchResult:
+        """Run every request, collecting per-run outcomes in order.
+
+        A run that raises becomes a :class:`BatchItem` with ``error`` set;
+        the other runs are unaffected.
+        """
+        requests = self._coerce_runs(runs)
+        start = time.perf_counter()
+        futures = [self._submit_timed(request) for request in requests]
+        outcomes: list[tuple[SimulationResult, float] | BaseException] = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - rerouted per item
+                outcomes.append(exc)
+        wall_seconds = time.perf_counter() - start
+        return BatchResult(
+            backend=self.backend_name,
+            pool_size=self.max_workers,
+            items=batch_items(requests, outcomes),
+            wall_seconds=wall_seconds,
+            prepare_seconds=self.prepare_seconds,
+        )
+
+    def _coerce_runs(
+        self, runs: BatchRequest | Sequence[RunRequest]
+    ) -> list[RunRequest]:
+        if isinstance(runs, BatchRequest):
+            if runs.spec is not self.spec and (
+                spec_fingerprint(runs.spec) != spec_fingerprint(self.spec)
+            ):
+                raise ServingError(
+                    "batch request specification does not match the pool's; "
+                    "build a pool per machine (the prepare artifact is "
+                    "per-specification)"
+                )
+            requested = (
+                runs.backend
+                if isinstance(runs.backend, str)
+                else runs.backend.name
+            )
+            if requested != self.backend_name:
+                raise ServingError(
+                    f"batch request asks for the '{requested}' backend but "
+                    f"the pool runs '{self.backend_name}'; submit the plain "
+                    "run list to override, or build a matching pool"
+                )
+            return list(runs.runs)
+        return list(runs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting runs; optionally wait for in-flight ones."""
+        with self._submit_lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SimulationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_batch(
+    request: BatchRequest,
+    max_workers: int | None = None,
+    codegen_options: CodegenOptions | None = None,
+) -> BatchResult:
+    """One-shot: build a pool for *request* and run it to completion."""
+    with SimulationPool(
+        request.spec,
+        backend=request.backend,
+        max_workers=max_workers,
+        codegen_options=codegen_options,
+    ) as pool:
+        return pool.run_batch(request.runs)

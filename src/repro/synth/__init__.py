@@ -1,4 +1,21 @@
-"""Hardware construction: netlists, part mapping and bills of materials."""
+"""Hardware construction: netlists, part mapping and bills of materials.
+
+Section 5.3 of the paper: "A hardware circuit can be easily built from a
+hardware specification in ASIM II" — the specification *is* a list of
+components wired together by name.  This package extracts those artifacts:
+
+* :mod:`repro.synth.netlist` — the wiring list: one wire per component
+  output with inferred bit widths and every consumer's bit field;
+* :mod:`repro.synth.parts` — a small 7400-series part catalog in the
+  spirit of the paper's Appendix-F construction;
+* :mod:`repro.synth.mapper` — maps ALUs, selectors and memories onto
+  catalog parts with package counts;
+* :mod:`repro.synth.report` — the human-readable combination of all three
+  (the CLI's ``netlist`` command).
+
+Synthesis reads only the specification — no backend is involved — so the
+reports are identical whichever simulator runs the machine.
+"""
 
 from repro.synth.mapper import PartUse, map_component, map_specification
 from repro.synth.netlist import Netlist, Wire, extract_netlist, infer_widths

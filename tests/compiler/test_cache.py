@@ -129,6 +129,115 @@ class TestThreadedBackendCaching:
         assert not other.cache_hit
 
 
+class TestConcurrentAccess:
+    """The cache invariants hold when hammered from the serving pool.
+
+    The bookkeeping invariant used throughout: every ``get_or_create``
+    counts exactly one hit or one miss, every miss stores one entry, and
+    every eviction removes one — so ``misses - evictions == len(cache)``
+    and ``hits + misses`` equals the number of calls, no matter how the
+    threads interleave.
+    """
+
+    def _assert_invariants(self, cache, calls):
+        stats = cache.stats
+        assert stats.hits + stats.misses == calls
+        assert stats.misses - stats.evictions == len(cache)
+        assert len(cache) <= cache.max_entries
+
+    def test_counters_consistent_under_thread_hammer(self):
+        import threading
+
+        cache = PrepareCache(max_entries=4)
+        threads, per_thread, keys = 8, 50, 10
+        barrier = threading.Barrier(threads)
+
+        def hammer(seed):
+            barrier.wait()
+            for i in range(per_thread):
+                key = ((seed * 7 + i) % keys,)
+                value, _ = cache.get_or_create(key, lambda k=key: k)
+                assert value == key  # a racing store never crosses keys
+
+        workers = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        self._assert_invariants(cache, threads * per_thread)
+        assert cache.stats.evictions > 0  # 10 keys churned through 4 slots
+
+    def test_racing_threads_share_one_artifact_per_key(self):
+        import threading
+
+        cache = PrepareCache(max_entries=8)
+        barrier = threading.Barrier(6)
+        seen = []
+
+        def build():
+            return object()
+
+        def racer():
+            barrier.wait()
+            artifact, _ = cache.get_or_create(("k",), build)
+            seen.append(artifact)
+
+        workers = [threading.Thread(target=racer) for _ in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        # whoever won the race, every caller got the same stored artifact
+        assert len({id(artifact) for artifact in seen}) == 1
+        self._assert_invariants(cache, 6)
+
+    def test_pool_hammer_keeps_cache_consistent(self, counter_spec_text):
+        """Concurrent prepares of many machines through the threaded
+        backend: LRU eviction churns, counters stay consistent, and every
+        prepared simulation still runs correctly."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        specs = [
+            parse_spec(counter_spec_text.replace("next 7", f"next {mask}"))
+            for mask in range(3, 8)
+        ]
+        expected = [
+            ThreadedBackend(cache=False).prepare(spec).run(cycles=4).value("count")
+            for spec in specs
+        ]
+        cache = PrepareCache(max_entries=3)
+        backend = ThreadedBackend(cache=cache)
+
+        def prepare_and_run(index):
+            spec = specs[index % len(specs)]
+            result = backend.prepare(spec).run(cycles=4)
+            return result.value("count") == expected[index % len(specs)]
+
+        with ThreadPoolExecutor(max_workers=6) as executor:
+            correct = list(executor.map(prepare_and_run, range(30)))
+        assert all(correct)
+        self._assert_invariants(cache, 30)
+        assert cache.stats.evictions > 0
+
+    def test_simulation_pool_workers_hit_not_miss(self, counter_spec):
+        """Hammering one machine from the serving pool produces exactly one
+        miss; the worker prepares are all hits on the shared artifact."""
+        from repro.serving import RunRequest, SimulationPool
+
+        cache = PrepareCache(max_entries=4)
+        backend = ThreadedBackend(cache=cache)
+        with SimulationPool(counter_spec, backend=backend,
+                            max_workers=6) as pool:
+            batch = pool.run_batch([RunRequest(cycles=5)] * 24)
+        assert batch.ok
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 0
+        self._assert_invariants(cache, cache.stats.requests)
+
+
 class TestGlobalCache:
     def test_global_counters_accumulate(self, counter_spec):
         clear_prepare_cache()

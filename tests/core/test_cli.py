@@ -103,6 +103,32 @@ class TestNetlistCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestServeBatchCommand:
+    def test_serve_batch_reports_throughput(self, spec_file, capsys):
+        assert main(["serve-batch", str(spec_file), "-n", "6", "-w", "2",
+                     "-c", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "6 runs on threaded (2 workers)" in out
+        assert "6/6 runs ok" in out
+        assert "runs/sec" in out
+
+    def test_serve_batch_check_verifies_bit_identity(self, spec_file, capsys):
+        assert main(["serve-batch", str(spec_file), "-n", "4", "-c", "10",
+                     "--check"]) == 0
+        assert "bit-identical to sequential" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+    def test_serve_batch_backend_choice(self, spec_file, backend, capsys):
+        assert main(["serve-batch", str(spec_file), "-n", "2", "-c", "5",
+                     "-b", backend, "--check"]) == 0
+        assert backend in capsys.readouterr().out
+
+    def test_serve_batch_failures_exit_nonzero(self, spec_file, capsys):
+        # no -c and the counter spec declares no '= N' cycle count
+        assert main(["serve-batch", str(spec_file), "-n", "2"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_invocation(self, spec_file):
         import subprocess

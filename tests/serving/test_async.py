@@ -1,0 +1,89 @@
+"""Tests for the asyncio front-end (async_run / async_run_batch)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServingError
+from repro.rtl.parser import parse_spec
+from repro.serving import (
+    BatchRequest,
+    RunRequest,
+    SimulationPool,
+    async_run,
+    async_run_batch,
+)
+
+
+class TestAsyncRunBatch:
+    def test_owns_its_pool_by_default(self, counter_spec):
+        request = BatchRequest.repeat(counter_spec, 6, cycles=10)
+        batch = asyncio.run(async_run_batch(request, max_workers=3))
+        assert batch.ok
+        assert batch.pool_size == 3
+        assert [r.value("count") for r in batch.results] == [2] * 6
+
+    def test_reuses_a_provided_pool(self, counter_spec):
+        async def scenario():
+            with SimulationPool(counter_spec, max_workers=2) as pool:
+                first = await async_run_batch(
+                    BatchRequest.repeat(counter_spec, 2, cycles=4), pool=pool
+                )
+                second = await async_run_batch(
+                    BatchRequest.repeat(counter_spec, 2, cycles=4), pool=pool
+                )
+                assert not pool.closed  # a borrowed pool is not closed
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.ok and second.ok
+
+    def test_spec_mismatch_raises(self, counter_spec, counter_spec_text):
+        other = parse_spec(counter_spec_text.replace("next 7", "next 3"))
+
+        async def scenario():
+            with SimulationPool(counter_spec, max_workers=1) as pool:
+                await async_run_batch(
+                    BatchRequest.repeat(other, 1, cycles=1), pool=pool
+                )
+
+        with pytest.raises(ServingError):
+            asyncio.run(scenario())
+
+    def test_per_item_errors_are_captured_not_raised(self, counter_spec):
+        request = BatchRequest(
+            counter_spec, [RunRequest(cycles=3), RunRequest(cycles=-1)]
+        )
+        batch = asyncio.run(async_run_batch(request, max_workers=2))
+        assert not batch.ok
+        assert [item.ok for item in batch.items] == [True, False]
+
+    def test_event_loop_stays_responsive(self, counter_spec):
+        """A concurrent coroutine makes progress while the batch runs."""
+        ticks = []
+
+        async def ticker():
+            for _ in range(3):
+                ticks.append(1)
+                await asyncio.sleep(0)
+
+        async def scenario():
+            request = BatchRequest.repeat(counter_spec, 4, cycles=200)
+            batch, _ = await asyncio.gather(
+                async_run_batch(request, max_workers=2), ticker()
+            )
+            return batch
+
+        batch = asyncio.run(scenario())
+        assert batch.ok
+        assert len(ticks) == 3
+
+
+class TestAsyncRun:
+    def test_single_request(self, counter_spec):
+        async def scenario():
+            with SimulationPool(counter_spec, max_workers=1) as pool:
+                return await async_run(pool, RunRequest(cycles=10))
+
+        result = asyncio.run(scenario())
+        assert result.value("count") == 2

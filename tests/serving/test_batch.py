@@ -1,0 +1,94 @@
+"""Unit tests for the batch request/result data model."""
+
+import pytest
+
+from repro.core.iosystem import QueueIO
+from repro.errors import SimulationError
+from repro.serving import BatchItem, BatchRequest, BatchResult, RunRequest
+
+
+class TestRunRequest:
+    def test_inputs_coerced_to_tuple(self):
+        request = RunRequest(inputs=[1, 2, "a"])
+        assert request.inputs == (1, 2, "a")
+
+    def test_make_io_defaults_to_non_strict_queue(self):
+        io = RunRequest(inputs=(5, 6)).make_io()
+        assert isinstance(io, QueueIO)
+        assert io.read(1) == 5
+        assert io.read(1) == 6
+        assert io.read(1) == 0  # non-strict: exhausted queue reads zero
+
+    def test_make_io_builds_a_fresh_system_per_call(self):
+        request = RunRequest(inputs=(9,))
+        assert request.make_io() is not request.make_io()
+
+    def test_io_factory_wins_over_inputs(self):
+        custom = QueueIO([42])
+        request = RunRequest(inputs=(1,), io_factory=lambda: custom)
+        assert request.make_io() is custom
+
+
+class TestBatchRequest:
+    def test_repeat_builds_identical_runs(self, counter_spec):
+        request = BatchRequest.repeat(counter_spec, 5, cycles=10, inputs=(1,))
+        assert len(request) == 5
+        assert all(run.cycles == 10 for run in request.runs)
+        assert all(run.inputs == (1,) for run in request.runs)
+
+    def test_repeat_rejects_negative_count(self, counter_spec):
+        with pytest.raises(ValueError):
+            BatchRequest.repeat(counter_spec, -1)
+
+    def test_sweep_builds_one_run_per_input_set(self, counter_spec):
+        request = BatchRequest.sweep(
+            counter_spec, [(1, 2), (3,), ()], cycles=4
+        )
+        assert [run.inputs for run in request.runs] == [(1, 2), (3,), ()]
+        assert all(run.cycles == 4 for run in request.runs)
+
+
+class TestBatchResult:
+    def _items(self):
+        ok = BatchItem(index=0, request=RunRequest(tag="good"),
+                       result=object(), seconds=0.25)
+        bad = BatchItem(index=1, request=RunRequest(tag="bad"),
+                        error=SimulationError("boom"))
+        return [ok, bad]
+
+    def test_partition_and_flags(self):
+        result = BatchResult(backend="threaded", pool_size=2,
+                             items=self._items(), wall_seconds=0.5)
+        assert len(result) == 2
+        assert not result.ok
+        assert len(result.results) == 1
+        assert [item.tag for item in result.failures] == ["bad"]
+
+    def test_raise_for_errors_reraises_first_failure(self):
+        result = BatchResult(backend="threaded", pool_size=2,
+                             items=self._items(), wall_seconds=0.5)
+        with pytest.raises(SimulationError, match="boom"):
+            result.raise_for_errors()
+
+    def test_raise_for_errors_noop_when_clean(self):
+        result = BatchResult(backend="threaded", pool_size=1,
+                             items=[self._items()[0]], wall_seconds=0.5)
+        result.raise_for_errors()
+
+    def test_runs_per_second(self):
+        result = BatchResult(backend="threaded", pool_size=2,
+                             items=self._items(), wall_seconds=0.5)
+        assert result.runs_per_second == pytest.approx(4.0)
+
+    def test_runs_per_second_degenerate_wall(self):
+        empty = BatchResult(backend="threaded", pool_size=1, items=[],
+                            wall_seconds=0.0)
+        assert empty.runs_per_second == 0.0
+
+    def test_summary_mentions_counts_and_pool(self):
+        result = BatchResult(backend="compiled", pool_size=4,
+                             items=self._items(), wall_seconds=0.5)
+        summary = result.summary()
+        assert "compiled" in summary
+        assert "1/2" in summary
+        assert "4 workers" in summary

@@ -1,0 +1,46 @@
+"""Tier-1 documentation gate (wraps ``scripts/check_docs.py``).
+
+Fails the suite when a public module under ``src/repro`` lacks a module
+docstring, so documentation debt cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    path = REPO_ROOT / "scripts" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_public_module_has_a_docstring():
+    check_docs = _load_check_docs()
+    problems = check_docs.missing_docstrings()
+    assert problems == [], (
+        "public modules missing a module docstring: "
+        + ", ".join(str(p.relative_to(REPO_ROOT)) for p in problems)
+    )
+
+
+def test_gate_covers_the_serving_package():
+    """The gate actually walks the tree (guards against a silent no-op)."""
+    check_docs = _load_check_docs()
+    serving = check_docs.SOURCE_ROOT / "serving"
+    assert serving.is_dir()
+    assert check_docs.is_public_module(serving / "__init__.py")
+    assert not check_docs.is_public_module(serving / "_private.py")
+
+
+def test_gate_detects_a_missing_docstring(tmp_path):
+    check_docs = _load_check_docs()
+    (tmp_path / "documented.py").write_text('"""Doc."""\n')
+    (tmp_path / "bare.py").write_text("x = 1\n")
+    problems = check_docs.missing_docstrings(tmp_path)
+    assert [p.name for p in problems] == ["bare.py"]

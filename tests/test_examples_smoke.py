@@ -1,0 +1,45 @@
+"""Smoke test: every example module imports cleanly and is documented.
+
+Each ``examples/*.py`` must carry a header docstring saying what it
+demonstrates and the exact command to run it; importing the module must be
+side-effect free (all work behind ``if __name__ == "__main__"``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert {path.stem for path in EXAMPLES} >= {
+        "batch_serving",
+        "fault_injection",
+        "hardware_netlist",
+        "quickstart",
+        "sieve_stack_machine",
+        "tiny_computer",
+    }
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_without_side_effects(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.__doc__, f"{path.name} lacks a header docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_docstring_states_the_run_command(path):
+    source = path.read_text()
+    docstring = source.split('"""')[1]
+    assert "Run with:" in docstring, f"{path.name} docstring lacks 'Run with:'"
+    assert f"python examples/{path.name}" in docstring, (
+        f"{path.name} docstring lacks its exact run command"
+    )
