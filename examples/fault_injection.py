@@ -37,7 +37,7 @@ def gcd_demo() -> None:
     print(f"  with 'anext' stuck at 0 the machine converges to {bad.value('a')} "
           "(fault visible in the result)")
 
-    # a transient single-bit upset, interpreter backend only
+    # a transient single-bit upset (override hooks run on every backend)
     override = transient_override(
         [TransientFault(name="bsub", bit=0, first_cycle=2, last_cycle=2)]
     )

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-stop verification gate: byte-compile the package, enforce the docs
+# gate, then run the tier-1 test suite.  CI and pre-push hooks call this;
+# see README.md ("Development").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== docs gate =="
+python scripts/check_docs.py
+
+echo "== tier-1 tests =="
+python -m pytest -x -q

@@ -41,7 +41,7 @@ from repro.serving import (
     run_batch,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BACKEND_NAMES",

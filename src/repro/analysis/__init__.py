@@ -14,9 +14,12 @@ simulator:
   the bundled machine library, extending the paper's interpreter-vs-
   compiler equivalence claim to every backend and machine at once.
 
-Fault-injection ``override`` hooks follow the backend capability matrix
-(see :mod:`repro.core.backend`): the compiled backend rejects them, so
-fault experiments run on the interpreter or threaded backend.
+Fault-injection ``override`` hooks run on every backend: the shared
+instrumentation layer (:mod:`repro.core.instrument`) implements the hook
+once, and when spec-level optimization changed the specification the run
+executes the lowered program's full pre-specopt schedule so the hook sees
+every original component.  Query ``supports_override`` on a backend or
+prepared simulation to check a third-party backend programmatically.
 """
 
 from repro.analysis.equivalence import (

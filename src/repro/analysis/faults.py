@@ -8,9 +8,10 @@ run."  Two mechanisms are provided:
   combinational component is stuck at a value (or has one bit stuck).  The
   rewritten specification runs on *either* backend, exactly as the paper
   describes inserting the fault "in the specification";
-* **run-time (transient) faults** — an override hook for the interpreter
-  backend that flips bits of chosen components during chosen cycles, for
-  single-event-upset style experiments.
+* **run-time (transient) faults** — an ``override`` hook that flips bits
+  of chosen components during chosen cycles, for single-event-upset style
+  experiments; it runs identically on every backend via the shared
+  instrumentation layer (:mod:`repro.core.instrument`).
 """
 
 from __future__ import annotations
@@ -137,7 +138,7 @@ def _rename_component(component: Component, new_name: str) -> Component:
 
 
 # ---------------------------------------------------------------------------
-# Run-time (transient) faults for the interpreter backend
+# Run-time (transient) faults: override hooks, honored by every backend
 # ---------------------------------------------------------------------------
 
 
@@ -157,7 +158,7 @@ class TransientFault:
 
 
 def transient_override(faults: list[TransientFault]) -> ValueOverride:
-    """Build an interpreter override hook applying the given transient faults."""
+    """Build an ``override`` hook applying the given transient faults."""
     for fault in faults:
         if not 0 <= fault.bit < WORD_BITS:
             raise FaultConfigurationError(
@@ -174,7 +175,7 @@ def transient_override(faults: list[TransientFault]) -> ValueOverride:
 
 
 def stuck_at_override(name: str, value: int) -> ValueOverride:
-    """Interpreter override hook forcing *name* to *value* on every cycle.
+    """An ``override`` hook forcing *name* to *value* on every cycle.
 
     Unlike :func:`inject_stuck_at` this also works for memories (it forces
     the latched output seen by other components).

@@ -15,7 +15,11 @@ from repro.compiler.cache import (
     spec_fingerprint,
 )
 from repro.compiler.codegen_pascal import PascalCodeGenerator, generate_pascal
-from repro.compiler.codegen_python import PythonCodeGenerator, generate_python
+from repro.compiler.codegen_python import (
+    PythonCodeGenerator,
+    generate_program_python,
+    generate_python,
+)
 from repro.compiler.compiled import CompiledBackend, CompiledSimulation, compile_spec
 from repro.compiler.optimizer import (
     CodegenOptions,
@@ -34,6 +38,7 @@ __all__ = [
     "PascalCodeGenerator",
     "generate_pascal",
     "PythonCodeGenerator",
+    "generate_program_python",
     "generate_python",
     "CompiledBackend",
     "CompiledSimulation",

@@ -4,11 +4,14 @@ Figure 5.1's lesson cuts both ways: compiling a specification buys a ~20x
 faster simulation phase at the price of a much longer preparation phase.  In
 a serving setting — the same machine specification simulated over and over
 for millions of requests — that preparation cost should be paid **once**.
-This module keys every backend's prepare-time artifact (generated source and
-byte-compiled code object for the compiled backend, the closure program for
-the threaded backend) on a stable content hash of the specification plus the
-exact option set, so a repeated ``prepare()`` of the same (spec, options)
-pair skips code generation entirely.
+This module keys the shared lowered program — the backend-neutral
+:class:`~repro.lowering.program.CycleProgram` IR, never a backend-private
+artifact — on a stable content hash of the specification plus the exact
+spec-level pass configuration, so a repeated ``prepare()`` of the same
+(spec, passes) pair skips lowering entirely.  Backend-private derivations
+(closure plans, generated modules) are memoized *on* the cached program
+(``CycleProgram.artifact``), so they are shared too while the cache itself
+stays picklable-friendly.
 
 The cache is a bounded LRU and is safe to share between threads.
 """

@@ -1,21 +1,37 @@
 """The ASIM II-style compiled backend.
 
 ``prepare`` corresponds to the paper's "generate code" plus "Pascal compile"
-phases: the specification is translated to a Python module
-(:mod:`repro.compiler.codegen_python`) which is then byte-compiled with
-:func:`compile`/``exec``.  ``run`` executes the compiled ``simulate``
-function — the phase the paper reports as roughly 20x faster than the ASIM
-interpreter (Figure 5.1).
+phases: the shared lowered program (:mod:`repro.lowering`) is translated to
+a Python module (:mod:`repro.compiler.codegen_python`) which is then
+byte-compiled with :func:`compile`/``exec``.  ``run`` executes a generated
+``simulate`` function — the phase the paper reports as roughly 20x faster
+than the ASIM interpreter (Figure 5.1).
+
+The generated module carries three entry points so that the fast path stays
+fast while instrumented runs share the exact hook semantics of the other
+backends (:mod:`repro.core.instrument`):
+
+* ``simulate`` — the paper's straight-line program, no hook call sites;
+  used when a run collects nothing (no stats, no traces, no ``override``);
+* ``simulate_instrumented`` — the same schedule with instrumentation call
+  sites after every component evaluation; gives the compiled backend full
+  per-ALU/selector/memory statistics, run-time trace-name selection and
+  per-cycle ``override`` support;
+* ``simulate_full`` — hook call sites over the *original* (pre-specopt)
+  schedule, generated only when spec-level optimization changed the
+  specification; ``override`` runs execute it so the hook sees every
+  original component.
 
 Two optional performance layers wrap the paper's pipeline:
 
-* the prepare cache (:mod:`repro.compiler.cache`, on by default) keys the
-  generated source and byte-compiled code object on a stable hash of
-  (specification, options), so repeated ``prepare`` of the same machine
-  skips both generation phases — ``generate_seconds`` and
+* the prepare cache (:mod:`repro.compiler.cache`, on by default) stores the
+  lowered program; the generated source and byte-compiled code object are
+  memoized on that program, so a repeated ``prepare`` of the same machine
+  skips lowering and both generation phases — ``generate_seconds`` and
   ``compile_seconds`` then report 0.0 and ``cache_hit`` is set;
 * spec-level optimization (:mod:`repro.compiler.specopt`, opt-in via
-  ``specopt=True``) shrinks the specification before code generation.
+  ``specopt=True``) shrinks the specification inside the lowering pipeline
+  before code generation.
 """
 
 from __future__ import annotations
@@ -25,41 +41,33 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.compiler.cache import PrepareCache, resolve_cache
-from repro.compiler.codegen_python import generate_python
+from repro.compiler.codegen_python import generate_program_python
 from repro.compiler.optimizer import CodegenOptions
-from repro.compiler.specopt import (
-    SpecOptPasses,
-    SpecOptReport,
-    optimize_spec,
-    resolve_passes,
-    restore_observables,
-)
-from repro.core.backend import (
-    Backend,
-    PreparedSimulation,
-    ValueOverride,
-    resolve_cycles,
-    resolve_trace,
-)
-from repro.core.iosystem import IOSystem, coerce_io
+from repro.compiler.specopt import SpecOptPasses, SpecOptReport, resolve_passes
+from repro.core.backend import Backend, PreparedSimulation, ValueOverride
+from repro.core.instrument import plan_run
+from repro.core.iosystem import IOSystem
 from repro.core.results import SimulationResult
 from repro.core.stats import SimulationStats
-from repro.core.trace import TraceLog, TraceOptions
-from repro.errors import BackendError, CompilationError
+from repro.core.trace import TraceOptions
+from repro.errors import CompilationError
+from repro.lowering.program import CycleProgram, lower_cached
 from repro.rtl.spec import Specification
 
 
 class CompiledSimulation(PreparedSimulation):
-    """A specification compiled into an executable Python ``simulate`` function."""
+    """A lowered program compiled into executable ``simulate`` functions."""
 
     def __init__(
         self,
         spec: Specification,
+        program: CycleProgram,
         source: str,
         simulate: Callable,
+        simulate_instrumented: Callable,
+        simulate_full: Callable | None,
         generate_seconds: float,
         compile_seconds: float,
-        optimization: SpecOptReport | None = None,
         cache_hit: bool = False,
     ) -> None:
         super().__init__(
@@ -67,6 +75,8 @@ class CompiledSimulation(PreparedSimulation):
             backend_name="compiled",
             prepare_seconds=generate_seconds + compile_seconds,
         )
+        #: the shared lowered program (cache-backed, backend-neutral)
+        self.program = program
         #: generated Python module source (the analogue of the .p file)
         self.source = source
         #: seconds spent generating source (paper: "Generate code");
@@ -76,10 +86,12 @@ class CompiledSimulation(PreparedSimulation):
         #: 0.0 when the prepare cache supplied the artifact
         self.compile_seconds = compile_seconds
         #: what the spec-level pipeline did, or ``None`` if it was disabled
-        self.optimization = optimization
-        #: whether source + code object came out of the prepare cache
+        self.optimization: SpecOptReport | None = program.optimization
+        #: whether program + generated module came out of the prepare cache
         self.cache_hit = cache_hit
         self._simulate = simulate
+        self._simulate_instrumented = simulate_instrumented
+        self._simulate_full = simulate_full
 
     def write_source(self, path: str | Path) -> Path:
         """Write the generated module to disk (like the paper's ``simulator.p``)."""
@@ -95,72 +107,67 @@ class CompiledSimulation(PreparedSimulation):
         collect_stats: bool = True,
         override: ValueOverride | None = None,
     ) -> SimulationResult:
-        if override is not None:
-            raise BackendError(
-                "the compiled backend does not support per-cycle value overrides; "
-                "use the interpreter or threaded backend or a "
-                "specification-level fault (repro.analysis.faults)"
-            )
-        spec = self.spec
-        cycle_count = resolve_cycles(spec, cycles)
-        options = resolve_trace(spec, trace)
-        io_system = coerce_io(io)
-        tracing = options.trace_cycles or options.trace_memory_accesses
-        trace_log = TraceLog(enabled=tracing)
-        stats = SimulationStats() if collect_stats else None
-
+        plan = plan_run(self.program, cycles, io, trace, collect_stats,
+                        override)
         start = time.perf_counter()
-        try:
-            raw = self._simulate(
-                cycle_count,
-                io_system,
-                trace_log if tracing else None,
-                stats,
+        if plan.inst is None:
+            try:
+                raw = self._simulate(plan.cycle_count, plan.io_system,
+                                     None, None)
+            except (ZeroDivisionError, IndexError, KeyError) as exc:
+                raise CompilationError(
+                    f"generated simulator for {self.spec.source_name} "
+                    f"failed: {exc!r}"
+                ) from exc
+        elif plan.uses_full:
+            # instrumented paths run user hooks (override), whose exceptions
+            # must propagate unwrapped, exactly as on the other backends
+            raw = self._simulate_full(plan.cycle_count, plan.io_system,
+                                      plan.inst)
+        else:
+            raw = self._simulate_instrumented(
+                plan.cycle_count, plan.io_system, plan.inst
             )
-        except (ZeroDivisionError, IndexError, KeyError) as exc:
-            raise CompilationError(
-                f"generated simulator for {spec.source_name} failed: {exc!r}"
-            ) from exc
         run_seconds = time.perf_counter() - start
 
+        plan.finish()
         final_values = dict(raw["values"])
-        if self.optimization is not None:
-            restore_observables(self.optimization, final_values, cycle_count)
+        if not plan.uses_full:
+            self.program.restore_final_values(final_values, plan.cycle_count)
         return SimulationResult(
             backend=self.backend_name,
-            cycles_run=cycle_count,
+            cycles_run=plan.cycle_count,
             final_values=final_values,
-            memory_contents={name: list(cells) for name, cells in raw["memories"].items()},
-            outputs=list(io_system.outputs),
-            trace=trace_log,
-            stats=stats if stats is not None else SimulationStats(),
+            memory_contents={
+                name: list(cells) for name, cells in raw["memories"].items()
+            },
+            outputs=list(plan.io_system.outputs),
+            trace=plan.trace_log,
+            stats=plan.stats if plan.stats is not None else SimulationStats(),
             prepare_seconds=self.prepare_seconds,
             run_seconds=run_seconds,
         )
 
 
 def _generate_and_compile(
-    spec: Specification, options: CodegenOptions, passes: SpecOptPasses
-) -> tuple[str, object, float, float, SpecOptReport | None]:
-    """The spec-level passes plus the paper's two timed preparation phases."""
-    report: SpecOptReport | None = None
-    if passes.any_enabled:
-        spec, report = optimize_spec(spec, passes, options)
-
+    program: CycleProgram, options: CodegenOptions
+) -> tuple[str, object, float, float]:
+    """The paper's two timed preparation phases over a lowered program."""
     generate_start = time.perf_counter()
-    source = generate_python(spec, options)
+    source = generate_program_python(program, options)
     generate_seconds = time.perf_counter() - generate_start
 
     compile_start = time.perf_counter()
-    module_name = f"<asim2 generated: {spec.source_name}>"
+    module_name = f"<asim2 generated: {program.spec.source_name}>"
     try:
         code = compile(source, module_name, "exec")
     except SyntaxError as exc:  # pragma: no cover - generator bug guard
         raise CompilationError(
-            f"generated code for {spec.source_name} failed to compile: {exc}"
+            f"generated code for {program.spec.source_name} failed to "
+            f"compile: {exc}"
         ) from exc
     compile_seconds = time.perf_counter() - compile_start
-    return source, code, generate_seconds, compile_seconds, report
+    return source, code, generate_seconds, compile_seconds
 
 
 class CompiledBackend(Backend):
@@ -179,18 +186,13 @@ class CompiledBackend(Backend):
         self.cache = resolve_cache(cache)
 
     def prepare(self, spec: Specification) -> CompiledSimulation:
-        if self.cache is not None:
-            # specopt runs inside the factory: a hit skips it along with
-            # generation and byte-compilation
-            key = self.cache.key_for("compiled", spec, self.options, self.passes)
-            artifact, hit = self.cache.get_or_create(
-                key,
-                lambda: _generate_and_compile(spec, self.options, self.passes),
-            )
-        else:
-            artifact = _generate_and_compile(spec, self.options, self.passes)
-            hit = False
-        source, code, generate_seconds, compile_seconds, report = artifact
+        program, program_hit = lower_cached(spec, self.passes, self.cache)
+        artifact, artifact_hit = program.artifact(
+            ("compiled", self.options),
+            lambda: _generate_and_compile(program, self.options),
+        )
+        source, code, generate_seconds, compile_seconds = artifact
+        hit = program_hit and artifact_hit
         if hit:
             generate_seconds = compile_seconds = 0.0
 
@@ -198,6 +200,8 @@ class CompiledBackend(Backend):
         try:
             exec(code, namespace)  # noqa: S102 - executing our own generated code
             simulate = namespace["simulate"]
+            simulate_instrumented = namespace["simulate_instrumented"]
+            simulate_full = namespace.get("simulate_full")
         except Exception as exc:  # pragma: no cover - generator bug guard
             raise CompilationError(
                 f"generated code for {spec.source_name} failed to load: {exc}"
@@ -205,11 +209,13 @@ class CompiledBackend(Backend):
 
         return CompiledSimulation(
             spec=spec,
+            program=program,
             source=source,
             simulate=simulate,
+            simulate_instrumented=simulate_instrumented,
+            simulate_full=simulate_full,
             generate_seconds=generate_seconds,
             compile_seconds=compile_seconds,
-            optimization=report,
             cache_hit=hit,
         )
 

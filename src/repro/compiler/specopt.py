@@ -3,9 +3,12 @@
 Section 4.4 of the paper optimises *within* one component: a constant ALU
 function is inlined, a constant memory operation drops its case dispatch.
 This module extends those constant analyses to whole-specification scope
-with three classic passes, each producing a new (smaller, faster)
+with four classic passes, each producing a new (smaller, faster)
 :class:`~repro.rtl.spec.Specification` that any backend — interpreter,
-threaded or compiled — can consume:
+threaded or compiled — can consume.  The passes run inside the shared
+lowering pipeline (:mod:`repro.lowering`), so every backend sees the same
+optimized specification and the same observables map back to the original
+component names:
 
 * **constant propagation** — a combinational component whose inputs are all
   constants computes the same value every cycle; that value is substituted
@@ -17,7 +20,11 @@ threaded or compiled — can consume:
   it into ``final_values``;
 * **common-subexpression de-duplication** — two combinational components
   with identical definitions compute identical values every cycle; the
-  duplicate is removed and its readers re-pointed at the survivor.
+  duplicate is removed and its readers re-pointed at the survivor;
+* **copy propagation** — a selector whose select expression is constant and
+  whose chosen case is a bare reference to a combinational component always
+  forwards that component's value; the selector is removed and its readers
+  re-pointed at the forwarded component.
 
 The passes are *observably* semantics-preserving: memory-mapped outputs,
 memory contents, per-cycle traces of ``*``-marked components, and (after
@@ -51,10 +58,14 @@ class SpecOptPasses:
     propagate_constants: bool = True
     eliminate_dead: bool = True
     merge_duplicates: bool = True
+    #: copy propagation: a selector whose select is constant and whose chosen
+    #: case is a bare reference to a combinational component is a wire; its
+    #: readers are re-pointed at the referenced component.
+    forward_copies: bool = True
 
     @classmethod
     def none(cls) -> "SpecOptPasses":
-        return cls(False, False, False)
+        return cls(False, False, False, False)
 
     @property
     def any_enabled(self) -> bool:
@@ -62,6 +73,7 @@ class SpecOptPasses:
             self.propagate_constants
             or self.eliminate_dead
             or self.merge_duplicates
+            or self.forward_copies
         )
 
 
@@ -81,6 +93,8 @@ class SpecOptReport:
     eliminated: tuple[tuple[str, int], ...] = ()
     #: removed duplicates: (duplicate name, surviving name)
     merged: tuple[tuple[str, str], ...] = ()
+    #: copy-propagated selectors: (selector name, forwarded component name)
+    forwarded: tuple[tuple[str, str], ...] = ()
     #: how many component references were rewritten by substitution
     rewritten_references: int = 0
     #: per-component (Section 4.4) analysis of the optimized specification
@@ -96,12 +110,18 @@ class SpecOptReport:
 
     @property
     def changed(self) -> bool:
-        return bool(self.eliminated or self.merged or self.rewritten_references)
+        return bool(
+            self.eliminated
+            or self.merged
+            or self.forwarded
+            or self.rewritten_references
+        )
 
     def summary(self) -> str:
         return (
             f"specopt: {len(self.constant_components)} constant components, "
             f"{self.eliminated_count} eliminated, {self.merged_count} merged, "
+            f"{len(self.forwarded)} forwarded, "
             f"{self.rewritten_references} references rewritten"
         )
 
@@ -213,6 +233,41 @@ def _fold_component(component: Component) -> int | None:
 
 
 # ---------------------------------------------------------------------------
+# Copy propagation
+# ---------------------------------------------------------------------------
+
+
+def _copy_target(component: Component, combinational: set[str]) -> str | None:
+    """The component a (rewritten) selector forwards, if it is a pure copy.
+
+    A selector whose select expression is a constant in-range index and
+    whose chosen case is a single whole-component reference computes exactly
+    the referenced component's (masked) value every cycle.  Only references
+    to *combinational* components qualify: their stored values are always
+    masked to the machine word, so readers see identical bits whether they
+    read the selector or the forwarded component directly.  Memory outputs
+    may hold raw out-of-word values (a memory-mapped input can deposit
+    anything), so they are never forwarded.
+    """
+    if not isinstance(component, Selector):
+        return None
+    if not component.select.is_constant:
+        return None
+    index = component.select.constant_value()
+    if index >= component.case_count:
+        return None  # out-of-range select must still fail at simulation time
+    case = component.cases[index]
+    if len(case.fields) != 1:
+        return None
+    ref = case.fields[0]
+    if not isinstance(ref, ComponentRef) or ref.low is not None:
+        return None
+    if ref.name not in combinational:
+        return None
+    return ref.name
+
+
+# ---------------------------------------------------------------------------
 # Duplicate detection
 # ---------------------------------------------------------------------------
 
@@ -252,14 +307,17 @@ def optimize_spec(
     constant_components: dict[str, int] = {}
     eliminated: list[tuple[str, int]] = []
     merged: list[tuple[str, str]] = []
+    forwarded: list[tuple[str, str]] = []
     seen_signatures: dict[tuple, str] = {}
     removed: set[str] = set()
+    combinational_names = {c.name for c in spec.combinational()}
 
     # Pass 1 — analysis in dependency order (producers before consumers), so
     # every component is inspected after its combinational inputs have been
     # resolved.  Specifications may contain forward references, which is why
     # analysis order and rewrite order must differ.
-    if passes.propagate_constants or passes.merge_duplicates:
+    if (passes.propagate_constants or passes.merge_duplicates
+            or passes.forward_copies):
         for component in sort_combinational(spec):
             rewritten = _rewrite_component(component, sub)
             if passes.propagate_constants:
@@ -273,6 +331,16 @@ def optimize_spec(
                         eliminated.append((component.name, value))
                         removed.add(component.name)
                     continue  # constant components are not merge candidates
+            if passes.forward_copies and component.name not in traced:
+                # the rewritten case reference already points at its final
+                # (renamed) producer, so a forward never chains to a
+                # removed component
+                target = _copy_target(rewritten, combinational_names - removed)
+                if target is not None:
+                    forwarded.append((component.name, target))
+                    sub.renames[component.name] = target
+                    removed.add(component.name)
+                    continue
             if passes.merge_duplicates:
                 signature = _signature(rewritten)
                 if signature is not None:
@@ -311,6 +379,7 @@ def optimize_spec(
         constant_components=constant_components,
         eliminated=tuple(eliminated),
         merged=tuple(merged),
+        forwarded=tuple(forwarded),
         rewritten_references=sub.rewritten,
         component_report=analyze_specification(optimized, codegen_options),
     )
@@ -332,6 +401,8 @@ def restore_observables(
         final_values[name] = value if cycles_run > 0 else 0
     for duplicate, survivor in report.merged:
         final_values[duplicate] = final_values.get(survivor, 0)
+    for selector, target in report.forwarded:
+        final_values[selector] = final_values.get(target, 0)
 
 
 def resolve_passes(specopt: "bool | SpecOptPasses | None") -> SpecOptPasses:

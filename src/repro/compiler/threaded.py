@@ -2,20 +2,29 @@
 
 Figure 5.1 frames two extremes — ASIM interprets the specification tables
 every cycle, ASIM II generates and compiles a whole program.  Threaded code
-sits between them: ``prepare`` compiles every component into a Python
-closure over pre-bound locals (:mod:`repro.interp.closures`) and chains the
-closures into one flat per-cycle op list; ``run`` just walks that list.
-Preparation is almost as cheap as building the interpreter's tables, while
-simulation runs several times faster than interpreting — without the
-compiled backend's restrictions: per-cycle value ``override`` hooks, full
-statistics and tracing all work exactly as they do on the interpreter.
+sits between them: ``prepare`` obtains the shared lowered program
+(:mod:`repro.lowering`) and binds its step descriptors into Python closures
+(:mod:`repro.interp.closures`) chained into one flat per-cycle op list;
+``run`` just walks that list.  Preparation is almost as cheap as building
+the interpreter's tables, while simulation runs several times faster than
+interpreting.
+
+Per-cycle ``override`` hooks, full statistics and tracing all work exactly
+as they do on the interpreter, implemented by the shared instrumentation
+layer (:mod:`repro.core.instrument`).  When spec-level optimization changed
+the specification, an override run binds the lowered program's *full*
+(pre-specopt) step list — carried by the same shared
+:class:`~repro.lowering.program.CycleProgram`, so nothing is re-derived
+from the specification — and run-time trace requests for optimized-away
+names resolve through the program's observables map.
 
 The backend composes with the other performance layers of this package:
 
 * spec-level optimization (:mod:`repro.compiler.specopt`) shrinks the op
-  list before closures are built (on by default, observably lossless);
-* the prepare cache (:mod:`repro.compiler.cache`) keys the closure program
-  on the specification fingerprint so repeated ``prepare`` calls are free.
+  list inside the lowering pipeline (on by default, observably lossless);
+* the prepare cache (:mod:`repro.compiler.cache`) stores the lowered
+  program keyed on the specification fingerprint; the closure plans are
+  memoized on the program, so repeated ``prepare`` calls are free.
 """
 
 from __future__ import annotations
@@ -24,76 +33,43 @@ import time
 from typing import Iterable
 
 from repro.compiler.cache import PrepareCache, resolve_cache
-from repro.compiler.specopt import (
-    SpecOptPasses,
-    SpecOptReport,
-    optimize_spec,
-    resolve_passes,
-    restore_observables,
-)
-from repro.core.backend import (
-    Backend,
-    PreparedSimulation,
-    ValueOverride,
-    resolve_cycles,
-    resolve_trace,
-)
-from repro.core.iosystem import IOSystem, coerce_io
+from repro.compiler.specopt import SpecOptPasses, SpecOptReport, resolve_passes
+from repro.core.backend import Backend, PreparedSimulation, ValueOverride
+from repro.core.instrument import plan_run
+from repro.core.iosystem import IOSystem
 from repro.core.results import SimulationResult
 from repro.core.stats import SimulationStats
-from repro.core.trace import TraceLog, TraceOptions
-from repro.errors import UnknownComponentError
+from repro.core.trace import TraceOptions
 from repro.interp.closures import RunContext, ThreadedProgram
+from repro.lowering.program import CycleProgram, lower_cached
 from repro.rtl.spec import Specification
 
 
 class ThreadedSimulation(PreparedSimulation):
-    """A specification compiled to a flat list of per-cycle closures."""
+    """A lowered program bound to the threaded-code execution engine."""
 
     def __init__(
         self,
         spec: Specification,
-        program: ThreadedProgram,
+        program: CycleProgram,
         prepare_seconds: float,
-        optimization: SpecOptReport | None = None,
         cache_hit: bool = False,
     ) -> None:
         super().__init__(spec, backend_name="threaded",
                          prepare_seconds=prepare_seconds)
-        #: the closure program (built from the optimized spec when specopt ran)
+        #: the shared lowered program (cache-backed, backend-neutral)
         self.program = program
         #: what the spec-level pipeline did, or ``None`` if it was disabled
-        self.optimization = optimization
-        #: whether this program came out of the prepare cache
+        self.optimization: SpecOptReport | None = program.optimization
+        #: whether program and closure plans came out of the prepare cache
         self.cache_hit = cache_hit
-        #: unoptimized fallback program, built lazily for override runs
-        self._override_program: ThreadedProgram | None = None
 
-    # -- interpreter-exact fidelity ------------------------------------------
-
-    def _program_for(
-        self,
-        override: ValueOverride | None,
-        traced_names: list[str],
-    ) -> ThreadedProgram:
-        """Choose the program honouring interpreter-exact run semantics.
-
-        An override hook must see (and be able to fault) *every* component
-        of the original specification each cycle, and a run-time trace
-        request may name components the spec-level passes removed.  In
-        either case the run falls back to a program built from the
-        unoptimized specification.
-        """
-        if self.optimization is None or not self.optimization.changed:
-            return self.program
-        needs_original = override is not None or any(
-            name not in self.program.slots for name in traced_names
+    def _plans(self, full: bool) -> ThreadedProgram:
+        """The closure plans for one program variant (memoized on the IR)."""
+        plans, _ = self.program.artifact(
+            ("threaded", full), lambda: ThreadedProgram(self.program, full)
         )
-        if not needs_original:
-            return self.program
-        if self._override_program is None:
-            self._override_program = ThreadedProgram(self.spec)
-        return self._override_program
+        return plans
 
     # -- running -------------------------------------------------------------
 
@@ -105,73 +81,40 @@ class ThreadedSimulation(PreparedSimulation):
         collect_stats: bool = True,
         override: ValueOverride | None = None,
     ) -> SimulationResult:
-        spec = self.spec
-        cycle_count = resolve_cycles(spec, cycles)
-        options = resolve_trace(spec, trace)
-        io_system = coerce_io(io)
-        traced_names = (
-            list(options.names) if options.names is not None else spec.traced_names
-        )
-        program = self._program_for(
-            override, traced_names if options.trace_cycles else []
-        )
-        # names optimized away picked the unoptimized fallback above; a name
-        # absent from the original spec fails like the interpreter's lookup
-        if options.trace_cycles and cycle_count > 0 and (
-            options.limit is None or options.limit > 0
-        ):
-            for name in traced_names:
-                if name not in program.slots:
-                    raise UnknownComponentError(f"component <{name}> not found")
-        traced_names = [n for n in traced_names if n in program.slots]
-        trace_log = TraceLog(
-            enabled=options.trace_cycles or options.trace_memory_accesses
-        )
-        stats = SimulationStats() if collect_stats else None
-
+        plan = plan_run(self.program, cycles, io, trace, collect_stats,
+                        override)
+        plans = self._plans(plan.uses_full)
         ctx = RunContext(
-            values=program.initial_values(),
-            memory_arrays=program.initial_memory_arrays(),
+            values=self.program.initial_values(),
+            memory_arrays=self.program.initial_memory_arrays(),
             cycle_box=[0],
-            io=io_system,
-            stats=stats,
-            override=override,
-            trace_log=trace_log,
-            trace_accesses=options.trace_memory_accesses,
+            io=plan.io_system,
+            inst=plan.inst,
         )
-        ops = program.bind(
-            ctx,
-            traced_names if options.trace_cycles else None,
-            options.limit,
-        )
+        ops = plans.bind(ctx)
 
         cycle_box = ctx.cycle_box
         start = time.perf_counter()
-        for cycle in range(cycle_count):
+        for cycle in range(plan.cycle_count):
             cycle_box[0] = cycle
             for op in ops:
                 op()
         run_seconds = time.perf_counter() - start
 
-        if stats is not None:
-            stats.cycles += cycle_count
-            stats.component_evaluations += cycle_count * (
-                len(program.ordered) + len(program.memories)
-            )
-
-        final_values = program.visible_values(ctx.values)
-        if self.optimization is not None and program is self.program:
-            restore_observables(self.optimization, final_values, cycle_count)
+        plan.finish()
+        final_values = plans.visible_values(ctx.values)
+        if not plan.uses_full:
+            self.program.restore_final_values(final_values, plan.cycle_count)
         return SimulationResult(
             backend=self.backend_name,
-            cycles_run=cycle_count,
+            cycles_run=plan.cycle_count,
             final_values=final_values,
             memory_contents={
                 name: list(cells) for name, cells in ctx.memory_arrays.items()
             },
-            outputs=list(io_system.outputs),
-            trace=trace_log,
-            stats=stats if stats is not None else SimulationStats(),
+            outputs=list(plan.io_system.outputs),
+            trace=plan.trace_log,
+            stats=plan.stats if plan.stats is not None else SimulationStats(),
             prepare_seconds=self.prepare_seconds,
             run_seconds=run_seconds,
         )
@@ -192,24 +135,15 @@ class ThreadedBackend(Backend):
 
     def prepare(self, spec: Specification) -> ThreadedSimulation:
         start = time.perf_counter()
-
-        def build() -> tuple[ThreadedProgram, SpecOptReport | None]:
-            if self.passes.any_enabled:
-                optimized, report = optimize_spec(spec, self.passes)
-                return ThreadedProgram(optimized), report
-            return ThreadedProgram(spec), None
-
-        if self.cache is not None:
-            key = self.cache.key_for("threaded", spec, self.passes)
-            (program, report), hit = self.cache.get_or_create(key, build)
-        else:
-            (program, report), hit = build(), False
+        program, program_hit = lower_cached(spec, self.passes, self.cache)
+        _plans, plans_hit = program.artifact(
+            ("threaded", False), lambda: ThreadedProgram(program, False)
+        )
         return ThreadedSimulation(
             spec=spec,
             program=program,
             prepare_seconds=time.perf_counter() - start,
-            optimization=report,
-            cache_hit=hit,
+            cache_hit=program_hit and plans_hit,
         )
 
 

@@ -68,25 +68,38 @@ class PreparedSimulation(ABC):
     The serving layer (:mod:`repro.serving`) relies on this to fan one
     prepared machine out over a worker pool.
 
-    Run options are subject to the backend capability matrix:
+    Run options are uniform across the three built-in backends — every
+    backend consumes the same lowered program (:mod:`repro.lowering`) and
+    honors the same instrumentation layer (:mod:`repro.core.instrument`):
 
-    * ``override`` — per-cycle value override (fault injection).  The
-      interpreter and threaded backends support it; the threaded backend
-      falls back to a program built from the *unoptimized* specification
-      when spec-level optimization changed the spec (the hook must see
-      every original component).  The compiled backend raises
-      ``BackendError``: use a specification-level fault
-      (:mod:`repro.analysis.faults`) there instead.
-    * ``collect_stats`` — the interpreter and threaded backends record the
-      full breakdown (per-ALU function, per-selector case, per-memory
-      operation); the compiled backend reports cycle and evaluation
-      counts only.
-    * ``trace`` — per-cycle value traces and memory access traces work on
-      all three backends and are bit-identical between them.  Tracing a
-      name the optimizer removed makes the threaded backend fall back to
-      its unoptimized program; an unknown name raises
-      ``UnknownComponentError`` everywhere.
+    * ``override`` — per-cycle value override (fault injection), supported
+      everywhere.  When spec-level optimization changed the specification,
+      the run executes the lowered program's *full* (pre-specopt) step
+      list so the hook sees — and can fault — every original component.
+    * ``collect_stats`` — the full breakdown (per-ALU function,
+      per-selector case, per-memory operation) on every backend; the
+      compiled backend routes stats runs through its generated
+      instrumented function.  Recording per-component statistics costs a
+      hook call per component per cycle on every backend — on a hot path
+      pass ``collect_stats=False`` (and ``trace=False``) to run each
+      backend's uninstrumented fast path, which carries no hook call
+      sites at all (that is the configuration the Figure 5.1 speedups
+      are measured in).
+    * ``trace`` — per-cycle value traces and memory access traces are
+      bit-identical across backends.  Tracing a name the optimizer removed
+      resolves through the program's observables map; an unknown name
+      raises ``UnknownComponentError`` everywhere.
+
+    The ``supports_override`` / ``supports_full_stats`` class flags let
+    callers query capabilities programmatically instead of catching
+    ``BackendError`` at run time; third-party backends that cannot honor a
+    hook should set them to ``False``.
     """
+
+    #: whether ``run(override=...)`` honors the per-cycle value hook
+    supports_override: bool = True
+    #: whether ``collect_stats`` records the full per-component breakdown
+    supports_full_stats: bool = True
 
     def __init__(self, spec: Specification, backend_name: str,
                  prepare_seconds: float) -> None:
@@ -111,6 +124,10 @@ class Backend(ABC):
 
     #: short name used in results and benchmark reports
     name: str = "backend"
+    #: capability flags mirrored from :class:`PreparedSimulation` so callers
+    #: can query a backend before preparing anything
+    supports_override: bool = True
+    supports_full_stats: bool = True
 
     @abstractmethod
     def prepare(self, spec: Specification) -> PreparedSimulation:
@@ -120,12 +137,14 @@ class Backend(ABC):
         as Figure 5.1 does: trivial for the interpreter (sort the tables,
         ~0.5 ms on the Fig 5.1 sieve), cheap for the threaded backend
         (closure compilation, ~2 ms), expensive for the compiled backend
-        (generate + byte-compile a module, ~5 ms).  The threaded and
+        (generate + byte-compile a module, ~8 ms).  The threaded and
         compiled backends consult the prepare cache
-        (:mod:`repro.compiler.cache`, on by default) keyed on a stable
-        content hash of (specification, options), so a repeated
-        ``prepare`` of the same machine returns the cached artifact and
-        sets ``cache_hit`` on the result.  Preparation depends only on
+        (:mod:`repro.compiler.cache`, on by default), which stores the
+        shared lowered program (:mod:`repro.lowering`) keyed on a stable
+        content hash of (specification, specopt passes); backend-private
+        artifacts (closure plans, generated modules) are memoized on that
+        program, so a repeated ``prepare`` of the same machine reuses
+        everything and sets ``cache_hit``.  Preparation depends only on
         the specification — never on run options — which is what lets
         one prepared artifact serve many concurrent runs
         (:mod:`repro.serving`).

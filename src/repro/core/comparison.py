@@ -17,10 +17,11 @@ from repro.compiler.compiled import CompiledBackend
 from repro.compiler.optimizer import CodegenOptions
 from repro.compiler.specopt import SpecOptPasses
 from repro.compiler.threaded import ThreadedBackend
-from repro.core.backend import Backend
+from repro.core.backend import Backend, ValueOverride
 from repro.core.iosystem import QueueIO
 from repro.core.results import SimulationResult
 from repro.core.trace import TraceOptions
+from repro.errors import BackendError
 from repro.interp.interpreter import InterpreterBackend
 from repro.rtl.spec import Specification
 
@@ -57,20 +58,27 @@ def compare_results(
     reference: SimulationResult,
     candidate: SimulationResult,
     compare_trace: bool = False,
+    compare_stats: bool = False,
 ) -> list[str]:
     """Mismatch descriptions between two results (empty = bit-identical).
 
     The canonical observable comparison — final values, memory contents,
-    output events, and optionally the traces — used by the equivalence
-    sweeps and the CLI's ``serve-batch --check``.
+    output events, and optionally the traces and statistics — used by the
+    equivalence sweeps and the CLI's ``serve-batch --check``.
+    ``compare_stats`` asserts the instrumentation-layer parity: identical
+    cycle/evaluation counts and identical per-ALU/selector/memory
+    breakdowns (only meaningful when both runs executed the same effective
+    program, e.g. the same specopt configuration or an ``override`` run).
     """
-    return _compare_results(reference, candidate, compare_trace)
+    return _compare_results(reference, candidate, compare_trace,
+                            compare_stats)
 
 
 def _compare_results(
     reference: SimulationResult,
     candidate: SimulationResult,
     compare_trace: bool,
+    compare_stats: bool = False,
 ) -> list[str]:
     mismatches: list[str] = []
     for name, value in reference.final_values.items():
@@ -105,6 +113,14 @@ def _compare_results(
         ]
         if ref_accesses != cand_accesses:
             mismatches.append("memory access traces differ")
+    if compare_stats and reference.stats != candidate.stats:
+        mismatches.append(
+            "statistics differ: "
+            f"{reference.stats.cycles} cycles / "
+            f"{reference.stats.component_evaluations} evaluations (reference) "
+            f"vs {candidate.stats.cycles} / "
+            f"{candidate.stats.component_evaluations} (candidate)"
+        )
     return mismatches
 
 
@@ -116,27 +132,42 @@ def compare_backends(
     candidate: Backend | None = None,
     trace: bool = True,
     codegen_options: CodegenOptions | None = None,
+    override: ValueOverride | None = None,
+    compare_stats: bool = False,
 ) -> ComparisonResult:
     """Run *spec* on two backends with identical inputs and compare.
 
     By default the reference is the ASIM-style interpreter and the candidate
     the ASIM II-style compiled simulator — the comparison made throughout
-    Chapter 5 of the paper.
+    Chapter 5 of the paper.  ``override`` injects the same per-cycle fault
+    hook into both runs; the backends' capability flags are consulted first
+    so an unsupporting backend fails with a clear error before anything
+    runs.
     """
     reference_backend = reference or InterpreterBackend()
     candidate_backend = candidate or CompiledBackend(codegen_options)
+    if override is not None:
+        for backend in (reference_backend, candidate_backend):
+            if not getattr(backend, "supports_override", True):
+                raise BackendError(
+                    f"backend '{backend.name}' does not support per-cycle "
+                    "value overrides (supports_override is False)"
+                )
     trace_options = (
         TraceOptions(trace_cycles=True, trace_memory_accesses=True)
         if trace
         else TraceOptions.disabled()
     )
     reference_result = reference_backend.run(
-        spec, cycles=cycles, io=QueueIO(inputs, strict=False), trace=trace_options
+        spec, cycles=cycles, io=QueueIO(inputs, strict=False),
+        trace=trace_options, override=override,
     )
     candidate_result = candidate_backend.run(
-        spec, cycles=cycles, io=QueueIO(inputs, strict=False), trace=trace_options
+        spec, cycles=cycles, io=QueueIO(inputs, strict=False),
+        trace=trace_options, override=override,
     )
-    mismatches = _compare_results(reference_result, candidate_result, trace)
+    mismatches = _compare_results(reference_result, candidate_result, trace,
+                                  compare_stats)
     return ComparisonResult(
         reference=reference_result,
         candidate=candidate_result,
@@ -150,6 +181,8 @@ def compare_all_backends(
     inputs: Sequence[int | str] = (),
     trace: bool = True,
     specopt: bool | SpecOptPasses = False,
+    override: ValueOverride | None = None,
+    compare_stats: bool = False,
 ) -> dict[str, ComparisonResult]:
     """Run *spec* on every registered backend against the interpreter.
 
@@ -157,6 +190,9 @@ def compare_all_backends(
     backend is compared to it with identical inputs.  ``specopt`` applies
     the spec-level optimization pipeline to each candidate, so the
     pipeline's observable-equivalence claim is checked in the same sweep.
+    ``override`` injects the same fault hook everywhere and
+    ``compare_stats`` additionally requires identical statistics — the
+    instrumentation-layer parity check.
     """
     from repro.core.simulator import BACKEND_NAMES
 
@@ -173,7 +209,8 @@ def compare_all_backends(
     }
     return {
         name: compare_backends(
-            spec, cycles=cycles, inputs=inputs, candidate=candidate, trace=trace
+            spec, cycles=cycles, inputs=inputs, candidate=candidate,
+            trace=trace, override=override, compare_stats=compare_stats,
         )
         for name, candidate in candidates.items()
     }
@@ -198,10 +235,13 @@ def assert_all_backends_equivalent(
     cycles: int | None = None,
     inputs: Iterable[int | str] = (),
     specopt: bool | SpecOptPasses = False,
+    override: ValueOverride | None = None,
+    compare_stats: bool = False,
 ) -> dict[str, ComparisonResult]:
     """Raise ``AssertionError`` unless every backend agrees on *spec*."""
     results = compare_all_backends(
-        spec, cycles=cycles, inputs=tuple(inputs), specopt=specopt
+        spec, cycles=cycles, inputs=tuple(inputs), specopt=specopt,
+        override=override, compare_stats=compare_stats,
     )
     problems = [
         f"{name}: {mismatch}"

@@ -1,0 +1,277 @@
+"""The single instrumentation layer every backend honors.
+
+Statistics recording, per-cycle value tracing, memory access tracing and
+the per-cycle ``override`` hook (fault injection) used to be implemented
+three times — once per backend — with slightly different capabilities (the
+compiled backend had neither ``override`` nor the full statistics
+breakdown).  This module implements them once, as an
+:class:`Instrumentation` object whose hook methods every backend calls at
+the same points of the cycle:
+
+* after each ALU / selector evaluates (:meth:`Instrumentation.alu`,
+  :meth:`Instrumentation.selector`) — records the function code / case
+  index and applies the override to the value about to be stored;
+* after the combinational phase (:meth:`Instrumentation.wants_cycle_trace`
+  plus a ``record_cycle*`` call) — captures the traced values exactly as
+  they were used during the cycle;
+* after each memory update (:meth:`Instrumentation.memory`) — records the
+  access, emits "Read from"/"Write to" trace records from the operation's
+  trace bits, and applies the override to the latched output.
+
+Because every backend calls the same hooks in the same order, the three
+backends produce bit-identical traces and identical statistics for the
+same effective program — the parity the equivalence matrix asserts.
+
+:func:`plan_run` is the shared front half of every backend's ``run``: it
+normalises the run arguments, decides whether the run needs the *full*
+(pre-specopt) program variant (an ``override`` hook must see every original
+component), resolves run-time traced names through the lowered program's
+observables map, and builds the :class:`Instrumentation` — or ``None`` for
+the fast path, so an uninstrumented run pays for none of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.backend import resolve_cycles, resolve_trace
+from repro.core.iosystem import IOSystem, coerce_io
+from repro.core.stats import SimulationStats
+from repro.core.trace import TraceLog, TraceOptions
+from repro.errors import UnknownComponentError
+
+#: A resolved trace entry: (reported name, "value" | "const", payload).
+#: "value" payload is the live component name to read; "const" payload is
+#: the statically-known per-cycle value of an eliminated component.
+TraceEntry = tuple
+
+
+class Instrumentation:
+    """Per-run bundle of stats + trace + override hooks (one per run)."""
+
+    __slots__ = (
+        "stats",
+        "override",
+        "trace_log",
+        "trace_accesses",
+        "trace_limit",
+        "traced",
+    )
+
+    def __init__(
+        self,
+        stats: SimulationStats | None = None,
+        override: Callable[[str, int, int], int] | None = None,
+        trace_log: TraceLog | None = None,
+        trace_accesses: bool = False,
+        trace_limit: int | None = None,
+        traced: tuple[TraceEntry, ...] = (),
+    ) -> None:
+        self.stats = stats
+        self.override = override
+        self.trace_log = trace_log if trace_log is not None else TraceLog(False)
+        self.trace_accesses = trace_accesses
+        self.trace_limit = trace_limit
+        self.traced = traced
+
+    # -- combinational hooks -------------------------------------------------
+
+    def alu(self, name: str, funct: int, value: int, cycle: int) -> int:
+        """Record one ALU evaluation; returns the value to store."""
+        if self.stats is not None:
+            self.stats.record_alu_function(funct)
+        if self.override is not None:
+            return self.override(name, value, cycle)
+        return value
+
+    def selector(self, name: str, index: int, value: int, cycle: int) -> int:
+        """Record one selector evaluation; returns the value to store."""
+        if self.stats is not None:
+            self.stats.record_selector_case(name, index)
+        if self.override is not None:
+            return self.override(name, value, cycle)
+        return value
+
+    # -- memory hook ---------------------------------------------------------
+
+    def memory(
+        self, name: str, operation: int, address: int, output: int, cycle: int
+    ) -> int:
+        """Record one memory update; returns the output value to latch.
+
+        The access count and the "Read from"/"Write to" trace record use
+        the *pre-override* output, exactly as the interpreter always has;
+        only the latched value is overridden.
+        """
+        if self.stats is not None:
+            self.stats.record_memory_access(name, operation, address)
+        if self.trace_accesses:
+            if (operation & 5) == 5:
+                self.trace_log.record_access(
+                    cycle, name, "write", address, output
+                )
+            elif (operation & 9) == 8:
+                self.trace_log.record_access(
+                    cycle, name, "read", address, output
+                )
+        if self.override is not None:
+            return self.override(name, output, cycle)
+        return output
+
+    # -- cycle tracing -------------------------------------------------------
+
+    def wants_cycle_trace(self) -> bool:
+        """True when this cycle's traced values should be recorded."""
+        if not self.traced:
+            return False
+        limit = self.trace_limit
+        return limit is None or len(self.trace_log.cycles) < limit
+
+    def record_cycle(self, cycle: int, values: dict[str, int]) -> None:
+        """Record an already-resolved ``{traced name: value}`` row."""
+        self.trace_log.record_cycle(cycle, values)
+
+    def record_cycle_values(
+        self, cycle: int, values: dict[str, int]
+    ) -> None:
+        """Resolve the traced names against a full value mapping and record.
+
+        *values* maps every live component name to its current value (the
+        compiled backend's generated code passes its whole local state);
+        eliminated constants and aliases resolve through the entries built
+        by :func:`plan_run`.
+        """
+        row: dict[str, int] = {}
+        for name, kind, payload in self.traced:
+            row[name] = values[payload] if kind == "value" else payload
+        self.trace_log.record_cycle(cycle, row)
+
+    # -- end of run ----------------------------------------------------------
+
+    def finish(self, cycles_run: int, evaluations_per_cycle: int) -> None:
+        """Fold the whole-run counters into the statistics object."""
+        if self.stats is not None:
+            self.stats.cycles += cycles_run
+            self.stats.component_evaluations += (
+                cycles_run * evaluations_per_cycle
+            )
+
+
+@dataclass
+class RunPlan:
+    """Everything a backend needs to execute one normalised run."""
+
+    cycle_count: int
+    io_system: IOSystem
+    options: TraceOptions
+    trace_log: TraceLog
+    stats: SimulationStats | None
+    #: the shared instrumentation, or ``None`` for the uninstrumented fast path
+    inst: Instrumentation | None
+    #: the program variant to execute (full when the override hook must see
+    #: every pre-specopt component)
+    variant: object
+    uses_full: bool
+
+    def finish(self) -> None:
+        """Record the whole-run statistics counters."""
+        if self.inst is not None:
+            self.inst.finish(
+                self.cycle_count, self.variant.evaluations_per_cycle
+            )
+
+
+def resolve_traced_names(
+    program, variant, names, strict: bool
+) -> tuple[TraceEntry, ...]:
+    """Resolve run-time traced *names* through the observables map.
+
+    Names the optimizer removed resolve to their constant or surviving
+    alias; unknown names raise :class:`UnknownComponentError` exactly as a
+    state lookup would (only when *strict*, i.e. when the run would really
+    record a trace row).
+    """
+    observables = program.observables
+    entries: list[TraceEntry] = []
+    for name in names:
+        resolution = observables.get(name)
+        if resolution is None:
+            if strict:
+                raise UnknownComponentError(f"component <{name}> not found")
+            continue
+        if variant is program.full:
+            # every original component is live in the full variant
+            entries.append((name, "value", name))
+        elif resolution[0] == "const":
+            entries.append((name, "const", resolution[1]))
+        else:  # "live" or "alias": read the surviving component
+            entries.append((name, "value", resolution[1]))
+    return tuple(entries)
+
+
+def plan_run(
+    program,
+    cycles: int | None,
+    io,
+    trace,
+    collect_stats: bool,
+    override,
+) -> RunPlan:
+    """Normalise one run's arguments against a lowered *program*.
+
+    This is the shared front half of every backend's ``run``: cycle count
+    and trace-option resolution, I/O coercion, program-variant selection,
+    traced-name resolution, and instrumentation construction.
+    """
+    spec = program.spec
+    cycle_count = resolve_cycles(spec, cycles)
+    options = resolve_trace(spec, trace)
+    io_system = coerce_io(io)
+    uses_full = override is not None and program.changed
+    variant = program.variant(uses_full)
+    trace_log = TraceLog(
+        enabled=options.trace_cycles or options.trace_memory_accesses
+    )
+    stats = SimulationStats() if collect_stats else None
+
+    traced: tuple[TraceEntry, ...] = ()
+    if options.trace_cycles:
+        names = (
+            list(options.names)
+            if options.names is not None
+            else spec.traced_names
+        )
+        if names:
+            will_record = cycle_count > 0 and (
+                options.limit is None or options.limit > 0
+            )
+            traced = resolve_traced_names(
+                program, variant, names, strict=will_record
+            )
+
+    inst: Instrumentation | None = None
+    if (
+        stats is not None
+        or override is not None
+        or traced
+        or options.trace_memory_accesses
+    ):
+        inst = Instrumentation(
+            stats=stats,
+            override=override,
+            trace_log=trace_log,
+            trace_accesses=options.trace_memory_accesses,
+            trace_limit=options.limit,
+            traced=traced,
+        )
+    return RunPlan(
+        cycle_count=cycle_count,
+        io_system=io_system,
+        options=options,
+        trace_log=trace_log,
+        stats=stats,
+        inst=inst,
+        variant=variant,
+        uses_full=uses_full,
+    )

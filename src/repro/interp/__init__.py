@@ -1,8 +1,8 @@
 """ASIM-style interpreter backend (the paper's baseline simulator).
 
-This package also hosts the closure compiler (:mod:`repro.interp.closures`)
-that lowers specifications to threaded code; the backend wrapping it lives
-in :mod:`repro.compiler.threaded`.
+This package also hosts the closure binder (:mod:`repro.interp.closures`)
+that turns the shared lowered program (:mod:`repro.lowering`) into threaded
+code; the backend wrapping it lives in :mod:`repro.compiler.threaded`.
 """
 
 from repro.interp.closures import RunContext, ThreadedProgram

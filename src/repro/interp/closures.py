@@ -1,12 +1,13 @@
-"""Closure compilation of specification expressions (threaded code).
+"""Closure binding of lowered programs (threaded code).
 
 The interpreter backend re-walks every expression tree through
 ``state.lookup`` dict lookups on every cycle; the compiled backend goes to
 the other extreme and generates a whole Python module.  This module is the
-classic middle point of that design space: **threaded code**.  At prepare
-time every ALU, selector and memory expression is compiled into a Python
-closure over pre-bound locals — slot indices into a flat ``values`` list,
-pre-computed masks and shifts, the memory cell lists — and the closures are
+classic middle point of that design space: **threaded code**.  The shared
+lowering pipeline (:mod:`repro.lowering`) has already turned the
+specification into flat step descriptors — slot indices into a flat
+``values`` list, pre-computed masks and shifts; here each step is bound
+into a Python closure over this run's mutable state, and the closures are
 chained into one flat per-cycle op list.  Running a cycle is then just
 
     for op in ops:
@@ -14,19 +15,13 @@ chained into one flat per-cycle op list.  Running a cycle is then just
 
 with no tree walk, no name lookup and no per-cycle dataclass allocation.
 
-Compilation is split into two phases so a prepared simulation can be run
-many times (and with different run options) without re-walking the trees:
-
-* *plan* time (``ThreadedProgram`` construction, done once per ``prepare``):
-  expressions are lowered to small descriptor tuples and each component
-  gets a ``bind`` function;
-* *bind* time (start of each ``run``): the ``bind`` functions close the
-  descriptors over this run's mutable state (the ``values`` list, the
-  memory cell arrays, the I/O system, optional stats / trace / override
-  hooks) and return the zero-argument per-cycle ops.
-
-The fast path — no stats, no override, no tracing — binds ops that do
-nothing but compute and store.
+Binding happens at the start of every ``run``: the plans close the step
+descriptors over the run's :class:`RunContext` (the ``values`` list, the
+memory cell arrays, the I/O system, and the optional shared
+:class:`~repro.core.instrument.Instrumentation`).  The fast path — no
+instrumentation at all — binds ops that do nothing but compute and store;
+an instrumented run binds ops that route every evaluation through the same
+hook methods the interpreter and the compiled backend call.
 """
 
 from __future__ import annotations
@@ -39,57 +34,20 @@ from repro.errors import (
     MemoryRangeError,
     SelectorRangeError,
 )
+from repro.lowering.descriptors import lower_expression  # noqa: F401  (re-export)
+from repro.lowering.program import (
+    AluStep,
+    CycleProgram,
+    MemoryStep,
+    SelectorStep,
+)
 from repro.rtl.alu_ops import FUNCTION_COUNT, dologic, shift_left
-from repro.rtl.bits import WORD_BITS, WORD_MASK, mask_for_width
-from repro.rtl.components import Alu, Memory, Selector
-from repro.rtl.dependency import sort_combinational
-from repro.rtl.expressions import ComponentRef, Expression
-from repro.rtl.spec import Specification
+from repro.rtl.bits import WORD_MASK
 
 #: A bound per-cycle operation: computes and stores, returns nothing.
 Op = Callable[[], None]
 #: A bound value producer: returns one masked machine word.
 Pull = Callable[[], int]
-
-
-# ---------------------------------------------------------------------------
-# Expression lowering: Expression -> descriptor -> bound closure
-# ---------------------------------------------------------------------------
-#
-# Descriptors are small tuples so that plans are cheap to build, hash and
-# cache.  Kinds:
-#   ("const", value)                       constant (already masked)
-#   ("ref", slot)                          whole-component reference
-#   ("bits", slot, low, mask)              bit-field reference
-#   ("concat", ((field_desc, offset), ...))  multi-field concatenation
-
-
-def lower_expression(expression: Expression, slots: dict[str, int]) -> tuple:
-    """Lower *expression* to a descriptor against the slot assignment."""
-    if expression.is_constant:
-        return ("const", expression.constant_value())
-    fields = expression.fields
-    if len(fields) == 1:
-        return _lower_field(fields[0], slots)
-    parts: list[tuple[tuple, int]] = []
-    offset = 0
-    for f in reversed(fields):
-        parts.append((_lower_field(f, slots), offset))
-        width = f.width
-        offset = WORD_BITS if width is None else offset + width
-    return ("concat", tuple(parts))
-
-
-def _lower_field(f, slots: dict[str, int]) -> tuple:
-    if f.is_constant:
-        return ("const", f.evaluate(lambda name: 0))
-    assert isinstance(f, ComponentRef)
-    slot = slots[f.name]
-    if f.low is None:
-        return ("ref", slot)
-    width = f.width
-    assert width is not None
-    return ("bits", slot, f.low, mask_for_width(width))
 
 
 def bind_pull(desc: tuple, values: list[int]) -> Pull:
@@ -221,61 +179,54 @@ class RunContext:
     #: single-element list holding the current cycle (shared by all closures)
     cycle_box: list[int]
     io: object = None
-    stats: object = None
-    override: Callable[[str, int, int], int] | None = None
-    trace_log: object = None
-    trace_accesses: bool = False
+    #: the shared instrumentation layer, or ``None`` for the fast path
+    inst: object = None
 
 
 # ---------------------------------------------------------------------------
-# Component plans
+# Step plans: IR step -> bind function -> bound closure
 # ---------------------------------------------------------------------------
 
 
-def _plan_alu(alu: Alu, slots: dict[str, int]):
-    """Build the bind function for one ALU."""
-    name = alu.name
-    slot = slots[name]
-    left_desc = lower_expression(alu.left, slots)
-    right_desc = lower_expression(alu.right, slots)
-    constant_funct: int | None = None
-    funct_desc: tuple | None = None
-    if alu.funct.is_constant:
-        code = alu.funct.constant_value()
-        if 0 <= code < FUNCTION_COUNT:
-            constant_funct = code
-        else:
-            funct_desc = ("const", code)
-    else:
-        funct_desc = lower_expression(alu.funct, slots)
+def _plan_alu(step: AluStep):
+    """Build the bind function for one ALU step."""
+    name = step.component.name
+    slot = step.slot
+    left_desc, right_desc = step.left, step.right
+    constant_funct, funct_desc = step.constant_funct, step.funct
 
     def bind(ctx: RunContext) -> Op:
         values = ctx.values
         left = bind_pull(left_desc, values)
         right = bind_pull(right_desc, values)
-        override = ctx.override
-        stats = ctx.stats
+        inst = ctx.inst
         cycle_box = ctx.cycle_box
         if constant_funct is not None:
             compute = ALU_CLOSURE_BUILDERS[constant_funct](left, right)
-            if override is None and stats is None:
+            if inst is None:
                 def op() -> None:
                     values[slot] = compute()
                 return op
-            record = stats.record_alu_function if stats is not None else None
+            hook = inst.alu
             code = constant_funct
 
             def op() -> None:
-                value = compute()
-                if record is not None:
-                    record(code)
-                if override is not None:
-                    value = override(name, value, cycle_box[0])
-                values[slot] = value
+                values[slot] = hook(name, code, compute(), cycle_box[0])
             return op
 
         funct = bind_pull(funct_desc, values)
-        record = stats.record_alu_function if stats is not None else None
+        if inst is None:
+            def op() -> None:
+                code = funct()
+                if not 0 <= code < FUNCTION_COUNT:
+                    raise InvalidAluFunctionError(
+                        f"ALU '{name}' computed function code {code}",
+                        cycle_box[0],
+                    )
+                values[slot] = dologic(code, left(), right())
+            return op
+
+        hook = inst.alu
 
         def op() -> None:
             code = funct()
@@ -283,49 +234,41 @@ def _plan_alu(alu: Alu, slots: dict[str, int]):
                 raise InvalidAluFunctionError(
                     f"ALU '{name}' computed function code {code}", cycle_box[0]
                 )
-            if record is not None:
-                record(code)
-            value = dologic(code, left(), right())
-            if override is not None:
-                value = override(name, value, cycle_box[0])
-            values[slot] = value
+            values[slot] = hook(
+                name, code, dologic(code, left(), right()), cycle_box[0]
+            )
         return op
 
     return bind
 
 
-def _plan_selector(selector: Selector, slots: dict[str, int]):
-    """Build the bind function for one selector."""
-    name = selector.name
-    slot = slots[name]
-    count = selector.case_count
-    select_desc = lower_expression(selector.select, slots)
-    case_descs = tuple(lower_expression(c, slots) for c in selector.cases)
-    constant_cases: tuple[int, ...] | None = None
-    if all(desc[0] == "const" for desc in case_descs):
-        constant_cases = tuple(desc[1] for desc in case_descs)
+def _plan_selector(step: SelectorStep):
+    """Build the bind function for one selector step."""
+    name = step.component.name
+    slot = step.slot
+    count = step.component.case_count
+    select_desc, case_descs = step.select, step.cases
+    constant_cases = step.constant_cases
 
     def bind(ctx: RunContext) -> Op:
         values = ctx.values
         select = bind_pull(select_desc, values)
-        override = ctx.override
-        stats = ctx.stats
+        inst = ctx.inst
         cycle_box = ctx.cycle_box
-        plain = override is None and stats is None
-        if constant_cases is not None:
+        if constant_cases is not None and inst is None:
             table = constant_cases
-            if plain:
-                def op() -> None:
-                    index = select()
-                    if index >= count:
-                        raise SelectorRangeError(
-                            f"selector '{name}' index {index} exceeds its "
-                            f"{count} cases", cycle_box[0],
-                        )
-                    values[slot] = table[index]
-                return op
+
+            def op() -> None:
+                index = select()
+                if index >= count:
+                    raise SelectorRangeError(
+                        f"selector '{name}' index {index} exceeds its "
+                        f"{count} cases", cycle_box[0],
+                    )
+                values[slot] = table[index]
+            return op
         cases = tuple(bind_pull(desc, values) for desc in case_descs)
-        if plain:
+        if inst is None:
             def op() -> None:
                 index = select()
                 if index >= count:
@@ -336,7 +279,7 @@ def _plan_selector(selector: Selector, slots: dict[str, int]):
                 values[slot] = cases[index]()
             return op
 
-        record = stats.record_selector_case if stats is not None else None
+        hook = inst.selector
 
         def op() -> None:
             index = select()
@@ -345,32 +288,24 @@ def _plan_selector(selector: Selector, slots: dict[str, int]):
                     f"selector '{name}' index {index} exceeds its "
                     f"{count} cases", cycle_box[0],
                 )
-            if record is not None:
-                record(name, index)
-            value = cases[index]()
-            if override is not None:
-                value = override(name, value, cycle_box[0])
-            values[slot] = value
+            values[slot] = hook(name, index, cases[index](), cycle_box[0])
         return op
 
     return bind
 
 
-def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
-    """Build the (latch, apply) bind functions for one memory.
-
-    ``latch_base`` indexes three scratch slots in the values list holding
-    this memory's latched address / data / operation for the current cycle,
-    so every memory sees a consistent pre-update view (all registers clock
-    together) without allocating a request object per cycle.
-    """
+def _plan_memory(step: MemoryStep):
+    """Build the (latch, apply) bind functions for one memory step."""
+    memory = step.component
     name = memory.name
-    out_slot = slots[name]
+    out_slot = step.out_slot
     size = memory.size
-    address_desc = lower_expression(memory.address, slots)
-    data_desc = lower_expression(memory.data, slots)
-    operation_desc = lower_expression(memory.operation, slots)
-    addr_slot, data_slot, op_slot = latch_base, latch_base + 1, latch_base + 2
+    address_desc, data_desc, operation_desc = (
+        step.address, step.data, step.operation,
+    )
+    addr_slot = step.latch_base
+    data_slot = step.latch_base + 1
+    op_slot = step.latch_base + 2
 
     def bind_latch(ctx: RunContext) -> Op:
         values = ctx.values
@@ -389,14 +324,11 @@ def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
         cells = ctx.memory_arrays[name]
         io = ctx.io
         cycle_box = ctx.cycle_box
-        override = ctx.override
-        stats = ctx.stats
-        trace_log = ctx.trace_log if ctx.trace_accesses else None
-        plain = override is None and stats is None and trace_log is None
+        inst = ctx.inst
         io_read = io.read
         io_write = io.write
 
-        if plain:
+        if inst is None:
             def op() -> None:
                 op_word = values[op_slot] & 3
                 address = values[addr_slot]
@@ -422,7 +354,7 @@ def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
                     values[out_slot] = data
             return op
 
-        record = stats.record_memory_access if stats is not None else None
+        hook = inst.memory
 
         def op() -> None:
             op_word = values[op_slot]
@@ -447,20 +379,9 @@ def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
             else:
                 output = values[data_slot]
                 io_write(address, output, cycle=cycle_box[0])
-            values[out_slot] = output
-            if override is not None:
-                values[out_slot] = override(name, output, cycle_box[0])
-            if record is not None:
-                record(name, op_word, address)
-            if trace_log is not None:
-                if (op_word & 5) == 5:
-                    trace_log.record_access(
-                        cycle_box[0], name, "write", address, output
-                    )
-                elif (op_word & 9) == 8:
-                    trace_log.record_access(
-                        cycle_box[0], name, "read", address, output
-                    )
+            values[out_slot] = hook(
+                name, op_word, address, output, cycle_box[0]
+            )
         return op
 
     return bind_latch, bind_apply
@@ -472,62 +393,45 @@ def _plan_memory(memory: Memory, slots: dict[str, int], latch_base: int):
 
 
 class ThreadedProgram:
-    """A specification lowered to closure plans, ready to bind and run.
+    """One variant of a lowered program, ready to bind into closures.
 
-    Built once per ``prepare``; :meth:`bind` is called at the start of every
-    ``run`` to close the plans over that run's mutable state.
+    Built from a :class:`~repro.lowering.program.CycleProgram` (usually via
+    its ``artifact`` memo, so every prepared simulation of the same cached
+    program shares one plan set); :meth:`bind` is called at the start of
+    every ``run`` to close the plans over that run's mutable state.
     """
 
-    def __init__(self, spec: Specification) -> None:
-        self.spec = spec
-        self.ordered = sort_combinational(spec)
-        self.memories = spec.memories()
-        # slot layout: combinational values, then memory outputs, then three
-        # latch scratch slots per memory
-        self.slots: dict[str, int] = {}
-        for component in self.ordered:
-            self.slots[component.name] = len(self.slots)
-        for memory in self.memories:
-            self.slots[memory.name] = len(self.slots)
-        self.latch_base = len(self.slots)
-        self.value_count = self.latch_base + 3 * len(self.memories)
-
-        self._combinational_binds = []
-        for component in self.ordered:
-            if isinstance(component, Alu):
-                self._combinational_binds.append(_plan_alu(component, self.slots))
-            else:
-                assert isinstance(component, Selector)
-                self._combinational_binds.append(
-                    _plan_selector(component, self.slots)
-                )
-        self._memory_binds = []
-        for index, memory in enumerate(self.memories):
-            self._memory_binds.append(
-                _plan_memory(memory, self.slots, self.latch_base + 3 * index)
-            )
+    def __init__(self, program: CycleProgram, full: bool = False) -> None:
+        self.program = program
+        self.variant = program.variant(full)
+        self.spec = self.variant.spec
+        self.slots = program.slots
+        self.value_count = program.value_count
+        self.ordered = self.variant.ordered
+        self.memories = self.variant.memories
+        self._combinational_binds = [
+            _plan_alu(step) if isinstance(step, AluStep) else _plan_selector(step)
+            for step in self.variant.steps
+        ]
+        self._memory_binds = [
+            _plan_memory(step) for step in self.variant.memory_steps
+        ]
 
     # -- per-run state ------------------------------------------------------
 
     def initial_values(self) -> list[int]:
         """Fresh values array: zeros plus each memory's initial output."""
-        values = [0] * self.value_count
-        for memory in self.memories:
-            values[self.slots[memory.name]] = memory.initial_output
-        return values
+        return self.program.initial_values()
 
     def initial_memory_arrays(self) -> dict[str, list[int]]:
-        return {
-            memory.name: memory.initial_cell_values()
-            for memory in self.memories
-        }
+        return self.program.initial_memory_arrays()
 
-    def bind(self, ctx: RunContext, traced_names: list[str] | None = None,
-             trace_limit: int | None = None) -> list[Op]:
+    def bind(self, ctx: RunContext) -> list[Op]:
         """Bind every plan to *ctx* and return the flat per-cycle op list."""
         ops: list[Op] = [bind(ctx) for bind in self._combinational_binds]
-        if traced_names:
-            ops.append(self._bind_cycle_trace(ctx, traced_names, trace_limit))
+        inst = ctx.inst
+        if inst is not None and inst.traced:
+            ops.append(self._bind_cycle_trace(ctx))
         latch_ops = []
         apply_ops = []
         for bind_latch, bind_apply in self._memory_binds:
@@ -537,32 +441,36 @@ class ThreadedProgram:
         ops.extend(apply_ops)
         return ops
 
-    def _bind_cycle_trace(self, ctx: RunContext, traced_names: list[str],
-                          limit: int | None) -> Op:
+    def _bind_cycle_trace(self, ctx: RunContext) -> Op:
         values = ctx.values
         cycle_box = ctx.cycle_box
-        trace_log = ctx.trace_log
-        pairs = tuple((name, self.slots[name]) for name in traced_names)
-        record = trace_log.record_cycle
+        inst = ctx.inst
+        slots = self.slots
+        # resolve the shared trace entries down to slots once per run
+        entries = tuple(
+            (name, slots[payload] if kind == "value" else None, payload)
+            for name, kind, payload in inst.traced
+        )
+        record = inst.record_cycle
+        wants = inst.wants_cycle_trace
 
         def op() -> None:
-            if limit is not None and len(trace_log.cycles) >= limit:
+            if not wants():
                 return
             # raw stored values, exactly like the interpreter's state.lookup
             # (an override or memory-mapped input may deposit out-of-word
-            # values; the trace shows them unmasked on both backends)
+            # values; the trace shows them unmasked on every backend)
             record(
                 cycle_box[0],
-                {name: values[slot] for name, slot in pairs},
+                {
+                    name: (values[slot] if slot is not None else payload)
+                    for name, slot, payload in entries
+                },
             )
         return op
 
     # -- results ------------------------------------------------------------
 
     def visible_values(self, values: list[int]) -> dict[str, int]:
-        """Final values dict in the interpreter's (definition) order."""
-        slots = self.slots
-        return {
-            component.name: values[slots[component.name]]
-            for component in self.spec.components
-        }
+        """Final values dict in this variant's definition order."""
+        return self.program.visible_values(values, self.variant)

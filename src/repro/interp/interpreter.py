@@ -4,11 +4,19 @@ This backend reproduces the *predecessor* system that the paper benchmarks
 against: "ASIM reads the specification into tables, and produces a
 simulation run by interpreting the symbols in the table" (Section 3.1).
 
-``prepare`` builds the tables (the dependency-sorted component list); each
-``run`` walks those tables once per cycle, evaluating every expression tree
+``prepare`` obtains the shared lowered program (:mod:`repro.lowering`) —
+whose dependency-sorted schedule *is* the paper's table — and each ``run``
+walks that schedule once per cycle, evaluating every expression tree
 interpretively.  It is deliberately the straightforward implementation: the
 point of the paper — and of the Figure 5.1 benchmark — is that compiling the
 specification (see :mod:`repro.compiler`) beats this by a large factor.
+
+Statistics, tracing and the per-cycle ``override`` hook route through the
+shared instrumentation layer (:mod:`repro.core.instrument`), the same hook
+implementations every other backend calls.  Spec-level optimization is
+opt-in (``InterpreterBackend(specopt=True)``); an override run then falls
+back to the program's full (pre-specopt) schedule, exactly like the other
+backends.
 """
 
 from __future__ import annotations
@@ -16,17 +24,13 @@ from __future__ import annotations
 import time
 from typing import Iterable
 
-from repro.core.backend import (
-    Backend,
-    PreparedSimulation,
-    ValueOverride,
-    resolve_cycles,
-    resolve_trace,
-)
-from repro.core.iosystem import IOSystem, coerce_io
+from repro.core.backend import Backend, PreparedSimulation, ValueOverride
+from repro.core.instrument import plan_run
+from repro.core.iosystem import IOSystem
 from repro.core.results import SimulationResult
 from repro.core.stats import SimulationStats
-from repro.core.trace import TraceLog, TraceOptions
+from repro.core.trace import TraceOptions
+from repro.compiler.specopt import SpecOptPasses, resolve_passes
 from repro.interp.evaluator import (
     apply_memory_request,
     evaluate_alu,
@@ -34,25 +38,38 @@ from repro.interp.evaluator import (
     latch_memory_request,
 )
 from repro.interp.state import MachineState
+from repro.lowering.program import CycleProgram, ProgramVariant, lower
 from repro.rtl.components import Alu
-from repro.rtl.dependency import sort_combinational
 from repro.rtl.spec import Specification
 
 
 class InterpreterSimulation(PreparedSimulation):
-    """A specification whose tables have been built for interpretation."""
+    """A lowered program whose schedule is interpreted table-style."""
 
-    def __init__(self, spec: Specification, prepare_seconds: float) -> None:
+    def __init__(
+        self,
+        spec: Specification,
+        program: CycleProgram,
+        prepare_seconds: float,
+    ) -> None:
         super().__init__(spec, backend_name="interpreter",
                          prepare_seconds=prepare_seconds)
-        self._ordered = sort_combinational(spec)
-        self._memories = spec.memories()
-        # pre-resolved (is_alu, component) pairs: the run loop dispatches on
-        # a boolean instead of isinstance() per component per cycle
-        self._typed = tuple(
-            (isinstance(component, Alu), component)
-            for component in self._ordered
+        #: the shared lowered program (schedule + observables map)
+        self.program = program
+        #: what the spec-level pipeline did, or ``None`` if it was disabled
+        self.optimization = program.optimization
+
+    def _typed(self, variant: ProgramVariant):
+        """(is_alu, component) pairs: the run loop dispatches on a boolean
+        instead of isinstance() per component per cycle."""
+        typed, _ = self.program.artifact(
+            ("interp-typed", variant is self.program.full),
+            lambda: tuple(
+                (isinstance(component, Alu), component)
+                for component in variant.ordered
+            ),
         )
+        return typed
 
     # -- full run --------------------------------------------------------------------
 
@@ -64,23 +81,17 @@ class InterpreterSimulation(PreparedSimulation):
         collect_stats: bool = True,
         override: ValueOverride | None = None,
     ) -> SimulationResult:
-        spec = self.spec
-        cycle_count = resolve_cycles(spec, cycles)
-        options = resolve_trace(spec, trace)
-        io_system = coerce_io(io)
-        traced_names = (
-            list(options.names) if options.names is not None else spec.traced_names
-        )
-        trace_log = TraceLog(
-            enabled=options.trace_cycles or options.trace_memory_accesses
-        )
-        stats = SimulationStats() if collect_stats else None
-        state = MachineState.initial(spec)
+        plan = plan_run(self.program, cycles, io, trace, collect_stats,
+                        override)
+        variant = plan.variant
+        inst = plan.inst
+        io_system = plan.io_system
+        state = MachineState.initial(variant.spec)
 
         # Hoist every method/attribute lookup of the cycle loop into
         # prebound locals.
-        typed = self._typed
-        memories = self._memories
+        typed = self._typed(variant)
+        memories = variant.memories
         eval_alu = evaluate_alu
         eval_selector = evaluate_selector
         latch = latch_memory_request
@@ -88,82 +99,75 @@ class InterpreterSimulation(PreparedSimulation):
         values = state.values
         memory_outputs = state.memory_outputs
         lookup = state.lookup
-        set_output = state.set_memory_output
-        record_cycle = trace_log.record_cycle
-        record_access = trace_log.record_access
-        record_alu = stats.record_alu_function if stats is not None else None
-        record_selector = stats.record_selector_case if stats is not None else None
-        record_memory = stats.record_memory_access if stats is not None else None
-        do_cycle_trace = options.trace_cycles and bool(traced_names)
-        trace_limit = options.limit
-        trace_memory = options.trace_memory_accesses
-        evaluations = len(self._ordered) + len(memories)
+        hook_alu = inst.alu if inst is not None else None
+        hook_selector = inst.selector if inst is not None else None
+        hook_memory = inst.memory if inst is not None else None
+        trace_entries = inst.traced if inst is not None else ()
+        record_cycle = inst.record_cycle if inst is not None else None
+        wants_trace = inst.wants_cycle_trace if inst is not None else None
 
         start = time.perf_counter()
-        for _ in range(cycle_count):
+        for _ in range(plan.cycle_count):
+            cycle = state.cycle
             # 1. combinational components, producers before consumers
-            for is_alu, component in typed:
-                if is_alu:
-                    funct, value = eval_alu(component, state)
-                    if record_alu is not None:
-                        record_alu(funct)
-                else:
-                    index, value = eval_selector(component, state)
-                    if record_selector is not None:
-                        record_selector(component.name, index)
-                if override is not None:
-                    value = override(component.name, value, state.cycle)
-                values[component.name] = value
-            if stats is not None:
-                stats.component_evaluations += evaluations
+            if hook_alu is None:
+                for is_alu, component in typed:
+                    if is_alu:
+                        _funct, value = eval_alu(component, state)
+                    else:
+                        _index, value = eval_selector(component, state)
+                    values[component.name] = value
+            else:
+                for is_alu, component in typed:
+                    if is_alu:
+                        funct, value = eval_alu(component, state)
+                        value = hook_alu(component.name, funct, value, cycle)
+                    else:
+                        index, value = eval_selector(component, state)
+                        value = hook_selector(
+                            component.name, index, value, cycle
+                        )
+                    values[component.name] = value
 
             # 2. cycle trace: traced values as used during this cycle
-            if do_cycle_trace and (
-                trace_limit is None or len(trace_log.cycles) < trace_limit
-            ):
+            if trace_entries and wants_trace():
                 record_cycle(
-                    state.cycle,
-                    {name: lookup(name) for name in traced_names},
+                    cycle,
+                    {
+                        name: (lookup(payload) if kind == "value" else payload)
+                        for name, kind, payload in trace_entries
+                    },
                 )
 
             # 3. latch every memory's request against the pre-update state,
             #    then apply them all
             requests = [latch(memory, state) for memory in memories]
             for request in requests:
-                effect = apply_request(request, state, io_system)
-                if override is not None:
-                    set_output(
-                        request.memory.name,
-                        override(request.memory.name,
-                                 memory_outputs[request.memory.name],
-                                 state.cycle),
+                apply_request(request, state, io_system)
+                if hook_memory is not None:
+                    name = request.memory.name
+                    memory_outputs[name] = hook_memory(
+                        name,
+                        request.operation,
+                        request.address,
+                        memory_outputs[name],
+                        cycle,
                     )
-                if record_memory is not None:
-                    record_memory(effect.memory, effect.operation, effect.address)
-                if trace_memory:
-                    if effect.trace_write:
-                        record_access(
-                            state.cycle, effect.memory, "write",
-                            effect.address, effect.new_output,
-                        )
-                    if effect.trace_read:
-                        record_access(
-                            state.cycle, effect.memory, "read",
-                            effect.address, effect.new_output,
-                        )
-            if stats is not None:
-                stats.cycles += 1
             state.cycle += 1
         run_seconds = time.perf_counter() - start
 
+        plan.finish()
+        final_values = state.visible_values()
+        if not plan.uses_full:
+            self.program.restore_final_values(final_values, plan.cycle_count)
         return SimulationResult(
             backend=self.backend_name,
-            cycles_run=cycle_count,
-            final_values=state.visible_values(),
+            cycles_run=plan.cycle_count,
+            final_values=final_values,
             memory_contents=state.memory_snapshot(),
             outputs=list(io_system.outputs),
-            trace=trace_log,
-            stats=stats if stats is not None else SimulationStats(),
+            trace=plan.trace_log,
+            stats=plan.stats if plan.stats is not None else SimulationStats(),
             prepare_seconds=self.prepare_seconds,
             run_seconds=run_seconds,
         )
@@ -174,8 +178,12 @@ class InterpreterBackend(Backend):
 
     name = "interpreter"
 
+    def __init__(self, specopt: bool | SpecOptPasses = False) -> None:
+        self.passes = resolve_passes(specopt)
+
     def prepare(self, spec: Specification) -> InterpreterSimulation:
         start = time.perf_counter()
-        simulation = InterpreterSimulation(spec, prepare_seconds=0.0)
-        simulation.prepare_seconds = time.perf_counter() - start
-        return simulation
+        program = lower(spec, self.passes)
+        return InterpreterSimulation(
+            spec, program, prepare_seconds=time.perf_counter() - start
+        )

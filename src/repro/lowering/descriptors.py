@@ -1,0 +1,50 @@
+"""Expression lowering: expression trees -> flat descriptor tuples.
+
+Every backend needs the same facts about an expression — which value slot
+each component reference reads, which bits it extracts, how concatenation
+fields pack into the machine word.  This module lowers an
+:class:`~repro.rtl.expressions.Expression` against a slot assignment into a
+small plain tuple so those facts are computed once, at lowering time, and
+shared by every consumer: the threaded backend binds descriptors into
+closures (:mod:`repro.interp.closures`), and the :class:`CycleProgram` IR
+(:mod:`repro.lowering.program`) carries them as its picklable step payload.
+
+Descriptor kinds:
+
+* ``("const", value)`` — constant, already masked to its width;
+* ``("ref", slot)`` — whole-component reference (mask on read);
+* ``("bits", slot, low, mask)`` — bit-field reference;
+* ``("concat", ((field_desc, offset), ...))`` — multi-field concatenation,
+  offsets taken from the expression's precomputed layout.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.bits import mask_for_width
+from repro.rtl.expressions import ComponentRef, Expression
+
+
+def lower_expression(expression: Expression, slots: dict[str, int]) -> tuple:
+    """Lower *expression* to a descriptor against the slot assignment."""
+    if expression.is_constant:
+        return ("const", expression.constant_value())
+    fields = expression.fields
+    if len(fields) == 1:
+        return _lower_field(fields[0], slots)
+    parts = tuple(
+        (_lower_field(field, slots), offset)
+        for field, offset, _mask in expression.layout
+    )
+    return ("concat", parts)
+
+
+def _lower_field(f, slots: dict[str, int]) -> tuple:
+    if f.is_constant:
+        return ("const", f.evaluate(lambda name: 0))
+    assert isinstance(f, ComponentRef)
+    slot = slots[f.name]
+    if f.low is None:
+        return ("ref", slot)
+    width = f.width
+    assert width is not None
+    return ("bits", slot, f.low, mask_for_width(width))

@@ -10,6 +10,11 @@ producers-before-consumers within a cycle; a combinational cycle is an error
 ("Circular dependency with X and/or Y").  References to memories impose no
 ordering because a memory's visible output is the value latched at the end
 of the previous cycle.
+
+:func:`sort_combinational` is the scheduler of the shared lowering pipeline
+(:mod:`repro.lowering`): the order it produces becomes the step order of
+the CycleProgram IR, so all three backends execute one schedule rather than
+re-deriving their own.
 """
 
 from __future__ import annotations

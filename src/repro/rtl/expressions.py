@@ -254,6 +254,17 @@ class Expression:
 
     # -- introspection ------------------------------------------------------
 
+    @property
+    def layout(self) -> tuple:
+        """The precomputed concatenation layout: ``(field, shift, mask)``.
+
+        One entry per field, rightmost first; ``mask`` is ``None`` for the
+        unbounded leftmost field.  This is the layout ``evaluate`` walks
+        every cycle; the lowering pipeline (:mod:`repro.lowering`) reads it
+        so no consumer ever recomputes field offsets.
+        """
+        return self._layout
+
     def describe(self) -> str:
         return self.source or self.to_spec()
 

@@ -36,8 +36,11 @@ class RunRequest:
     ``inputs`` feeds a fresh non-strict :class:`~repro.core.iosystem.QueueIO`
     per run (an :class:`~repro.core.iosystem.IOSystem` is stateful, so it can
     never be shared between runs); pass ``io_factory`` to supply any other
-    I/O system.  ``override`` is subject to the backend capability matrix:
-    the compiled backend rejects it with ``BackendError``.
+    I/O system.  ``override`` works on every built-in backend; the pool
+    consults the prepared simulation's ``supports_override`` capability
+    flag (:meth:`check_supported`) so a third-party backend that cannot
+    honor the hook fails with a clear :class:`~repro.errors.ServingError`
+    instead of a mid-run surprise.
     """
 
     cycles: int | None = None
@@ -58,6 +61,22 @@ class RunRequest:
         if self.io_factory is not None:
             return self.io_factory()
         return QueueIO(self.inputs, strict=False)
+
+    def check_supported(self, prepared) -> None:
+        """Raise ``ServingError`` if *prepared* cannot honor this request.
+
+        Consults the :class:`~repro.core.backend.PreparedSimulation`
+        capability flags instead of letting the run fail mid-flight.
+        """
+        if self.override is not None and not getattr(
+            prepared, "supports_override", True
+        ):
+            from repro.errors import ServingError
+
+            raise ServingError(
+                f"backend '{prepared.backend_name}' does not support "
+                "per-cycle value overrides (supports_override is False)"
+            )
 
 
 @dataclass

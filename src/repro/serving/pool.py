@@ -10,12 +10,11 @@ Dispatch is backend-aware:
 
 * **threaded / compiled** (backend exposes a prepare ``cache``): each worker
   thread binds its own :class:`~repro.core.backend.PreparedSimulation` the
-  first time it picks up a run and reuses it afterwards.  The per-worker
-  binding matters for the threaded backend — its closure program is bound to
-  fresh per-run state at the start of every ``run``, and the lazily built
-  override fallback program must never be shared between racing threads.
-  The expensive artifact behind each prepared simulation (closure program,
-  byte-compiled module) still comes out of the shared cache.
+  first time it picks up a run and reuses it afterwards.  Every worker's
+  prepare is a cache hit on the *same* shared lowered program
+  (:class:`~repro.lowering.program.CycleProgram`) — the expensive artifacts
+  derived from it (closure plans, byte-compiled module) are memoized on the
+  program, so the whole pool executes one IR (see ``shared_program``).
 * **interpreter** (or any backend without a prepare cache): preparation is
   re-done per run.  For the interpreter this is the paper's cheap
   "generate tables" phase, so the fallback costs microseconds.
@@ -119,6 +118,18 @@ class SimulationPool:
         return self._backend.name
 
     @property
+    def shared_program(self):
+        """The lowered program every worker binds to, or ``None``.
+
+        Only cache-backed backends (threaded, compiled) actually share one
+        program across workers; backends on the per-run prepare fallback
+        (the interpreter) re-lower per run, so no shared program exists.
+        """
+        if not self._reuse_prepared:
+            return None
+        return getattr(self._warm, "program", None)
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -137,6 +148,7 @@ class SimulationPool:
     def _execute(self, request: RunRequest) -> tuple[SimulationResult, float]:
         start = time.perf_counter()
         prepared = self._prepared_for_run()
+        request.check_supported(prepared)
         result = prepared.run(
             cycles=request.cycles,
             io=request.make_io(),

@@ -6,7 +6,7 @@ from repro.compiler.compiled import CompiledBackend, compile_spec
 from repro.compiler.optimizer import CodegenOptions
 from repro.core.iosystem import QueueIO
 from repro.core.trace import TraceOptions
-from repro.errors import BackendError, MemoryRangeError, SelectorRangeError
+from repro.errors import MemoryRangeError, SelectorRangeError
 from repro.rtl.parser import parse_spec
 
 
@@ -66,11 +66,58 @@ class TestRun:
         result = backend.run(spec, cycles=3, io=QueueIO([10, 20, 30]))
         assert result.value("inport") == 30
 
-    def test_override_rejected(self, backend, counter_spec):
-        with pytest.raises(BackendError):
-            backend.run(
-                counter_spec, cycles=1, override=lambda n, v, c: v
+    def test_override_hook_runs_per_component(self, backend, counter_spec):
+        seen = set()
+
+        def override(name, value, cycle):
+            seen.add(name)
+            return value
+
+        backend.run(counter_spec, cycles=2, override=override)
+        assert seen == {"next", "wrapped", "count", "outport"}
+
+    def test_override_matches_interpreter_exactly(self, counter_spec):
+        from repro.interp.interpreter import InterpreterBackend
+
+        def stuck_bit(name, value, cycle):
+            return value | 4 if name == "next" else value
+
+        reference = InterpreterBackend().run(
+            counter_spec, cycles=12, override=stuck_bit
+        )
+        for specopt in (False, True):
+            candidate = CompiledBackend(specopt=specopt, cache=False).run(
+                counter_spec, cycles=12, override=stuck_bit
             )
+            assert candidate.final_values == reference.final_values
+            assert candidate.memory_contents == reference.memory_contents
+            assert candidate.output_integers() == reference.output_integers()
+            assert candidate.stats == reference.stats
+
+    def test_override_hook_exceptions_propagate_unwrapped(
+        self, backend, counter_spec
+    ):
+        # parity with the interpreter/threaded backends: a bug in the
+        # user's hook surfaces as-is, not as a CompilationError
+        def broken(name, value, cycle):
+            return {}[name]
+
+        with pytest.raises(KeyError):
+            backend.run(counter_spec, cycles=1, override=broken)
+
+    def test_capability_flags(self, backend, counter_spec):
+        assert backend.supports_override
+        assert backend.supports_full_stats
+        prepared = backend.prepare(counter_spec)
+        assert prepared.supports_override
+        assert prepared.supports_full_stats
+
+    def test_full_stats_breakdown(self, backend, counter_spec):
+        result = backend.run(counter_spec, cycles=4)
+        assert result.stats.alu_function_usage[4] == 4   # add
+        assert result.stats.alu_function_usage[8] == 4   # and
+        assert result.stats.memory("count").writes == 4
+        assert result.stats.memory("outport").outputs == 4
 
     def test_trace_options_passed(self, backend, counter_spec):
         result = backend.run(

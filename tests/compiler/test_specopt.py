@@ -107,6 +107,84 @@ class TestDeduplication:
         assert "inc2" in optimized.component_names()
 
 
+COPY_FORWARD = """\
+# selector that is a wire
+src fwd user r .
+A src 4 r 1
+S fwd 1 33 src 44
+A user 4 fwd 2
+M r 0 user 1 1
+.
+"""
+
+
+class TestCopyPropagation:
+    def test_constant_select_forwards_the_referenced_component(self):
+        spec = parse_spec(COPY_FORWARD)
+        optimized, report = optimize_spec(spec)
+        assert report.forwarded == (("fwd", "src"),)
+        assert "fwd" not in optimized.component_names()
+        assert optimized.component("user").referenced_names() == {"src"}
+
+    def test_forwarding_can_be_disabled(self):
+        spec = parse_spec(COPY_FORWARD)
+        optimized, report = optimize_spec(
+            spec, SpecOptPasses(forward_copies=False)
+        )
+        assert report.forwarded == ()
+        assert "fwd" in optimized.component_names()
+
+    def test_traced_selector_is_not_forwarded(self):
+        spec = parse_spec(COPY_FORWARD.replace("src fwd", "src fwd*"))
+        optimized, report = optimize_spec(spec)
+        assert report.forwarded == ()
+        assert "fwd" in optimized.component_names()
+
+    def test_memory_reference_is_not_forwarded(self):
+        # the chosen case references a memory output, which may hold raw
+        # out-of-word values (memory-mapped input) — never forwarded
+        spec = parse_spec(
+            "# mem case\nfwd user r .\nS fwd 1 33 r 44\nA user 4 fwd 2\n"
+            "M r 0 user 1 1\n."
+        )
+        _, report = optimize_spec(spec)
+        assert report.forwarded == ()
+
+    def test_out_of_range_select_is_not_forwarded(self):
+        spec = parse_spec(
+            "# bad sel\nsrc s r .\nA src 4 r 1\nS s 5 1 src\nM r 0 s 1 1\n.",
+            validate=False,
+        )
+        _, report = optimize_spec(spec)
+        assert report.forwarded == ()
+
+    def test_bit_field_case_is_not_forwarded(self):
+        spec = parse_spec(
+            "# sliced case\nsrc s r .\nA src 4 r 1\nS s 1 33 src.0.2\n"
+            "M r 0 s 1 1\n."
+        )
+        _, report = optimize_spec(spec)
+        assert report.forwarded == ()
+
+    def test_restore_fills_forwarded_selector(self):
+        spec = parse_spec(COPY_FORWARD)
+        _, report = optimize_spec(spec)
+        final_values = {"src": 7, "user": 9, "r": 9}
+        restore_observables(report, final_values, cycles_run=4)
+        assert final_values["fwd"] == 7
+
+    def test_forwarding_matches_interpreter(self):
+        spec = parse_spec(COPY_FORWARD)
+        reference = InterpreterBackend().run(spec, cycles=10)
+        for backend_factory in (
+            lambda: ThreadedBackend(specopt=True, cache=False),
+            lambda: CompiledBackend(specopt=True, cache=False),
+        ):
+            candidate = backend_factory().run(spec, cycles=10)
+            assert candidate.final_values == reference.final_values
+            assert candidate.memory_contents == reference.memory_contents
+
+
 class TestRestoration:
     def test_restore_rebuilds_final_values(self):
         spec = parse_spec(CONSTANT_CHAIN)

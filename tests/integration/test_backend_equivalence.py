@@ -153,6 +153,119 @@ class TestBundledMachines:
             assert candidate.output_integers() == reference.output_integers()
 
 
+class TestInstrumentationParity:
+    """Override + stats + trace parity across all three backends.
+
+    The instrumentation layer (:mod:`repro.core.instrument`) is implemented
+    once and called from every backend at the same points of the cycle, so
+    the same injected fault must produce the same result, the same traces
+    *and the same statistics* everywhere — no per-backend skips for
+    compiled stats or compiled/threaded override.
+    """
+
+    CYCLE_BUDGET = 200
+
+    @staticmethod
+    def _transient_fault(spec):
+        """Flip the low bit of the first combinational component at a few
+        fixed cycles — a deterministic single-event upset."""
+        victim = spec.combinational()[0].name
+
+        def fault(name, value, cycle):
+            if name == victim and cycle in (3, 11, 42):
+                return value ^ 1
+            return value
+
+        return fault
+
+    @pytest.mark.parametrize(
+        "machine_name", [entry.name for entry in all_machines()]
+    )
+    @pytest.mark.parametrize("specopt", [False, True],
+                             ids=["plain", "specopt"])
+    def test_same_fault_same_result_same_stats(self, machine_name, specopt):
+        from repro.compiler.compiled import CompiledBackend
+        from repro.compiler.threaded import ThreadedBackend
+        from repro.core.iosystem import QueueIO
+        from repro.errors import SimulationError
+        from repro.interp.interpreter import InterpreterBackend
+
+        entry = get_machine(machine_name)
+        spec = entry.build()
+        cycles = min(entry.demo_cycles, self.CYCLE_BUDGET)
+        fault = self._transient_fault(spec)
+        backends = [
+            InterpreterBackend(),
+            ThreadedBackend(specopt=specopt, cache=False),
+            CompiledBackend(specopt=specopt, cache=False),
+        ]
+        outcomes = []
+        for backend in backends:
+            try:
+                outcomes.append(backend.run(
+                    spec, cycles=cycles, io=QueueIO((), strict=False),
+                    trace=True, override=fault,
+                ))
+            except SimulationError as exc:
+                outcomes.append(type(exc))
+        reference, candidates = outcomes[0], outcomes[1:]
+        if isinstance(reference, type):
+            # the fault broke the machine: every backend must break the
+            # same way
+            assert candidates == [reference, reference]
+            return
+        for candidate in candidates:
+            label = f"{machine_name} [{candidate.backend}, specopt={specopt}]"
+            assert candidate.final_values == reference.final_values, label
+            assert candidate.memory_contents == reference.memory_contents, label
+            assert candidate.output_integers() == reference.output_integers(), label
+            assert [t.values for t in candidate.trace.cycles] == [
+                t.values for t in reference.trace.cycles
+            ], label
+            key = lambda a: (a.cycle, a.memory, a.kind, a.address, a.value)
+            assert list(map(key, candidate.trace.accesses)) == list(
+                map(key, reference.trace.accesses)
+            ), label
+            # full statistics parity: an override run executes the full
+            # (pre-specopt) schedule everywhere, so even per-component
+            # breakdowns are identical
+            assert candidate.stats == reference.stats, label
+
+    @pytest.mark.parametrize(
+        "machine_name", [entry.name for entry in all_machines()]
+    )
+    def test_stats_parity_without_faults(self, machine_name):
+        """With one specopt configuration, plain stats runs agree bit for
+        bit on all three backends (the compiled backend's new full
+        breakdown included)."""
+        from repro.core.comparison import assert_all_backends_equivalent
+
+        entry = get_machine(machine_name)
+        spec = entry.build()
+        cycles = min(entry.demo_cycles, self.CYCLE_BUDGET)
+        assert_all_backends_equivalent(
+            spec, cycles=cycles, specopt=False, compare_stats=True
+        )
+
+    def test_optimized_backends_agree_on_stats(self):
+        """threaded and compiled with the same specopt passes execute the
+        same optimized schedule, so their statistics match each other."""
+        from repro.compiler.compiled import CompiledBackend
+        from repro.compiler.threaded import ThreadedBackend
+        from repro.core.comparison import compare_backends
+
+        entry = get_machine("counter")
+        spec = entry.build()
+        comparison = compare_backends(
+            spec,
+            cycles=min(entry.demo_cycles, self.CYCLE_BUDGET),
+            reference=ThreadedBackend(specopt=True, cache=False),
+            candidate=CompiledBackend(specopt=True, cache=False),
+            compare_stats=True,
+        )
+        assert comparison.equivalent, "\n".join(comparison.mismatches)
+
+
 class TestRandomStackPrograms:
     """Random straight-line stack programs: RTL machine vs ISP golden model."""
 

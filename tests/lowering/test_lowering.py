@@ -1,0 +1,193 @@
+"""Unit tests for the shared lowering pipeline (CycleProgram IR)."""
+
+import pickle
+
+import pytest
+
+from repro.compiler.cache import PrepareCache
+from repro.core.iosystem import QueueIO
+from repro.interp.closures import RunContext, ThreadedProgram
+from repro.interp.interpreter import InterpreterBackend
+from repro.lowering import lower, lower_cached
+from repro.lowering.program import AluStep, MemoryStep, SelectorStep
+from repro.rtl.parser import parse_spec
+
+CONSTANT_HEAVY = """\
+# constants everywhere
+base scaled twin result r .
+A base 4 10 20
+A scaled 7 base 2
+A twin 4 r 1
+A result 4 r 1
+M r 0 result 1 1
+.
+"""
+
+
+class TestLowerPlain:
+    def test_slots_cover_every_component(self, counter_spec):
+        program = lower(counter_spec)
+        assert set(program.slots) == {"next", "wrapped", "count", "outport"}
+        assert program.value_count == 4 + 3 * 2  # components + latch scratch
+
+    def test_fast_is_full_without_specopt(self, counter_spec):
+        program = lower(counter_spec)
+        assert program.fast is program.full
+        assert not program.changed
+        assert program.optimization is None
+
+    def test_steps_mirror_schedule(self, counter_spec):
+        program = lower(counter_spec)
+        assert len(program.fast.steps) == len(program.fast.ordered)
+        assert all(
+            isinstance(step, (AluStep, SelectorStep))
+            for step in program.fast.steps
+        )
+        assert all(
+            isinstance(step, MemoryStep)
+            for step in program.fast.memory_steps
+        )
+        assert program.fast.evaluations_per_cycle == 4
+
+    def test_observables_all_live(self, counter_spec):
+        program = lower(counter_spec)
+        assert all(
+            resolution == ("live", name)
+            for name, resolution in program.observables.items()
+        )
+
+
+class TestLowerWithSpecopt:
+    def test_full_variant_keeps_original_schedule(self):
+        spec = parse_spec(CONSTANT_HEAVY)
+        program = lower(spec, specopt=True)
+        assert program.changed
+        assert len(program.fast.ordered) < len(program.full.ordered)
+        assert len(program.full.ordered) == 4
+        # both variants share one slot layout over the original names
+        assert set(program.slots) >= {"base", "scaled", "twin", "result", "r"}
+
+    def test_observables_map_back_to_pre_specopt_names(self):
+        spec = parse_spec(CONSTANT_HEAVY)
+        program = lower(spec, specopt=True)
+        assert program.observables["base"] == ("const", 30)
+        assert program.observables["scaled"] == ("const", 60)
+        # 'result' duplicates 'twin'; whichever survived, the other aliases it
+        kinds = {
+            name: program.observables[name][0]
+            for name in ("twin", "result")
+        }
+        assert sorted(kinds.values()) == ["alias", "live"]
+
+    def test_restore_final_values(self):
+        spec = parse_spec(CONSTANT_HEAVY)
+        program = lower(spec, specopt=True)
+        final = {"twin": 9, "r": 8}
+        program.restore_final_values(final, cycles_run=3)
+        assert final["base"] == 30
+        assert final["scaled"] == 60
+        assert final["result"] == 9
+        program.restore_final_values(final, cycles_run=0)
+        assert final["base"] == 0
+
+    def test_artifact_memo_returns_hit_flag(self, counter_spec):
+        program = lower(counter_spec)
+        first, hit1 = program.artifact(("k",), lambda: object())
+        second, hit2 = program.artifact(("k",), lambda: object())
+        assert first is second
+        assert (hit1, hit2) == (False, True)
+
+
+class TestPicklability:
+    """The ISSUE's headline property: one picklable lowered program."""
+
+    def test_round_trip_runs_identically(self):
+        spec = parse_spec(CONSTANT_HEAVY)
+        program = lower(spec, specopt=True)
+        program.artifact(("threaded", False),
+                         lambda: ThreadedProgram(program, False))
+        clone = pickle.loads(pickle.dumps(program))
+        # the artifact memo (closures, unpicklable) is dropped, the IR kept
+        assert clone.slots == program.slots
+        assert clone.observables == program.observables
+        _, hit = clone.artifact(("threaded", False),
+                                lambda: ThreadedProgram(clone, False))
+        assert not hit  # re-derived, not smuggled through the pickle
+
+        plans = ThreadedProgram(clone, full=False)
+        ctx = RunContext(
+            values=clone.initial_values(),
+            memory_arrays=clone.initial_memory_arrays(),
+            cycle_box=[0],
+            io=QueueIO(),
+        )
+        ops = plans.bind(ctx)
+        for cycle in range(8):
+            ctx.cycle_box[0] = cycle
+            for op in ops:
+                op()
+        final = plans.visible_values(ctx.values)
+        clone.restore_final_values(final, 8)
+        reference = InterpreterBackend().run(spec, cycles=8)
+        assert final == reference.final_values
+
+
+class TestLowerCached:
+    def test_cache_stores_the_program_itself(self, counter_spec):
+        cache = PrepareCache(max_entries=4)
+        first, hit1 = lower_cached(counter_spec, True, cache)
+        second, hit2 = lower_cached(counter_spec, True, cache)
+        assert (hit1, hit2) == (False, True)
+        assert second is first
+
+    def test_pass_configuration_is_part_of_the_key(self, counter_spec):
+        cache = PrepareCache(max_entries=4)
+        lower_cached(counter_spec, True, cache)
+        _, hit = lower_cached(counter_spec, False, cache)
+        assert not hit
+
+    def test_backends_share_one_cached_program(self, counter_spec):
+        from repro.compiler.compiled import CompiledBackend
+        from repro.compiler.threaded import ThreadedBackend
+
+        cache = PrepareCache(max_entries=4)
+        threaded = ThreadedBackend(specopt=False, cache=cache).prepare(
+            counter_spec
+        )
+        compiled = CompiledBackend(specopt=False, cache=cache).prepare(
+            counter_spec
+        )
+        assert compiled.program is threaded.program
+        assert len(cache) == 1
+
+
+class TestCopyPropagationLowering:
+    COPY_SPEC = """\
+# copy propagated selector
+src fwd user r .
+A src 4 r 1
+S fwd 1 33 src 44
+A user 4 fwd 2
+M r 0 user 1 1
+.
+"""
+
+    def test_forwarded_selector_resolves_to_alias(self):
+        spec = parse_spec(self.COPY_SPEC)
+        program = lower(spec, specopt=True)
+        assert program.observables["fwd"] == ("alias", "src")
+        assert "fwd" not in program.opt_spec.component_names()
+
+    def test_trace_of_forwarded_name_matches_interpreter(self):
+        from repro.compiler.threaded import ThreadedBackend
+        from repro.core.trace import TraceOptions
+
+        spec = parse_spec(self.COPY_SPEC)
+        options = TraceOptions(trace_cycles=True, names=("fwd", "user"))
+        reference = InterpreterBackend().run(spec, cycles=6, trace=options)
+        candidate = ThreadedBackend(specopt=True, cache=False).run(
+            spec, cycles=6, trace=options
+        )
+        assert [t.values for t in candidate.trace.cycles] == [
+            t.values for t in reference.trace.cycles
+        ]

@@ -122,10 +122,25 @@ class TestBackendDispatch:
         # warm prepare + one per run: the no-cache fallback path
         assert len(prepares) == 1 + 6
 
+    def test_workers_bind_to_the_shared_lowered_program(self, counter_spec):
+        cache = PrepareCache()
+        backend = ThreadedBackend(cache=cache)
+        with SimulationPool(counter_spec, backend=backend, max_workers=3) as pool:
+            program = pool.shared_program
+            assert program is not None
+            futures = [pool.submit(RunRequest(cycles=3)) for _ in range(9)]
+            for future in futures:
+                future.result()
+            # every worker's prepared simulation wraps the same CycleProgram
+            worker_prepared = backend.prepare(counter_spec)
+            assert worker_prepared.program is program
+
     def test_interpreter_backend_works(self, counter_spec):
         with SimulationPool(counter_spec, backend="interpreter",
                             max_workers=3) as pool:
             batch = pool.run_batch([RunRequest(cycles=10)] * 6)
+            # per-run prepare fallback: no program is actually shared
+            assert pool.shared_program is None
         assert batch.ok
         assert all(item.result.backend == "interpreter" for item in batch.items)
 
@@ -140,13 +155,39 @@ class TestErrorCapture:
         assert isinstance(batch.failures[0].error, SimulationError)
         assert batch.items[2].result.cycles_run == 7
 
-    def test_override_rejected_by_compiled_is_captured(self, counter_spec):
-        runs = [RunRequest(cycles=2, override=lambda name, value, cycle: value)]
+    def test_override_runs_on_compiled_pool(self, counter_spec):
+        def stuck(name, value, cycle):
+            return 0 if name == "wrapped" else value
+
+        runs = [RunRequest(cycles=5, override=stuck), RunRequest(cycles=5)]
         with SimulationPool(counter_spec, backend="compiled",
+                            max_workers=2) as pool:
+            batch = pool.run_batch(runs)
+        assert batch.ok
+        assert batch.items[0].result.value("count") == 0
+        assert batch.items[1].result.value("count") == 5
+
+    def test_unsupporting_backend_override_is_captured(self, counter_spec):
+        backend = CompiledBackend(cache=False)
+        prepared_cls = type(backend.prepare(counter_spec))
+
+        class NoOverride(prepared_cls):
+            supports_override = False
+
+        original = backend.prepare
+
+        def prepare(spec):
+            prepared = original(spec)
+            prepared.__class__ = NoOverride
+            return prepared
+
+        backend.prepare = prepare
+        runs = [RunRequest(cycles=2, override=lambda n, v, c: v)]
+        with SimulationPool(counter_spec, backend=backend,
                             max_workers=1) as pool:
             batch = pool.run_batch(runs)
         assert not batch.ok
-        assert "override" in str(batch.failures[0].error)
+        assert "supports_override" in str(batch.failures[0].error)
 
 
 class TestModuleLevelRunBatch:
