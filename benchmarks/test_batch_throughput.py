@@ -1,25 +1,40 @@
-"""Serving-layer benchmark: batch throughput vs the naive serve loop.
+"""Serving-layer benchmark: batch throughput across execution strategies.
 
 The serving scenario is many small requests against one machine — the
 ROADMAP's "one cached prepare artifact driving many concurrent
-simulations".  The baseline, labelled *sequential* here, is what a naive
-server does: a fresh (uncached) ``prepare`` followed by one ``run`` per
-request, on one thread.  The batch rows push the same requests through
-:class:`~repro.serving.pool.SimulationPool`, where the pool's single warm
-prepare seeds the cache and every worker reuses the shared artifact.
+simulations".  Two dimensions are measured into the schema-v2
+``BENCH_batch.json``:
 
-Simulations are pure Python, so workers interleave on the GIL; the
-measured win is prepare amortisation, not CPU parallelism.  That is why
-the interpreter row (whose prepare is trivial) shows no batch win, while
-the threaded and compiled rows — the backends with a real preparation
-phase — must beat the naive loop.  The module writes the machine-readable
-``BENCH_batch.json`` (runs/sec per backend and pool size), schema-checked
-below exactly like ``BENCH_fig5_1.json``.
+* **prepare amortisation** (the PR-2 rows): the *sequential* baseline is
+  the naive serve loop — a fresh (uncached) ``prepare`` plus one ``run``
+  per request on one thread — against the thread pool at several sizes,
+  where one warm prepare seeds the cache and every worker reuses the
+  shared artifact.  Thread workers interleave on the GIL, so this win is
+  amortisation, not parallelism; the interpreter row (trivial prepare)
+  shows none, while threaded and compiled must beat the naive loop.
+* **the executor dimension** (this PR): the same batch pushed through the
+  ``serial``, ``thread`` and ``process`` strategies on a CPU-bound
+  workload.  The process pool ships the lowered program to worker
+  processes once and runs truly in parallel, so on a multi-core host its
+  runs/sec must beat the thread pool's — by >= 1.5x for the compiled
+  backend, the Figure 5.1 sieve served at production speed.  On a
+  single-core host the rows are recorded but the parallelism line is not
+  asserted (there is nothing to parallelise onto).
+
+Every measured batch is checked bit-identical to the naive loop's
+results, whatever strategy ran it.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by ``scripts/check.sh``) runs a
+tiny workload, writes the trajectory to a temp path instead of
+``BENCH_batch.json``, and only schema-checks the document — fast enough
+for every push, so the executor matrix cannot silently rot.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -29,22 +44,57 @@ from repro.compiler.cache import PrepareCache
 from repro.compiler.compiled import CompiledBackend
 from repro.compiler.threaded import ThreadedBackend
 from repro.interp.interpreter import InterpreterBackend
-from repro.serving import RunRequest, SimulationPool
+from repro.serving import EXECUTOR_NAMES, RunRequest, SimulationPool
+from repro.serving.pool import _available_cpus
+
+#: Quick mode for CI gates: tiny workload, schema check only.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 #: Machine-readable batch-throughput trajectory (sibling of BENCH_fig5_1.json).
-BATCH_TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+#: Smoke runs write to a per-process temp path so they never clobber the
+#: real numbers nor collide with another user's or a concurrent CI's run.
+BATCH_TRAJECTORY_PATH = (
+    Path(tempfile.gettempdir()) / f"BENCH_batch_smoke-{os.getpid()}.json"
+    if SMOKE
+    else Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+)
 
 #: Schema version of the batch trajectory file (bump when keys change).
-BATCH_TRAJECTORY_SCHEMA = 1
+#: v2 added the executor dimension (serial/thread/process rows).
+BATCH_TRAJECTORY_SCHEMA = 2
 
-#: Requests per measurement, cycles per request.  256 cycles keeps each
-#: request small enough that preparation is a real fraction of its cost —
-#: the regime the serving layer exists for.
-BATCH_RUNS = 10
-BATCH_CYCLES = 256
+#: Requests per amortisation measurement, cycles per request.  256 cycles
+#: keeps each request small enough that preparation is a real fraction of
+#: its cost — the regime the thread-pool serving layer exists for.
+BATCH_RUNS = 4 if SMOKE else 16
+BATCH_CYCLES = 64 if SMOKE else 256
 
-#: Pool sizes measured; the acceptance line is drawn at >= 4 workers.
+#: Measured attempts per pooled batch; the best rate wins.  Batches are
+#: tens of milliseconds, so a single scheduler hiccup on a busy host can
+#: halve one attempt — steady-state throughput is the best of a few.
+BATCH_ATTEMPTS = 1 if SMOKE else 2
+
+#: Thread-pool sizes measured; the amortisation line is drawn at 4 workers.
 POOL_SIZES = (1, 2, 4)
+
+#: The executor dimension runs a CPU-bound batch: enough cycles that the
+#: simulation phase dominates and parallelism (not amortisation) decides
+#: the row.  Cycle counts are scaled per backend so each row costs about
+#: the same wall-clock despite the ~40x speed spread.
+EXEC_RUNS = 4 if SMOKE else 16
+EXEC_CYCLES = (
+    {"interpreter": 64, "threaded": 64, "compiled": 64}
+    if SMOKE
+    else {"interpreter": 256, "threaded": 1024, "compiled": 4096}
+)
+
+#: Workers per strategy for the executor dimension.
+EXEC_WORKERS = {"serial": 1, "thread": 4, "process": 2 if SMOKE else 4}
+
+#: Whether this host can demonstrate process-pool parallelism at all
+#: (same detection the pool uses for its default process worker count).
+_CPUS = _available_cpus()
+MULTI_CORE = _CPUS >= 2
 
 #: Backend rows: (sequential factory with caching off, pooled factory with a
 #: private cache).  The interpreter has no prepare cache on either side.
@@ -76,30 +126,42 @@ def _run_observables(result):
     )
 
 
-def _measure_sequential(backend_factory, spec):
+def _measure_sequential(backend_factory, spec, runs, cycles):
     """The naive serve loop: per-request prepare (uncached) + run."""
     reference = None
     start = time.perf_counter()
-    for _ in range(BATCH_RUNS):
-        result = backend_factory().run(
-            spec, cycles=BATCH_CYCLES, collect_stats=False
-        )
+    for _ in range(runs):
+        result = backend_factory().run(spec, cycles=cycles, collect_stats=False)
         reference = _run_observables(result)
     elapsed = time.perf_counter() - start
-    return BATCH_RUNS / elapsed, reference
+    return runs / elapsed, reference
 
 
-def _measure_batch(backend_factory, spec, pool_size, reference):
-    """The serving layer: one warm prepare, pooled fan-out."""
-    requests = [RunRequest(cycles=BATCH_CYCLES, collect_stats=False)] * BATCH_RUNS
+def _measure_batch(backend_factory, spec, pool_size, reference,
+                   runs=None, cycles=None, executor="thread"):
+    """Pooled batches on a given strategy, checked bit-identical.
+
+    Returns the best runs/sec over ``BATCH_ATTEMPTS`` batches on one
+    warmed pool (startup and first-binding costs excluded by a warm-up
+    batch, scheduler noise rejected by taking the best attempt).
+    """
+    runs = BATCH_RUNS if runs is None else runs
+    cycles = BATCH_CYCLES if cycles is None else cycles
+    requests = [RunRequest(cycles=cycles, collect_stats=False)] * runs
+    best = 0.0
     with SimulationPool(spec, backend=backend_factory(),
-                        max_workers=pool_size) as pool:
-        batch = pool.run_batch(requests)
-    assert batch.ok, [str(item.error) for item in batch.failures]
-    # bit-identical to the naive loop, for every run in the batch
-    for item in batch.items:
-        assert _run_observables(item.result) == reference
-    return batch.runs_per_second
+                        max_workers=pool_size, executor=executor) as pool:
+        # steady-state throughput: a tiny warm-up batch makes every worker
+        # (thread or process) bind its prepared simulation before the clock
+        pool.run_batch([RunRequest(cycles=1, collect_stats=False)] * pool_size)
+        for _ in range(BATCH_ATTEMPTS):
+            batch = pool.run_batch(requests)
+            assert batch.ok, [str(item.error) for item in batch.failures]
+            # bit-identical to the naive loop, for every run in the batch
+            for item in batch.items:
+                assert _run_observables(item.result) == reference
+            best = max(best, batch.runs_per_second)
+    return best
 
 
 def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH):
@@ -113,6 +175,14 @@ def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH
             "runs": BATCH_RUNS,
         },
         "pool_sizes": list(POOL_SIZES),
+        "executors": {
+            "names": list(EXECUTOR_NAMES),
+            "workers": dict(EXEC_WORKERS),
+            "runs": EXEC_RUNS,
+            "cycles": dict(EXEC_CYCLES),
+        },
+        "multi_core": MULTI_CORE,
+        "smoke": SMOKE,
         "backends": backends,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
@@ -120,24 +190,41 @@ def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH
 
 
 def test_batch_throughput_table(benchmark, small_sieve_machine):
-    """Measure every backend × pool size and hold the serving line."""
+    """Measure every backend x pool size x executor and hold the lines."""
     spec = small_sieve_machine.spec
 
     def measure():
         rows: dict[str, dict] = {}
         for name, (sequential_factory, pooled_factory) in _BACKENDS.items():
             sequential_rps, reference = _measure_sequential(
-                sequential_factory, spec
+                sequential_factory, spec, BATCH_RUNS, BATCH_CYCLES
             )
             batch_rps = {
                 str(pool_size): round(
-                    _measure_batch(pooled_factory, spec, pool_size, reference), 3
+                    _measure_batch(pooled_factory, spec, pool_size, reference),
+                    3,
                 )
                 for pool_size in POOL_SIZES
+            }
+            # the executor dimension: a CPU-bound batch per strategy
+            _, exec_reference = _measure_sequential(
+                sequential_factory, spec, 1, EXEC_CYCLES[name]
+            )
+            executor_rps = {
+                executor: round(
+                    _measure_batch(
+                        pooled_factory, spec, EXEC_WORKERS[executor],
+                        exec_reference, runs=EXEC_RUNS,
+                        cycles=EXEC_CYCLES[name], executor=executor,
+                    ),
+                    3,
+                )
+                for executor in EXECUTOR_NAMES
             }
             rows[name] = {
                 "sequential_runs_per_second": round(sequential_rps, 3),
                 "batch_runs_per_second": batch_rps,
+                "executor_runs_per_second": executor_rps,
             }
         return rows
 
@@ -157,11 +244,22 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             f"  {name:<12s} sequential={row['sequential_runs_per_second']:8.1f}  "
             + batches
         )
+    lines.append(f"Executor dimension ({EXEC_RUNS} CPU-bound runs, "
+                 f"cycles per backend: {EXEC_CYCLES})")
+    for name, row in rows.items():
+        execs = "  ".join(
+            f"{executor}={row['executor_runs_per_second'][executor]:8.1f}"
+            for executor in EXECUTOR_NAMES
+        )
+        lines.append(f"  {name:<12s} {execs}")
     print("\n".join(lines))
 
-    # ---- the serving layer's acceptance line -------------------------------
-    # the backends with a real preparation phase must beat the naive
-    # per-request-prepare loop once the artifact is cached and pooled
+    if SMOKE:
+        return  # schema check only: the smoke gate holds shape, not perf
+
+    # ---- the serving layer's acceptance lines ------------------------------
+    # (1) amortisation: the backends with a real preparation phase must beat
+    # the naive per-request-prepare loop once the artifact is cached/pooled
     for name in ("threaded", "compiled"):
         sequential = rows[name]["sequential_runs_per_second"]
         pooled = rows[name]["batch_runs_per_second"]["4"]
@@ -173,11 +271,26 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             pooled / sequential, 2
         )
 
+    # (2) parallelism: on a multi-core host the process pool must beat the
+    # GIL-bound thread pool on CPU-bound compiled/threaded batches
+    if MULTI_CORE:
+        for name, factor in (("threaded", 1.0), ("compiled", 1.5)):
+            threads = rows[name]["executor_runs_per_second"]["thread"]
+            processes = rows[name]["executor_runs_per_second"]["process"]
+            assert processes >= factor * threads, (
+                f"{name}: process pool at {processes:.1f} runs/sec did not "
+                f"beat the thread pool at {threads:.1f} runs/sec "
+                f"(required {factor}x on this {_CPUS}-core host)"
+            )
+            benchmark.extra_info[f"{name}_process_vs_thread"] = round(
+                processes / threads, 2
+            )
+
 
 def test_bench_batch_schema():
-    """``BENCH_batch.json`` (written by the measurement test above) is
-    well-formed: every backend row has positive throughput per pool size,
-    and the serving win holds for the cache-backed backends."""
+    """The trajectory file (written by the measurement test above) is
+    well-formed: every backend row carries positive throughput per pool
+    size and per executor, and the serving wins hold where asserted."""
     if _TRAJECTORY_WRITTEN is None:
         pytest.skip("batch throughput test did not run this session")
     document = json.loads(BATCH_TRAJECTORY_PATH.read_text())
@@ -187,6 +300,7 @@ def test_bench_batch_schema():
     assert document["workload"]["machine"] == "stack-machine-sieve"
     assert document["workload"]["cycles"] == BATCH_CYCLES
     assert document["pool_sizes"] == list(POOL_SIZES)
+    assert document["executors"]["names"] == list(EXECUTOR_NAMES)
     backends = document["backends"]
     assert set(backends) == {"interpreter", "threaded", "compiled"}
     for name, row in backends.items():
@@ -196,9 +310,18 @@ def test_bench_batch_schema():
         }
         for rate in row["batch_runs_per_second"].values():
             assert rate > 0, name
+        assert set(row["executor_runs_per_second"]) == set(EXECUTOR_NAMES)
+        for rate in row["executor_runs_per_second"].values():
+            assert rate > 0, name
+    if document["smoke"]:
+        return
     for name in ("threaded", "compiled"):
         row = backends[name]
         assert (
             row["batch_runs_per_second"]["4"]
             > row["sequential_runs_per_second"]
         ), name
+    if document["multi_core"]:
+        for name in ("threaded", "compiled"):
+            row = backends[name]["executor_runs_per_second"]
+            assert row["process"] >= row["thread"], name

@@ -4,8 +4,10 @@ This example demonstrates the serving layer (:mod:`repro.serving`) on the
 bundled counter machine: a :class:`~repro.serving.pool.SimulationPool`
 pays the prepare phase once, fans a batch of run variants out over worker
 threads, and the asyncio front-end drives the same pool from async code.
-It also shows the serving win the ``BENCH_batch.json`` benchmark
-measures — the pooled batch against the naive prepare-per-request loop.
+It also shows the serving wins the ``BENCH_batch.json`` benchmark
+measures — the pooled batch against the naive prepare-per-request loop,
+and the process executor (``executor="process"``) that ships the lowered
+program to worker processes once and scales with CPU cores.
 
 Run with:  python examples/batch_serving.py
 """
@@ -59,6 +61,22 @@ def throughput_demo() -> None:
     print()
 
 
+def process_pool_demo() -> None:
+    # true multi-core serving: the lowered program ships to worker
+    # processes once at pool startup; on a multi-core host the CPU-bound
+    # batch scales with cores instead of interleaving on the GIL
+    workload = prepare_sieve_workload(6)
+    spec = build_stack_machine_spec(workload.program)
+    runs = [RunRequest(cycles=2048, collect_stats=False) for _ in range(16)]
+    with SimulationPool(spec, backend="compiled", executor="process",
+                        max_workers=2) as pool:
+        batch = pool.run_batch(runs)
+    print(f"process pool: {batch.summary()}")
+    for worker, rate in sorted(batch.per_worker_runs_per_second.items()):
+        print(f"  {worker}: {rate:.1f} runs/sec while busy")
+    print()
+
+
 async def async_demo() -> None:
     from repro import async_run_batch
 
@@ -71,4 +89,5 @@ async def async_demo() -> None:
 if __name__ == "__main__":
     batch_demo()
     throughput_demo()
+    process_pool_demo()
     asyncio.run(async_demo())

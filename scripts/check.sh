@@ -13,5 +13,11 @@ python -m compileall -q src
 echo "== docs gate =="
 python scripts/check_docs.py
 
+echo "== batch benchmark smoke (executor matrix, schema only) =="
+# tiny sieve batch through every executor strategy; writes the schema-v2
+# trajectory to a temp path and schema-checks it, so the serial/thread/
+# process matrix cannot silently rot between full benchmark runs
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_batch_throughput.py -x -q
+
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -15,7 +15,10 @@ The package is organised around the paper's two systems and their substrate:
 * :mod:`repro.synth` — hardware construction (netlist and parts list);
 * :mod:`repro.analysis` — fault injection, profiling and equivalence checks;
 * :mod:`repro.serving` — batch/parallel serving: one cached prepare
-  artifact fanned out over many concurrent runs (pool + asyncio front-end).
+  artifact fanned out over many concurrent runs on a pluggable execution
+  strategy — serial, thread, or a true multi-core process pool (the
+  lowered program ships to workers once; the persistent artifact cache
+  makes their cold start nearly free) — plus an asyncio front-end.
 """
 
 # repro.core must initialise before repro.compiler: the comparison module
@@ -33,6 +36,7 @@ from repro.rtl.builder import SpecBuilder
 from repro.rtl.parser import parse_spec, parse_spec_file
 from repro.rtl.spec import Specification
 from repro.serving import (
+    EXECUTOR_NAMES,
     BatchRequest,
     BatchResult,
     RunRequest,
@@ -41,10 +45,11 @@ from repro.serving import (
     run_batch,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BACKEND_NAMES",
+    "EXECUTOR_NAMES",
     "BatchRequest",
     "BatchResult",
     "RunRequest",

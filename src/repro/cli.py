@@ -13,8 +13,9 @@ executable code".  This module provides the modern equivalent as
 * ``demo``     — build a bundled machine and run it;
 * ``netlist``  — print the wiring list and bill of materials (Section 5.3);
 * ``serve-batch`` — fan N runs of one specification out over a worker pool
-  (the serving layer, :mod:`repro.serving`), optionally checking the
-  batched results bit-identical against a sequential run.
+  (the serving layer, :mod:`repro.serving`) on a chosen execution strategy
+  (``--executor serial|thread|process``), optionally checking the batched
+  results bit-identical against a sequential run.
 """
 
 from __future__ import annotations
@@ -108,7 +109,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "-w", "--workers", type=int, default=4,
-        help="worker threads in the pool (default: 4)",
+        help="workers in the pool (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution strategy: serial (inline), thread (GIL-bound "
+        "prepare amortisation) or process (true multi-core; ships the "
+        "lowered program to worker processes once) (default: thread)",
+    )
+    serve_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="requests per scheduling unit (default: strategy-chosen; "
+        "the process executor batches IPC in chunks)",
     )
     serve_parser.add_argument(
         "-c", "--cycles", type=int, default=None,
@@ -206,10 +219,14 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         spec, args.runs, cycles=args.cycles, inputs=args.input,
         backend=args.backend,
     )
-    batch = run_batch(request, max_workers=args.workers)
+    batch = run_batch(request, max_workers=args.workers,
+                      executor=args.executor, chunk_size=args.chunk_size)
     print(f"{args.spec.name}: {args.runs} runs on {args.backend} "
-          f"({args.workers} workers)")
+          f"({args.workers} workers, {args.executor} executor)")
     print(batch.summary())
+    for worker, rate in sorted(batch.per_worker_runs_per_second.items()):
+        print(f"  {worker}: {batch.runs_by_worker[worker]} runs, "
+              f"{rate:.1f} runs/sec busy")
     for item in batch.failures:
         print(f"run {item.index} failed: {item.error}", file=sys.stderr)
     if not batch.ok:

@@ -13,15 +13,32 @@ spec-level pass configuration, so a repeated ``prepare()`` of the same
 (``CycleProgram.artifact``), so they are shared too while the cache itself
 stays picklable-friendly.
 
-The cache is a bounded LRU and is safe to share between threads.
+Two cache layers live here:
+
+* :class:`PrepareCache` — the in-process bounded LRU, safe to share
+  between threads (and picklable: entries survive, locks are rebuilt);
+* :class:`DiskCache` — the persistent on-disk artifact store keyed on the
+  same ``spec_fingerprint`` plus an :func:`artifact_key` of the exact
+  option set.  It holds the pickled lowered IR and the compiled backend's
+  generated Python source, written atomically (temp file + ``os.replace``)
+  and loaded corruption-safely (any damaged or stale file reads as a
+  miss, never an error).  This is what lets a freshly spawned worker
+  process — the process-pool execution engine in :mod:`repro.serving` —
+  skip lowering and code generation entirely: its cold-start cost drops
+  to one byte-compile of an on-disk source file.  The directory defaults
+  to ``$REPRO_CACHE_DIR`` or a per-user temp directory.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro.rtl.spec import Specification
@@ -114,6 +131,17 @@ class PrepareCache:
             self._entries.clear()
             self.stats = CacheStats()
 
+    def __getstate__(self) -> dict:
+        # entries are backend-neutral lowered programs, themselves picklable;
+        # only the lock must be rebuilt on the other side
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 #: Process-wide cache shared by the compiled and threaded backends.
 GLOBAL_PREPARE_CACHE = PrepareCache()
@@ -140,3 +168,222 @@ def resolve_cache(cache: "PrepareCache | bool | None") -> PrepareCache | None:
     if cache is True or cache is None:
         return GLOBAL_PREPARE_CACHE
     return cache
+
+
+# ---------------------------------------------------------------------------
+# The persistent on-disk artifact cache
+# ---------------------------------------------------------------------------
+
+#: Environment variable overriding the default cache directory.
+DISK_CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the on-disk layout or pickle payload shape changes; files
+#: written under another version read as misses, never as errors.
+DISK_FORMAT_VERSION = 1
+
+
+def _code_version() -> str:
+    """The package version stamped into every artifact.
+
+    Generated source and the lowered IR depend on the code that produced
+    them (a codegen fix must not keep serving pre-fix modules), so a
+    version mismatch reads as a miss and the entry is rebuilt.  Imported
+    lazily: this module loads during the package's own initialisation.
+    """
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - mid-initialisation fallback
+        return "unknown"
+
+
+def _source_header() -> str:
+    """Marker line prefixing cached text artifacts (detects truncation,
+    garbage, and artifacts generated by another repro version)."""
+    return (
+        f"# repro-artifact-cache format={DISK_FORMAT_VERSION} "
+        f"version={_code_version()}\n"
+    )
+
+
+def artifact_key(*parts) -> str:
+    """Short stable digest of an option set, usable in cache file names.
+
+    *parts* must have deterministic ``repr`` (frozen dataclasses, strings,
+    numbers) — the same property :meth:`PrepareCache.key_for` relies on for
+    hashability.
+    """
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+def _current_uid() -> int | None:
+    """The caller's numeric uid, or ``None`` where the concept is absent."""
+    getuid = getattr(os, "getuid", None)
+    return getuid() if getuid is not None else None
+
+
+def default_cache_dir() -> Path:
+    """The disk cache root: ``$REPRO_CACHE_DIR`` or a per-user temp dir."""
+    override = os.environ.get(DISK_CACHE_ENV)
+    if override:
+        return Path(override)
+    uid = _current_uid()
+    suffix = str(uid) if uid is not None else os.environ.get("USERNAME", "user")
+    return Path(tempfile.gettempdir()) / f"repro-artifacts-{suffix}"
+
+
+class DiskCache:
+    """Persistent artifact store keyed on (fingerprint, options key).
+
+    Two artifact kinds are stored, one file each per key:
+
+    * ``.ir``  — the pickled backend-neutral lowered program
+      (:class:`~repro.lowering.program.CycleProgram`);
+    * ``.py``  — the compiled backend's generated module source (plain
+      text behind a format-version header; byte-compiling it is the only
+      preparation work left for a reader).
+
+    Writes are atomic — the payload lands in a uniquely named temp file in
+    the same directory and is ``os.replace``d over the final name — so
+    concurrent writers (many worker processes warming the same machine)
+    never interleave bytes; whichever rename lands last wins with a
+    complete file.  Loads are corruption-safe: a truncated, garbled or
+    version-mismatched file is treated as a miss and the caller rebuilds
+    (optionally overwriting the bad file with a good one).
+
+    Loading the IR means unpickling, and unpickling executes code, so the
+    cache only ever *reads* from a directory the current user owns: the
+    root is created ``0700``, and when it already exists but belongs to
+    another uid (say, a squatter pre-created the well-known temp path)
+    every load is treated as a miss — the cache degrades to write-only
+    rather than executing someone else's bytes.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def _root_trusted(self) -> bool:
+        """True when the root exists and provably belongs to this user.
+
+        Fails closed: where ownership cannot be established (no
+        ``os.getuid``, unreadable root) nothing is ever read — the cache
+        degrades to write-only rather than unpickling unverifiable bytes.
+        """
+        uid = _current_uid()
+        if uid is None:
+            return False
+        try:
+            owner = os.stat(self.root).st_uid
+        except OSError:
+            return False
+        return owner == uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskCache({str(self.root)!r})"
+
+    def path_for(self, fingerprint: str, key: str, kind: str) -> Path:
+        """The artifact file for one (fingerprint, options key, kind)."""
+        return self.root / f"{fingerprint}-{key}.{kind}"
+
+    # -- atomic write / corruption-safe read ---------------------------------
+
+    def _write_atomic(self, path: Path, payload: bytes) -> Path:
+        self.root.mkdir(mode=0o700, parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.name + ".tmp-"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _read(self, path: Path) -> bytes | None:
+        if not self._root_trusted():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        return payload
+
+    # -- lowered programs ----------------------------------------------------
+
+    def store_program(self, fingerprint: str, key: str, program) -> Path:
+        """Persist a lowered program (pickled behind a version header)."""
+        payload = pickle.dumps(
+            {
+                "format": DISK_FORMAT_VERSION,
+                "version": _code_version(),
+                "artifact": program,
+            }
+        )
+        return self._write_atomic(self.path_for(fingerprint, key, "ir"), payload)
+
+    def load_program(self, fingerprint: str, key: str):
+        """Load a lowered program, or ``None`` on any miss or damage."""
+        payload = self._read(self.path_for(fingerprint, key, "ir"))
+        if payload is None:
+            return None
+        try:
+            document = pickle.loads(payload)
+            if document["format"] != DISK_FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            if document["version"] != _code_version():
+                raise ValueError("produced by another repro version")
+            artifact = document["artifact"]
+        except Exception:  # corruption-safe: damaged file == miss
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return artifact
+
+    # -- generated source ----------------------------------------------------
+
+    def store_source(self, fingerprint: str, key: str, source: str) -> Path:
+        """Persist a generated Python module source."""
+        payload = (_source_header() + source).encode()
+        return self._write_atomic(self.path_for(fingerprint, key, "py"), payload)
+
+    def load_source(self, fingerprint: str, key: str) -> str | None:
+        """Load a generated source, or ``None`` on any miss or damage."""
+        payload = self._read(self.path_for(fingerprint, key, "py"))
+        if payload is None:
+            return None
+        try:
+            text = payload.decode()
+        except UnicodeDecodeError:
+            self.stats.misses += 1
+            return None
+        header = _source_header()
+        if not text.startswith(header):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return text[len(header):]
+
+
+def resolve_disk(disk: "DiskCache | str | Path | bool | None") -> DiskCache | None:
+    """Normalise the ``disk`` argument backends accept.
+
+    ``None``/``False`` disable the layer, ``True`` selects the default
+    directory (:func:`default_cache_dir`), a path roots a cache there, a
+    :class:`DiskCache` instance is used as-is.
+    """
+    if disk is None or disk is False:
+        return None
+    if disk is True:
+        return DiskCache()
+    if isinstance(disk, (str, Path)):
+        return DiskCache(disk)
+    return disk

@@ -40,7 +40,14 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.compiler.cache import PrepareCache, resolve_cache
+from repro.compiler.cache import (
+    DiskCache,
+    PrepareCache,
+    artifact_key,
+    resolve_cache,
+    resolve_disk,
+    spec_fingerprint,
+)
 from repro.compiler.codegen_python import generate_program_python
 from repro.compiler.optimizer import CodegenOptions
 from repro.compiler.specopt import SpecOptPasses, SpecOptReport, resolve_passes
@@ -171,7 +178,16 @@ def _generate_and_compile(
 
 
 class CompiledBackend(Backend):
-    """Backend factory for the ASIM II-style compiler."""
+    """Backend factory for the ASIM II-style compiler.
+
+    ``disk`` enables the persistent artifact cache
+    (:class:`~repro.compiler.cache.DiskCache`): the generated module
+    source is stored on disk keyed on (specification fingerprint, codegen
+    options), so a fresh process preparing a known machine skips code
+    generation and only byte-compiles — the cold-start path the serving
+    layer's process-pool executor relies on.  The lowered IR is disk-
+    cached too, through :func:`~repro.lowering.program.lower_cached`.
+    """
 
     name = "compiled"
 
@@ -180,16 +196,49 @@ class CompiledBackend(Backend):
         options: CodegenOptions | None = None,
         specopt: bool | SpecOptPasses = False,
         cache: PrepareCache | bool | None = True,
+        disk: "DiskCache | str | bool | None" = None,
     ) -> None:
         self.options = options or CodegenOptions()
         self.passes = resolve_passes(specopt)
         self.cache = resolve_cache(cache)
+        self.disk = resolve_disk(disk)
+
+    def _source_artifact(
+        self, program: CycleProgram
+    ) -> tuple[str, object, float, float]:
+        """Generate-and-compile, consulting the disk cache for the source.
+
+        The key covers everything the generated module depends on: the
+        specopt pass configuration (it decides the step lists and whether
+        ``simulate_full`` exists) and the codegen options.
+        """
+        if self.disk is not None:
+            fingerprint = spec_fingerprint(program.spec)
+            key = artifact_key(self.passes, self.options)
+            source = self.disk.load_source(fingerprint, key)
+            if source is not None:
+                compile_start = time.perf_counter()
+                module_name = f"<asim2 cached: {program.spec.source_name}>"
+                try:
+                    code = compile(source, module_name, "exec")
+                except (SyntaxError, ValueError):
+                    # a damaged cache entry (bad syntax, null bytes) must
+                    # fall back to a clean build
+                    pass
+                else:
+                    return source, code, 0.0, time.perf_counter() - compile_start
+        artifact = _generate_and_compile(program, self.options)
+        if self.disk is not None:
+            self.disk.store_source(fingerprint, key, artifact[0])
+        return artifact
 
     def prepare(self, spec: Specification) -> CompiledSimulation:
-        program, program_hit = lower_cached(spec, self.passes, self.cache)
+        program, program_hit = lower_cached(
+            spec, self.passes, self.cache, self.disk
+        )
         artifact, artifact_hit = program.artifact(
             ("compiled", self.options),
-            lambda: _generate_and_compile(program, self.options),
+            lambda: self._source_artifact(program),
         )
         source, code, generate_seconds, compile_seconds = artifact
         hit = program_hit and artifact_hit

@@ -9,35 +9,60 @@ In a serving setting — the same machine simulated for many concurrent
 requests — preparation should therefore be paid **once** and the runs
 fanned out.
 
-Three pieces implement that:
+Four pieces implement that:
 
 * :class:`~repro.serving.batch.BatchRequest` / :class:`~repro.serving.batch.BatchResult`
   (:mod:`repro.serving.batch`) — N run variants against one specification,
-  with per-run outcomes, per-item error capture and throughput aggregates;
+  with per-run outcomes, per-item error capture, and throughput aggregates
+  down to per-worker runs/sec and queue-wait statistics;
+* :class:`~repro.serving.executor.ExecutorStrategy`
+  (:mod:`repro.serving.executor`) — the execution strategies: ``serial``
+  (inline baseline), ``thread`` (GIL-bound prepare amortisation) and
+  ``process`` (true multi-core: the lowered program is pickled to worker
+  processes once at pool startup, requests travel in chunks, and the
+  persistent artifact cache makes worker cold starts nearly free);
 * :class:`~repro.serving.pool.SimulationPool` (:mod:`repro.serving.pool`)
-  — a thread-pool executor with backend-aware dispatch: the cache-backed
-  threaded and compiled backends share one cached prepare artifact and
-  bind it per worker, the interpreter falls back to its (trivial) per-run
-  prepare;
+  — the pool over a chosen strategy, with backend-aware dispatch: the
+  cache-backed threaded and compiled backends share one cached prepare
+  artifact and bind it per worker, the interpreter shares its single warm
+  prepared program across the whole pool;
 * :func:`~repro.serving.aio.async_run_batch` (:mod:`repro.serving.aio`)
   — the asyncio front-end wrapping the pool for async callers.
 
-The CLI exposes the layer as ``repro serve-batch``; the throughput
-benchmark (``benchmarks/test_batch_throughput.py``) writes
-``BENCH_batch.json`` from it, and the equivalence tests prove batched
-results bit-identical to sequential ones on every backend.
+The CLI exposes the layer as ``repro serve-batch --executor {serial,
+thread,process}``; the throughput benchmark
+(``benchmarks/test_batch_throughput.py``) writes ``BENCH_batch.json``
+(schema v2, with the executor dimension) from it, and the equivalence
+tests prove batched results bit-identical to sequential ones on every
+backend and every strategy.
 """
 
 from repro.serving.aio import async_run, async_run_batch
 from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
+from repro.serving.executor import (
+    EXECUTOR_NAMES,
+    ExecutorStrategy,
+    ProcessExecutor,
+    RunOutcome,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerContext,
+)
 from repro.serving.pool import SimulationPool, run_batch
 
 __all__ = [
     "BatchItem",
     "BatchRequest",
     "BatchResult",
+    "EXECUTOR_NAMES",
+    "ExecutorStrategy",
+    "ProcessExecutor",
+    "RunOutcome",
     "RunRequest",
+    "SerialExecutor",
     "SimulationPool",
+    "ThreadExecutor",
+    "WorkerContext",
     "async_run",
     "async_run_batch",
     "run_batch",

@@ -2,12 +2,17 @@
 
 Async callers (a web handler serving simulation requests, a notebook
 driving many experiments) should not block their event loop on a batch.
-:func:`async_run_batch` submits every run to the pool's executor and
-awaits the wrapped futures, so the loop stays responsive while worker
-threads simulate; :func:`async_run` is the single-request form.
+:func:`async_run_batch` submits every run through the pool's execution
+strategy and awaits the wrapped futures, so the loop stays responsive
+while workers simulate; :func:`async_run` is the single-request form.
 
 The pool semantics are unchanged — one warm prepare, per-worker program
-binding, per-item error capture — only the waiting is asynchronous.
+binding, per-item error capture — only the waiting is asynchronous.  That
+holds for the thread and process strategies, whose futures resolve off
+the loop; the ``serial`` strategy executes inline *at submission* by
+design (it is the debugging baseline), so driving it from async code
+blocks the loop for the duration of the batch — prefer ``thread`` or
+``process`` in an event-loop context.
 """
 
 from __future__ import annotations
@@ -17,43 +22,50 @@ import time
 
 from repro.core.results import SimulationResult
 from repro.serving.batch import BatchRequest, BatchResult, RunRequest
+from repro.serving.executor import RunOutcome
 from repro.serving.pool import SimulationPool, batch_items
 
 
 async def async_run(pool: SimulationPool, request: RunRequest) -> SimulationResult:
     """Await one run on *pool* without blocking the event loop."""
-    result, _ = await asyncio.wrap_future(pool._submit_timed(request))
-    return result
+    outcome: RunOutcome = await asyncio.wrap_future(
+        pool._submit_many([request])[0]
+    )
+    if outcome.error is not None:
+        raise outcome.error
+    return outcome.result
 
 
 async def async_run_batch(
     request: BatchRequest,
     max_workers: int | None = None,
     pool: SimulationPool | None = None,
+    executor: str = "thread",
+    chunk_size: int | None = None,
 ) -> BatchResult:
     """Run a batch from async code; returns the same :class:`BatchResult`.
 
-    With ``pool=None`` a pool is built for the request's spec and backend
-    and closed afterwards; pass an open pool to amortise it across batches
-    (the request's spec must then match the pool's).
+    With ``pool=None`` a pool is built for the request's spec, backend and
+    *executor* strategy and closed afterwards; pass an open pool to
+    amortise it across batches (the request's spec must then match the
+    pool's, and the pool's own strategy wins).
     """
     owns_pool = pool is None
     if pool is None:
         pool = SimulationPool(
-            request.spec, backend=request.backend, max_workers=max_workers
+            request.spec,
+            backend=request.backend,
+            max_workers=max_workers,
+            executor=executor,
+            chunk_size=chunk_size,
         )
     try:
         requests = pool._coerce_runs(request)
         start = time.perf_counter()
-        futures = []
-        try:
-            for run in requests:
-                futures.append(asyncio.wrap_future(pool._submit_timed(run)))
-        except BaseException:
-            # a mid-loop failure (e.g. the pool closed under us) must not
-            # abandon the futures already created
-            await asyncio.gather(*futures, return_exceptions=True)
-            raise
+        futures = [
+            asyncio.wrap_future(future)
+            for future in pool._submit_many(requests)
+        ]
         outcomes = await asyncio.gather(*futures, return_exceptions=True)
         wall_seconds = time.perf_counter() - start
         return BatchResult(
@@ -62,6 +74,7 @@ async def async_run_batch(
             items=batch_items(requests, outcomes),
             wall_seconds=wall_seconds,
             prepare_seconds=pool.prepare_seconds,
+            executor=pool.executor_name,
         )
     finally:
         if owns_pool:

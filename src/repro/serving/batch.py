@@ -10,8 +10,11 @@ what lets the pool pay preparation once and fan the runs out.
 request order, each holding either a
 :class:`~repro.core.results.SimulationResult` or the exception that run
 raised — a poisoned variant never takes the rest of the batch down.  The
-aggregate exposes the serving numbers (wall-clock seconds, runs per
-second) that the ``BENCH_batch.json`` benchmark reports.
+aggregate exposes the serving numbers that the ``BENCH_batch.json``
+benchmark reports: pool-wide wall-clock seconds and runs per second, plus
+the per-worker breakdown (which worker ran what, its busy-time
+throughput) and queue-wait statistics that tell a capacity planner
+whether a batch was limited by compute or by scheduling.
 """
 
 from __future__ import annotations
@@ -134,6 +137,13 @@ class BatchItem:
     error: Exception | None = None
     #: wall-clock seconds this run occupied its worker (prepare + run)
     seconds: float = 0.0
+    #: label of the worker that ran this request (thread name, ``pid-N``
+    #: for a worker process, ``serial-0`` inline), or ``None`` when the
+    #: run never reached a worker (e.g. its chunk failed to pickle)
+    worker: str | None = None
+    #: seconds this request (or its chunk) waited between submission and
+    #: execution start
+    queue_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -155,6 +165,8 @@ class BatchResult:
     wall_seconds: float = 0.0
     #: seconds the pool spent on its warm-up ``prepare`` of the spec
     prepare_seconds: float = 0.0
+    #: execution strategy that ran the batch (serial / thread / process)
+    executor: str = "thread"
 
     def __len__(self) -> int:
         return len(self.items)
@@ -184,6 +196,50 @@ class BatchResult:
             return float("inf") if self.items else 0.0
         return len(self.items) / self.wall_seconds
 
+    @property
+    def runs_by_worker(self) -> dict[str, int]:
+        """How many runs each worker executed (labelled items only)."""
+        counts: dict[str, int] = {}
+        for item in self.items:
+            if item.worker is not None:
+                counts[item.worker] = counts.get(item.worker, 0) + 1
+        return counts
+
+    @property
+    def per_worker_runs_per_second(self) -> dict[str, float]:
+        """Each worker's busy-time throughput: runs / seconds spent running.
+
+        Unlike the pool-wide :attr:`runs_per_second` (which divides by
+        wall-clock and therefore folds in queueing and idle workers), this
+        is the rate each worker achieved while actually executing — the
+        number that should scale with per-core simulation speed.
+        """
+        busy: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for item in self.items:
+            if item.worker is None:
+                continue
+            counts[item.worker] = counts.get(item.worker, 0) + 1
+            busy[item.worker] = busy.get(item.worker, 0.0) + item.seconds
+        return {
+            worker: (counts[worker] / seconds if seconds > 0.0 else 0.0)
+            for worker, seconds in busy.items()
+        }
+
+    @property
+    def queue_seconds_mean(self) -> float:
+        """Mean seconds a request waited between submission and execution."""
+        if not self.items:
+            return 0.0
+        return sum(item.queue_seconds for item in self.items) / len(self.items)
+
+    @property
+    def queue_seconds_max(self) -> float:
+        """Worst queue wait across the batch."""
+        if not self.items:
+            return 0.0
+        return max(item.queue_seconds for item in self.items)
+
     def raise_for_errors(self) -> None:
         """Re-raise the first failure (chained), if any run failed."""
         for item in self.items:
@@ -194,6 +250,8 @@ class BatchResult:
         succeeded = sum(1 for item in self.items if item.ok)
         return (
             f"{self.backend}: {succeeded}/{len(self.items)} runs ok on "
-            f"{self.pool_size} workers in {self.wall_seconds:.4f}s wall "
-            f"({self.runs_per_second:.1f} runs/sec)"
+            f"{self.pool_size} {self.executor} workers in "
+            f"{self.wall_seconds:.4f}s wall "
+            f"({self.runs_per_second:.1f} runs/sec, mean queue wait "
+            f"{self.queue_seconds_mean * 1e3:.1f} ms)"
         )

@@ -1,0 +1,416 @@
+"""Execution strategies for the serving pool: serial, thread, process.
+
+:class:`~repro.serving.pool.SimulationPool` used to be welded to one
+``ThreadPoolExecutor``; this module extracts the scheduling decision into
+an :class:`ExecutorStrategy` with three implementations:
+
+* **serial** — every run executes inline on the caller's thread, in
+  submission order.  The baseline and the debugging strategy: no
+  concurrency, no queueing, deterministic scheduling.
+* **thread** — the classic pool: worker threads interleave on the GIL, so
+  the win is prepare amortisation (one cached artifact, many runs), not
+  CPU parallelism.  Right for I/O-bound hooks and modest batches.
+* **process** — true multi-core serving.  Worker processes are started
+  once per pool; each receives the parent's :class:`WorkerContext` — the
+  specification plus the already-lowered, picklable
+  :class:`~repro.lowering.program.CycleProgram` — through the pool
+  initializer (pickled **once** at startup, never per run) and binds its
+  own backend to it.  The parent also seeds the persistent artifact cache
+  (:class:`~repro.compiler.cache.DiskCache`) with the lowered IR and the
+  compiled backend's generated source, so a worker's cold start skips
+  lowering and code generation entirely.  Requests travel to workers in
+  chunks (``chunk_size``) to amortise IPC; results come back as picklable
+  :class:`RunOutcome` values with per-item error capture.
+
+Every strategy resolves one submitted request to one future of a
+:class:`RunOutcome` — result or error, worker label, busy seconds and
+queue wait — so the pool, the batch aggregates and the asyncio front-end
+are strategy-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Sequence
+
+from repro.compiler.cache import (
+    DiskCache,
+    PrepareCache,
+    artifact_key,
+    spec_fingerprint,
+)
+from repro.compiler.optimizer import CodegenOptions
+from repro.compiler.specopt import SpecOptPasses
+from repro.core.backend import Backend, PreparedSimulation
+from repro.core.results import SimulationResult
+from repro.errors import ServingError
+from repro.lowering.program import CycleProgram
+from repro.rtl.spec import Specification
+from repro.serving.batch import RunRequest
+
+#: Registered execution strategies, in cost order.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: How a strategy runs one request: returns (result, busy seconds).
+ExecuteFn = Callable[[RunRequest], "tuple[SimulationResult, float]"]
+
+
+@dataclass
+class RunOutcome:
+    """What one scheduled run produced, wherever it executed.
+
+    Exactly one of ``result``/``error`` is set.  ``worker`` labels the
+    thread or process that ran the request; ``queue_seconds`` is the time
+    the request (or its chunk) waited between submission and execution
+    start, measured on the system-wide monotonic clock so it is meaningful
+    across process boundaries.
+    """
+
+    result: SimulationResult | None
+    error: Exception | None
+    seconds: float
+    worker: str
+    queue_seconds: float
+
+
+def execute_outcome(
+    execute: ExecuteFn, request: RunRequest, submitted: float, worker: str
+) -> RunOutcome:
+    """Run one request, capturing any ``Exception`` into the outcome.
+
+    ``BaseException`` (KeyboardInterrupt and friends) propagates — the
+    batch machinery re-raises it rather than recording it per item.
+    """
+    queue_seconds = max(0.0, time.monotonic() - submitted)
+    try:
+        result, seconds = execute(request)
+    except Exception as exc:  # noqa: BLE001 - rerouted per item
+        return RunOutcome(result=None, error=exc, seconds=0.0,
+                          worker=worker, queue_seconds=queue_seconds)
+    return RunOutcome(result=result, error=None, seconds=seconds,
+                      worker=worker, queue_seconds=queue_seconds)
+
+
+def _spread_chunk(
+    slots: "list[Future[RunOutcome]]", chunk_future: Future
+) -> None:
+    """Resolve per-item futures from one finished chunk future."""
+    try:
+        outcomes = chunk_future.result()
+    except BaseException as exc:  # noqa: BLE001 - mirrored into every item
+        for slot in slots:
+            slot.set_exception(exc)
+        return
+    for slot, outcome in zip(slots, outcomes):
+        slot.set_result(outcome)
+
+
+class ExecutorStrategy(ABC):
+    """One way of scheduling run requests onto compute."""
+
+    #: strategy name as accepted by ``SimulationPool(executor=...)``
+    name: str = "strategy"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+
+    @abstractmethod
+    def submit_chunk(
+        self, requests: Sequence[RunRequest]
+    ) -> "Future[list[RunOutcome]]":
+        """Schedule one chunk; the future resolves to per-item outcomes."""
+
+    def default_chunk_size(self, count: int) -> int:
+        """Requests per chunk when the caller did not choose one."""
+        return 1
+
+    def submit_many(
+        self, requests: Sequence[RunRequest], chunk_size: int | None = None
+    ) -> "list[Future[RunOutcome]]":
+        """Schedule every request, returning one outcome future per item.
+
+        Requests are grouped into chunks of *chunk_size* (default: the
+        strategy's own heuristic) and each chunk travels as one scheduling
+        unit; per-item futures are resolved when their chunk completes.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if chunk_size is None:
+            chunk_size = self.default_chunk_size(len(requests))
+        item_futures: list[Future] = [Future() for _ in requests]
+        for start in range(0, len(requests), chunk_size):
+            chunk = requests[start:start + chunk_size]
+            slots = item_futures[start:start + len(chunk)]
+            self.submit_chunk(chunk).add_done_callback(
+                partial(_spread_chunk, slots)
+            )
+        return item_futures
+
+    @abstractmethod
+    def close(self, wait: bool = True) -> None:
+        """Release the strategy's workers."""
+
+
+class SerialExecutor(ExecutorStrategy):
+    """Inline execution on the caller's thread, in submission order."""
+
+    name = "serial"
+
+    def __init__(self, execute: ExecuteFn) -> None:
+        super().__init__(workers=1)
+        self._execute = execute
+
+    def submit_chunk(self, requests):
+        submitted = time.monotonic()
+        future: Future = Future()
+        future.set_result([
+            execute_outcome(self._execute, request, submitted, "serial-0")
+            for request in requests
+        ])
+        return future
+
+    def close(self, wait: bool = True) -> None:
+        pass
+
+
+class ThreadExecutor(ExecutorStrategy):
+    """The classic GIL-bound worker-thread pool (prepare amortisation)."""
+
+    name = "thread"
+
+    def __init__(self, execute: ExecuteFn, workers: int,
+                 thread_name_prefix: str = "repro") -> None:
+        super().__init__(workers=workers)
+        self._execute = execute
+        self._threads = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=thread_name_prefix
+        )
+
+    def submit_chunk(self, requests):
+        return self._threads.submit(
+            self._run_chunk, list(requests), time.monotonic()
+        )
+
+    def _run_chunk(self, requests, submitted):
+        worker = threading.current_thread().name
+        return [
+            execute_outcome(self._execute, request, submitted, worker)
+            for request in requests
+        ]
+
+    def close(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=wait)
+
+
+# ---------------------------------------------------------------------------
+# The process strategy: worker bootstrap and chunk execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Everything a worker process needs to bind a prepared simulation.
+
+    Built once by the parent pool and pickled once into the pool
+    initializer.  For the built-in backends the context carries the
+    parent's already-lowered :class:`CycleProgram`, so the worker never
+    lowers; with ``cache_dir`` set, the worker's compiled backend also
+    loads the generated source from the persistent artifact cache the
+    parent seeded, so it never generates code either.  A third-party
+    backend rides along as a pickled instance (``backend``) and prepares
+    from scratch.
+    """
+
+    spec: Specification
+    program: CycleProgram | None
+    backend_name: str | None
+    backend: Backend | None
+    codegen_options: CodegenOptions | None
+    passes: SpecOptPasses | None
+    cache_dir: str | None
+
+    def bind(self) -> PreparedSimulation:
+        """Build this worker's prepared simulation (runs in the worker)."""
+        if self.backend is not None:
+            return self.backend.prepare(self.spec)
+        if self.backend_name == "interpreter":
+            if self.program is not None:
+                from repro.interp.interpreter import InterpreterSimulation
+
+                return InterpreterSimulation(
+                    self.spec, self.program, prepare_seconds=0.0
+                )
+            from repro.interp.interpreter import InterpreterBackend
+
+            return InterpreterBackend(self.passes).prepare(self.spec)
+        # threaded / compiled: a private in-process cache seeded with the
+        # shipped program makes the worker's prepare a guaranteed hit
+        cache = PrepareCache()
+        if self.program is not None:
+            key = cache.key_for("lowered", self.spec, self.passes)
+            cache.get_or_create(key, lambda: self.program)
+        disk = DiskCache(self.cache_dir) if self.cache_dir else None
+        if self.backend_name == "threaded":
+            from repro.compiler.threaded import ThreadedBackend
+
+            backend: Backend = ThreadedBackend(
+                specopt=self.passes, cache=cache, disk=disk
+            )
+        else:
+            from repro.compiler.compiled import CompiledBackend
+
+            backend = CompiledBackend(
+                self.codegen_options, specopt=self.passes,
+                cache=cache, disk=disk,
+            )
+        return backend.prepare(self.spec)
+
+
+def worker_context_for(
+    spec: Specification,
+    backend: Backend,
+    warm: PreparedSimulation,
+    disk: DiskCache | None,
+) -> WorkerContext:
+    """Describe *backend* so a worker process can rebuild it.
+
+    The built-in backends are rebuilt by name (shipping the lowered
+    program, the pass configuration and the codegen options — never
+    unpicklable run state); any other backend must itself survive a
+    pickle round-trip, checked eagerly here so misconfiguration surfaces
+    at pool construction, not in a dying worker.
+    """
+    from repro.compiler.compiled import CompiledBackend
+    from repro.compiler.threaded import ThreadedBackend
+    from repro.interp.interpreter import InterpreterBackend
+
+    program = getattr(warm, "program", None)
+    cache_dir = str(disk.root) if disk is not None else None
+    if type(backend) in (InterpreterBackend, ThreadedBackend, CompiledBackend):
+        return WorkerContext(
+            spec=spec,
+            program=program,
+            backend_name=backend.name,
+            backend=None,
+            codegen_options=getattr(backend, "options", None),
+            passes=getattr(backend, "passes", None),
+            cache_dir=cache_dir,
+        )
+    try:
+        pickle.dumps(backend)
+    except Exception as exc:
+        raise ServingError(
+            f"the process executor needs a picklable backend; "
+            f"{type(backend).__name__} failed to pickle ({exc}); use a "
+            "built-in backend name or make the backend picklable"
+        ) from exc
+    return WorkerContext(
+        spec=spec, program=program, backend_name=None, backend=backend,
+        codegen_options=None, passes=None, cache_dir=cache_dir,
+    )
+
+
+def seed_disk_cache(
+    disk: DiskCache,
+    spec: Specification,
+    warm: PreparedSimulation,
+    passes: SpecOptPasses | None,
+    options: CodegenOptions | None,
+) -> None:
+    """Persist the parent's prepare artifacts for worker cold starts."""
+    fingerprint = spec_fingerprint(spec)
+    program = getattr(warm, "program", None)
+    if program is not None and passes is not None:
+        disk.store_program(fingerprint, artifact_key(passes), program)
+    source = getattr(warm, "source", None)
+    if source is not None and passes is not None and options is not None:
+        # mirror CompiledBackend._source_artifact: the source depends on
+        # the pass configuration as well as the codegen options
+        disk.store_source(fingerprint, artifact_key(passes, options), source)
+
+
+#: This worker's bound simulation (set by the pool initializer).
+_WORKER_PREPARED: PreparedSimulation | None = None
+
+
+def _initialize_worker(context: WorkerContext) -> None:
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = context.bind()
+
+
+def _execute_in_worker(request: RunRequest):
+    prepared = _WORKER_PREPARED
+    if prepared is None:  # pragma: no cover - initializer always ran
+        raise ServingError("worker process was never initialized")
+    start = time.perf_counter()
+    request.check_supported(prepared)
+    result = prepared.run(
+        cycles=request.cycles,
+        io=request.make_io(),
+        trace=request.trace,
+        collect_stats=request.collect_stats,
+        override=request.override,
+    )
+    return result, time.perf_counter() - start
+
+
+def _run_chunk_in_worker(requests: list, submitted: float):
+    worker = f"pid-{os.getpid()}"
+    return [
+        execute_outcome(_execute_in_worker, request, submitted, worker)
+        for request in requests
+    ]
+
+
+class ProcessExecutor(ExecutorStrategy):
+    """True multi-core serving over a pool of worker processes.
+
+    The :class:`WorkerContext` is pickled exactly once, into the pool
+    initializer; each worker binds its backend to the shipped lowered
+    program at startup.  Requests travel in chunks to amortise IPC — the
+    default chunk size targets four chunks per worker, balancing transfer
+    overhead against scheduling granularity for heterogeneous batches.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        context: WorkerContext,
+        workers: int,
+        mp_context=None,
+    ) -> None:
+        super().__init__(workers=workers)
+        if isinstance(mp_context, str):
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(mp_context)
+        self._processes = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_initialize_worker,
+            initargs=(context,),
+        )
+
+    def default_chunk_size(self, count: int) -> int:
+        return max(1, math.ceil(count / (self.workers * 4)))
+
+    def submit_chunk(self, requests):
+        # a chunk that fails to pickle (e.g. a lambda override) resolves
+        # this future with the pickling error; _spread_chunk routes it to
+        # the chunk's items and the rest of the batch is unaffected
+        return self._processes.submit(
+            _run_chunk_in_worker, list(requests), time.monotonic()
+        )
+
+    def close(self, wait: bool = True) -> None:
+        self._processes.shutdown(wait=wait)

@@ -1,4 +1,4 @@
-"""Thread-pool fan-out of one prepared machine over many runs.
+"""Fan-out of one prepared machine over many runs, on a pluggable engine.
 
 The pool is the serving layer's engine room.  Construction resolves the
 backend and performs one warm ``prepare`` on the caller's thread; for the
@@ -6,24 +6,40 @@ cache-backed backends (threaded, compiled) this pays code generation once
 and seeds the prepare cache, so every later ``prepare`` of the same
 specification is a cache hit returning the *same* artifact.
 
-Dispatch is backend-aware:
+Scheduling is delegated to an execution strategy
+(:mod:`repro.serving.executor`): ``serial`` runs inline, ``thread`` fans
+out over worker threads (the GIL-bound prepare-amortisation engine), and
+``process`` ships the lowered program to worker processes once and scales
+with CPU cores.  ``chunk_size`` groups requests per scheduling unit to
+amortise IPC on the process strategy.
 
-* **threaded / compiled** (backend exposes a prepare ``cache``): each worker
-  thread binds its own :class:`~repro.core.backend.PreparedSimulation` the
-  first time it picks up a run and reuses it afterwards.  Every worker's
-  prepare is a cache hit on the *same* shared lowered program
-  (:class:`~repro.lowering.program.CycleProgram`) — the expensive artifacts
-  derived from it (closure plans, byte-compiled module) are memoized on the
-  program, so the whole pool executes one IR (see ``shared_program``).
-* **interpreter** (or any backend without a prepare cache): preparation is
-  re-done per run.  For the interpreter this is the paper's cheap
-  "generate tables" phase, so the fallback costs microseconds.
+In-process dispatch (serial/thread) is backend-aware:
 
-Note the throughput model: simulations are pure Python, so concurrent
-workers interleave on the GIL rather than running truly in parallel.  The
-serving win measured by ``BENCH_batch.json`` comes from paying preparation
-once instead of per request — many small requests against one machine —
-not from adding CPU cores.
+* **threaded / compiled** (backend exposes a prepare ``cache``): each
+  worker thread binds its own
+  :class:`~repro.core.backend.PreparedSimulation` the first time it picks
+  up a run and reuses it afterwards.  Every worker's prepare is a cache
+  hit on the *same* shared lowered program
+  (:class:`~repro.lowering.program.CycleProgram`) — the expensive
+  artifacts derived from it (closure plans, byte-compiled module) are
+  memoized on the program, so the whole pool executes one IR (see
+  ``shared_program``).
+* **interpreter** (or any backend without a prepare cache): every worker
+  shares the pool's single warm prepared simulation.  Prepared
+  simulations are re-entrant by contract (each ``run`` builds fresh
+  mutable state), so one prepared interpreter program serves the whole
+  pool instead of re-lowering per run.
+
+On the process strategy each worker binds its backend to the lowered
+program shipped at pool startup (see
+:class:`~repro.serving.executor.WorkerContext`), and the persistent
+artifact cache (:class:`~repro.compiler.cache.DiskCache`) lets a worker's
+compiled backend skip code generation too.
+
+Throughput model: simulations are pure Python, so ``thread`` workers
+interleave on the GIL and win by paying preparation once; ``process``
+workers each own a core and win again by actually simulating in parallel
+— the dimension ``BENCH_batch.json`` measures.
 """
 
 from __future__ import annotations
@@ -31,30 +47,53 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
+from pathlib import Path
 from typing import Sequence
 
-from repro.compiler.cache import spec_fingerprint
+from repro.compiler.cache import DiskCache, resolve_disk, spec_fingerprint
 from repro.compiler.optimizer import CodegenOptions
 from repro.core.backend import PreparedSimulation
 from repro.core.results import SimulationResult
 from repro.core.simulator import BackendLike, make_backend
 from repro.errors import ServingError
-from repro.rtl.spec import Specification
 from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
+from repro.serving.executor import (
+    EXECUTOR_NAMES,
+    ExecutorStrategy,
+    ProcessExecutor,
+    RunOutcome,
+    SerialExecutor,
+    ThreadExecutor,
+    seed_disk_cache,
+    worker_context_for,
+)
 
 
-def _default_workers() -> int:
-    # at least 4: the serving win is cache amortisation, not CPU parallelism,
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _default_workers(executor: str) -> int:
+    if executor == "serial":
+        return 1
+    if executor == "process":
+        # one worker per available core: the whole point is parallelism
+        return max(2, min(8, _available_cpus()))
+    # thread: the serving win is cache amortisation, not CPU parallelism,
     # so a useful pool does not need one core per worker
     return max(4, min(8, os.cpu_count() or 1))
 
 
 def batch_items(
     requests: Sequence[RunRequest],
-    outcomes: Sequence[tuple[SimulationResult, float] | BaseException],
+    outcomes: "Sequence[RunOutcome | BaseException]",
 ) -> list[BatchItem]:
-    """Pair requests with their outcomes (result+seconds, or exception)."""
+    """Pair requests with their outcomes (RunOutcome, or the exception
+    that killed the whole scheduling unit, e.g. an unpicklable chunk)."""
     items: list[BatchItem] = []
     for index, (request, outcome) in enumerate(zip(requests, outcomes)):
         if isinstance(outcome, BaseException):
@@ -62,16 +101,30 @@ def batch_items(
                 raise outcome
             items.append(BatchItem(index=index, request=request, error=outcome))
         else:
-            result, seconds = outcome
             items.append(
-                BatchItem(index=index, request=request, result=result,
-                          seconds=seconds)
+                BatchItem(
+                    index=index,
+                    request=request,
+                    result=outcome.result,
+                    error=outcome.error,
+                    seconds=outcome.seconds,
+                    worker=outcome.worker,
+                    queue_seconds=outcome.queue_seconds,
+                )
             )
     return items
 
 
 class SimulationPool:
-    """A thread pool serving many runs of one prepared specification.
+    """A worker pool serving many runs of one prepared specification.
+
+    ``executor`` picks the execution strategy (``"serial"``, ``"thread"``
+    or ``"process"``); ``chunk_size`` fixes how many requests travel per
+    scheduling unit (default: one for serial/thread, about four chunks
+    per worker for process).  ``artifact_cache`` roots the persistent
+    artifact cache used to seed process workers (``True``/``None`` for
+    the default directory, a path, a
+    :class:`~repro.compiler.cache.DiskCache`, or ``False`` to disable).
 
     The pool is a context manager; ``close()`` (or leaving the ``with``
     block) waits for in-flight runs and rejects new submissions.
@@ -79,19 +132,35 @@ class SimulationPool:
 
     def __init__(
         self,
-        spec: Specification,
+        spec,
         backend: BackendLike = "threaded",
         max_workers: int | None = None,
         codegen_options: CodegenOptions | None = None,
+        executor: str = "thread",
+        chunk_size: int | None = None,
+        artifact_cache: "DiskCache | str | Path | bool | None" = None,
+        mp_context=None,
     ) -> None:
+        if executor not in EXECUTOR_NAMES:
+            raise ServingError(
+                f"unknown executor '{executor}'; expected one of "
+                f"{EXECUTOR_NAMES}"
+            )
         if max_workers is None:
-            max_workers = _default_workers()
+            max_workers = _default_workers(executor)
         if max_workers <= 0:
             raise ServingError(
                 f"max_workers must be positive, got {max_workers}"
             )
+        if executor == "serial":
+            max_workers = 1
+        if chunk_size is not None and chunk_size <= 0:
+            raise ServingError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
         self.spec = spec
         self.max_workers = max_workers
+        self.chunk_size = chunk_size
         self._backend = make_backend(backend, codegen_options)
         # warm prepare on the caller's thread: seeds the shared cache (when
         # the backend has one) and surfaces compilation errors eagerly,
@@ -101,15 +170,41 @@ class SimulationPool:
         self.prepare_seconds = time.perf_counter() - start
         self._reuse_prepared = getattr(self._backend, "cache", None) is not None
         self._local = threading.local()
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers,
-            thread_name_prefix=f"repro-{self._backend.name}",
-        )
+        self._strategy = self._build_strategy(executor, artifact_cache,
+                                              mp_context)
         self._closed = False
         # makes the closed check and the executor submit atomic against a
         # concurrent close(), so racing submitters always see ServingError
         # rather than the executor's RuntimeError
         self._submit_lock = threading.Lock()
+
+    def _build_strategy(
+        self, executor: str, artifact_cache, mp_context
+    ) -> ExecutorStrategy:
+        if executor == "serial":
+            return SerialExecutor(self._execute)
+        if executor == "thread":
+            return ThreadExecutor(
+                self._execute,
+                workers=self.max_workers,
+                thread_name_prefix=f"repro-{self._backend.name}",
+            )
+        # process: seed the persistent artifact cache so worker cold starts
+        # skip lowering and code generation, then ship the lowered program
+        # once through the pool initializer
+        disk = resolve_disk(True if artifact_cache is None else artifact_cache)
+        context = worker_context_for(self.spec, self._backend, self._warm,
+                                     disk)
+        if disk is not None:
+            seed_disk_cache(
+                disk,
+                self.spec,
+                self._warm,
+                getattr(self._backend, "passes", None),
+                getattr(self._backend, "options", None),
+            )
+        return ProcessExecutor(context, workers=self.max_workers,
+                               mp_context=mp_context)
 
     # -- introspection -------------------------------------------------------
 
@@ -118,15 +213,19 @@ class SimulationPool:
         return self._backend.name
 
     @property
-    def shared_program(self):
-        """The lowered program every worker binds to, or ``None``.
+    def executor_name(self) -> str:
+        return self._strategy.name
 
-        Only cache-backed backends (threaded, compiled) actually share one
-        program across workers; backends on the per-run prepare fallback
-        (the interpreter) re-lower per run, so no shared program exists.
+    @property
+    def shared_program(self):
+        """The lowered program every in-process worker binds to, or ``None``.
+
+        Cache-backed backends (threaded, compiled) share it through the
+        prepare cache; backends without one (the interpreter) share the
+        warm prepared simulation itself, so its program — when it exposes
+        one — is equally shared.  Process workers bind to a pickled copy
+        of this same program, shipped once at pool startup.
         """
-        if not self._reuse_prepared:
-            return None
         return getattr(self._warm, "program", None)
 
     @property
@@ -136,9 +235,12 @@ class SimulationPool:
     # -- per-worker / per-run binding ---------------------------------------
 
     def _prepared_for_run(self) -> PreparedSimulation:
-        """Backend-aware dispatch: worker-bound reuse vs per-run prepare."""
+        """Backend-aware dispatch: per-thread cache-hit binding for
+        cache-backed backends, shared warm prepared otherwise."""
         if not self._reuse_prepared:
-            return self._backend.prepare(self.spec)
+            # prepared simulations are re-entrant: one warm interpreter
+            # program serves every worker (no per-run re-lowering)
+            return self._warm
         prepared = getattr(self._local, "prepared", None)
         if prepared is None:
             prepared = self._backend.prepare(self.spec)
@@ -164,18 +266,37 @@ class SimulationPool:
         if self._closed:
             raise ServingError("simulation pool is closed")
 
-    def _submit_timed(
-        self, request: RunRequest
-    ) -> "Future[tuple[SimulationResult, float]]":
+    def _submit_many(
+        self, requests: Sequence[RunRequest]
+    ) -> "list[Future[RunOutcome]]":
         with self._submit_lock:
             self._check_open()
-            return self._executor.submit(self._execute, request)
+            if not isinstance(self._strategy, SerialExecutor):
+                return self._strategy.submit_many(requests, self.chunk_size)
+        # the serial strategy executes inline at submission: run it outside
+        # the lock so close(wait=False) never blocks on a batch and a run
+        # hook that submits re-entrantly cannot deadlock (there is no
+        # underlying executor for close() to race with)
+        return self._strategy.submit_many(requests, self.chunk_size)
 
     def submit(self, request: RunRequest) -> "Future[SimulationResult]":
         """Schedule one run; the future resolves to its SimulationResult."""
-        with self._submit_lock:
-            self._check_open()
-            return self._executor.submit(lambda: self._execute(request)[0])
+        outcome_future = self._submit_many([request])[0]
+        result_future: Future = Future()
+
+        def relay(done: Future) -> None:
+            try:
+                outcome = done.result()
+            except BaseException as exc:  # noqa: BLE001 - mirrored over
+                result_future.set_exception(exc)
+                return
+            if outcome.error is not None:
+                result_future.set_exception(outcome.error)
+            else:
+                result_future.set_result(outcome.result)
+
+        outcome_future.add_done_callback(relay)
+        return result_future
 
     def run(self, request: RunRequest) -> SimulationResult:
         """Run one request on the pool and wait for its result."""
@@ -191,8 +312,8 @@ class SimulationPool:
         """
         requests = self._coerce_runs(runs)
         start = time.perf_counter()
-        futures = [self._submit_timed(request) for request in requests]
-        outcomes: list[tuple[SimulationResult, float] | BaseException] = []
+        futures = self._submit_many(requests)
+        outcomes: "list[RunOutcome | BaseException]" = []
         for future in futures:
             try:
                 outcomes.append(future.result())
@@ -205,6 +326,7 @@ class SimulationPool:
             items=batch_items(requests, outcomes),
             wall_seconds=wall_seconds,
             prepare_seconds=self.prepare_seconds,
+            executor=self.executor_name,
         )
 
     def _coerce_runs(
@@ -239,7 +361,7 @@ class SimulationPool:
         """Stop accepting runs; optionally wait for in-flight ones."""
         with self._submit_lock:
             self._closed = True
-        self._executor.shutdown(wait=wait)
+        self._strategy.close(wait=wait)
 
     def __enter__(self) -> "SimulationPool":
         return self
@@ -252,6 +374,8 @@ def run_batch(
     request: BatchRequest,
     max_workers: int | None = None,
     codegen_options: CodegenOptions | None = None,
+    executor: str = "thread",
+    chunk_size: int | None = None,
 ) -> BatchResult:
     """One-shot: build a pool for *request* and run it to completion."""
     with SimulationPool(
@@ -259,5 +383,7 @@ def run_batch(
         backend=request.backend,
         max_workers=max_workers,
         codegen_options=codegen_options,
+        executor=executor,
+        chunk_size=chunk_size,
     ) as pool:
         return pool.run_batch(request.runs)

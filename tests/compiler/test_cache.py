@@ -1,11 +1,18 @@
-"""Unit tests for the prepare cache (hash-keyed generate/compile skipping)."""
+"""Unit tests for the prepare caches: the in-process LRU layer and the
+persistent on-disk artifact store (hash-keyed generate/compile skipping)."""
+
+import pickle
 
 import pytest
 
 from repro.compiler.cache import (
+    DiskCache,
     PrepareCache,
+    artifact_key,
     clear_prepare_cache,
+    default_cache_dir,
     prepare_cache_stats,
+    resolve_disk,
     spec_fingerprint,
 )
 from repro.compiler.compiled import CompiledBackend
@@ -236,6 +243,221 @@ class TestConcurrentAccess:
         assert cache.stats.misses == 1
         assert cache.stats.evictions == 0
         self._assert_invariants(cache, cache.stats.requests)
+
+
+class TestPrepareCachePickling:
+    def test_round_trip_keeps_entries_and_rebuilds_the_lock(self, counter_spec):
+        cache = PrepareCache(max_entries=4)
+        backend = ThreadedBackend(cache=cache)
+        backend.prepare(counter_spec)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 1
+        # the clone is fully usable: its lock was rebuilt on unpickling.
+        # The first prepare reuses the cloned program (lowering skipped)
+        # but rebuilds the closure plans the program dropped on pickling;
+        # the second prepare is a full hit.
+        again = ThreadedBackend(cache=clone).prepare(counter_spec)
+        assert clone.stats.hits == 1
+        assert again.run(cycles=10).value("count") == 2
+        assert ThreadedBackend(cache=clone).prepare(counter_spec).cache_hit
+
+    def test_builtin_backends_are_picklable(self, counter_spec):
+        # what the process executor relies on for custom backend instances
+        for backend in (ThreadedBackend(), CompiledBackend()):
+            clone = pickle.loads(pickle.dumps(backend))
+            result = clone.prepare(counter_spec).run(cycles=10)
+            assert result.value("count") == 2
+
+
+class TestDiskCache:
+    def _lowered(self, spec):
+        from repro.lowering.program import lower_cached
+
+        return lower_cached(spec, True, None)[0]
+
+    def test_program_round_trip(self, counter_spec, tmp_path):
+        disk = DiskCache(tmp_path)
+        program = self._lowered(counter_spec)
+        disk.store_program("fp", "key", program)
+        loaded = disk.load_program("fp", "key")
+        assert loaded is not None
+        assert loaded.slots == program.slots
+        assert disk.stats.hits == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        assert disk.load_program("nope", "key") is None
+        assert disk.load_source("nope", "key") is None
+        assert disk.stats.misses == 2
+
+    def test_truncated_program_file_falls_back_to_rebuild(
+        self, counter_spec, tmp_path
+    ):
+        from repro.lowering.program import lower_cached
+
+        disk = DiskCache(tmp_path)
+        _, hit = lower_cached(counter_spec, True, None, disk)
+        assert not hit  # first build populates the store
+        path = next(tmp_path.glob("*.ir"))
+        path.write_bytes(path.read_bytes()[:25])  # truncate mid-pickle
+        program, hit = lower_cached(counter_spec, True, None, disk)
+        assert not hit  # damaged entry read as a miss, clean rebuild
+        assert program.slots  # ... and the rebuild overwrote the bad file
+        _, hit = lower_cached(counter_spec, True, None, disk)
+        assert hit
+
+    def test_garbage_source_file_falls_back_to_generation(
+        self, counter_spec, tmp_path
+    ):
+        disk = DiskCache(tmp_path)
+        backend = CompiledBackend(cache=False, disk=disk)
+        first = backend.prepare(counter_spec)
+        path = next(tmp_path.glob("*.py"))
+        path.write_text("definitely not a cached module")
+        rebuilt = CompiledBackend(cache=False, disk=DiskCache(tmp_path))
+        prepared = rebuilt.prepare(counter_spec)
+        assert prepared.run(cycles=10).final_values == first.run(
+            cycles=10
+        ).final_values
+
+    def test_artifacts_from_another_code_version_are_misses(
+        self, counter_spec, tmp_path, monkeypatch
+    ):
+        """A codegen fix must not keep serving pre-fix artifacts: entries
+        are stamped with the package version and invalidated across it."""
+        import repro.compiler.cache as cache_mod
+
+        disk = DiskCache(tmp_path)
+        disk.store_program("fp", "key", self._lowered(counter_spec))
+        disk.store_source("fp", "key", "source = 1\n")
+        monkeypatch.setattr(cache_mod, "_code_version", lambda: "0.0.0-older")
+        stale = DiskCache(tmp_path)
+        assert stale.load_program("fp", "key") is None
+        assert stale.load_source("fp", "key") is None
+
+    def test_version_mismatch_is_a_miss(self, counter_spec, tmp_path):
+        disk = DiskCache(tmp_path)
+        program = self._lowered(counter_spec)
+        disk.store_program("fp", "key", program)
+        path = disk.path_for("fp", "key", "ir")
+        path.write_bytes(pickle.dumps({"format": -1, "artifact": program}))
+        assert disk.load_program("fp", "key") is None
+
+    def test_compiled_cold_start_skips_generation(self, counter_spec, tmp_path):
+        warm = CompiledBackend(cache=False, disk=DiskCache(tmp_path))
+        warm.prepare(counter_spec)
+        # a fresh process: new backend, empty in-process cache, same disk
+        cold_disk = DiskCache(tmp_path)
+        cold = CompiledBackend(cache=False, disk=cold_disk)
+        prepared = cold.prepare(counter_spec)
+        assert prepared.generate_seconds == 0.0  # source came from disk
+        assert cold_disk.stats.hits == 2  # the IR and the source
+        assert prepared.run(cycles=10).value("count") == 2
+
+    def test_specopt_configuration_keys_the_source(self, counter_spec,
+                                                   tmp_path):
+        """A specopt'd module must never be served to a non-specopt
+        backend (their step lists and entry points differ)."""
+        opt = CompiledBackend(specopt=True, cache=False,
+                              disk=DiskCache(tmp_path))
+        opt.prepare(counter_spec)
+        plain = CompiledBackend(specopt=False, cache=False,
+                                disk=DiskCache(tmp_path))
+        prepared = plain.prepare(counter_spec)
+        assert prepared.generate_seconds > 0.0  # fresh generation, no reuse
+        assert prepared.run(cycles=10).value("count") == 2
+        # one source entry per pass configuration
+        assert len(list(tmp_path.glob("*.py"))) == 2
+
+    def test_null_byte_source_falls_back_to_generation(self, counter_spec,
+                                                       tmp_path):
+        backend = CompiledBackend(cache=False, disk=DiskCache(tmp_path))
+        backend.prepare(counter_spec)
+        path = next(tmp_path.glob("*.py"))
+        # valid header, poisoned body: survives the decode + header check
+        # but compile() rejects it (ValueError, not SyntaxError)
+        path.write_text(path.read_text() + "\x00")
+        rebuilt = CompiledBackend(cache=False, disk=DiskCache(tmp_path))
+        assert rebuilt.prepare(counter_spec).run(cycles=10).value("count") == 2
+
+    def test_untrusted_root_is_never_read(self, counter_spec, tmp_path,
+                                          monkeypatch):
+        """Unpickling executes code, so a root owned by another uid (a
+        squatted temp path) must read as all-misses, not as artifacts."""
+        import os
+
+        import repro.compiler.cache as cache_mod
+
+        disk = DiskCache(tmp_path)
+        program = self._lowered(counter_spec)
+        disk.store_program("fp", "key", program)
+        assert DiskCache(tmp_path).load_program("fp", "key") is not None
+        other_uid = os.stat(tmp_path).st_uid + 1
+        monkeypatch.setattr(cache_mod, "_current_uid", lambda: other_uid)
+        untrusted = DiskCache(tmp_path)
+        assert untrusted.load_program("fp", "key") is None
+        assert untrusted.stats.misses == 1
+
+    def test_env_var_overrides_the_default_directory(
+        self, counter_spec, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        backend = ThreadedBackend(cache=False, disk=True)
+        backend.prepare(counter_spec)
+        assert list(tmp_path.glob("*.ir"))
+
+    def test_resolve_disk_forms(self, tmp_path):
+        assert resolve_disk(None) is None
+        assert resolve_disk(False) is None
+        assert resolve_disk(str(tmp_path)).root == tmp_path
+        disk = DiskCache(tmp_path)
+        assert resolve_disk(disk) is disk
+        assert resolve_disk(True).root == default_cache_dir()
+
+    def test_concurrent_writers_never_clobber(self, counter_spec, tmp_path):
+        """Atomic rename: racing stores interleave with loads and every
+        load sees either a complete artifact or a miss — never a torn
+        file raising out of the cache."""
+        import threading
+
+        disk = DiskCache(tmp_path)
+        program = self._lowered(counter_spec)
+        # one entry exists before the race, so every load during it must
+        # observe a complete artifact (the whole point of atomic rename)
+        disk.store_program("fp", "key", program)
+        loaded_ok = []
+        barrier = threading.Barrier(8)
+
+        def writer():
+            barrier.wait()
+            for _ in range(20):
+                disk.store_program("fp", "key", program)
+
+        def reader():
+            barrier.wait()
+            for _ in range(40):
+                value = DiskCache(tmp_path).load_program("fp", "key")
+                if value is not None:
+                    loaded_ok.append(value.slots == program.slots)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert loaded_ok and all(loaded_ok)
+        # no temp-file debris survived the stores
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_artifact_key_is_stable_and_distinguishes(self):
+        options = CodegenOptions()
+        assert artifact_key(options) == artifact_key(CodegenOptions())
+        assert artifact_key(options) != artifact_key(
+            CodegenOptions.unoptimized()
+        )
 
 
 class TestGlobalCache:

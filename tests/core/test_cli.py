@@ -108,7 +108,7 @@ class TestServeBatchCommand:
         assert main(["serve-batch", str(spec_file), "-n", "6", "-w", "2",
                      "-c", "10"]) == 0
         out = capsys.readouterr().out
-        assert "6 runs on threaded (2 workers)" in out
+        assert "6 runs on threaded (2 workers, thread executor)" in out
         assert "6/6 runs ok" in out
         assert "runs/sec" in out
 
@@ -127,6 +127,23 @@ class TestServeBatchCommand:
         # no -c and the counter spec declares no '= N' cycle count
         assert main(["serve-batch", str(spec_file), "-n", "2"]) == 1
         assert "failed" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_serve_batch_executor_choice(self, spec_file, executor, capsys):
+        assert main(["serve-batch", str(spec_file), "-n", "4", "-c", "10",
+                     "-w", "2", "--executor", executor, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert f"{executor} executor" in out
+        assert "bit-identical to sequential" in out
+        assert "runs/sec busy" in out  # the per-worker breakdown
+
+    def test_serve_batch_chunk_size(self, spec_file, capsys):
+        assert main(["serve-batch", str(spec_file), "-n", "6", "-c", "5",
+                     "--executor", "process", "-w", "2",
+                     "--chunk-size", "6"]) == 0
+        out = capsys.readouterr().out
+        # one chunk: exactly one worker line in the breakdown
+        assert out.count("runs/sec busy") == 1
 
 
 class TestModuleEntryPoint:

@@ -131,6 +131,64 @@ class TestPicklability:
         reference = InterpreterBackend().run(spec, cycles=8)
         assert final == reference.final_values
 
+    def test_round_trip_preserves_every_ir_field(self):
+        """The process-pool guarantee: a pickled program is the program.
+
+        Every field a backend consumes — slot layout, both variants'
+        step lists, observables, pass configuration — survives the trip
+        bit-for-bit (steps are frozen dataclasses, compared by value).
+        """
+        spec = parse_spec(CONSTANT_HEAVY)
+        program = lower(spec, specopt=True)
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.passes == program.passes
+        assert clone.slots == program.slots
+        assert clone.latch_base == program.latch_base
+        assert clone.value_count == program.value_count
+        assert clone.observables == program.observables
+        for variant, original in ((clone.fast, program.fast),
+                                  (clone.full, program.full)):
+            assert variant.steps == original.steps
+            assert variant.memory_steps == original.memory_steps
+            assert [c.name for c in variant.ordered] == [
+                c.name for c in original.ordered
+            ]
+        # the fast/full aliasing decision survives too
+        assert (clone.full is clone.fast) == (program.full is program.fast)
+
+    def test_round_trip_is_bit_identical_on_every_backend(self, counter_spec):
+        """A shipped program must drive all three backends to the same
+        observables as the original — the process executor's core claim."""
+        from repro.compiler.compiled import CompiledBackend
+        from repro.compiler.threaded import ThreadedBackend
+        from repro.interp.interpreter import InterpreterSimulation
+
+        cache = PrepareCache()
+        warm = ThreadedBackend(cache=cache).prepare(counter_spec)
+        shipped = pickle.loads(pickle.dumps(warm.program))
+
+        # interpreter: bind the shipped program directly
+        direct = InterpreterSimulation(counter_spec, shipped, 0.0)
+        reference = InterpreterBackend(specopt=True).run(
+            counter_spec, cycles=12
+        )
+        assert direct.run(cycles=12).final_values == reference.final_values
+
+        # threaded/compiled: seed a fresh cache with the shipped program,
+        # exactly as a worker process does
+        worker_cache = PrepareCache()
+        key = worker_cache.key_for("lowered", counter_spec, warm.program.passes)
+        worker_cache.get_or_create(key, lambda: shipped)
+        threaded = ThreadedBackend(cache=worker_cache).prepare(counter_spec)
+        assert threaded.program is shipped
+        compiled = CompiledBackend(
+            specopt=warm.program.passes, cache=worker_cache
+        ).prepare(counter_spec)
+        assert compiled.program is shipped
+        expected = warm.run(cycles=12).final_values
+        assert threaded.run(cycles=12).final_values == expected
+        assert compiled.run(cycles=12).final_values == expected
+
 
 class TestLowerCached:
     def test_cache_stores_the_program_itself(self, counter_spec):

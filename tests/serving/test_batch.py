@@ -85,10 +85,11 @@ class TestBatchResult:
                             wall_seconds=0.0)
         assert empty.runs_per_second == 0.0
 
-    def test_summary_mentions_counts_and_pool(self):
+    def test_summary_mentions_counts_pool_and_executor(self):
         result = BatchResult(backend="compiled", pool_size=4,
-                             items=self._items(), wall_seconds=0.5)
+                             items=self._items(), wall_seconds=0.5,
+                             executor="process")
         summary = result.summary()
         assert "compiled" in summary
         assert "1/2" in summary
-        assert "4 workers" in summary
+        assert "4 process workers" in summary

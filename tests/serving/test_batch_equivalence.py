@@ -4,7 +4,10 @@ This is the serving layer's central correctness claim, mirroring the
 paper's interpreter-vs-compiler equivalence argument: fanning runs out
 over a worker pool must not change a single observable bit — final
 component values, full memory contents, and the memory-mapped output
-stream all match a sequential run of the same prepared backend.
+stream all match a sequential run of the same prepared backend.  The
+sweep covers both concurrent strategies: worker threads sharing one
+in-process artifact, and worker processes binding to the lowered program
+pickled to them at pool startup.
 """
 
 import pytest
@@ -12,6 +15,10 @@ import pytest
 from repro.core.simulator import BACKEND_NAMES, make_backend
 from repro.machines.library import all_machines, get_machine
 from repro.serving import RunRequest, SimulationPool
+
+#: Both concurrent strategies must preserve bit-identity (serial trivially
+#: shares the sequential code path and is covered by the executor tests).
+EXECUTORS = ("thread", "process")
 
 #: Bundled machines exercised by the sweep; cycles capped to keep the
 #: interpreter rows fast while still covering memories, selectors and I/O.
@@ -37,9 +44,10 @@ def test_every_bundled_machine_is_covered():
     assert set(MACHINE_CYCLES) == {entry.name for entry in all_machines()}
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
 @pytest.mark.parametrize("machine_name", sorted(MACHINE_CYCLES))
-def test_batched_equals_sequential(machine_name, backend_name):
+def test_batched_equals_sequential(machine_name, backend_name, executor):
     entry = get_machine(machine_name)
     spec = entry.build()
     cycles = MACHINE_CYCLES[machine_name]
@@ -51,7 +59,9 @@ def test_batched_equals_sequential(machine_name, backend_name):
         for run in runs
     ]
 
-    with SimulationPool(spec, backend=backend_name, max_workers=4) as pool:
+    workers = 4 if executor == "thread" else 2
+    with SimulationPool(spec, backend=backend_name, executor=executor,
+                        max_workers=workers) as pool:
         batch = pool.run_batch(runs)
 
     assert batch.ok, [str(item.error) for item in batch.failures]

@@ -106,7 +106,7 @@ class TestBackendDispatch:
         assert cache.stats.misses == 1
         assert len(cache) == 1
 
-    def test_uncached_backend_prepares_per_run(self, counter_spec):
+    def test_uncached_backend_prepares_once_and_shares(self, counter_spec):
         prepares = []
         backend = ThreadedBackend(cache=False)
         original = backend.prepare
@@ -119,8 +119,9 @@ class TestBackendDispatch:
         with SimulationPool(counter_spec, backend=backend, max_workers=2) as pool:
             batch = pool.run_batch([RunRequest(cycles=3)] * 6)
         assert batch.ok
-        # warm prepare + one per run: the no-cache fallback path
-        assert len(prepares) == 1 + 6
+        # prepared simulations are re-entrant: the warm prepare is the only
+        # one, shared by every worker (no per-run prepare fallback anymore)
+        assert len(prepares) == 1
 
     def test_workers_bind_to_the_shared_lowered_program(self, counter_spec):
         cache = PrepareCache()
@@ -135,13 +136,25 @@ class TestBackendDispatch:
             worker_prepared = backend.prepare(counter_spec)
             assert worker_prepared.program is program
 
-    def test_interpreter_backend_works(self, counter_spec):
-        with SimulationPool(counter_spec, backend="interpreter",
+    def test_interpreter_pool_shares_the_warm_program(self, counter_spec):
+        from repro.interp.interpreter import InterpreterBackend
+
+        prepares = []
+        backend = InterpreterBackend()
+        original = backend.prepare
+
+        def counting_prepare(spec):
+            prepares.append(1)
+            return original(spec)
+
+        backend.prepare = counting_prepare
+        with SimulationPool(counter_spec, backend=backend,
                             max_workers=3) as pool:
             batch = pool.run_batch([RunRequest(cycles=10)] * 6)
-            # per-run prepare fallback: no program is actually shared
-            assert pool.shared_program is None
+            # the warm prepared interpreter program is shared by the pool
+            assert pool.shared_program is not None
         assert batch.ok
+        assert len(prepares) == 1  # seeded once, reused per worker
         assert all(item.result.backend == "interpreter" for item in batch.items)
 
 
