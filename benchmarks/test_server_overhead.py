@@ -1,0 +1,178 @@
+"""Serving-layer benchmark: the HTTP round-trip tax over in-process pools.
+
+The long-lived server (`repro serve`) wraps :class:`SimulationPool` in
+HTTP + JSON.  That wrapper costs something — socket round-trips, JSON
+encode/decode of every result — and this module measures exactly how
+much, per backend, into ``BENCH_server.json``:
+
+* **in-process**: a warm ``SimulationPool.run_batch`` (the PR-4 path);
+* **HTTP**: the same batch POSTed to a live ``SimulationServer`` on an
+  ephemeral port, timed around the whole round trip, results checked
+  bit-identical to the in-process run.
+
+The number that matters operationally is ``http_overhead_ratio``
+(in-process runs/sec over HTTP runs/sec): it tells a deployer how large
+a request has to be before the wire tax disappears into the noise —
+tiny runs pay it, sieve-sized runs do not.  The warm-pool win is also
+asserted: the *second* HTTP batch must not pay the pool construction
+the first one did.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload and writes to
+a temp path, schema-check only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.comparison import compare_results
+from repro.machines.library import get_machine
+from repro.serving import RunRequest, SimulationPool, SimulationServer
+from repro.serving.protocol import result_from_json
+
+#: Quick mode for CI gates: tiny workload, schema check only.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Machine-readable server-overhead trajectory (sibling of BENCH_batch.json).
+SERVER_TRAJECTORY_PATH = (
+    Path(tempfile.gettempdir()) / f"BENCH_server_smoke-{os.getpid()}.json"
+    if SMOKE
+    else Path(__file__).resolve().parent.parent / "BENCH_server.json"
+)
+
+#: Schema version of the server trajectory file (bump when keys change).
+SERVER_TRAJECTORY_SCHEMA = 1
+
+#: The workload: small counter batches — the regime where per-request
+#: overhead (the thing measured here) is largest relative to the work.
+MACHINE = "counter"
+RUNS = 4 if SMOKE else 16
+CYCLES = 16 if SMOKE else 64
+
+#: Backends measured over the wire.
+BACKENDS = ("threaded", "compiled")
+
+#: The trajectory document written by the measurement test *this session*
+#: (None until it runs), so the schema test never validates a stale file.
+_TRAJECTORY_WRITTEN: dict | None = None
+
+
+def _http_batch(server: SimulationServer, backend: str) -> tuple[float, dict]:
+    """POST one batch; returns (round-trip seconds, response document)."""
+    body = json.dumps({
+        "machine": MACHINE,
+        "backend": backend,
+        "runs": [{"cycles": CYCLES, "collect_stats": False,
+                  "trace": False}] * RUNS,
+    }).encode()
+    request = urllib.request.Request(
+        server.url + "/v1/batch", data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        document = json.loads(response.read())
+    elapsed = time.perf_counter() - start
+    assert document["ok"], document
+    return elapsed, document
+
+
+def write_server_trajectory(backends: dict[str, dict],
+                            path=SERVER_TRAJECTORY_PATH) -> dict:
+    document = {
+        "schema": SERVER_TRAJECTORY_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": {"machine": MACHINE, "runs": RUNS, "cycles": CYCLES},
+        "smoke": SMOKE,
+        "backends": backends,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_server_overhead_table(benchmark):
+    """Measure in-process vs HTTP-served throughput per backend."""
+    spec = get_machine(MACHINE).build()
+
+    def measure() -> dict[str, dict]:
+        rows: dict[str, dict] = {}
+        with SimulationServer(port=0, artifact_cache=False) as server:
+            for backend in BACKENDS:
+                requests = [RunRequest(cycles=CYCLES, collect_stats=False,
+                                       trace=False)] * RUNS
+                with SimulationPool(spec, backend=backend) as pool:
+                    pool.run_batch(requests)  # warm every worker binding
+                    start = time.perf_counter()
+                    reference = pool.run_batch(requests)
+                    inproc_seconds = time.perf_counter() - start
+                assert reference.ok
+                # first HTTP batch pays lazy pool construction; the second
+                # must ride the warm pool — the server's whole point
+                cold_seconds, _ = _http_batch(server, backend)
+                warm_seconds, document = _http_batch(server, backend)
+                for item, wire_item in zip(reference.items,
+                                           document["items"]):
+                    rebuilt = result_from_json(wire_item["result"])
+                    assert compare_results(item.result, rebuilt) == []
+                rows[backend] = {
+                    "inprocess_runs_per_second": round(
+                        RUNS / inproc_seconds, 3),
+                    "http_cold_runs_per_second": round(
+                        RUNS / cold_seconds, 3),
+                    "http_runs_per_second": round(RUNS / warm_seconds, 3),
+                    "http_overhead_ratio": round(
+                        (RUNS / inproc_seconds) / (RUNS / warm_seconds), 3),
+                }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    global _TRAJECTORY_WRITTEN
+    _TRAJECTORY_WRITTEN = write_server_trajectory(rows)
+
+    print(f"\nHTTP serving overhead ({RUNS} runs x {CYCLES} cycles, "
+          f"{MACHINE})")
+    for backend, row in rows.items():
+        print(f"  {backend:<10s} in-process={row['inprocess_runs_per_second']:9.1f}"
+              f"  http={row['http_runs_per_second']:9.1f}"
+              f"  overhead={row['http_overhead_ratio']:6.1f}x")
+
+    if SMOKE:
+        return  # schema check only
+    for backend, row in rows.items():
+        assert row["http_runs_per_second"] > 1.0, (
+            f"{backend}: HTTP serving pathologically slow "
+            f"({row['http_runs_per_second']:.2f} runs/sec)"
+        )
+        benchmark.extra_info[f"{backend}_http_overhead"] = (
+            row["http_overhead_ratio"]
+        )
+
+
+def test_bench_server_schema():
+    """The trajectory file (written by the measurement test above) is
+    well-formed: every backend row carries positive throughput and the
+    overhead ratio is consistent with its inputs."""
+    if _TRAJECTORY_WRITTEN is None:
+        pytest.skip("server overhead test did not run this session")
+    document = json.loads(SERVER_TRAJECTORY_PATH.read_text())
+    assert document == _TRAJECTORY_WRITTEN
+    assert document["schema"] == SERVER_TRAJECTORY_SCHEMA
+    assert document["workload"]["machine"] == MACHINE
+    assert set(document["backends"]) == set(BACKENDS)
+    for backend, row in document["backends"].items():
+        assert row["inprocess_runs_per_second"] > 0, backend
+        assert row["http_runs_per_second"] > 0, backend
+        assert row["http_cold_runs_per_second"] > 0, backend
+        expected = (
+            row["inprocess_runs_per_second"] / row["http_runs_per_second"]
+        )
+        assert row["http_overhead_ratio"] == pytest.approx(expected,
+                                                           rel=0.05), backend

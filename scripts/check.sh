@@ -13,11 +13,34 @@ python -m compileall -q src
 echo "== docs gate =="
 python scripts/check_docs.py
 
-echo "== batch benchmark smoke (executor matrix, schema only) =="
-# tiny sieve batch through every executor strategy; writes the schema-v2
-# trajectory to a temp path and schema-checks it, so the serial/thread/
-# process matrix cannot silently rot between full benchmark runs
-REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_batch_throughput.py -x -q
+echo "== server smoke (boot, /healthz, one /v1/run, graceful shutdown) =="
+# the long-lived HTTP server must come up on an ephemeral port, answer a
+# liveness probe and serve one real simulation over the wire, then drain
+# cleanly — so the serving front door cannot rot between full test runs
+REPRO_CACHE_DIR="$(mktemp -d)" python - <<'SMOKE'
+import json, sys, urllib.request
+from repro.serving import SimulationServer
+
+with SimulationServer(port=0) as server:
+    with urllib.request.urlopen(server.url + "/healthz", timeout=30) as r:
+        health = json.loads(r.read())
+    assert health["status"] == "ok", health
+    body = json.dumps({"machine": "counter", "cycles": 24,
+                       "backend": "threaded"}).encode()
+    with urllib.request.urlopen(urllib.request.Request(
+            server.url + "/v1/run", data=body), timeout=60) as r:
+        run = json.loads(r.read())
+    assert run["result"]["cycles_run"] == 24, run
+    assert run["result"]["outputs"], run
+print("server smoke: healthz ok, one run served, shut down cleanly")
+SMOKE
+
+echo "== batch benchmark smoke (executor matrix + server overhead, schema only) =="
+# tiny sieve batch through every executor strategy plus the HTTP-vs-in-
+# process overhead rows; both write schema-checked trajectories to temp
+# paths, so the serving matrices cannot silently rot between full runs
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_batch_throughput.py \
+    benchmarks/test_server_overhead.py -x -q
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

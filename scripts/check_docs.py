@@ -27,6 +27,18 @@ SOURCE_ROOT = REPO_ROOT / "src" / "repro"
 #: Dunder modules that are public despite the leading underscore.
 PUBLIC_DUNDERS = {"__init__.py", "__main__.py"}
 
+#: Modules the gate additionally requires to *exist* (repo-relative to
+#: ``src/repro``).  The blanket rule only covers files that are present;
+#: these are load-bearing public surfaces whose disappearance should fail
+#: the gate too — notably the HTTP serving layer, whose documented wire
+#: format (docs/api-reference.md) depends on them.
+REQUIRED_MODULES = (
+    "serving/server.py",
+    "serving/protocol.py",
+    "serving/pool.py",
+    "compiler/cache.py",
+)
+
 
 def is_public_module(path: Path) -> bool:
     """True for modules the gate requires a docstring on."""
@@ -46,7 +58,18 @@ def missing_docstrings(root: Path = SOURCE_ROOT) -> list[Path]:
     return problems
 
 
+def missing_required_modules(root: Path = SOURCE_ROOT) -> list[str]:
+    """Entries of :data:`REQUIRED_MODULES` that do not exist under *root*."""
+    return [name for name in REQUIRED_MODULES if not (root / name).is_file()]
+
+
 def main() -> int:
+    absent = missing_required_modules()
+    if absent:
+        print("required public modules are missing:", file=sys.stderr)
+        for name in absent:
+            print(f"  src/repro/{name}", file=sys.stderr)
+        return 1
     problems = missing_docstrings()
     if problems:
         print("public modules missing a module docstring:", file=sys.stderr)

@@ -18,7 +18,10 @@ The package is organised around the paper's two systems and their substrate:
   artifact fanned out over many concurrent runs on a pluggable execution
   strategy — serial, thread, or a true multi-core process pool (the
   lowered program ships to workers once; the persistent artifact cache
-  makes their cold start nearly free) — plus an asyncio front-end.
+  makes their cold start nearly free) — plus an asyncio front-end and
+  the long-lived HTTP server (``repro serve``): warm pools kept across
+  client requests behind a JSON API, with startup garbage collection of
+  the artifact cache (see ``docs/api-reference.md`` / ``docs/serving.md``).
 """
 
 # repro.core must initialise before repro.compiler: the comparison module
@@ -41,11 +44,12 @@ from repro.serving import (
     BatchResult,
     RunRequest,
     SimulationPool,
+    SimulationServer,
     async_run_batch,
     run_batch,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BACKEND_NAMES",
@@ -54,6 +58,7 @@ __all__ = [
     "BatchResult",
     "RunRequest",
     "SimulationPool",
+    "SimulationServer",
     "async_run_batch",
     "run_batch",
     "compare_all_backends",

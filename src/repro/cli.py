@@ -15,7 +15,14 @@ executable code".  This module provides the modern equivalent as
 * ``serve-batch`` — fan N runs of one specification out over a worker pool
   (the serving layer, :mod:`repro.serving`) on a chosen execution strategy
   (``--executor serial|thread|process``), optionally checking the batched
-  results bit-identical against a sequential run.
+  results bit-identical against a sequential run;
+* ``serve``    — the long-lived simulation server: pools kept warm behind
+  an HTTP JSON API (:mod:`repro.serving.server`; endpoints documented in
+  ``docs/api-reference.md``), with startup garbage collection of the
+  persistent artifact cache;
+* ``cache``    — inspect (``cache info``) or garbage-collect
+  (``cache prune --max-bytes/--max-age``) the persistent artifact cache
+  under ``$REPRO_CACHE_DIR``.
 """
 
 from __future__ import annotations
@@ -36,6 +43,52 @@ from repro.synth.report import hardware_report
 
 def _add_spec_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("spec", type=Path, help="specification file to read")
+
+
+#: Multipliers for the human-readable size suffixes ``repro cache``/``serve``
+#: accept (``64k``, ``256m``, ``2g``; bare numbers are bytes).
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+#: Multipliers for the age suffixes (``90s``, ``12h``, ``7d``; bare numbers
+#: are seconds).
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_size(text: str) -> int:
+    """``"256m"`` -> bytes; raises ``argparse.ArgumentTypeError`` on junk."""
+    text = text.strip().lower()
+    multiplier = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like '1048576' or '256m', got '{text}'"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("byte size must be >= 0")
+    return value * multiplier
+
+
+def parse_age(text: str) -> float:
+    """``"7d"`` -> seconds; raises ``argparse.ArgumentTypeError`` on junk."""
+    text = text.strip().lower()
+    multiplier = 1.0
+    if text and text[-1] in _AGE_SUFFIXES:
+        multiplier = _AGE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an age like '3600' (seconds), '12h' or '7d', "
+            f"got '{text}'"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return value * multiplier
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -139,6 +192,90 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="also run once sequentially and verify the batched results "
         "are bit-identical",
+    )
+
+    server_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived simulation server (HTTP JSON API over "
+        "warm SimulationPools; see docs/api-reference.md)",
+    )
+    server_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    server_parser.add_argument(
+        "--port", type=int, default=8437,
+        help="TCP port to bind; 0 picks an ephemeral port (default: 8437)",
+    )
+    server_parser.add_argument(
+        "-b", "--backend", choices=BACKEND_NAMES, default="threaded",
+        help="default backend for requests that do not name one "
+        "(default: threaded)",
+    )
+    server_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default="thread",
+        help="default execution strategy for requests that do not name one "
+        "(default: thread)",
+    )
+    server_parser.add_argument(
+        "-w", "--workers", type=int, default=None,
+        help="workers per pool (default: strategy-chosen)",
+    )
+    server_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="requests per scheduling unit (default: strategy-chosen)",
+    )
+    server_parser.add_argument(
+        "--cache-max-bytes", type=parse_size, default="256m",
+        metavar="SIZE",
+        help="byte budget the artifact cache is pruned down to at startup "
+        "(accepts k/m/g suffixes; default: 256m)",
+    )
+    server_parser.add_argument(
+        "--cache-max-age", type=parse_age, default=None, metavar="AGE",
+        help="evict artifacts unused for longer than this at startup "
+        "(accepts s/m/h/d suffixes; default: no age limit)",
+    )
+    server_parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="run without the persistent artifact cache (no pruning, "
+        "no worker cold-start seeding)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or garbage-collect the persistent artifact cache",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    cache_info = cache_sub.add_parser(
+        "info", help="show the cache directory, entry counts and size"
+    )
+    cache_info.add_argument(
+        "--dir", type=Path, default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or the per-user "
+        "temp directory)",
+    )
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used artifacts down to a byte budget "
+        "and/or age limit; corrupted entries and stale temp files are "
+        "always removed",
+    )
+    cache_prune.add_argument(
+        "--dir", type=Path, default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or the per-user "
+        "temp directory)",
+    )
+    cache_prune.add_argument(
+        "--max-bytes", type=parse_size, default=None, metavar="SIZE",
+        help="byte budget to prune down to (k/m/g suffixes accepted)",
+    )
+    cache_prune.add_argument(
+        "--max-age", type=parse_age, default=None, metavar="AGE",
+        help="evict artifacts unused for longer than this "
+        "(s/m/h/d suffixes accepted)",
     )
 
     return parser
@@ -250,6 +387,45 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import SimulationServer
+
+    server = SimulationServer(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        executor=args.executor,
+        max_workers=args.workers,
+        chunk_size=args.chunk_size,
+        artifact_cache=False if args.no_disk_cache else None,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age,
+    )
+    if server.startup_prune is not None and server.startup_prune.removed_files:
+        print(f"cache prune: {server.startup_prune.summary()}")
+    print(f"serving on {server.url} (backend={args.backend}, "
+          f"executor={args.executor}); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (draining in-flight runs) ...")
+    finally:
+        server.close()
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.compiler.cache import DiskCache
+
+    cache = DiskCache(args.dir)
+    if args.cache_command == "info":
+        print(cache.info().summary())
+        return 0
+    report = cache.prune(max_bytes=args.max_bytes, max_age=args.max_age)
+    print(report.summary())
+    return 0
+
+
 _COMMANDS = {
     "compile": _command_compile,
     "run": _command_run,
@@ -257,6 +433,8 @@ _COMMANDS = {
     "demo": _command_demo,
     "netlist": _command_netlist,
     "serve-batch": _command_serve_batch,
+    "serve": _command_serve,
+    "cache": _command_cache,
 }
 
 

@@ -27,6 +27,17 @@ Two cache layers live here:
   skip lowering and code generation entirely: its cold-start cost drops
   to one byte-compile of an on-disk source file.  The directory defaults
   to ``$REPRO_CACHE_DIR`` or a per-user temp directory.
+
+The disk layer would otherwise grow without bound (one ``.ir`` and one
+``.py`` per (machine, option set) ever served), so it also carries its
+own garbage collector: :meth:`DiskCache.prune` evicts least-recently-used
+entries (successful loads touch the file mtime, so mtime order *is* use
+order) down to a byte budget and/or an age limit, removes corrupted or
+version-stale entries outright, and collects temp files orphaned by a
+crashed writer.  Pruning is concurrent-safe — a file that disappears
+mid-scan is simply someone else's eviction — and the long-lived
+simulation server (:mod:`repro.serving.server`) runs it at startup so a
+persistent deployment stays inside its configured budget.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -233,6 +245,75 @@ def default_cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-artifacts-{suffix}"
 
 
+#: Writer temp files older than this are collected by :meth:`DiskCache.prune`
+#: (an atomic write renames its temp file within milliseconds; anything this
+#: old was orphaned by a crashed writer).
+STALE_TMP_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One file in the disk cache: artifact (``ir``/``py``) or orphaned
+    writer temp file (``tmp``)."""
+
+    path: Path
+    kind: str
+    size: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Point-in-time summary of a cache directory (``repro cache info``)."""
+
+    root: Path
+    files: int
+    total_bytes: int
+    by_kind: dict[str, int]
+
+    def summary(self) -> str:
+        kinds = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(self.by_kind.items())
+        ) or "empty"
+        return (
+            f"{self.root}: {self.files} files, {self.total_bytes} bytes "
+            f"({kinds})"
+        )
+
+
+@dataclass
+class PruneReport:
+    """What one :meth:`DiskCache.prune` pass scanned and removed."""
+
+    root: Path
+    scanned_files: int = 0
+    scanned_bytes: int = 0
+    removed_corrupt: int = 0
+    removed_expired: int = 0
+    removed_evicted: int = 0
+    removed_stale_tmp: int = 0
+    removed_bytes: int = 0
+    remaining_files: int = 0
+    remaining_bytes: int = 0
+
+    @property
+    def removed_files(self) -> int:
+        return (
+            self.removed_corrupt + self.removed_expired
+            + self.removed_evicted + self.removed_stale_tmp
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.root}: removed {self.removed_files}/{self.scanned_files} "
+            f"files ({self.removed_bytes} bytes: {self.removed_evicted} "
+            f"evicted, {self.removed_expired} expired, "
+            f"{self.removed_corrupt} corrupt, {self.removed_stale_tmp} stale "
+            f"tmp); {self.remaining_files} files / {self.remaining_bytes} "
+            "bytes remain"
+        )
+
+
 class DiskCache:
     """Persistent artifact store keyed on (fingerprint, options key).
 
@@ -317,6 +398,14 @@ class DiskCache:
             return None
         return payload
 
+    def _touch(self, path: Path) -> None:
+        """Mark *path* recently used, so mtime order is LRU order for
+        :meth:`prune`.  Best-effort: a concurrent eviction is fine."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
     # -- lowered programs ----------------------------------------------------
 
     def store_program(self, fingerprint: str, key: str, program) -> Path:
@@ -346,6 +435,7 @@ class DiskCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._touch(self.path_for(fingerprint, key, "ir"))
         return artifact
 
     # -- generated source ----------------------------------------------------
@@ -370,7 +460,169 @@ class DiskCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._touch(self.path_for(fingerprint, key, "py"))
         return text[len(header):]
+
+    # -- introspection and garbage collection --------------------------------
+
+    def entries(self) -> "list[CacheEntry]":
+        """Every artifact file currently in the cache directory.
+
+        Orphaned writer temp files (``*.tmp-*`` left by a crashed process)
+        are reported with ``kind="tmp"``; unknown files are ignored.  The
+        scan is concurrent-safe: a file deleted mid-scan is skipped.
+        """
+        found: list[CacheEntry] = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return found
+        for name in sorted(names):
+            path = self.root / name
+            if ".tmp-" in name:
+                kind = "tmp"
+            elif name.endswith(".ir"):
+                kind = "ir"
+            elif name.endswith(".py"):
+                kind = "py"
+            else:
+                continue
+            try:
+                info = os.stat(path)
+            except OSError:  # concurrently evicted
+                continue
+            found.append(
+                CacheEntry(
+                    path=path, kind=kind, size=info.st_size,
+                    mtime=info.st_mtime,
+                )
+            )
+        return found
+
+    def info(self) -> "CacheInfo":
+        """Size and entry-count summary of the cache directory."""
+        entries = self.entries()
+        by_kind: dict[str, int] = {}
+        for entry in entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        return CacheInfo(
+            root=self.root,
+            files=len(entries),
+            total_bytes=sum(entry.size for entry in entries),
+            by_kind=by_kind,
+        )
+
+    def _entry_valid(self, entry: "CacheEntry") -> bool:
+        """True when *entry* would load as a hit (right header, right
+        version, unpicklable-garbage-free).  Used by :meth:`prune` to
+        remove corrupted or stale-version files outright."""
+        try:
+            payload = entry.path.read_bytes()
+        except OSError:  # concurrently evicted: nothing to validate
+            return True
+        if entry.kind == "ir":
+            try:
+                document = pickle.loads(payload)
+                return (
+                    document["format"] == DISK_FORMAT_VERSION
+                    and document["version"] == _code_version()
+                )
+            except Exception:
+                return False
+        try:
+            return payload.decode().startswith(_source_header())
+        except UnicodeDecodeError:
+            return False
+
+    def _remove(self, entry: "CacheEntry") -> int:
+        """Unlink one entry; returns the bytes freed (0 if someone else
+        evicted it first — concurrent prunes never error)."""
+        try:
+            os.unlink(entry.path)
+        except OSError:
+            return 0
+        return entry.size
+
+    def prune(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+        validate: bool = True,
+    ) -> "PruneReport":
+        """Garbage-collect the artifact directory; returns what happened.
+
+        Three passes, in order:
+
+        1. **integrity** (``validate=True``): corrupted, truncated or
+           version-stale entries — which can only ever read as misses —
+           are deleted, as are writer temp files older than
+           ``STALE_TMP_SECONDS`` (a crashed writer's leftovers; live
+           writers are younger than that by construction).
+        2. **age** (``max_age`` seconds): entries whose mtime is older
+           than ``now - max_age`` are deleted.  Loads touch mtime, so
+           this is time-since-last-use, not time-since-creation.
+        3. **size** (``max_bytes``): while the surviving entries total
+           more than the budget, the least recently used one (oldest
+           mtime) is evicted.  ``max_bytes=0`` empties the cache.
+
+        Every removal tolerates a concurrent unlink (the file simply
+        counts as freed by the other party), so many servers may prune
+        one directory at once; atomic writes guarantee a concurrent
+        ``load`` sees either a complete entry or a miss, never a torn
+        file.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        if now is None:
+            now = time.time()
+        entries = self.entries()
+        report = PruneReport(
+            root=self.root,
+            scanned_files=len(entries),
+            scanned_bytes=sum(entry.size for entry in entries),
+        )
+        survivors: list[CacheEntry] = []
+        # fresh temp files belong to a live writer mid-atomic-write: they
+        # are exempt from the age and byte-budget passes (deleting one
+        # would break the writer's os.replace), only staleness collects them
+        fresh_tmp: list[CacheEntry] = []
+        for entry in entries:
+            if entry.kind == "tmp":
+                if now - entry.mtime >= STALE_TMP_SECONDS:
+                    report.removed_stale_tmp += 1
+                    report.removed_bytes += self._remove(entry)
+                else:
+                    fresh_tmp.append(entry)
+                continue
+            if validate and not self._entry_valid(entry):
+                report.removed_corrupt += 1
+                report.removed_bytes += self._remove(entry)
+                continue
+            if max_age is not None and now - entry.mtime > max_age:
+                report.removed_expired += 1
+                report.removed_bytes += self._remove(entry)
+                continue
+            survivors.append(entry)
+        if max_bytes is not None:
+            # oldest mtime first: loads touch their file, so this is LRU
+            ordered = sorted(survivors, key=lambda e: e.mtime)
+            total = sum(entry.size for entry in ordered)
+            survivors = []
+            for entry in ordered:
+                if total > max_bytes:
+                    report.removed_bytes += self._remove(entry)
+                    total -= entry.size
+                    report.removed_evicted += 1
+                    self.stats.evictions += 1
+                else:
+                    survivors.append(entry)
+        survivors += fresh_tmp
+        report.remaining_files = len(survivors)
+        report.remaining_bytes = sum(entry.size for entry in survivors)
+        return report
 
 
 def resolve_disk(disk: "DiskCache | str | Path | bool | None") -> DiskCache | None:

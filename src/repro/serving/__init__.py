@@ -27,14 +27,22 @@ Four pieces implement that:
   artifact and bind it per worker, the interpreter shares its single warm
   prepared program across the whole pool;
 * :func:`~repro.serving.aio.async_run_batch` (:mod:`repro.serving.aio`)
-  — the asyncio front-end wrapping the pool for async callers.
+  — the asyncio front-end wrapping the pool for async callers;
+* :class:`~repro.serving.server.SimulationServer`
+  (:mod:`repro.serving.server` + :mod:`repro.serving.protocol`) — the
+  long-lived HTTP front-end: pools created lazily per (machine, backend,
+  executor) and kept warm across client requests, a JSON wire protocol
+  any ``curl`` can speak, and startup garbage collection of the
+  persistent artifact cache (``DiskCache.prune``).
 
 The CLI exposes the layer as ``repro serve-batch --executor {serial,
-thread,process}``; the throughput benchmark
+thread,process}`` (one-shot) and ``repro serve`` (the long-lived
+server); the throughput benchmark
 (``benchmarks/test_batch_throughput.py``) writes ``BENCH_batch.json``
 (schema v2, with the executor dimension) from it, and the equivalence
 tests prove batched results bit-identical to sequential ones on every
-backend and every strategy.
+backend and every strategy — including over HTTP
+(``tests/serving/test_server.py``).
 """
 
 from repro.serving.aio import async_run, async_run_batch
@@ -49,6 +57,8 @@ from repro.serving.executor import (
     WorkerContext,
 )
 from repro.serving.pool import SimulationPool, run_batch
+from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serving.server import SimulationServer
 
 __all__ = [
     "BatchItem",
@@ -56,11 +66,14 @@ __all__ = [
     "BatchResult",
     "EXECUTOR_NAMES",
     "ExecutorStrategy",
+    "PROTOCOL_VERSION",
     "ProcessExecutor",
+    "ProtocolError",
     "RunOutcome",
     "RunRequest",
     "SerialExecutor",
     "SimulationPool",
+    "SimulationServer",
     "ThreadExecutor",
     "WorkerContext",
     "async_run",

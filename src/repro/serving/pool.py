@@ -229,6 +229,19 @@ class SimulationPool:
         return getattr(self._warm, "program", None)
 
     @property
+    def supports_override(self) -> bool:
+        """Whether runs on this pool may carry a per-cycle ``override``
+        (the warm prepared simulation's capability flag; consulted by the
+        HTTP server before scheduling, and per run by ``check_supported``)."""
+        return getattr(self._warm, "supports_override", True)
+
+    @property
+    def supports_full_stats(self) -> bool:
+        """Whether this pool's backend reports the full statistics
+        breakdown (see :class:`~repro.core.backend.PreparedSimulation`)."""
+        return getattr(self._warm, "supports_full_stats", True)
+
+    @property
     def closed(self) -> bool:
         return self._closed
 

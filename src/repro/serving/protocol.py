@@ -1,0 +1,445 @@
+"""JSON wire protocol for the long-lived simulation server.
+
+The HTTP front-end (:mod:`repro.serving.server`) speaks plain JSON over
+plain HTTP — no third-party dependency, any ``curl`` is a client.  This
+module is the translation layer between that wire format and the serving
+layer's native objects, in both directions:
+
+* **requests**: :func:`run_request_from_json` builds a
+  :class:`~repro.serving.batch.RunRequest` from a JSON object (cycles,
+  inputs, tracing, stats, tag, and a constant-override map for fault
+  injection over the wire); :func:`resolve_spec` turns the ``machine`` /
+  ``spec`` request fields into a parsed
+  :class:`~repro.rtl.spec.Specification`; :func:`parse_batch_request`
+  validates a whole ``POST /v1/batch`` body.
+* **responses**: :func:`result_to_json` /
+  :func:`batch_result_to_json` flatten a
+  :class:`~repro.core.results.SimulationResult` /
+  :class:`~repro.serving.batch.BatchResult` into JSON-safe dicts, and
+  :func:`result_from_json` rebuilds a comparable ``SimulationResult`` on
+  the client side — which is how the end-to-end tests assert HTTP results
+  bit-identical to in-process pool runs.
+
+Validation is strict and structured: any malformed body raises
+:class:`ProtocolError` carrying an HTTP status code and a stable machine-
+readable ``kind`` (``bad_request``, ``unknown_machine``,
+``unsupported_capability``, ...), which the server serialises as
+``{"error": {"type": ..., "message": ...}}`` — a client never has to
+parse prose.  Unknown request fields are rejected rather than ignored, so
+a typo (``"cylces"``) fails loudly instead of silently simulating the
+wrong thing.
+
+The documented wire format lives in ``docs/api-reference.md``; a test
+keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.compiler.cache import spec_fingerprint
+from repro.core.iosystem import OutputEvent
+from repro.core.results import SimulationResult
+from repro.core.simulator import BACKEND_NAMES
+from repro.errors import AsimError, SpecificationError
+from repro.machines.library import get_machine, machine_names
+from repro.rtl.parser import parse_spec
+from repro.rtl.spec import Specification
+from repro.serving.batch import BatchResult, RunRequest
+from repro.serving.executor import EXECUTOR_NAMES
+
+#: Wire protocol version, echoed in every response envelope.  Bump on any
+#: incompatible change to the request or response shapes.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(AsimError):
+    """A request the wire protocol rejects, with its HTTP status.
+
+    ``kind`` is the stable machine-readable error type serialised into the
+    response body; ``status`` the HTTP status code the server answers
+    with.  Everything the protocol layer raises is a 4xx — a 5xx means
+    the *server* broke, and those are not ``ProtocolError``.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 kind: str = "bad_request") -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def error_to_json(kind: str, message: str) -> dict:
+    """The structured error body every non-2xx response carries."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "error": {"type": kind, "message": message},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Request side: JSON -> serving objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstantOverride:
+    """A picklable per-cycle override pinning components to constants.
+
+    The wire format cannot carry a Python callable, but the most common
+    override — the fault-injection shape from
+    :mod:`repro.analysis.faults` — pins a component to a constant value
+    on every cycle.  ``{"override": {"name": value}}`` builds one of
+    these; being a plain dataclass it survives the pickle trip to process
+    executor workers, which a lambda would not.
+    """
+
+    values: tuple[tuple[str, int], ...]
+
+    def __call__(self, name: str, value: int, cycle: int) -> int:
+        for pinned_name, pinned_value in self.values:
+            if pinned_name == name:
+                return pinned_value
+        return value
+
+
+def _require_type(doc: Any, expected: type, what: str) -> Any:
+    if not isinstance(doc, expected) or isinstance(doc, bool) != (
+        expected is bool
+    ):
+        raise ProtocolError(
+            f"{what} must be a {expected.__name__}, "
+            f"got {type(doc).__name__}"
+        )
+    return doc
+
+
+def _optional_int(doc: Mapping, key: str) -> int | None:
+    value = doc.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"'{key}' must be an integer")
+    return value
+
+
+#: Fields a run object may carry; anything else is rejected.
+RUN_FIELDS = frozenset(
+    {"cycles", "inputs", "trace", "collect_stats", "override", "tag"}
+)
+
+
+def run_request_from_json(doc: Any) -> RunRequest:
+    """Build one :class:`RunRequest` from its wire representation."""
+    _require_type(doc, dict, "run request")
+    unknown = set(doc) - RUN_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"unknown run field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(RUN_FIELDS)}"
+        )
+    cycles = _optional_int(doc, "cycles")
+    inputs = doc.get("inputs", [])
+    _require_type(inputs, list, "'inputs'")
+    for value in inputs:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError("'inputs' must be a list of integers")
+    trace = doc.get("trace", None)
+    if trace is not None:
+        _require_type(trace, bool, "'trace'")
+    collect_stats = doc.get("collect_stats", True)
+    _require_type(collect_stats, bool, "'collect_stats'")
+    tag = doc.get("tag")
+    if tag is not None:
+        _require_type(tag, str, "'tag'")
+    override_doc = doc.get("override")
+    override = None
+    if override_doc is not None:
+        _require_type(override_doc, dict, "'override'")
+        pinned: list[tuple[str, int]] = []
+        for name, value in override_doc.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(
+                    "'override' must map component names to integer values"
+                )
+            pinned.append((str(name), value))
+        if not pinned:
+            raise ProtocolError("'override' must pin at least one component")
+        override = ConstantOverride(values=tuple(pinned))
+    return RunRequest(
+        cycles=cycles,
+        inputs=tuple(inputs),
+        trace=trace,
+        collect_stats=collect_stats,
+        override=override,
+        tag=tag,
+    )
+
+
+#: Built specifications of the bundled machines, memoized per process:
+#: the registry is immutable, specifications are never mutated by a run
+#: (pools already share one instance across worker threads), and a warm
+#: server should not rebuild the machine on every request.
+_BUNDLED_SPECS: dict[str, Specification] = {}
+
+
+def resolve_spec(doc: Mapping) -> tuple[Specification, str, str]:
+    """Resolve the ``machine``/``spec`` fields to a parsed specification.
+
+    Exactly one of the two must be present: ``machine`` names a bundled
+    machine from the registry, ``spec`` carries specification source text
+    in the paper's language.  Returns ``(spec, label, pool_key)``:
+    *label* is the display name, *pool_key* the stable identity the
+    server keys its pool registry on — the machine name for bundled
+    machines (no hashing on the warm path), a content fingerprint for
+    inline text.
+    """
+    machine = doc.get("machine")
+    source = doc.get("spec")
+    if (machine is None) == (source is None):
+        raise ProtocolError(
+            "exactly one of 'machine' (a bundled machine name) or 'spec' "
+            "(specification source text) is required"
+        )
+    if machine is not None:
+        _require_type(machine, str, "'machine'")
+        spec = _BUNDLED_SPECS.get(machine)
+        if spec is None:
+            try:
+                spec = get_machine(machine).build()
+            except KeyError:
+                raise ProtocolError(
+                    f"unknown machine '{machine}'; "
+                    f"available: {', '.join(machine_names())}",
+                    status=404,
+                    kind="unknown_machine",
+                ) from None
+            _BUNDLED_SPECS[machine] = spec
+        return spec, machine, f"machine:{machine}"
+    _require_type(source, str, "'spec'")
+    try:
+        spec = parse_spec(source, source_name="<http>")
+    except SpecificationError as exc:
+        raise ProtocolError(
+            f"specification did not parse: {exc}",
+            kind="invalid_specification",
+        ) from exc
+    return spec, "<inline spec>", f"spec:{spec_fingerprint(spec)}"
+
+
+def resolve_backend(doc: Mapping, default: str) -> str:
+    """The validated backend name a request asks for."""
+    backend = doc.get("backend", default)
+    _require_type(backend, str, "'backend'")
+    if backend not in BACKEND_NAMES:
+        raise ProtocolError(
+            f"unknown backend '{backend}'; expected one of {BACKEND_NAMES}",
+            kind="unknown_backend",
+        )
+    return backend
+
+
+def resolve_executor(doc: Mapping, default: str) -> str:
+    """The validated executor name a request asks for."""
+    executor = doc.get("executor", default)
+    _require_type(executor, str, "'executor'")
+    if executor not in EXECUTOR_NAMES:
+        raise ProtocolError(
+            f"unknown executor '{executor}'; "
+            f"expected one of {EXECUTOR_NAMES}",
+            kind="unknown_executor",
+        )
+    return executor
+
+
+#: Fields a batch body may carry beyond the per-run objects.
+BATCH_FIELDS = frozenset({"machine", "spec", "backend", "executor", "runs"})
+
+
+@dataclass(frozen=True)
+class ParsedBatch:
+    """A validated ``POST /v1/batch`` body, ready for the pool registry."""
+
+    spec: Specification
+    label: str
+    #: stable spec identity (machine name or content fingerprint) the
+    #: pool registry keys on
+    pool_key: str
+    backend: str
+    executor: str
+    runs: tuple[RunRequest, ...]
+
+
+def parse_batch_request(
+    doc: Any, default_backend: str, default_executor: str
+) -> ParsedBatch:
+    """Validate a whole batch body (see ``docs/api-reference.md``)."""
+    _require_type(doc, dict, "batch request")
+    unknown = set(doc) - BATCH_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"unknown batch field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(BATCH_FIELDS)}"
+        )
+    spec, label, pool_key = resolve_spec(doc)
+    backend = resolve_backend(doc, default_backend)
+    executor = resolve_executor(doc, default_executor)
+    runs_doc = doc.get("runs")
+    if runs_doc is None:
+        raise ProtocolError("'runs' is required (a list of run objects)")
+    _require_type(runs_doc, list, "'runs'")
+    if not runs_doc:
+        raise ProtocolError("'runs' must contain at least one run")
+    runs = tuple(run_request_from_json(run) for run in runs_doc)
+    return ParsedBatch(
+        spec=spec, label=label, pool_key=pool_key, backend=backend,
+        executor=executor, runs=runs,
+    )
+
+
+def parse_run_request(
+    doc: Any, default_backend: str, default_executor: str
+) -> ParsedBatch:
+    """Validate a ``POST /v1/run`` body: one run, fields flattened.
+
+    The single-run endpoint accepts the run fields (``cycles`` etc.) at
+    the top level next to ``machine``/``spec``/``backend``/``executor``
+    — the ergonomic ``curl`` shape — and normalises to a one-run
+    :class:`ParsedBatch`.
+    """
+    _require_type(doc, dict, "run request")
+    unknown = set(doc) - (BATCH_FIELDS - {"runs"}) - RUN_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s) {sorted(unknown)}; allowed: "
+            f"{sorted((BATCH_FIELDS - {'runs'}) | RUN_FIELDS)}"
+        )
+    spec, label, pool_key = resolve_spec(doc)
+    backend = resolve_backend(doc, default_backend)
+    executor = resolve_executor(doc, default_executor)
+    run = run_request_from_json(
+        {key: doc[key] for key in RUN_FIELDS if key in doc}
+    )
+    return ParsedBatch(
+        spec=spec, label=label, pool_key=pool_key, backend=backend,
+        executor=executor, runs=(run,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Response side: serving objects -> JSON
+# ---------------------------------------------------------------------------
+
+
+def _stats_to_json(result: SimulationResult) -> dict:
+    stats = result.stats
+    return {
+        "cycles": stats.cycles,
+        "component_evaluations": stats.component_evaluations,
+        "total_memory_accesses": stats.total_memory_accesses,
+        "memories": {
+            name: {
+                "reads": memory.reads,
+                "writes": memory.writes,
+                "inputs": memory.inputs,
+                "outputs": memory.outputs,
+            }
+            for name, memory in sorted(stats.memories.items())
+        },
+    }
+
+
+def result_to_json(result: SimulationResult,
+                   include_stats: bool = True) -> dict:
+    """Flatten one simulation result into its wire representation."""
+    document = {
+        "backend": result.backend,
+        "cycles_run": result.cycles_run,
+        "final_values": dict(result.final_values),
+        "memory_contents": {
+            name: list(cells)
+            for name, cells in result.memory_contents.items()
+        },
+        "outputs": [
+            {"address": event.address, "value": event.value,
+             "cycle": event.cycle}
+            for event in result.outputs
+        ],
+        "prepare_seconds": result.prepare_seconds,
+        "run_seconds": result.run_seconds,
+    }
+    if include_stats:
+        document["stats"] = _stats_to_json(result)
+    if result.trace.enabled and len(result.trace):
+        document["trace_text"] = result.trace.render()
+    return document
+
+
+def result_from_json(doc: Mapping) -> SimulationResult:
+    """Rebuild a comparable result from its wire representation.
+
+    The rebuilt object carries every *observable* —
+    ``final_values``, ``memory_contents`` and the output events — so
+    :func:`repro.core.comparison.compare_results` can assert an
+    HTTP-served run bit-identical to an in-process one.  Statistics and
+    traces come back as plain wire data (``stats`` / ``trace_text``
+    fields), not as rebuilt objects.
+    """
+    return SimulationResult(
+        backend=doc["backend"],
+        cycles_run=doc["cycles_run"],
+        final_values=dict(doc["final_values"]),
+        memory_contents={
+            name: list(cells)
+            for name, cells in doc["memory_contents"].items()
+        },
+        outputs=[
+            OutputEvent(
+                address=event["address"], value=event["value"],
+                cycle=event.get("cycle"),
+            )
+            for event in doc["outputs"]
+        ],
+        prepare_seconds=doc.get("prepare_seconds", 0.0),
+        run_seconds=doc.get("run_seconds", 0.0),
+    )
+
+
+def batch_result_to_json(batch: BatchResult) -> dict:
+    """Flatten a whole batch result, per-item errors included."""
+    items = []
+    for item in batch.items:
+        entry: dict = {
+            "index": item.index,
+            "ok": item.ok,
+            "tag": item.tag,
+            "worker": item.worker,
+            "seconds": item.seconds,
+            "queue_seconds": item.queue_seconds,
+        }
+        if item.ok:
+            entry["result"] = result_to_json(
+                item.result, include_stats=item.request.collect_stats
+            )
+        else:
+            entry["error"] = {
+                "type": type(item.error).__name__,
+                "message": str(item.error),
+            }
+        items.append(entry)
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "backend": batch.backend,
+        "executor": batch.executor,
+        "pool_size": batch.pool_size,
+        "ok": batch.ok,
+        "wall_seconds": batch.wall_seconds,
+        "prepare_seconds": batch.prepare_seconds,
+        "runs_per_second": batch.runs_per_second,
+        "runs_by_worker": batch.runs_by_worker,
+        "per_worker_runs_per_second": batch.per_worker_runs_per_second,
+        "queue_seconds_mean": batch.queue_seconds_mean,
+        "queue_seconds_max": batch.queue_seconds_max,
+        "items": items,
+    }

@@ -1,0 +1,567 @@
+"""Long-lived simulation server: an HTTP front-end over SimulationPool.
+
+This is the serving layer's persistent form.  ``repro serve-batch`` pays
+a pool's warm-up on every invocation; the server pays it **once per
+(machine, backend, executor)** and then keeps the pool — warm workers,
+seeded prepare cache, shipped lowered program — alive across any number
+of client requests, so a repeat client's request costs only the run
+itself.  It is standard library only (`http.server.ThreadingHTTPServer`
+with the JSON wire protocol of :mod:`repro.serving.protocol`), so any
+HTTP client — ``curl`` included — is a client.
+
+Endpoints (documented with schemas and examples in
+``docs/api-reference.md``, kept in sync by a test):
+
+* ``POST /v1/batch`` — a batch of N run variants of one machine, fanned
+  out on the pool; answers the full per-item/aggregate batch document.
+* ``POST /v1/run`` — one run, fields flattened for ``curl`` ergonomics.
+* ``GET /v1/machines`` — the bundled machine registry.
+* ``GET /v1/backends`` — backend names with capability flags.
+* ``GET /v1/stats`` — uptime, request counters, live pools, disk cache.
+* ``GET /healthz`` — liveness probe.
+
+Pools are created lazily on first use and kept in a registry keyed on
+(machine, backend, executor); the disk artifact cache is pruned once at
+startup (:meth:`~repro.compiler.cache.DiskCache.prune`) so a long-running
+deployment stays inside its byte/age budget.  Shutdown is graceful:
+the HTTP accept loop stops, in-flight request threads finish
+(``daemon_threads`` is off), then every pool drains its in-flight chunks
+(``close(wait=True)``).
+
+The CLI front door is ``repro serve``; ``examples/http_client.py`` is a
+minimal client.  Deployment guidance (executor choice, worker sizing,
+cache policy) lives in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.compiler.cache import (
+    DiskCache,
+    PruneReport,
+    _code_version,
+    resolve_disk,
+)
+from repro.core.simulator import BACKEND_NAMES, make_backend
+from repro.errors import AsimError
+from repro.machines.library import all_machines
+from repro.serving.batch import BatchResult
+from repro.serving.pool import SimulationPool
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ParsedBatch,
+    ProtocolError,
+    batch_result_to_json,
+    error_to_json,
+    parse_batch_request,
+    parse_run_request,
+)
+
+#: Largest request body the server will read (a batch of thousands of run
+#: objects fits comfortably; anything bigger is a client bug).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+# lazily-resolved package version (this module loads during repro's own
+# initialisation); one implementation, shared with the disk cache's
+# artifact stamping
+_version = _code_version
+
+#: GET routes -> handler method name on :class:`SimulationServer`.
+GET_ROUTES: dict[str, str] = {
+    "/healthz": "handle_healthz",
+    "/v1/machines": "handle_machines",
+    "/v1/backends": "handle_backends",
+    "/v1/stats": "handle_stats",
+}
+
+#: POST routes -> handler method name on :class:`SimulationServer`.
+POST_ROUTES: dict[str, str] = {
+    "/v1/run": "handle_run",
+    "/v1/batch": "handle_batch",
+}
+
+
+class PoolRegistry:
+    """Lazily created, kept-warm pools keyed on (machine, backend, executor).
+
+    The registry is the server's whole point: the first request for a
+    combination pays the pool construction (warm prepare, worker spawn,
+    disk-cache seeding), every later request reuses it.  Construction is
+    guarded by a *per-key* lock: two racing first-requests for the same
+    combination build one pool, not two, while requests for other
+    combinations — in particular warm ones — never wait behind someone
+    else's compile (an inline spec on the compiled backend can hold its
+    creation lock for real milliseconds).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        artifact_cache: "DiskCache | str | Path | bool | None" = None,
+    ) -> None:
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.artifact_cache = artifact_cache
+        self._pools: dict[tuple[str, str, str], SimulationPool] = {}
+        self._labels: dict[tuple[str, str, str], str] = {}
+        self._creation_locks: dict[tuple[str, str, str], threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+    def _check_open_and_get(self, key) -> SimulationPool | None:
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(
+                    "server is shutting down", status=503,
+                    kind="shutting_down",
+                )
+            return self._pools.get(key)
+
+    def pool_for(self, batch: ParsedBatch) -> SimulationPool:
+        """The warm pool serving *batch*'s combination, created on first use."""
+        key = (batch.pool_key, batch.backend, batch.executor)
+        pool = self._check_open_and_get(key)
+        if pool is not None:
+            return pool
+        with self._lock:
+            creator = self._creation_locks.setdefault(key, threading.Lock())
+        with creator:
+            # double-checked: whoever held the creation lock first built it
+            pool = self._check_open_and_get(key)
+            if pool is not None:
+                return pool
+            pool = SimulationPool(
+                batch.spec,
+                backend=batch.backend,
+                executor=batch.executor,
+                max_workers=self.max_workers,
+                chunk_size=self.chunk_size,
+                artifact_cache=self.artifact_cache,
+            )
+            with self._lock:
+                if self._closed:  # lost a race with shutdown: don't leak it
+                    pool.close(wait=False)
+                    raise ProtocolError(
+                        "server is shutting down", status=503,
+                        kind="shutting_down",
+                    )
+                self._pools[key] = pool
+                self._labels[key] = batch.label
+            return pool
+
+    def describe(self) -> list[dict]:
+        """One JSON-safe row per live pool (for ``GET /v1/stats``)."""
+        with self._lock:
+            return [
+                {
+                    "machine": self._labels[key],
+                    "backend": pool.backend_name,
+                    "executor": pool.executor_name,
+                    "workers": pool.max_workers,
+                    "prepare_seconds": pool.prepare_seconds,
+                }
+                for key, pool in self._pools.items()
+            ]
+
+    def close_all(self, wait: bool = True) -> None:
+        """Stop accepting new pools and drain every existing one."""
+        with self._lock:
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._labels.clear()
+        for pool in pools:
+            pool.close(wait=wait)
+
+
+class _ServerSocket(ThreadingHTTPServer):
+    """ThreadingHTTPServer wired back to the owning SimulationServer.
+
+    ``daemon_threads`` is turned back off (``ThreadingHTTPServer``
+    defaults it on) so ``server_close`` joins in-flight request threads —
+    the first half of the graceful-shutdown path.
+    """
+
+    daemon_threads = False
+    app: "SimulationServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into :class:`SimulationServer` handlers."""
+
+    protocol_version = "HTTP/1.1"
+
+    def version_string(self) -> str:
+        return f"repro-sim-server/{_version()}"
+
+    # the default handler logs every request to stderr; the server keeps
+    # counters instead (GET /v1/stats)
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def app(self) -> "SimulationServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _respond(self, status: int, document: dict) -> None:
+        payload = json.dumps(document).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # an error path left request-body bytes unread: tell the
+            # keep-alive client this connection is done rather than let
+            # the leftovers corrupt its next request
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _discard_body(self) -> None:
+        """Consume an unread request body so a keep-alive connection stays
+        in sync; when that is impossible (absent, malformed or oversized
+        Content-Length) mark the connection for closing instead."""
+        try:
+            length = int(self.headers.get("Content-Length") or "0")
+        except ValueError:
+            length = -1
+        if 0 <= length <= MAX_BODY_BYTES:
+            while length > 0:
+                chunk = self.rfile.read(min(length, 65536))
+                if not chunk:
+                    break
+                length -= len(chunk)
+        else:
+            self.close_connection = True
+
+    def _dispatch(self, routes: Mapping[str, str], other: Mapping[str, str]) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        handler_name = routes.get(path)
+        if handler_name is None:
+            self._discard_body()
+            if path in other:
+                self.app.count_error()
+                self._respond(405, error_to_json(
+                    "method_not_allowed",
+                    f"{path} does not accept {self.command}",
+                ))
+            else:
+                self.app.count_error()
+                self._respond(404, error_to_json(
+                    "unknown_route",
+                    f"no such route: {path} (see docs/api-reference.md)",
+                ))
+            return
+        self.app.count_request(path)
+        handler: Callable = getattr(self.app, handler_name)
+        try:
+            if self.command == "POST":
+                status, document = handler(self._read_json())
+            else:
+                status, document = handler()
+        except ProtocolError as exc:
+            self.app.count_error()
+            status, document = exc.status, error_to_json(exc.kind, str(exc))
+        except AsimError as exc:
+            # the simulation itself rejected the request (bad spec
+            # semantics, a run-time machine error, a closed pool): the
+            # client's fault, structurally reported
+            self.app.count_error()
+            status, document = 400, error_to_json(
+                type(exc).__name__, str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.app.count_error()
+            status, document = 500, error_to_json(
+                "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+        self._respond(status, document)
+
+    def _read_json(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            length = -1
+        if length < 0:
+            # absent or malformed (including negative): nothing sane to
+            # read, so the connection cannot be kept in sync either
+            self.close_connection = True
+            raise ProtocolError(
+                "a JSON body with a valid non-negative Content-Length "
+                "header is required",
+                status=411, kind="length_required",
+            ) from None
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                status=413, kind="body_too_large",
+            )
+        payload = self.rfile.read(length)
+        try:
+            return json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                f"request body is not valid JSON: {exc}",
+                kind="malformed_json",
+            ) from exc
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(GET_ROUTES, POST_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(POST_ROUTES, GET_ROUTES)
+
+
+class SimulationServer:
+    """The long-lived serving process: pools kept warm behind HTTP.
+
+    ``port=0`` binds an ephemeral port (the end-to-end tests use this);
+    the bound address is available as :attr:`host`/:attr:`port`/
+    :attr:`url` after construction.  ``backend``/``executor`` are the
+    defaults a request may override per call; ``max_workers`` and
+    ``chunk_size`` configure every pool the registry creates.
+
+    ``cache_max_bytes``/``cache_max_age`` bound the persistent artifact
+    directory: :meth:`~repro.compiler.cache.DiskCache.prune` runs once at
+    startup (always removing corrupted entries and stale temp files, plus
+    LRU eviction down to the byte budget / age limit when given).  Pass
+    ``artifact_cache=False`` to run without the disk layer.
+
+    Use as a context manager, or call :meth:`start` (background thread,
+    returns once the socket accepts) / :meth:`serve_forever` (blocking,
+    the CLI path) and then :meth:`close` — which stops accepting,
+    finishes in-flight HTTP requests, and drains every pool.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "threaded",
+        executor: str = "thread",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        artifact_cache: "DiskCache | str | Path | bool | None" = None,
+        cache_max_bytes: int | None = None,
+        cache_max_age: float | None = None,
+    ) -> None:
+        self.default_backend = backend
+        self.default_executor = executor
+        self.disk = resolve_disk(True if artifact_cache is None else artifact_cache)
+        self.registry = PoolRegistry(
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            artifact_cache=self.disk if self.disk is not None else False,
+        )
+        self.startup_prune: PruneReport | None = None
+        if self.disk is not None:
+            self.startup_prune = self.disk.prune(
+                max_bytes=cache_max_bytes, max_age=cache_max_age
+            )
+        self.started_at = time.time()
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+        self._counter_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._serve_started = False
+        self._http = _ServerSocket((host, port), _Handler)
+        self._http.app = self
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SimulationServer":
+        """Serve from a background thread; the socket is already bound."""
+        self._serve_started = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-sim-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._serve_started = True
+        self._http.serve_forever()
+
+    def close(self, wait: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain requests, drain pools."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_started:
+            # BaseServer.shutdown blocks until the serve loop acknowledges,
+            # so it must only run when a loop was (or is) running
+            self._http.shutdown()        # stop the accept loop
+        self._http.server_close()        # join in-flight request threads
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=10.0)
+        self.registry.close_all(wait=wait)  # drain in-flight pool chunks
+
+    def __enter__(self) -> "SimulationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request accounting --------------------------------------------------
+
+    def count_request(self, route: str) -> None:
+        with self._counter_lock:
+            self._requests[route] = self._requests.get(route, 0) + 1
+
+    def count_error(self) -> None:
+        with self._counter_lock:
+            self._errors += 1
+
+    # -- GET handlers --------------------------------------------------------
+
+    def handle_healthz(self) -> tuple[int, dict]:
+        return 200, {
+            "protocol": PROTOCOL_VERSION,
+            "status": "ok",
+            "version": _version(),
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def handle_machines(self) -> tuple[int, dict]:
+        return 200, {
+            "protocol": PROTOCOL_VERSION,
+            "machines": [
+                {
+                    "name": entry.name,
+                    "description": entry.description,
+                    "demo_cycles": entry.demo_cycles,
+                }
+                for entry in all_machines()
+            ],
+        }
+
+    def handle_backends(self) -> tuple[int, dict]:
+        from repro.compiler.specopt import SpecOptPasses
+
+        backends = []
+        for name in BACKEND_NAMES:
+            backend = make_backend(name)
+            passes = getattr(backend, "passes", None)
+            backends.append({
+                "name": name,
+                "supports_override": backend.supports_override,
+                "supports_full_stats": backend.supports_full_stats,
+                "prepare_cache": getattr(backend, "cache", None) is not None,
+                "specopt_default": (
+                    passes is not None and passes != SpecOptPasses.none()
+                ),
+            })
+        return 200, {"protocol": PROTOCOL_VERSION, "backends": backends}
+
+    def handle_stats(self) -> tuple[int, dict]:
+        with self._counter_lock:
+            by_route = dict(self._requests)
+            errors = self._errors
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "server": {
+                "version": _version(),
+                "uptime_seconds": time.time() - self.started_at,
+                "host": self.host,
+                "port": self.port,
+            },
+            "config": {
+                "backend": self.default_backend,
+                "executor": self.default_executor,
+                "max_workers": self.registry.max_workers,
+                "chunk_size": self.registry.chunk_size,
+            },
+            "requests": {
+                "total": sum(by_route.values()),
+                "by_route": by_route,
+                "errors": errors,
+            },
+            "pools": self.registry.describe(),
+        }
+        if self.disk is not None:
+            info = self.disk.info()
+            document["disk_cache"] = {
+                "root": str(info.root),
+                "files": info.files,
+                "total_bytes": info.total_bytes,
+                "startup_prune_removed_files": (
+                    self.startup_prune.removed_files
+                    if self.startup_prune is not None else 0
+                ),
+            }
+        else:
+            document["disk_cache"] = None
+        return 200, document
+
+    # -- POST handlers -------------------------------------------------------
+
+    def _check_capabilities(self, batch: ParsedBatch,
+                            pool: SimulationPool) -> None:
+        """Reject a request the pool's backend cannot honor — before it
+        is scheduled, with a structured 4xx instead of a per-item error."""
+        for run in batch.runs:
+            if run.override is not None and not pool.supports_override:
+                raise ProtocolError(
+                    f"backend '{batch.backend}' does not support per-cycle "
+                    "overrides (supports_override is off)",
+                    status=422, kind="unsupported_capability",
+                )
+
+    def _run_parsed(self, batch: ParsedBatch) -> BatchResult:
+        pool = self.registry.pool_for(batch)
+        self._check_capabilities(batch, pool)
+        return pool.run_batch(list(batch.runs))
+
+    def handle_batch(self, doc: object) -> tuple[int, dict]:
+        batch = parse_batch_request(
+            doc, self.default_backend, self.default_executor
+        )
+        result = self._run_parsed(batch)
+        return 200, batch_result_to_json(result)
+
+    def handle_run(self, doc: object) -> tuple[int, dict]:
+        batch = parse_run_request(
+            doc, self.default_backend, self.default_executor
+        )
+        result = self._run_parsed(batch)
+        item = result.items[0]
+        if not item.ok:
+            raise item.error
+        document = batch_result_to_json(result)
+        single = document["items"][0]["result"]
+        return 200, {
+            "protocol": PROTOCOL_VERSION,
+            "backend": result.backend,
+            "executor": result.executor,
+            "result": single,
+        }

@@ -1,7 +1,10 @@
 """Unit tests for the prepare caches: the in-process LRU layer and the
 persistent on-disk artifact store (hash-keyed generate/compile skipping)."""
 
+import os
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -471,3 +474,186 @@ class TestGlobalCache:
         assert stats.hits >= 1
         clear_prepare_cache()
         assert prepare_cache_stats().requests == 0
+
+
+class TestDiskCachePrune:
+    """DiskCache.prune: LRU eviction, budgets, corruption GC, concurrency."""
+
+    @staticmethod
+    def _store(cache, key, body="x = 1\n", age=0.0):
+        """One source entry, *age* seconds old; returns its path."""
+        path = cache.store_source("f" * 8, key, body)
+        if age:
+            stamp = time.time() - age
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_eviction_is_oldest_first(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        old = self._store(cache, "old", age=300)
+        middle = self._store(cache, "middle", age=200)
+        young = self._store(cache, "young", age=100)
+        survivor_budget = middle.stat().st_size + young.stat().st_size
+        report = cache.prune(max_bytes=survivor_budget)
+        assert report.removed_evicted == 1
+        assert not old.exists()
+        assert middle.exists() and young.exists()
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        fingerprint = "f" * 8
+        loaded = self._store(cache, "loaded", age=300)
+        untouched = self._store(cache, "untouched", age=200)
+        # a successful load touches mtime, so the *other* entry is now LRU
+        assert cache.load_source(fingerprint, "loaded") is not None
+        report = cache.prune(max_bytes=loaded.stat().st_size)
+        assert report.removed_evicted == 1
+        assert loaded.exists()
+        assert not untouched.exists()
+
+    def test_budget_boundary_exactly_at_limit_keeps_everything(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        paths = [self._store(cache, f"k{i}", age=10 * i) for i in range(3)]
+        total = sum(path.stat().st_size for path in paths)
+        report = cache.prune(max_bytes=total)
+        assert report.removed_files == 0
+        assert report.remaining_bytes == total
+        # one byte less forces exactly one (the oldest) out
+        report = cache.prune(max_bytes=total - 1)
+        assert report.removed_evicted == 1
+        assert not paths[-1].exists()  # age grows with index: k2 is oldest
+
+    def test_zero_budget_empties_the_cache(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for index in range(3):
+            self._store(cache, f"k{index}")
+        report = cache.prune(max_bytes=0)
+        assert report.removed_evicted == 3
+        assert report.remaining_files == 0
+        assert cache.info().total_bytes == 0
+
+    def test_max_age_boundary(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        now = time.time()
+        at_limit = self._store(cache, "at-limit")
+        os.utime(at_limit, (now - 100, now - 100))
+        expired = self._store(cache, "expired")
+        os.utime(expired, (now - 101, now - 101))
+        report = cache.prune(max_age=100, now=now)
+        assert report.removed_expired == 1
+        assert at_limit.exists()  # exactly max_age old is kept
+        assert not expired.exists()
+
+    def test_age_is_time_since_last_use_not_creation(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._store(cache, "k", age=500)
+        assert cache.load_source("f" * 8, "k") is not None  # touches mtime
+        report = cache.prune(max_age=100)
+        assert report.removed_expired == 0
+        assert path.exists()
+
+    def test_corrupted_entries_are_removed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        good = self._store(cache, "good")
+        garbage_ir = tmp_path / "aaaa-bbbb.ir"
+        garbage_ir.write_bytes(b"not a pickle at all")
+        headerless_py = tmp_path / "cccc-dddd.py"
+        headerless_py.write_text("x = 1\n")
+        report = cache.prune()
+        assert report.removed_corrupt == 2
+        assert good.exists()
+        assert not garbage_ir.exists() and not headerless_py.exists()
+
+    def test_version_stale_entries_are_removed(self, counter_spec, tmp_path,
+                                               monkeypatch):
+        from repro.compiler import cache as cache_module
+        from repro.lowering import lower
+
+        cache = DiskCache(tmp_path)
+        fingerprint = spec_fingerprint(counter_spec)
+        cache.store_program(fingerprint, "key", lower(counter_spec))
+        monkeypatch.setattr(cache_module, "_code_version", lambda: "9.9.9")
+        report = cache.prune()
+        assert report.removed_corrupt == 1
+        assert cache.info().files == 0
+
+    def test_stale_tmp_files_are_collected_fresh_ones_kept(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._store(cache, "k")  # ensures the root exists
+        stale = tmp_path / "aaaa-bbbb.py.tmp-zzz"
+        stale.write_bytes(b"half-written")
+        old = time.time() - 2 * 3600
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "aaaa-cccc.py.tmp-yyy"
+        fresh.write_bytes(b"being written right now")
+        report = cache.prune()
+        assert report.removed_stale_tmp == 1
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_missing_root_is_an_empty_report(self, tmp_path):
+        cache = DiskCache(tmp_path / "never-created")
+        report = cache.prune(max_bytes=0)
+        assert report.scanned_files == 0
+        assert report.removed_files == 0
+
+    def test_negative_budgets_are_rejected(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_age=-1.0)
+
+    def test_info_counts_by_kind(self, counter_spec, tmp_path):
+        from repro.lowering import lower
+
+        cache = DiskCache(tmp_path)
+        self._store(cache, "src")
+        cache.store_program(spec_fingerprint(counter_spec), "key",
+                            lower(counter_spec))
+        info = cache.info()
+        assert info.files == 2
+        assert info.by_kind == {"ir": 1, "py": 1}
+        assert info.total_bytes > 0
+        assert str(tmp_path) in info.summary()
+
+    def test_concurrent_prune_while_load_never_errors(self, counter_spec,
+                                                      tmp_path):
+        cache = DiskCache(tmp_path)
+        fingerprint = spec_fingerprint(counter_spec)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def loader():
+            while not stop.is_set():
+                try:
+                    cache.store_source(fingerprint, "hot", "x = 1\n")
+                    cache.load_source(fingerprint, "hot")
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        def pruner():
+            while not stop.is_set():
+                try:
+                    cache.prune(max_bytes=0)
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=loader) for _ in range(3)] + [
+            threading.Thread(target=pruner) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_prune_counts_into_eviction_stats(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._store(cache, "k")
+        cache.prune(max_bytes=0)
+        assert cache.stats.evictions == 1

@@ -1,0 +1,351 @@
+"""End-to-end tests for the long-lived HTTP simulation server.
+
+A real ``SimulationServer`` is started on an ephemeral port and driven
+with ``urllib`` — the same stack any external client uses.  The load-
+bearing assertions: batches served over HTTP are bit-identical to
+in-process ``SimulationPool`` runs on every backend; malformed and
+unsupported requests come back as structured 4xx errors, never stack
+traces; pools are created lazily and kept warm across requests; startup
+prunes the disk cache; shutdown is graceful.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.comparison import compare_results
+from repro.core.simulator import BACKEND_NAMES
+from repro.serving import RunRequest, SimulationPool, SimulationServer
+from repro.serving.protocol import result_from_json
+
+
+@pytest.fixture(scope="module")
+def server():
+    with SimulationServer(port=0, artifact_cache=False) as running:
+        yield running
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server, path, body, raw: bytes | None = None):
+    payload = raw if raw is not None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        server.url + path, data=payload,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestPlumbing:
+    def test_healthz(self, server):
+        status, document = get(server, "/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["uptime_seconds"] >= 0.0
+
+    def test_machines_lists_the_registry(self, server):
+        from repro.machines.library import machine_names
+
+        status, document = get(server, "/v1/machines")
+        assert status == 200
+        names = [entry["name"] for entry in document["machines"]]
+        assert names == machine_names()
+
+    def test_backends_report_capability_flags(self, server):
+        status, document = get(server, "/v1/backends")
+        assert status == 200
+        rows = {row["name"]: row for row in document["backends"]}
+        assert set(rows) == set(BACKEND_NAMES)
+        for row in rows.values():
+            assert isinstance(row["supports_override"], bool)
+            assert isinstance(row["supports_full_stats"], bool)
+        assert rows["threaded"]["prepare_cache"] is True
+        assert rows["interpreter"]["prepare_cache"] is False
+
+    def test_unknown_route_is_structured_404(self, server):
+        status, document = get(server, "/v1/nope")
+        assert status == 404
+        assert document["error"]["type"] == "unknown_route"
+
+    def test_wrong_method_is_405(self, server):
+        status, document = get(server, "/v1/run")
+        assert status == 405
+        assert document["error"]["type"] == "method_not_allowed"
+
+    def test_trailing_slash_is_tolerated(self, server):
+        status, _ = get(server, "/healthz/")
+        assert status == 200
+
+
+class TestErrors:
+    def test_malformed_json_is_structured_400(self, server):
+        status, document = post(server, "/v1/run", None,
+                                raw=b"{not json at all")
+        assert status == 400
+        assert document["error"]["type"] == "malformed_json"
+        assert "JSON" in document["error"]["message"]
+
+    def test_unknown_field_is_rejected(self, server):
+        status, document = post(server, "/v1/run",
+                                {"machine": "counter", "cylces": 5})
+        assert status == 400
+        assert "cylces" in document["error"]["message"]
+
+    def test_unknown_machine_is_404(self, server):
+        status, document = post(server, "/v1/run", {"machine": "warp-core"})
+        assert status == 404
+        assert document["error"]["type"] == "unknown_machine"
+
+    def test_unknown_backend_is_structured(self, server):
+        status, document = post(
+            server, "/v1/batch",
+            {"machine": "counter", "backend": "quantum", "runs": [{}]},
+        )
+        assert status == 400
+        assert document["error"]["type"] == "unknown_backend"
+
+    def test_invalid_spec_text_is_structured(self, server):
+        status, document = post(
+            server, "/v1/run", {"spec": "# x\ngarbage line\n.\n"}
+        )
+        assert status == 400
+        assert document["error"]["type"] == "invalid_specification"
+
+    def test_unsupported_capability_is_422(self, server, monkeypatch):
+        # a backend whose prepared simulations cannot honor `override`:
+        # flip the capability flag and ask for an override over the wire
+        from repro.interp.interpreter import InterpreterBackend, \
+            InterpreterSimulation
+
+        monkeypatch.setattr(InterpreterBackend, "supports_override", False)
+        monkeypatch.setattr(InterpreterSimulation, "supports_override", False)
+        status, document = post(server, "/v1/run", {
+            "machine": "fibonacci", "backend": "interpreter",
+            "executor": "serial", "cycles": 4, "override": {"a": 1},
+        })
+        assert status == 422
+        assert document["error"]["type"] == "unsupported_capability"
+
+    def test_negative_content_length_is_structured_4xx(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port,
+                                                timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/run")
+            connection.putheader("Content-Length", "-5")
+            connection.endheaders()
+            response = connection.getresponse()
+            document = json.loads(response.read())
+            assert response.status == 411
+            assert document["error"]["type"] == "length_required"
+        finally:
+            connection.close()
+
+    def test_keep_alive_survives_an_unread_body_error(self, server):
+        # a POST to a GET-only route answers 405 without reading the
+        # body; the connection must stay usable (or be closed cleanly),
+        # never serve the leftover body bytes as the next request
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port,
+                                                timeout=30)
+        try:
+            body = json.dumps({"x": 1}).encode()
+            connection.request("POST", "/healthz", body=body)
+            response = connection.getresponse()
+            assert response.status == 405
+            response.read()
+            connection.request("GET", "/healthz")
+            follow_up = connection.getresponse()
+            assert follow_up.status == 200
+            assert json.loads(follow_up.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_simulation_error_is_structured_400(self, server):
+        # cycles < 0 blows up inside the run; the server reports the
+        # exception class, not a stack trace
+        status, document = post(server, "/v1/run",
+                                {"machine": "counter", "cycles": -3})
+        assert status == 400
+        assert "error" in document
+
+
+class TestServing:
+    def test_single_run_over_http(self, server):
+        status, document = post(server, "/v1/run", {
+            "machine": "counter", "cycles": 24, "backend": "interpreter",
+        })
+        assert status == 200
+        result = document["result"]
+        assert result["cycles_run"] == 24
+        assert result["backend"] == "interpreter"
+        assert result["stats"]["cycles"] == 24
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_http_batch_bit_identical_to_in_process_pool(self, server,
+                                                         backend):
+        from repro.machines.library import get_machine
+
+        runs = [{"cycles": cycles, "tag": f"c{cycles}"}
+                for cycles in (8, 16, 24)]
+        status, document = post(server, "/v1/batch", {
+            "machine": "gcd", "backend": backend, "runs": runs,
+        })
+        assert status == 200
+        assert document["ok"] is True
+        assert document["backend"] == backend
+
+        spec = get_machine("gcd").build()
+        with SimulationPool(spec, backend=backend) as pool:
+            reference = pool.run_batch(
+                [RunRequest(cycles=cycles, tag=f"c{cycles}")
+                 for cycles in (8, 16, 24)]
+            )
+        for item, wire_item in zip(reference.items, document["items"]):
+            assert wire_item["tag"] == item.tag
+            rebuilt = result_from_json(wire_item["result"])
+            assert compare_results(item.result, rebuilt) == []
+
+    def test_inline_spec_over_http(self, server, counter_spec_text,
+                                   counter_spec):
+        status, document = post(server, "/v1/run", {
+            "spec": counter_spec_text, "cycles": 12, "backend": "threaded",
+        })
+        assert status == 200
+        from repro.core.simulator import Simulator
+
+        reference = Simulator(counter_spec, backend="threaded").run(cycles=12)
+        rebuilt = result_from_json(document["result"])
+        assert compare_results(reference, rebuilt) == []
+
+    def test_override_over_the_wire_matches_in_process(self, server):
+        from repro.machines.library import get_machine
+        from repro.serving.protocol import ConstantOverride
+
+        status, document = post(server, "/v1/run", {
+            "machine": "counter", "cycles": 10, "backend": "interpreter",
+            "override": {"count": 2},
+        })
+        assert status == 200
+        spec = get_machine("counter").build()
+        with SimulationPool(spec, backend="interpreter") as pool:
+            reference = pool.run(RunRequest(
+                cycles=10,
+                override=ConstantOverride(values=(("count", 2),)),
+            ))
+        rebuilt = result_from_json(document["result"])
+        assert compare_results(reference, rebuilt) == []
+
+    def test_process_executor_over_http(self, server):
+        # the deepest path: JSON -> ParsedBatch -> process pool (the run
+        # requests, ConstantOverride included, pickle to worker
+        # processes) -> RunOutcome -> JSON
+        from repro.machines.library import get_machine
+        from repro.serving.protocol import ConstantOverride
+
+        status, document = post(server, "/v1/batch", {
+            "machine": "counter", "backend": "threaded",
+            "executor": "process",
+            "runs": [{"cycles": 12}, {"cycles": 12, "override": {"count": 1}}],
+        })
+        assert status == 200
+        assert document["ok"] is True
+        assert document["executor"] == "process"
+        assert all(item["worker"].startswith("pid-")
+                   for item in document["items"])
+        spec = get_machine("counter").build()
+        with SimulationPool(spec, backend="threaded",
+                            executor="serial") as pool:
+            plain = pool.run(RunRequest(cycles=12))
+            pinned = pool.run(RunRequest(
+                cycles=12, override=ConstantOverride(values=(("count", 1),))
+            ))
+        for reference, wire_item in zip((plain, pinned), document["items"]):
+            rebuilt = result_from_json(wire_item["result"])
+            assert compare_results(reference, rebuilt) == []
+
+    def test_per_item_errors_do_not_kill_the_batch(self, server):
+        status, document = post(server, "/v1/batch", {
+            "machine": "counter", "backend": "interpreter",
+            "runs": [{"cycles": 4}, {"cycles": -1}, {"cycles": 4}],
+        })
+        assert status == 200
+        assert document["ok"] is False
+        oks = [item["ok"] for item in document["items"]]
+        assert oks == [True, False, True]
+        assert document["items"][1]["error"]["message"]
+
+    def test_pools_are_lazy_and_kept_warm(self, server):
+        before = {(row["machine"], row["backend"])
+                  for row in get(server, "/v1/stats")[1]["pools"]}
+        assert ("traffic-light", "threaded") not in before
+        for _ in range(2):
+            status, _ = post(server, "/v1/run", {
+                "machine": "traffic-light", "cycles": 6,
+                "backend": "threaded",
+            })
+            assert status == 200
+        pools = get(server, "/v1/stats")[1]["pools"]
+        matching = [row for row in pools
+                    if (row["machine"], row["backend"])
+                    == ("traffic-light", "threaded")]
+        assert len(matching) == 1  # one pool, reused — not one per request
+
+    def test_stats_counts_requests(self, server):
+        first = get(server, "/v1/stats")[1]["requests"]["total"]
+        get(server, "/healthz")
+        second = get(server, "/v1/stats")[1]["requests"]["total"]
+        assert second >= first + 2  # healthz + the stats call itself
+
+
+class TestLifecycle:
+    def test_startup_prune_bounds_the_cache_dir(self, tmp_path):
+        from repro.compiler.cache import DiskCache
+
+        cache = DiskCache(tmp_path)
+        for index in range(6):
+            cache.store_source("f" * 8, f"k{index}", "x = 1\n" * 50)
+        budget = 2 * (tmp_path / "ffffffff-k0.py").stat().st_size
+        server = SimulationServer(port=0, artifact_cache=cache,
+                                  cache_max_bytes=budget)
+        try:
+            assert server.startup_prune is not None
+            assert server.startup_prune.removed_evicted == 4
+            assert cache.info().total_bytes <= budget
+        finally:
+            server.close()
+
+    def test_stats_reports_the_disk_cache(self, tmp_path):
+        with SimulationServer(port=0, artifact_cache=tmp_path) as running:
+            status, document = get(running, "/v1/stats")
+        assert status == 200
+        assert document["disk_cache"]["root"] == str(tmp_path)
+
+    def test_close_is_idempotent_and_graceful(self):
+        server = SimulationServer(port=0, artifact_cache=False).start()
+        status, _ = get(server, "/healthz")
+        assert status == 200
+        server.close()
+        server.close()  # second close is a no-op
+        with pytest.raises(urllib.error.URLError):
+            get(server, "/healthz")
+
+    def test_close_without_start_does_not_hang(self):
+        server = SimulationServer(port=0, artifact_cache=False)
+        server.close()  # never served: must not deadlock on shutdown()

@@ -44,3 +44,21 @@ def test_gate_detects_a_missing_docstring(tmp_path):
     (tmp_path / "bare.py").write_text("x = 1\n")
     problems = check_docs.missing_docstrings(tmp_path)
     assert [p.name for p in problems] == ["bare.py"]
+
+
+def test_gate_requires_the_serving_server_modules():
+    """The HTTP serving surface (server.py, protocol.py) must exist and be
+    covered: its wire format is documented in docs/api-reference.md."""
+    check_docs = _load_check_docs()
+    assert "serving/server.py" in check_docs.REQUIRED_MODULES
+    assert "serving/protocol.py" in check_docs.REQUIRED_MODULES
+    assert check_docs.missing_required_modules() == []
+
+
+def test_gate_detects_a_missing_required_module(tmp_path):
+    check_docs = _load_check_docs()
+    (tmp_path / "serving").mkdir()
+    (tmp_path / "serving" / "server.py").write_text('"""Doc."""\n')
+    absent = check_docs.missing_required_modules(tmp_path)
+    assert "serving/protocol.py" in absent
+    assert "serving/server.py" not in absent
