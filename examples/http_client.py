@@ -17,28 +17,52 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 import urllib.error
 import urllib.request
 
+#: How many times an overloaded-server rejection (429) is retried before
+#: giving up; other errors never retry.
+MAX_RETRIES = 5
+
 
 def call(url: str, path: str, body: dict | None = None) -> dict:
-    """One request against the server; structured errors become SystemExit."""
+    """One request against the server; structured errors become SystemExit.
+
+    A 429 (the admission gate shedding load) is retried with capped
+    exponential backoff plus jitter, honoring the server's ``Retry-After``
+    hint as the floor — the polite client the backpressure design
+    assumes.  Everything else fails fast: a 4xx will not get better by
+    asking again.
+    """
     request = urllib.request.Request(
         url.rstrip("/") + path,
         data=None if body is None else json.dumps(body).encode(),
         headers={"Content-Type": "application/json"},
     )
-    try:
-        with urllib.request.urlopen(request, timeout=60) as response:
-            return json.loads(response.read())
-    except urllib.error.HTTPError as exc:
-        error = json.loads(exc.read()).get("error", {})
-        sys.exit(f"{path} failed ({exc.code}): "
-                 f"{error.get('type')}: {error.get('message')}")
-    except urllib.error.URLError as exc:
-        sys.exit(f"cannot reach {url}: {exc.reason} "
-                 "(is 'repro serve' running?)")
+    for attempt in range(MAX_RETRIES + 1):
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            error = json.loads(exc.read()).get("error", {})
+            if exc.code == 429 and attempt < MAX_RETRIES:
+                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                backoff = min(30.0, 0.5 * (2 ** attempt))
+                pause = max(retry_after, backoff) * random.uniform(1.0, 1.5)
+                print(f"server overloaded, retrying {path} in "
+                      f"{pause:.1f}s ({attempt + 1}/{MAX_RETRIES})",
+                      file=sys.stderr)
+                time.sleep(pause)
+                continue
+            sys.exit(f"{path} failed ({exc.code}): "
+                     f"{error.get('type')}: {error.get('message')}")
+        except urllib.error.URLError as exc:
+            sys.exit(f"cannot reach {url}: {exc.reason} "
+                     "(is 'repro serve' running?)")
+    raise AssertionError("unreachable")  # loop always returns or exits
 
 
 def main() -> int:

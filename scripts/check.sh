@@ -35,6 +35,15 @@ with SimulationServer(port=0) as server:
 print("server smoke: healthz ok, one run served, shut down cleanly")
 SMOKE
 
+echo "== chaos smoke (crash recovery, deadlines, backpressure, degradation) =="
+# the fast end-to-end slice of the chaos-injection harness: a worker
+# kill is quarantined without hurting innocents, a hung worker is
+# bounded by the deadline backstop, a saturated server answers 429
+# while /readyz goes not-ready, and a broken backend degrades to the
+# fallback chain — so the fault-tolerance story cannot silently rot
+REPRO_CHAOS_SMOKE=1 python -m pytest tests/serving/test_chaos.py \
+    -x -q -k smoke
+
 echo "== batch benchmark smoke (executor matrix + server overhead, schema only) =="
 # tiny sieve batch through every executor strategy plus the HTTP-vs-in-
 # process overhead rows; both write schema-checked trajectories to temp

@@ -242,6 +242,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run without the persistent artifact cache (no pruning, "
         "no worker cold-start seeding)",
     )
+    server_parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission gate: simulation requests executing concurrently "
+        "before new ones queue (default: unbounded)",
+    )
+    server_parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="admission gate: requests allowed to wait for a slot before "
+        "the server answers 429 with Retry-After (default: 16)",
+    )
+    server_parser.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint sent with 429 rejections (default: 1)",
+    )
+    server_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-run deadline applied to requests that do not "
+        "set timeout_seconds or X-Request-Timeout (default: none)",
+    )
+    server_parser.add_argument(
+        "--max-body-bytes", type=parse_size, default=None, metavar="SIZE",
+        help="largest request body accepted before a 413 "
+        "(accepts k/m/g suffixes; default: 8m)",
+    )
+    server_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests; a drain "
+        "that misses it is reported, not waited out (default: 10)",
+    )
+    server_parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="disable the backend degradation chain (compiled -> threaded "
+        "-> interpreter on prepare failure); fail the request instead",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache",
@@ -388,7 +422,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.serving.server import SimulationServer
+    from repro.serving.server import MAX_BODY_BYTES, SimulationServer
 
     server = SimulationServer(
         host=args.host,
@@ -400,6 +434,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         artifact_cache=False if args.no_disk_cache else None,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        default_timeout=args.timeout,
+        max_body_bytes=(
+            args.max_body_bytes if args.max_body_bytes is not None
+            else MAX_BODY_BYTES
+        ),
+        drain_timeout=args.drain_timeout,
+        fallback=not args.no_fallback,
     )
     if server.startup_prune is not None and server.startup_prune.removed_files:
         print(f"cache prune: {server.startup_prune.summary()}")
@@ -410,7 +454,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down (draining in-flight runs) ...")
     finally:
-        server.close()
+        if not server.close():
+            print(
+                "warning: in-flight requests outlived the "
+                f"{server.drain_timeout:g}s drain budget and were abandoned"
+            )
     return 0
 
 

@@ -344,6 +344,12 @@ class DiskCache:
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
+        #: set once a write has failed (disk full, unwritable root, torn
+        #: rename): the cache keeps serving reads but new artifacts stay
+        #: in memory only — the request that triggered the write succeeds
+        self.degraded = False
+        #: how many writes have failed since construction
+        self.write_errors = 0
 
     def _root_trusted(self) -> bool:
         """True when the root exists and provably belongs to this user.
@@ -370,22 +376,50 @@ class DiskCache:
 
     # -- atomic write / corruption-safe read ---------------------------------
 
-    def _write_atomic(self, path: Path, payload: bytes) -> Path:
-        self.root.mkdir(mode=0o700, parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=path.name + ".tmp-"
-        )
+    def _write_atomic(self, path: Path, payload: bytes) -> Path | None:
+        """Write one artifact atomically; ``None`` when the disk failed.
+
+        A failing disk (full, read-only, yanked) must never fail the
+        request that merely tried to *cache* something: any ``OSError``
+        degrades this cache to memory-only for the offending write — a
+        warning on the first failure, a counter after that — and the
+        caller proceeds exactly as on a cache miss.
+        """
+        try:
+            self.root.mkdir(mode=0o700, parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.name + ".tmp-"
+            )
+        except OSError as exc:
+            self._note_write_failure(exc)
+            return None
         try:
             with os.fdopen(handle, "wb") as tmp:
                 tmp.write(payload)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                self._note_write_failure(exc)
+                return None
             raise
         return path
+
+    def _note_write_failure(self, exc: OSError) -> None:
+        self.write_errors += 1
+        if not self.degraded:
+            self.degraded = True
+            import warnings
+
+            warnings.warn(
+                f"artifact cache at {self.root} is degraded to memory-only: "
+                f"write failed with {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _read(self, path: Path) -> bytes | None:
         if not self._root_trusted():
@@ -408,8 +442,10 @@ class DiskCache:
 
     # -- lowered programs ----------------------------------------------------
 
-    def store_program(self, fingerprint: str, key: str, program) -> Path:
-        """Persist a lowered program (pickled behind a version header)."""
+    def store_program(self, fingerprint: str, key: str, program) -> Path | None:
+        """Persist a lowered program (pickled behind a version header).
+        Returns ``None`` when the disk failed (cache degrades, see
+        :meth:`_write_atomic`)."""
         payload = pickle.dumps(
             {
                 "format": DISK_FORMAT_VERSION,
@@ -440,8 +476,9 @@ class DiskCache:
 
     # -- generated source ----------------------------------------------------
 
-    def store_source(self, fingerprint: str, key: str, source: str) -> Path:
-        """Persist a generated Python module source."""
+    def store_source(self, fingerprint: str, key: str, source: str) -> Path | None:
+        """Persist a generated Python module source.  Returns ``None``
+        when the disk failed (cache degrades, see :meth:`_write_atomic`)."""
         payload = (_source_header() + source).encode()
         return self._write_atomic(self.path_for(fingerprint, key, "py"), payload)
 

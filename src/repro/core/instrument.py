@@ -32,6 +32,9 @@ the fast path, so an uninstrumented run pays for none of this.
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -39,7 +42,47 @@ from repro.core.backend import resolve_cycles, resolve_trace
 from repro.core.iosystem import IOSystem, coerce_io
 from repro.core.stats import SimulationStats
 from repro.core.trace import TraceLog, TraceOptions
-from repro.errors import UnknownComponentError
+from repro.errors import DeadlineExceededError, UnknownComponentError
+
+# ---------------------------------------------------------------------------
+# Cooperative run deadlines
+# ---------------------------------------------------------------------------
+
+#: Hook calls between deadline checks: frequent enough that a cycle of any
+#: bundled machine spans at most a few intervals, rare enough that the
+#: ``time.monotonic`` call stays off the per-component hot path.
+DEADLINE_CHECK_INTERVAL = 64
+
+_AMBIENT_DEADLINE = threading.local()
+
+
+def current_run_deadline() -> float | None:
+    """The calling thread's run deadline (monotonic timestamp), if any."""
+    return getattr(_AMBIENT_DEADLINE, "value", None)
+
+
+@contextmanager
+def run_deadline(deadline: float | None):
+    """Scope a cooperative deadline over a ``PreparedSimulation.run`` call.
+
+    The serving executors wrap run execution in this context manager;
+    :func:`plan_run` picks the deadline up when building the run's
+    :class:`Instrumentation`, whose hooks then check the monotonic clock
+    every :data:`DEADLINE_CHECK_INTERVAL` calls and raise
+    :class:`~repro.errors.DeadlineExceededError` once it has passed.  The
+    deadline is carried in a thread-local, so the ``run`` signature —
+    uniform across backends, including generated compiled code — never
+    changes, and concurrent runs on other worker threads are unaffected.
+    """
+    if deadline is None:
+        yield
+        return
+    previous = current_run_deadline()
+    _AMBIENT_DEADLINE.value = deadline
+    try:
+        yield
+    finally:
+        _AMBIENT_DEADLINE.value = previous
 
 #: A resolved trace entry: (reported name, "value" | "const", payload).
 #: "value" payload is the live component name to read; "const" payload is
@@ -57,6 +100,8 @@ class Instrumentation:
         "trace_accesses",
         "trace_limit",
         "traced",
+        "deadline",
+        "_ticks",
     )
 
     def __init__(
@@ -67,6 +112,7 @@ class Instrumentation:
         trace_accesses: bool = False,
         trace_limit: int | None = None,
         traced: tuple[TraceEntry, ...] = (),
+        deadline: float | None = None,
     ) -> None:
         self.stats = stats
         self.override = override
@@ -74,11 +120,35 @@ class Instrumentation:
         self.trace_accesses = trace_accesses
         self.trace_limit = trace_limit
         self.traced = traced
+        #: monotonic timestamp past which hooks raise DeadlineExceededError
+        self.deadline = deadline
+        self._ticks = 0
+
+    # -- cooperative deadline ------------------------------------------------
+
+    def tick(self) -> None:
+        """Count one hook call; periodically check the run deadline.
+
+        Every backend's instrumented path calls the hooks per component
+        per cycle, so the check fires within a bounded number of
+        component evaluations of the deadline passing — on any backend,
+        generated compiled code included — without putting a clock read
+        on every evaluation.
+        """
+        self._ticks += 1
+        if self._ticks >= DEADLINE_CHECK_INTERVAL:
+            self._ticks = 0
+            if time.monotonic() > self.deadline:
+                raise DeadlineExceededError(
+                    "run exceeded its deadline (cooperative timeout check)"
+                )
 
     # -- combinational hooks -------------------------------------------------
 
     def alu(self, name: str, funct: int, value: int, cycle: int) -> int:
         """Record one ALU evaluation; returns the value to store."""
+        if self.deadline is not None:
+            self.tick()
         if self.stats is not None:
             self.stats.record_alu_function(funct)
         if self.override is not None:
@@ -87,6 +157,8 @@ class Instrumentation:
 
     def selector(self, name: str, index: int, value: int, cycle: int) -> int:
         """Record one selector evaluation; returns the value to store."""
+        if self.deadline is not None:
+            self.tick()
         if self.stats is not None:
             self.stats.record_selector_case(name, index)
         if self.override is not None:
@@ -104,6 +176,8 @@ class Instrumentation:
         the *pre-override* output, exactly as the interpreter always has;
         only the latched value is overridden.
         """
+        if self.deadline is not None:
+            self.tick()
         if self.stats is not None:
             self.stats.record_memory_access(name, operation, address)
         if self.trace_accesses:
@@ -250,13 +324,18 @@ def plan_run(
                 program, variant, names, strict=will_record
             )
 
+    deadline = current_run_deadline()
     inst: Instrumentation | None = None
     if (
         stats is not None
         or override is not None
         or traced
         or options.trace_memory_accesses
+        or deadline is not None
     ):
+        # a deadline alone forces the instrumented path: the hooks are the
+        # only per-cycle call sites every backend shares, so an otherwise
+        # fast-path run trades some speed for interruptibility
         inst = Instrumentation(
             stats=stats,
             override=override,
@@ -264,6 +343,7 @@ def plan_run(
             trace_accesses=options.trace_memory_accesses,
             trace_limit=options.limit,
             traced=traced,
+            deadline=deadline,
         )
     return RunPlan(
         cycle_count=cycle_count,

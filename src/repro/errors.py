@@ -148,3 +148,25 @@ class SynthesisError(AsimError):
 class ServingError(AsimError):
     """The batch/parallel serving layer was misused (closed pool, spec
     mismatch between a batch request and the pool it was submitted to)."""
+
+
+class DeadlineExceededError(SimulationError, TimeoutError):
+    """A run exceeded its ``timeout_seconds`` deadline.
+
+    Raised cooperatively by the instrumentation layer between component
+    evaluations (serial/thread executors, and inside process-pool
+    workers), or by the process executor's wall-clock backstop when a
+    worker stops responding entirely.  Inherits :class:`TimeoutError` so
+    generic ``except TimeoutError`` handling works, and
+    :class:`SimulationError` so it is reported per item like any other
+    run failure — a timed-out run never takes its batch down.
+    """
+
+
+class WorkerCrashError(ServingError):
+    """A request was quarantined after repeatedly killing worker processes.
+
+    The process executor respawns a crashed pool and retries the lost
+    requests; a request on whose account workers died twice is poisoned
+    and reported with this error instead of being retried forever (or
+    failing the whole batch)."""

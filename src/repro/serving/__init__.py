@@ -35,6 +35,17 @@ Four pieces implement that:
   any ``curl`` can speak, and startup garbage collection of the
   persistent artifact cache (``DiskCache.prune``).
 
+The layer is fault-tolerant by construction: per-run deadlines
+(``RunRequest.timeout_seconds``, enforced cooperatively through the
+instrumentation layer plus a wall-clock backstop on the process
+executor), worker-crash recovery with poisoned-request quarantine
+(:class:`~repro.serving.executor.ProcessExecutor`), bounded admission
+with structured 429s (:class:`~repro.serving.server.AdmissionGate`) and
+graceful degradation (backend fallback chain, memory-only disk-cache
+mode).  The chaos harness (``tests/serving/test_chaos.py``, shims in
+:mod:`repro.serving.chaos`) injects each failure and proves the system
+answers structurally instead of hanging.
+
 The CLI exposes the layer as ``repro serve-batch --executor {serial,
 thread,process}`` (one-shot) and ``repro serve`` (the long-lived
 server); the throughput benchmark
@@ -57,10 +68,11 @@ from repro.serving.executor import (
     WorkerContext,
 )
 from repro.serving.pool import SimulationPool, run_batch
-from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError
-from repro.serving.server import SimulationServer
+from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError, error_kind
+from repro.serving.server import AdmissionGate, SimulationServer
 
 __all__ = [
+    "AdmissionGate",
     "BatchItem",
     "BatchRequest",
     "BatchResult",
@@ -78,5 +90,6 @@ __all__ = [
     "WorkerContext",
     "async_run",
     "async_run_batch",
+    "error_kind",
     "run_batch",
 ]

@@ -44,6 +44,16 @@ class RunRequest:
     flag (:meth:`check_supported`) so a third-party backend that cannot
     honor the hook fails with a clear :class:`~repro.errors.ServingError`
     instead of a mid-run surprise.
+
+    ``timeout_seconds`` is the run's deadline, measured from submission:
+    queue wait counts against it, a run still queued past its deadline is
+    shed without executing, and a running simulation is interrupted
+    cooperatively by the instrumentation layer
+    (:func:`repro.core.instrument.run_deadline`) — in-process for the
+    serial/thread executors, inside the worker for the process executor,
+    which additionally arms a wall-clock backstop at twice the deadline
+    for workers that stop responding entirely.  A timed-out run becomes a
+    :class:`~repro.errors.DeadlineExceededError` item, never a hang.
     """
 
     cycles: int | None = None
@@ -55,9 +65,15 @@ class RunRequest:
     tag: str | None = None
     #: builds this run's I/O system; defaults to ``QueueIO(inputs, strict=False)``
     io_factory: Callable[[], IOSystem] | None = None
+    #: deadline for this run in seconds from submission, or ``None``
+    timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "inputs", tuple(self.inputs))
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
 
     def make_io(self) -> IOSystem:
         """Build the fresh per-run I/O system this request describes."""
@@ -167,6 +183,12 @@ class BatchResult:
     prepare_seconds: float = 0.0
     #: execution strategy that ran the batch (serial / thread / process)
     executor: str = "thread"
+    #: worker processes that died while this batch ran (process executor)
+    worker_crashes: int = 0
+    #: chunks/requests resubmitted after a worker crash
+    worker_retries: int = 0
+    #: requests quarantined as poisoned (killed workers twice)
+    quarantined: int = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -188,6 +210,14 @@ class BatchResult:
     def failures(self) -> list[BatchItem]:
         """Items whose run raised, in request order."""
         return [item for item in self.items if not item.ok]
+
+    @property
+    def timeouts(self) -> list[BatchItem]:
+        """Items that missed their deadline, in request order."""
+        return [
+            item for item in self.items
+            if isinstance(item.error, TimeoutError)
+        ]
 
     @property
     def runs_per_second(self) -> float:

@@ -36,7 +36,14 @@ import pickle
 import threading
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Sequence
@@ -50,8 +57,9 @@ from repro.compiler.cache import (
 from repro.compiler.optimizer import CodegenOptions
 from repro.compiler.specopt import SpecOptPasses
 from repro.core.backend import Backend, PreparedSimulation
+from repro.core.instrument import run_deadline
 from repro.core.results import SimulationResult
-from repro.errors import ServingError
+from repro.errors import DeadlineExceededError, ServingError, WorkerCrashError
 from repro.lowering.program import CycleProgram
 from repro.rtl.spec import Specification
 from repro.serving.batch import RunRequest
@@ -61,6 +69,36 @@ EXECUTOR_NAMES = ("serial", "thread", "process")
 
 #: How a strategy runs one request: returns (result, busy seconds).
 ExecuteFn = Callable[[RunRequest], "tuple[SimulationResult, float]"]
+
+#: Worker crashes a single request may cause before it is quarantined.
+MAX_CRASHES_PER_REQUEST = 2
+
+#: Capped exponential backoff between pool respawn and chunk retry.
+RETRY_BACKOFF_SECONDS = 0.05
+RETRY_BACKOFF_CAP_SECONDS = 1.0
+
+#: The process executor's wall-clock backstop fires at this multiple of a
+#: chunk's largest per-item deadline — the bound on how long a hard-hung
+#: worker (one the cooperative check cannot interrupt) can hold a request.
+WALL_CLOCK_DEADLINE_FACTOR = 2.0
+
+#: Cumulative resilience counters every strategy reports (all zero except
+#: on the process executor, the only strategy whose workers can die).
+ZERO_COUNTERS = {"worker_crashes": 0, "worker_retries": 0, "quarantined": 0}
+
+
+def _try_resolve(future: Future, outcomes=None, error=None) -> bool:
+    """Resolve *future* if still pending (wall-clock backstop vs. the real
+    chunk result is a benign race: first writer wins, the loser is
+    discarded)."""
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(outcomes)
+        return True
+    except InvalidStateError:
+        return False
 
 
 @dataclass
@@ -86,12 +124,39 @@ def execute_outcome(
 ) -> RunOutcome:
     """Run one request, capturing any ``Exception`` into the outcome.
 
+    Enforces the request's ``timeout_seconds`` deadline, measured from
+    *submitted*: a request whose queue wait already spent the budget is
+    shed without executing, and an executing run is scoped under
+    :func:`~repro.core.instrument.run_deadline` so the instrumentation
+    hooks interrupt it cooperatively.  This one code path covers the
+    serial and thread executors in-process and the process executor
+    inside its workers (``submitted`` is system-wide monotonic time, so
+    the budget survives the process boundary).
+
     ``BaseException`` (KeyboardInterrupt and friends) propagates — the
     batch machinery re-raises it rather than recording it per item.
     """
     queue_seconds = max(0.0, time.monotonic() - submitted)
+    deadline = None
+    if request.timeout_seconds is not None:
+        remaining = request.timeout_seconds - queue_seconds
+        if remaining <= 0.0:
+            return RunOutcome(
+                result=None,
+                error=DeadlineExceededError(
+                    f"request shed before execution: waited "
+                    f"{queue_seconds:.3f}s in queue against a "
+                    f"{request.timeout_seconds:.3f}s deadline"
+                ),
+                seconds=0.0, worker=worker, queue_seconds=queue_seconds,
+            )
+        deadline = time.monotonic() + remaining
     try:
-        result, seconds = execute(request)
+        if deadline is None:
+            result, seconds = execute(request)
+        else:
+            with run_deadline(deadline):
+                result, seconds = execute(request)
     except Exception as exc:  # noqa: BLE001 - rerouted per item
         return RunOutcome(result=None, error=exc, seconds=0.0,
                           worker=worker, queue_seconds=queue_seconds)
@@ -131,6 +196,10 @@ class ExecutorStrategy(ABC):
     def default_chunk_size(self, count: int) -> int:
         """Requests per chunk when the caller did not choose one."""
         return 1
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative resilience counters (see :data:`ZERO_COUNTERS`)."""
+        return dict(ZERO_COUNTERS)
 
     def submit_many(
         self, requests: Sequence[RunRequest], chunk_size: int | None = None
@@ -371,6 +440,14 @@ def _run_chunk_in_worker(requests: list, submitted: float):
     ]
 
 
+def _crash_outcome(message: str) -> RunOutcome:
+    """A per-item outcome for a request lost to repeated worker deaths."""
+    return RunOutcome(
+        result=None, error=WorkerCrashError(message),
+        seconds=0.0, worker="lost", queue_seconds=0.0,
+    )
+
+
 class ProcessExecutor(ExecutorStrategy):
     """True multi-core serving over a pool of worker processes.
 
@@ -379,6 +456,28 @@ class ProcessExecutor(ExecutorStrategy):
     program at startup.  Requests travel in chunks to amortise IPC — the
     default chunk size targets four chunks per worker, balancing transfer
     overhead against scheduling granularity for heterogeneous batches.
+
+    **Crash recovery.**  A dying worker breaks the whole
+    ``ProcessPoolExecutor`` (every pending future gets
+    ``BrokenProcessPool``).  Rather than failing the batch, every chunk
+    is fronted by a *mirror* future: on a broken pool the executor
+    respawns its process pool (once per crash, guarded by a generation
+    counter so concurrent chunk callbacks do not race), waits a capped
+    exponential backoff, and retries the lost requests.  A multi-item
+    chunk is retried as singletons so one poisoned request cannot take
+    innocents down a second time; a singleton that kills a worker again —
+    :data:`MAX_CRASHES_PER_REQUEST` crashes on its account — is
+    quarantined as a :class:`~repro.errors.WorkerCrashError` item.
+    Recovery runs on its own daemon thread (never on the pool's executor
+    management thread, which must stay free to drive the respawned pool).
+
+    **Wall-clock backstop.**  The cooperative deadline check runs inside
+    the worker and cannot interrupt a run that is stuck in a single
+    blocking call; chunks with deadlines therefore arm a timer at
+    :data:`WALL_CLOCK_DEADLINE_FACTOR` × the chunk's largest deadline that
+    resolves the mirror future with per-item
+    :class:`~repro.errors.DeadlineExceededError` outcomes, so a
+    hard-hung worker bounds the caller's wait at twice the deadline.
     """
 
     name = "process"
@@ -394,23 +493,277 @@ class ProcessExecutor(ExecutorStrategy):
             import multiprocessing
 
             mp_context = multiprocessing.get_context(mp_context)
-        self._processes = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp_context,
+        self._context = context
+        self._mp_context = mp_context
+        self._pool_lock = threading.Lock()
+        # serialises post-crash retries: a retried request executes alone,
+        # so a repeat crash is attributable to it and innocents that
+        # merely shared the broken pool are never charged
+        self._retry_lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._counter_lock = threading.Lock()
+        self._crashes = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._processes = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
             initializer=_initialize_worker,
-            initargs=(context,),
+            initargs=(self._context,),
         )
 
     def default_chunk_size(self, count: int) -> int:
         return max(1, math.ceil(count / (self.workers * 4)))
 
+    def counters(self) -> dict[str, int]:
+        with self._counter_lock:
+            return {
+                "worker_crashes": self._crashes,
+                "worker_retries": self._retries,
+                "quarantined": self._quarantined,
+            }
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
     def submit_chunk(self, requests):
-        # a chunk that fails to pickle (e.g. a lambda override) resolves
-        # this future with the pickling error; _spread_chunk routes it to
-        # the chunk's items and the rest of the batch is unaffected
-        return self._processes.submit(
-            _run_chunk_in_worker, list(requests), time.monotonic()
+        requests = list(requests)
+        mirror: Future = Future()
+        self._dispatch(requests, mirror, charged_crashes=0)
+        self._arm_wall_clock(requests, mirror)
+        return mirror
+
+    # -- dispatch and crash detection ---------------------------------------
+
+    def _dispatch(self, requests, mirror: Future, charged_crashes: int) -> None:
+        """Submit one chunk against the current pool generation.
+
+        A chunk that fails to pickle (e.g. a lambda override) resolves
+        the mirror with the pickling error; _spread_chunk routes it to
+        the chunk's items and the rest of the batch is unaffected.
+        """
+        with self._pool_lock:
+            processes = self._processes
+            generation = self._generation
+        try:
+            chunk_future = processes.submit(
+                _run_chunk_in_worker, list(requests), time.monotonic()
+            )
+        except BrokenProcessPool:
+            # the pool was already broken before this chunk entered it:
+            # someone else's crash, so recover without charging these
+            # requests
+            self._recover_async(requests, mirror, charged_crashes,
+                                generation, charge=False)
+            return
+        except BaseException as exc:  # noqa: BLE001 - e.g. shutdown race
+            _try_resolve(mirror, error=exc)
+            return
+        chunk_future.add_done_callback(
+            partial(self._chunk_done, requests, mirror, charged_crashes,
+                    generation)
         )
 
+    def _chunk_done(
+        self, requests, mirror: Future, charged_crashes: int,
+        generation: int, chunk_future: Future,
+    ) -> None:
+        try:
+            outcomes = chunk_future.result()
+        except BrokenProcessPool:
+            # a worker died while this chunk was (or may have been) running
+            self._recover_async(requests, mirror, charged_crashes,
+                                generation, charge=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - mirrored to the chunk
+            _try_resolve(mirror, error=exc)
+            return
+        _try_resolve(mirror, outcomes=outcomes)
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover_async(
+        self, requests, mirror: Future, charged_crashes: int,
+        generation: int, charge: bool,
+    ) -> None:
+        """Hand the lost chunk to a recovery thread.
+
+        Never recover on the calling thread: a chunk future's done
+        callback runs on the pool's executor management thread, which
+        must stay free to drive the respawned pool.
+        """
+        thread = threading.Thread(
+            target=self._recover,
+            args=(requests, mirror, charged_crashes, generation, charge),
+            name="repro-pool-recovery",
+            daemon=True,
+        )
+        thread.start()
+
+    def _recover(
+        self, requests, mirror: Future, charged_crashes: int,
+        generation: int, charge: bool,
+    ) -> None:
+        if not self._respawn(generation):
+            # executor closed mid-recovery: report the loss, do not retry
+            _try_resolve(mirror, outcomes=[
+                _crash_outcome(
+                    "worker process died and the executor was closed "
+                    "before the request could be retried"
+                )
+                for _ in requests
+            ])
+            return
+        if charge:
+            charged_crashes += 1
+        time.sleep(min(
+            RETRY_BACKOFF_CAP_SECONDS,
+            RETRY_BACKOFF_SECONDS * (2 ** charged_crashes),
+        ))
+        # retry one request at a time (even for a multi-item chunk):
+        # isolation turns "some request in this chunk kills workers" into
+        # "exactly this request kills workers", so quarantine lands on
+        # the poisoned request and the innocents complete normally
+        outcomes: list[RunOutcome] = []
+        for request in requests:
+            outcomes.extend(self._retry_alone(request, charged_crashes))
+        _try_resolve(mirror, outcomes=outcomes)
+
+    def _retry_alone(
+        self, request: RunRequest, charged_crashes: int
+    ) -> "list[RunOutcome]":
+        """Retry one crashed request under the serialised retry lock.
+
+        Holding the lock across the blocking wait means retried requests
+        execute one at a time; a pool breakage during the wait is
+        therefore *this* request's doing and is charged to it, while a
+        pool found already-broken at submit (someone else crashed it
+        between retries) costs nothing and is simply re-dispatched.
+        """
+        while True:
+            if charged_crashes >= MAX_CRASHES_PER_REQUEST:
+                self._count("_quarantined")
+                return [_crash_outcome(
+                    f"request quarantined after killing {charged_crashes} "
+                    "worker processes (poisoned-request detection)"
+                )]
+            crashed_alone = False
+            with self._retry_lock:
+                with self._pool_lock:
+                    closed = self._closed
+                    processes = self._processes
+                    generation = self._generation
+                if closed:
+                    return [_crash_outcome(
+                        "worker process died and the executor was closed "
+                        "before the request could be retried"
+                    )]
+                try:
+                    chunk_future = processes.submit(
+                        _run_chunk_in_worker, [request], time.monotonic()
+                    )
+                except BrokenProcessPool:
+                    # broken before we ran: not ours, respawn and re-enter
+                    self._respawn(generation)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - e.g. shutdown race
+                    return [RunOutcome(
+                        result=None, error=exc, seconds=0.0,
+                        worker="lost", queue_seconds=0.0,
+                    )]
+                self._count("_retries")
+                wait = None
+                if request.timeout_seconds is not None:
+                    wait = (
+                        request.timeout_seconds * WALL_CLOCK_DEADLINE_FACTOR
+                    )
+                try:
+                    return chunk_future.result(timeout=wait)
+                except BrokenProcessPool:
+                    crashed_alone = True
+                except FuturesTimeoutError:
+                    chunk_future.cancel()
+                    return [RunOutcome(
+                        result=None,
+                        error=DeadlineExceededError(
+                            "retried request did not answer within "
+                            f"{WALL_CLOCK_DEADLINE_FACTOR:g}x its deadline "
+                            "(wall-clock backstop)"
+                        ),
+                        seconds=0.0, worker="lost", queue_seconds=0.0,
+                    )]
+                except Exception as exc:  # noqa: BLE001 - mirrored per item
+                    return [RunOutcome(
+                        result=None, error=exc, seconds=0.0,
+                        worker="lost", queue_seconds=0.0,
+                    )]
+            if crashed_alone:
+                charged_crashes += 1
+                self._respawn(generation)
+                time.sleep(min(
+                    RETRY_BACKOFF_CAP_SECONDS,
+                    RETRY_BACKOFF_SECONDS * (2 ** charged_crashes),
+                ))
+
+    def _respawn(self, generation: int) -> bool:
+        """Replace the broken pool; False when the executor is closed.
+
+        Counts one crash per pool actually replaced.  The generation
+        guard makes respawn idempotent under a crash storm: a dying
+        worker breaks every in-flight chunk at once, each of which lands
+        here, but only the first replaces the pool — the rest see a newer
+        generation and simply retry against the fresh pool.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return False
+            if self._generation == generation:
+                dead = self._processes
+                self._processes = self._spawn()
+                self._generation += 1
+                self._count("_crashes")
+                dead.shutdown(wait=False)
+        return True
+
+    # -- wall-clock backstop -------------------------------------------------
+
+    def _arm_wall_clock(self, requests, mirror: Future) -> None:
+        timeouts = [
+            request.timeout_seconds
+            for request in requests
+            if request.timeout_seconds is not None
+        ]
+        if not timeouts:
+            return
+
+        def expire() -> None:
+            _try_resolve(mirror, outcomes=[
+                RunOutcome(
+                    result=None,
+                    error=DeadlineExceededError(
+                        "worker did not answer within "
+                        f"{WALL_CLOCK_DEADLINE_FACTOR:g}x the deadline "
+                        "(wall-clock backstop; the worker may be hung)"
+                    ),
+                    seconds=0.0, worker="lost", queue_seconds=0.0,
+                )
+                for _ in requests
+            ])
+
+        timer = threading.Timer(
+            max(timeouts) * WALL_CLOCK_DEADLINE_FACTOR, expire
+        )
+        timer.daemon = True
+        timer.start()
+        mirror.add_done_callback(lambda _future: timer.cancel())
+
     def close(self, wait: bool = True) -> None:
-        self._processes.shutdown(wait=wait)
+        with self._pool_lock:
+            self._closed = True
+            processes = self._processes
+        processes.shutdown(wait=wait)

@@ -245,6 +245,11 @@ class SimulationPool:
     def closed(self) -> bool:
         return self._closed
 
+    def resilience_counters(self) -> dict[str, int]:
+        """Cumulative crash/retry/quarantine counters for this pool's
+        strategy (all zero except on the process executor)."""
+        return self._strategy.counters()
+
     # -- per-worker / per-run binding ---------------------------------------
 
     def _prepared_for_run(self) -> PreparedSimulation:
@@ -325,6 +330,7 @@ class SimulationPool:
         """
         requests = self._coerce_runs(runs)
         start = time.perf_counter()
+        before = self._strategy.counters()
         futures = self._submit_many(requests)
         outcomes: "list[RunOutcome | BaseException]" = []
         for future in futures:
@@ -333,6 +339,7 @@ class SimulationPool:
             except BaseException as exc:  # noqa: BLE001 - rerouted per item
                 outcomes.append(exc)
         wall_seconds = time.perf_counter() - start
+        after = self._strategy.counters()
         return BatchResult(
             backend=self.backend_name,
             pool_size=self.max_workers,
@@ -340,6 +347,9 @@ class SimulationPool:
             wall_seconds=wall_seconds,
             prepare_seconds=self.prepare_seconds,
             executor=self.executor_name,
+            worker_crashes=after["worker_crashes"] - before["worker_crashes"],
+            worker_retries=after["worker_retries"] - before["worker_retries"],
+            quarantined=after["quarantined"] - before["quarantined"],
         )
 
     def _coerce_runs(

@@ -35,14 +35,19 @@ keeps the two in sync.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 from repro.compiler.cache import spec_fingerprint
 from repro.core.iosystem import OutputEvent
 from repro.core.results import SimulationResult
 from repro.core.simulator import BACKEND_NAMES
-from repro.errors import AsimError, SpecificationError
+from repro.errors import (
+    AsimError,
+    DeadlineExceededError,
+    SpecificationError,
+    WorkerCrashError,
+)
 from repro.machines.library import get_machine, machine_names
 from repro.rtl.parser import parse_spec
 from repro.rtl.spec import Specification
@@ -59,15 +64,35 @@ class ProtocolError(AsimError):
 
     ``kind`` is the stable machine-readable error type serialised into the
     response body; ``status`` the HTTP status code the server answers
-    with.  Everything the protocol layer raises is a 4xx — a 5xx means
-    the *server* broke, and those are not ``ProtocolError``.
+    with.  ``retry_after`` (seconds) adds a ``Retry-After`` header, so an
+    overloaded-server rejection tells the client when to come back.
+    Everything the protocol layer raises is a 4xx — a 5xx means the
+    *server* broke, and those are not ``ProtocolError`` (the one
+    exception: ``503 not_ready``, which is the readiness probe's answer,
+    not a breakage).
     """
 
     def __init__(self, message: str, status: int = 400,
-                 kind: str = "bad_request") -> None:
+                 kind: str = "bad_request",
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.retry_after = retry_after
+
+
+def error_kind(exc: BaseException) -> str:
+    """The stable wire ``type`` for a per-item run failure.
+
+    Resilience-layer errors get fixed kinds a client can dispatch on
+    (``deadline_exceeded``, ``worker_crash``); anything else reports its
+    exception class name, as the batch endpoint always has.
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, WorkerCrashError):
+        return "worker_crash"
+    return type(exc).__name__
 
 
 def error_to_json(kind: str, message: str) -> dict:
@@ -126,8 +151,22 @@ def _optional_int(doc: Mapping, key: str) -> int | None:
 
 #: Fields a run object may carry; anything else is rejected.
 RUN_FIELDS = frozenset(
-    {"cycles", "inputs", "trace", "collect_stats", "override", "tag"}
+    {"cycles", "inputs", "trace", "collect_stats", "override", "tag",
+     "timeout_seconds"}
 )
+
+
+def _optional_timeout(doc: Mapping) -> float | None:
+    value = doc.get("timeout_seconds")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError("'timeout_seconds' must be a number of seconds")
+    if value <= 0:
+        raise ProtocolError(
+            f"'timeout_seconds' must be positive, got {value}"
+        )
+    return float(value)
 
 
 def run_request_from_json(doc: Any) -> RunRequest:
@@ -174,7 +213,24 @@ def run_request_from_json(doc: Any) -> RunRequest:
         collect_stats=collect_stats,
         override=override,
         tag=tag,
+        timeout_seconds=_optional_timeout(doc),
     )
+
+
+def with_default_timeout(
+    batch: "ParsedBatch", timeout: float | None
+) -> "ParsedBatch":
+    """Apply a default deadline to every run that did not choose its own
+    (the ``X-Request-Timeout`` header / server-wide ``--timeout``)."""
+    if timeout is None or all(
+        run.timeout_seconds is not None for run in batch.runs
+    ):
+        return batch
+    return replace(batch, runs=tuple(
+        run if run.timeout_seconds is not None
+        else replace(run, timeout_seconds=timeout)
+        for run in batch.runs
+    ))
 
 
 #: Built specifications of the bundled machines, memoized per process:
@@ -424,7 +480,7 @@ def batch_result_to_json(batch: BatchResult) -> dict:
             )
         else:
             entry["error"] = {
-                "type": type(item.error).__name__,
+                "type": error_kind(item.error),
                 "message": str(item.error),
             }
         items.append(entry)
@@ -441,5 +497,8 @@ def batch_result_to_json(batch: BatchResult) -> dict:
         "per_worker_runs_per_second": batch.per_worker_runs_per_second,
         "queue_seconds_mean": batch.queue_seconds_mean,
         "queue_seconds_max": batch.queue_seconds_max,
+        "worker_crashes": batch.worker_crashes,
+        "worker_retries": batch.worker_retries,
+        "quarantined": batch.quarantined,
         "items": items,
     }

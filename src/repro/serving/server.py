@@ -17,16 +17,32 @@ Endpoints (documented with schemas and examples in
 * ``POST /v1/run`` — one run, fields flattened for ``curl`` ergonomics.
 * ``GET /v1/machines`` — the bundled machine registry.
 * ``GET /v1/backends`` — backend names with capability flags.
-* ``GET /v1/stats`` — uptime, request counters, live pools, disk cache.
-* ``GET /healthz`` — liveness probe.
+* ``GET /v1/stats`` — uptime, request counters, live pools, disk cache,
+  resilience counters (crashes, retries, quarantines, fallbacks).
+* ``GET /healthz`` — liveness probe (is the process up at all).
+* ``GET /readyz`` — readiness probe: 503 while draining or while the
+  admission gate is saturated, so a load balancer routes around this
+  instance without killing it.
 
 Pools are created lazily on first use and kept in a registry keyed on
 (machine, backend, executor); the disk artifact cache is pruned once at
 startup (:meth:`~repro.compiler.cache.DiskCache.prune`) so a long-running
-deployment stays inside its byte/age budget.  Shutdown is graceful:
-the HTTP accept loop stops, in-flight request threads finish
-(``daemon_threads`` is off), then every pool drains its in-flight chunks
-(``close(wait=True)``).
+deployment stays inside its byte/age budget.
+
+Under load the server applies **backpressure** instead of queueing
+without bound: the :class:`AdmissionGate` caps concurrently executing
+simulation requests (``max_inflight``) and the briefly-queued overflow
+(``max_queue``); beyond that, requests are rejected with a structured
+``429`` carrying ``Retry-After``.  When the pool registry cannot prepare
+a requested backend it **degrades** down a fallback chain
+(compiled → threaded → interpreter) and reports the substitution in the
+response and in ``/v1/stats`` rather than failing the request.
+
+Shutdown is graceful and bounded: the HTTP accept loop stops, in-flight
+request threads get ``drain_timeout`` seconds to finish, then every
+pool drains its in-flight chunks; a drain that misses the timeout is
+*reported* (``close`` returns ``False``, ``drain_failed`` is set)
+instead of hanging forever or silently abandoning threads.
 
 The CLI front door is ``repro serve``; ``examples/http_client.py`` is a
 minimal client.  Deployment guidance (executor choice, worker sizing,
@@ -49,7 +65,7 @@ from repro.compiler.cache import (
     resolve_disk,
 )
 from repro.core.simulator import BACKEND_NAMES, make_backend
-from repro.errors import AsimError
+from repro.errors import AsimError, DeadlineExceededError, WorkerCrashError
 from repro.machines.library import all_machines
 from repro.serving.batch import BatchResult
 from repro.serving.pool import SimulationPool
@@ -58,14 +74,22 @@ from repro.serving.protocol import (
     ParsedBatch,
     ProtocolError,
     batch_result_to_json,
+    error_kind,
     error_to_json,
     parse_batch_request,
     parse_run_request,
+    with_default_timeout,
 )
 
-#: Largest request body the server will read (a batch of thousands of run
-#: objects fits comfortably; anything bigger is a client bug).
+#: Largest request body the server will read by default (a batch of
+#: thousands of run objects fits comfortably; anything bigger is a client
+#: bug).  Tunable per server via ``max_body_bytes`` / ``--max-body-bytes``.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Graceful-degradation chain the pool registry walks when a backend's
+#: warm prepare fails: each step trades speed for simplicity, ending at
+#: the interpreter, which has no compile step left to fail.
+BACKEND_FALLBACKS = {"compiled": "threaded", "threaded": "interpreter"}
 
 
 # lazily-resolved package version (this module loads during repro's own
@@ -76,10 +100,95 @@ _version = _code_version
 #: GET routes -> handler method name on :class:`SimulationServer`.
 GET_ROUTES: dict[str, str] = {
     "/healthz": "handle_healthz",
+    "/readyz": "handle_readyz",
     "/v1/machines": "handle_machines",
     "/v1/backends": "handle_backends",
     "/v1/stats": "handle_stats",
 }
+
+
+class AdmissionGate:
+    """Bounded admission for the simulation endpoints (backpressure).
+
+    ``ThreadingHTTPServer`` gives every connection its own thread, so
+    without a gate a traffic spike means an unbounded number of
+    concurrent simulations grinding each other down.  The gate admits at
+    most ``max_inflight`` requests into the pools at once; up to
+    ``max_queue`` more block briefly waiting for a slot, and everything
+    beyond that is rejected immediately with a structured ``429`` whose
+    ``Retry-After`` tells the client when to come back — shedding load
+    at the door instead of collapsing under it.  ``max_inflight=None``
+    disables the gate (the historical behavior).
+    """
+
+    def __init__(self, max_inflight: int | None = None, max_queue: int = 16,
+                 retry_after: float = 1.0) -> None:
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._inflight = 0
+        self._queued = 0
+        self._rejected = 0
+        self._slot_freed = threading.Condition(threading.Lock())
+
+    @property
+    def saturated(self) -> bool:
+        """True while every in-flight slot is taken (readiness input)."""
+        if self.max_inflight is None:
+            return False
+        with self._slot_freed:
+            return self._inflight >= self.max_inflight
+
+    def snapshot(self) -> dict:
+        with self._slot_freed:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "rejected": self._rejected,
+            }
+
+    def acquire(self) -> None:
+        """Take an in-flight slot, waiting in the bounded queue if needed.
+
+        Raises the structured ``429`` when both the slots and the queue
+        are full.
+        """
+        if self.max_inflight is None:
+            return
+        with self._slot_freed:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return
+            if self._queued >= self.max_queue:
+                self._rejected += 1
+                raise ProtocolError(
+                    f"server is at capacity ({self.max_inflight} requests "
+                    f"in flight, {self._queued} queued); retry later",
+                    status=429, kind="overloaded",
+                    retry_after=self.retry_after,
+                )
+            self._queued += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    self._slot_freed.wait()
+                self._inflight += 1
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        if self.max_inflight is None:
+            return
+        with self._slot_freed:
+            self._inflight -= 1
+            self._slot_freed.notify()
 
 #: POST routes -> handler method name on :class:`SimulationServer`.
 POST_ROUTES: dict[str, str] = {
@@ -106,12 +215,19 @@ class PoolRegistry:
         max_workers: int | None = None,
         chunk_size: int | None = None,
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
+        fallback: bool = True,
     ) -> None:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.artifact_cache = artifact_cache
+        #: walk :data:`BACKEND_FALLBACKS` when a backend's prepare fails
+        self.fallback = fallback
+        self.fallback_count = 0
         self._pools: dict[tuple[str, str, str], SimulationPool] = {}
         self._labels: dict[tuple[str, str, str], str] = {}
+        #: per-key degradation record (requested vs served backend), kept
+        #: alongside the pool so later requests see the same substitution
+        self._fallbacks: dict[tuple[str, str, str], dict] = {}
         self._creation_locks: dict[tuple[str, str, str], threading.Lock] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -129,27 +245,30 @@ class PoolRegistry:
                 )
             return self._pools.get(key)
 
-    def pool_for(self, batch: ParsedBatch) -> SimulationPool:
-        """The warm pool serving *batch*'s combination, created on first use."""
+    def pool_for(
+        self, batch: ParsedBatch
+    ) -> tuple[SimulationPool, dict | None]:
+        """The warm pool serving *batch*'s combination, created on first
+        use.  Returns ``(pool, degraded)``: *degraded* is ``None``
+        normally, or the fallback record when the requested backend could
+        not prepare and the chain substituted another (the pool stays
+        keyed under the *requested* combination, so the substitution is
+        sticky and later identical requests reuse it without re-failing
+        the broken backend)."""
         key = (batch.pool_key, batch.backend, batch.executor)
         pool = self._check_open_and_get(key)
         if pool is not None:
-            return pool
+            with self._lock:
+                return pool, self._fallbacks.get(key)
         with self._lock:
             creator = self._creation_locks.setdefault(key, threading.Lock())
         with creator:
             # double-checked: whoever held the creation lock first built it
             pool = self._check_open_and_get(key)
             if pool is not None:
-                return pool
-            pool = SimulationPool(
-                batch.spec,
-                backend=batch.backend,
-                executor=batch.executor,
-                max_workers=self.max_workers,
-                chunk_size=self.chunk_size,
-                artifact_cache=self.artifact_cache,
-            )
+                with self._lock:
+                    return pool, self._fallbacks.get(key)
+            pool, degraded = self._create_pool(batch)
             with self._lock:
                 if self._closed:  # lost a race with shutdown: don't leak it
                     pool.close(wait=False)
@@ -159,7 +278,57 @@ class PoolRegistry:
                     )
                 self._pools[key] = pool
                 self._labels[key] = batch.label
-            return pool
+                if degraded is not None:
+                    self._fallbacks[key] = degraded
+                    self.fallback_count += 1
+            return pool, degraded
+
+    def _create_pool(
+        self, batch: ParsedBatch
+    ) -> tuple[SimulationPool, dict | None]:
+        """Build the pool, walking the fallback chain on prepare failure.
+
+        A ``ProtocolError`` (e.g. shutting down) propagates untouched; any
+        other failure to prepare the requested backend tries the next
+        backend down :data:`BACKEND_FALLBACKS` — serving degraded beats
+        serving a 500.  When the whole chain fails, the *first* error (the
+        requested backend's) is raised: that is the one the client asked
+        about.
+        """
+        backend = batch.backend
+        first_error: Exception | None = None
+        while True:
+            try:
+                pool = SimulationPool(
+                    batch.spec,
+                    backend=backend,
+                    executor=batch.executor,
+                    max_workers=self.max_workers,
+                    chunk_size=self.chunk_size,
+                    artifact_cache=self.artifact_cache,
+                )
+            except ProtocolError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - degrade, not die
+                next_backend = (
+                    BACKEND_FALLBACKS.get(backend) if self.fallback else None
+                )
+                if next_backend is None:
+                    raise (first_error if first_error is not None else exc)
+                if first_error is None:
+                    first_error = exc
+                backend = next_backend
+                continue
+            degraded = None
+            if backend != batch.backend:
+                degraded = {
+                    "requested_backend": batch.backend,
+                    "served_backend": backend,
+                    "reason": (
+                        f"{type(first_error).__name__}: {first_error}"
+                    ),
+                }
+            return pool, degraded
 
     def describe(self) -> list[dict]:
         """One JSON-safe row per live pool (for ``GET /v1/stats``)."""
@@ -171,9 +340,24 @@ class PoolRegistry:
                     "executor": pool.executor_name,
                     "workers": pool.max_workers,
                     "prepare_seconds": pool.prepare_seconds,
+                    "degraded": self._fallbacks.get(key),
+                    "resilience": pool.resilience_counters(),
                 }
                 for key, pool in self._pools.items()
             ]
+
+    def resilience_totals(self) -> dict[str, int]:
+        """Crash/retry/quarantine counters summed over live pools, plus
+        the number of backend fallbacks taken (for ``GET /v1/stats``)."""
+        with self._lock:
+            pools = list(self._pools.values())
+            fallbacks = self.fallback_count
+        totals = {"worker_crashes": 0, "worker_retries": 0, "quarantined": 0}
+        for pool in pools:
+            for name, value in pool.resilience_counters().items():
+                totals[name] = totals.get(name, 0) + value
+        totals["backend_fallbacks"] = fallbacks
+        return totals
 
     def close_all(self, wait: bool = True) -> None:
         """Stop accepting new pools and drain every existing one."""
@@ -182,6 +366,7 @@ class PoolRegistry:
             pools = list(self._pools.values())
             self._pools.clear()
             self._labels.clear()
+            self._fallbacks.clear()
         for pool in pools:
             pool.close(wait=wait)
 
@@ -189,12 +374,15 @@ class PoolRegistry:
 class _ServerSocket(ThreadingHTTPServer):
     """ThreadingHTTPServer wired back to the owning SimulationServer.
 
-    ``daemon_threads`` is turned back off (``ThreadingHTTPServer``
-    defaults it on) so ``server_close`` joins in-flight request threads —
-    the first half of the graceful-shutdown path.
+    ``block_on_close`` (the default) makes ``server_close`` join
+    in-flight request threads — the first half of the graceful-shutdown
+    path; :meth:`SimulationServer.close` bounds that join with its
+    ``drain_timeout``.  The threads stay daemonic so a request that
+    outlives the drain budget is abandoned without holding interpreter
+    exit hostage.
     """
 
-    daemon_threads = False
+    daemon_threads = True
     app: "SimulationServer"
 
 
@@ -215,11 +403,14 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> "SimulationServer":
         return self.server.app  # type: ignore[attr-defined]
 
-    def _respond(self, status: int, document: dict) -> None:
+    def _respond(self, status: int, document: dict,
+                 headers: Mapping[str, str] | None = None) -> None:
         payload = json.dumps(document).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # an error path left request-body bytes unread: tell the
             # keep-alive client this connection is done rather than let
@@ -236,7 +427,7 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or "0")
         except ValueError:
             length = -1
-        if 0 <= length <= MAX_BODY_BYTES:
+        if 0 <= length <= self.app.max_body_bytes:
             while length > 0:
                 chunk = self.rfile.read(min(length, 65536))
                 if not chunk:
@@ -265,14 +456,31 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self.app.count_request(path)
         handler: Callable = getattr(self.app, handler_name)
+        headers: dict[str, str] = {}
         try:
             if self.command == "POST":
-                status, document = handler(self._read_json())
+                status, document = handler(
+                    self._read_json(), self._request_timeout()
+                )
             else:
                 status, document = handler()
         except ProtocolError as exc:
             self.app.count_error()
             status, document = exc.status, error_to_json(exc.kind, str(exc))
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(
+                    max(1, round(exc.retry_after))
+                )
+        except DeadlineExceededError as exc:
+            # a single-run request that missed its deadline: the gateway-
+            # timeout status, same stable kind as a per-item batch error
+            self.app.count_error()
+            status, document = 504, error_to_json(error_kind(exc), str(exc))
+        except WorkerCrashError as exc:
+            # the server's worker died on this request's account — a
+            # server-side failure, structured rather than a bare 500
+            self.app.count_error()
+            status, document = 500, error_to_json(error_kind(exc), str(exc))
         except AsimError as exc:
             # the simulation itself rejected the request (bad spec
             # semantics, a run-time machine error, a closed pool): the
@@ -286,7 +494,25 @@ class _Handler(BaseHTTPRequestHandler):
             status, document = 500, error_to_json(
                 "internal_error", f"{type(exc).__name__}: {exc}"
             )
-        self._respond(status, document)
+        self._respond(status, document, headers)
+
+    def _request_timeout(self) -> float | None:
+        """The per-run default deadline for this request: the
+        ``X-Request-Timeout`` header (seconds), else the server-wide
+        default.  Per-run ``timeout_seconds`` fields always win."""
+        header = self.headers.get("X-Request-Timeout")
+        if header is None:
+            return self.app.default_timeout
+        try:
+            value = float(header)
+        except ValueError:
+            value = -1.0
+        if value <= 0 or value != value:  # reject garbage and NaN
+            raise ProtocolError(
+                "X-Request-Timeout must be a positive number of seconds, "
+                f"got {header!r}", kind="invalid_timeout",
+            )
+        return value
 
     def _read_json(self) -> object:
         length_header = self.headers.get("Content-Length")
@@ -303,11 +529,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "header is required",
                 status=411, kind="length_required",
             ) from None
-        if length > MAX_BODY_BYTES:
+        if length > self.app.max_body_bytes:
             self.close_connection = True
             raise ProtocolError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit",
+                f"{self.app.max_body_bytes}-byte limit",
                 status=413, kind="body_too_large",
             )
         payload = self.rfile.read(length)
@@ -341,6 +567,13 @@ class SimulationServer:
     LRU eviction down to the byte budget / age limit when given).  Pass
     ``artifact_cache=False`` to run without the disk layer.
 
+    Resilience knobs: ``max_inflight``/``max_queue``/``retry_after``
+    configure the :class:`AdmissionGate`; ``default_timeout`` applies a
+    deadline to every run that does not choose its own;
+    ``max_body_bytes`` caps request bodies; ``drain_timeout`` bounds the
+    graceful-shutdown wait; ``fallback=False`` disables the backend
+    degradation chain.
+
     Use as a context manager, or call :meth:`start` (background thread,
     returns once the socket accepts) / :meth:`serve_forever` (blocking,
     the CLI path) and then :meth:`close` — which stops accepting,
@@ -358,14 +591,42 @@ class SimulationServer:
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
         cache_max_bytes: int | None = None,
         cache_max_age: float | None = None,
+        max_inflight: int | None = None,
+        max_queue: int = 16,
+        retry_after: float = 1.0,
+        default_timeout: float | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        drain_timeout: float = 10.0,
+        fallback: bool = True,
     ) -> None:
+        if max_body_bytes <= 0:
+            raise ValueError(
+                f"max_body_bytes must be positive, got {max_body_bytes}"
+            )
+        if drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {drain_timeout}"
+            )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
         self.default_backend = backend
         self.default_executor = executor
+        self.default_timeout = default_timeout
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
+        self.drain_failed = False
+        self.gate = AdmissionGate(
+            max_inflight=max_inflight, max_queue=max_queue,
+            retry_after=retry_after,
+        )
         self.disk = resolve_disk(True if artifact_cache is None else artifact_cache)
         self.registry = PoolRegistry(
             max_workers=max_workers,
             chunk_size=chunk_size,
             artifact_cache=self.disk if self.disk is not None else False,
+            fallback=fallback,
         )
         self.startup_prune: PruneReport | None = None
         if self.disk is not None:
@@ -412,19 +673,47 @@ class SimulationServer:
         self._serve_started = True
         self._http.serve_forever()
 
-    def close(self, wait: bool = True) -> None:
-        """Graceful shutdown: stop accepting, drain requests, drain pools."""
+    def close(self, wait: bool = True) -> bool:
+        """Graceful shutdown: stop accepting, drain requests, drain pools.
+
+        The drain is bounded by ``drain_timeout`` seconds and *reported*:
+        returns ``True`` when everything finished in time, ``False`` —
+        with :attr:`drain_failed` set — when in-flight request threads
+        outlived the budget and were abandoned (they are daemonic, so
+        the process can still exit).  ``/readyz`` reports not-ready from
+        the moment this is called, so a load balancer stops sending work
+        before the listener goes away.
+        """
         if self._closed:
-            return
+            return not self.drain_failed
         self._closed = True
         if self._serve_started:
             # BaseServer.shutdown blocks until the serve loop acknowledges,
             # so it must only run when a loop was (or is) running
             self._http.shutdown()        # stop the accept loop
-        self._http.server_close()        # join in-flight request threads
+        deadline = time.monotonic() + self.drain_timeout
+        # server_close joins in-flight request threads with no timeout of
+        # its own (daemon_threads is off), so run it on a sacrificial
+        # thread and bound the wait here — a hung request must not turn
+        # graceful shutdown into an unbounded hang
+        closer = threading.Thread(
+            target=self._http.server_close,
+            name="repro-sim-server-close",
+            daemon=True,
+        )
+        closer.start()
+        closer.join(timeout=max(0.0, deadline - time.monotonic()))
+        if closer.is_alive():
+            self.drain_failed = True
         if self._thread is not None and self._thread.is_alive():
-            self._thread.join(timeout=10.0)
-        self.registry.close_all(wait=wait)  # drain in-flight pool chunks
+            self._thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if self._thread.is_alive():
+                self.drain_failed = True
+        # a failed drain means something is hung inside a pool: do not
+        # wait on its chunks either, or close() would hang exactly where
+        # the bounded join just refused to
+        self.registry.close_all(wait=wait and not self.drain_failed)
+        return not self.drain_failed
 
     def __enter__(self) -> "SimulationServer":
         return self.start()
@@ -450,6 +739,31 @@ class SimulationServer:
             "status": "ok",
             "version": _version(),
             "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def handle_readyz(self) -> tuple[int, dict]:
+        """Readiness, as distinct from liveness: a 503 here means "route
+        new work elsewhere", not "restart me" — the server is draining
+        toward shutdown or every admission slot is taken."""
+        admission = self.gate.snapshot()
+        if self._closed:
+            reason = "draining"
+        elif (
+            admission["max_inflight"] is not None
+            and admission["inflight"] >= admission["max_inflight"]
+        ):
+            reason = "saturated"
+        else:
+            return 200, {
+                "protocol": PROTOCOL_VERSION,
+                "ready": True,
+                "admission": admission,
+            }
+        return 503, {
+            "protocol": PROTOCOL_VERSION,
+            "ready": False,
+            "reason": reason,
+            "admission": admission,
         }
 
     def handle_machines(self) -> tuple[int, dict]:
@@ -500,11 +814,18 @@ class SimulationServer:
                 "executor": self.default_executor,
                 "max_workers": self.registry.max_workers,
                 "chunk_size": self.registry.chunk_size,
+                "default_timeout": self.default_timeout,
+                "max_body_bytes": self.max_body_bytes,
+                "drain_timeout": self.drain_timeout,
             },
             "requests": {
                 "total": sum(by_route.values()),
                 "by_route": by_route,
                 "errors": errors,
+            },
+            "resilience": {
+                "admission": self.gate.snapshot(),
+                **self.registry.resilience_totals(),
             },
             "pools": self.registry.describe(),
         }
@@ -518,6 +839,8 @@ class SimulationServer:
                     self.startup_prune.removed_files
                     if self.startup_prune is not None else 0
                 ),
+                "degraded": self.disk.degraded,
+                "write_errors": self.disk.write_errors,
             }
         else:
             document["disk_cache"] = None
@@ -537,31 +860,55 @@ class SimulationServer:
                     status=422, kind="unsupported_capability",
                 )
 
-    def _run_parsed(self, batch: ParsedBatch) -> BatchResult:
-        pool = self.registry.pool_for(batch)
-        self._check_capabilities(batch, pool)
-        return pool.run_batch(list(batch.runs))
+    def _run_parsed(
+        self, batch: ParsedBatch, default_timeout: float | None
+    ) -> tuple[BatchResult, dict | None]:
+        """Admit, resolve the pool (fallback chain included), and run.
 
-    def handle_batch(self, doc: object) -> tuple[int, dict]:
+        The admission gate covers everything expensive — pool creation
+        (a compile, potentially) and the simulations themselves — while
+        parsing stayed outside it: rejecting a malformed request must
+        work even on a saturated server.
+        """
+        batch = with_default_timeout(batch, default_timeout)
+        self.gate.acquire()
+        try:
+            pool, degraded = self.registry.pool_for(batch)
+            self._check_capabilities(batch, pool)
+            return pool.run_batch(list(batch.runs)), degraded
+        finally:
+            self.gate.release()
+
+    def handle_batch(
+        self, doc: object, default_timeout: float | None = None
+    ) -> tuple[int, dict]:
         batch = parse_batch_request(
             doc, self.default_backend, self.default_executor
         )
-        result = self._run_parsed(batch)
-        return 200, batch_result_to_json(result)
+        result, degraded = self._run_parsed(batch, default_timeout)
+        document = batch_result_to_json(result)
+        if degraded is not None:
+            document["degraded"] = degraded
+        return 200, document
 
-    def handle_run(self, doc: object) -> tuple[int, dict]:
+    def handle_run(
+        self, doc: object, default_timeout: float | None = None
+    ) -> tuple[int, dict]:
         batch = parse_run_request(
             doc, self.default_backend, self.default_executor
         )
-        result = self._run_parsed(batch)
+        result, degraded = self._run_parsed(batch, default_timeout)
         item = result.items[0]
         if not item.ok:
             raise item.error
         document = batch_result_to_json(result)
         single = document["items"][0]["result"]
-        return 200, {
+        response = {
             "protocol": PROTOCOL_VERSION,
             "backend": result.backend,
             "executor": result.executor,
             "result": single,
         }
+        if degraded is not None:
+            response["degraded"] = degraded
+        return 200, response

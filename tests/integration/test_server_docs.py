@@ -68,7 +68,8 @@ def test_error_kinds_are_documented():
         "unknown_backend", "unknown_executor", "unknown_route",
         "method_not_allowed", "unsupported_capability",
         "invalid_specification", "body_too_large", "length_required",
-        "shutting_down", "internal_error",
+        "shutting_down", "internal_error", "overloaded",
+        "deadline_exceeded", "worker_crash", "invalid_timeout",
     ):
         assert kind in text, f"error kind '{kind}' undocumented"
 

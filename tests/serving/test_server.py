@@ -314,6 +314,64 @@ class TestServing:
         assert second >= first + 2  # healthz + the stats call itself
 
 
+class TestRobustness:
+    def test_configurable_body_limit_answers_413(self):
+        with SimulationServer(port=0, artifact_cache=False,
+                              max_body_bytes=512) as small:
+            status, document = post(small, "/v1/run", {
+                "machine": "counter", "cycles": 4, "tag": "x" * 2048,
+            })
+            assert status == 413
+            assert document["error"]["type"] == "body_too_large"
+            assert "512" in document["error"]["message"]
+            # an in-budget request on the same server still serves
+            status, _ = post(small, "/v1/run",
+                             {"machine": "counter", "cycles": 4})
+            assert status == 200
+
+    def test_body_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_body_bytes"):
+            SimulationServer(port=0, artifact_cache=False, max_body_bytes=0)
+
+    def test_close_reports_a_clean_drain(self):
+        server = SimulationServer(port=0, artifact_cache=False,
+                                  drain_timeout=5.0).start()
+        assert get(server, "/healthz")[0] == 200
+        assert server.close() is True
+        assert server.drain_failed is False
+
+    def test_drain_timeout_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="drain_timeout"):
+            SimulationServer(port=0, artifact_cache=False, drain_timeout=-1.0)
+
+    def test_unpicklable_override_is_per_item_error_not_500(self, server,
+                                                            monkeypatch):
+        # the full wire -> pool -> process-executor path with a request
+        # that cannot cross the process boundary: the pickling failure
+        # must come back as that item's structured error, the innocent
+        # item must run, and the server must stay up
+        from repro.serving import protocol
+
+        monkeypatch.setattr(
+            protocol, "ConstantOverride",
+            lambda values: (lambda name, value, cycle: value),
+        )
+        status, document = post(server, "/v1/batch", {
+            "machine": "counter", "backend": "threaded",
+            "executor": "process",
+            "runs": [{"cycles": 8, "override": {"count": 1},
+                      "tag": "poisoned"},
+                     {"cycles": 8, "tag": "fine"}],
+        })
+        assert status == 200
+        assert document["ok"] is False
+        poisoned, fine = document["items"]
+        assert poisoned["ok"] is False
+        assert poisoned["error"]["message"]
+        assert fine["ok"] is True
+        assert get(server, "/healthz")[0] == 200
+
+
 class TestLifecycle:
     def test_startup_prune_bounds_the_cache_dir(self, tmp_path):
         from repro.compiler.cache import DiskCache
