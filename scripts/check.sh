@@ -51,5 +51,12 @@ echo "== batch benchmark smoke (executor matrix + server overhead, schema only) 
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_batch_throughput.py \
     benchmarks/test_server_overhead.py -x -q
 
+echo "== differential fuzz smoke (fixed seed, full backend x executor matrix) =="
+# twenty seeded random machines, each JSON-round-tripped and run through
+# every backend x specopt x executor configuration demanding bit-identical
+# results — so neither the interchange format nor backend equivalence on
+# machines nobody wrote can silently rot between full fuzz sessions
+python -m repro fuzz --seed 7 --count 20
+
 echo "== tier-1 tests =="
 python -m pytest -x -q

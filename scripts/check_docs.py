@@ -37,6 +37,12 @@ REQUIRED_MODULES = (
     "serving/protocol.py",
     "serving/pool.py",
     "compiler/cache.py",
+    "rtl/interchange.py",
+    "fuzz/__init__.py",
+    "fuzz/generator.py",
+    "fuzz/differential.py",
+    "fuzz/shrink.py",
+    "fuzz/corpus.py",
 )
 
 

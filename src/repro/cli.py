@@ -22,7 +22,17 @@ executable code".  This module provides the modern equivalent as
   persistent artifact cache;
 * ``cache``    — inspect (``cache info``) or garbage-collect
   (``cache prune --max-bytes/--max-age``) the persistent artifact cache
-  under ``$REPRO_CACHE_DIR``.
+  under ``$REPRO_CACHE_DIR``;
+* ``spec``     — convert specifications between the paper's text form and
+  the versioned JSON interchange format (``spec export``;
+  :mod:`repro.rtl.interchange`, documented in ``docs/spec-format.md``) or
+  check one without running it (``spec validate``); both accept either
+  form and auto-detect which they were given;
+* ``fuzz``     — differential fuzzing (:mod:`repro.fuzz`): generate seeded
+  random machines, round-trip each through the JSON format, run every
+  backend × specopt × executor configuration and demand bit-identical
+  results; mismatches are shrunk to minimal reproducers and optionally
+  persisted into a crasher corpus (``--corpus-dir``).
 """
 
 from __future__ import annotations
@@ -38,11 +48,16 @@ from repro.core.simulator import BACKEND_NAMES, Simulator
 from repro.errors import AsimError
 from repro.machines.library import all_machines, get_machine
 from repro.rtl.parser import parse_spec_file
+from repro.serving.executor import EXECUTOR_NAMES
 from repro.synth.report import hardware_report
 
 
 def _add_spec_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("spec", type=Path, help="specification file to read")
+    parser.add_argument(
+        "spec", type=Path,
+        help="specification file to read (text or interchange JSON, "
+        "auto-detected)",
+    )
 
 
 #: Multipliers for the human-readable size suffixes ``repro cache``/``serve``
@@ -312,6 +327,73 @@ def _build_parser() -> argparse.ArgumentParser:
         "(s/m/h/d suffixes accepted)",
     )
 
+    spec_parser = subparsers.add_parser(
+        "spec",
+        help="convert or check specifications in text or JSON interchange "
+        "form (docs/spec-format.md)",
+    )
+    spec_sub = spec_parser.add_subparsers(dest="spec_command", required=True)
+    spec_export = spec_sub.add_parser(
+        "export",
+        help="convert a specification between the text form and the JSON "
+        "interchange format (input format is auto-detected)",
+    )
+    _add_spec_argument(spec_export)
+    spec_export.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output file (default: stdout)",
+    )
+    spec_export.add_argument(
+        "--text", action="store_true",
+        help="emit the paper's text form instead of interchange JSON",
+    )
+    spec_validate = spec_sub.add_parser(
+        "validate",
+        help="parse and validate a specification (text or JSON) without "
+        "running it; exit 1 if invalid",
+    )
+    _add_spec_argument(spec_validate)
+    spec_validate.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings (selector coverage, missing declarations) "
+        "as errors",
+    )
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: random machines through every "
+        "backend x specopt x executor, demanding bit-identity",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="session seed; machine i uses a seed derived from it "
+        "(default: 0)",
+    )
+    fuzz_parser.add_argument(
+        "-n", "--count", type=int, default=50,
+        help="number of machines to generate and check (default: 50)",
+    )
+    fuzz_parser.add_argument(
+        "--max-components", type=int, default=16,
+        help="ceiling on components per generated machine (default: 16)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="greedily minimise mismatching machines before reporting "
+        "(default: on)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus-dir", type=Path, default=None, metavar="DIR",
+        help="persist shrunk reproducers into DIR as regression cases "
+        "(the committed corpus lives in tests/fuzz/corpus)",
+    )
+    fuzz_parser.add_argument(
+        "--executors", default=",".join(EXECUTOR_NAMES),
+        metavar="LIST",
+        help="comma-separated executor strategies for the pooled phase, "
+        "empty for sequential-only (default: serial,thread,process)",
+    )
+
     return parser
 
 
@@ -321,7 +403,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_compile(args: argparse.Namespace) -> int:
-    spec = parse_spec_file(args.spec)
+    spec = _load_spec_any_format(args.spec)
     options = CodegenOptions.unoptimized() if args.no_optimize else CodegenOptions()
     source = (
         generate_pascal(spec, options) if args.pascal else generate_python(spec, options)
@@ -348,7 +430,7 @@ def _print_result(result, show_trace: bool, show_stats: bool) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    spec = parse_spec_file(args.spec)
+    spec = _load_spec_any_format(args.spec)
     simulator = Simulator(spec, backend=args.backend)
     result = simulator.run(
         cycles=args.cycles,
@@ -377,7 +459,7 @@ def _command_demo(args: argparse.Namespace) -> int:
 
 
 def _command_netlist(args: argparse.Namespace) -> int:
-    spec = parse_spec_file(args.spec)
+    spec = _load_spec_any_format(args.spec)
     print(hardware_report(spec).render())
     return 0
 
@@ -385,7 +467,7 @@ def _command_netlist(args: argparse.Namespace) -> int:
 def _command_serve_batch(args: argparse.Namespace) -> int:
     from repro.serving import BatchRequest, run_batch
 
-    spec = parse_spec_file(args.spec)
+    spec = _load_spec_any_format(args.spec)
     request = BatchRequest.repeat(
         spec, args.runs, cycles=args.cycles, inputs=args.input,
         backend=args.backend,
@@ -474,6 +556,76 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_any_format(path: Path, validate: bool = True):
+    """Read *path* as interchange JSON or the paper's text form."""
+    from dataclasses import replace
+
+    from repro.rtl.interchange import looks_like_json, spec_from_json_text
+
+    text = path.read_text(encoding="utf-8")
+    if looks_like_json(text):
+        spec = spec_from_json_text(text, validate=validate)
+        if spec.source_name == "<specification>":
+            spec = replace(spec, source_name=path.name)
+        return spec
+    return parse_spec_file(path)
+
+
+def _command_spec(args: argparse.Namespace) -> int:
+    from repro.rtl.interchange import spec_to_json_text
+    from repro.rtl.writer import spec_to_text
+
+    if args.spec_command == "export":
+        spec = _load_spec_any_format(args.spec)
+        rendered = (
+            spec_to_text(spec) if args.text
+            else spec_to_json_text(spec) + "\n"
+        )
+        if args.output is None:
+            print(rendered, end="")
+        else:
+            args.output.write_text(rendered, encoding="utf-8")
+            print(f"wrote {args.output}")
+        return 0
+
+    # validate: parse leniently, then report every problem at once
+    from repro.rtl.validate import validate as validate_spec
+
+    spec = _load_spec_any_format(args.spec, validate=False)
+    report = validate_spec(spec, strict=args.strict)
+    for problem in report.errors:
+        print(f"error: {problem}", file=sys.stderr)
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    if not report.ok:
+        return 1
+    print(f"{args.spec}: ok ({len(spec)} components)")
+    return 0
+
+
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import GeneratorConfig, run_fuzz_session
+
+    executors = tuple(
+        name for name in args.executors.split(",") if name
+    )
+    unknown = [name for name in executors if name not in EXECUTOR_NAMES]
+    if unknown:
+        print(f"error: unknown executor(s) {', '.join(unknown)} "
+              f"(choose from {', '.join(EXECUTOR_NAMES)})", file=sys.stderr)
+        return 2
+    report = run_fuzz_session(
+        args.seed, args.count,
+        config=GeneratorConfig(max_components=args.max_components),
+        executors=executors,
+        shrink=args.shrink,
+        corpus_dir=args.corpus_dir,
+        log=print,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "compile": _command_compile,
     "run": _command_run,
@@ -483,6 +635,8 @@ _COMMANDS = {
     "serve-batch": _command_serve_batch,
     "serve": _command_serve,
     "cache": _command_cache,
+    "spec": _command_spec,
+    "fuzz": _command_fuzz,
 }
 
 

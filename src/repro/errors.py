@@ -84,6 +84,20 @@ class ValidationError(SpecificationError):
         super().__init__("; ".join(problems))
 
 
+class SpecFormatError(SpecificationError):
+    """A JSON specification document that does not follow the interchange
+    schema (:mod:`repro.rtl.interchange`).
+
+    ``path`` locates the offending node in the document using JavaScript-ish
+    syntax (``components[3].left[0].width``), so a client uploading a machine
+    over the wire gets a pointer rather than prose.
+    """
+
+    def __init__(self, message: str, path: str = "$") -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
 # ---------------------------------------------------------------------------
 # Simulation (run) time errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Crasher corpus: persisted fuzz cases replayed as regression tests.
+
+When a fuzz session finds a mismatch it shrinks the machine and writes a
+*case document* — the interchange-JSON spec plus the run parameters that
+reproduce the failure, and enough metadata (seed, failure description) to
+understand it later — into a corpus directory.  ``tests/fuzz/corpus/``
+holds the committed corpus; ``tests/fuzz/test_corpus.py`` replays every
+document through the differential runner on each run of the suite, so a
+fixed divergence can never silently return.
+
+The document is a wrapper around the interchange format rather than an
+extension of it: :func:`repro.rtl.interchange.spec_from_json` strictly
+rejects unknown keys, so run parameters live beside the spec, not inside
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import SpecFormatError
+from repro.rtl.interchange import spec_from_json, spec_to_json
+from repro.rtl.spec import Specification
+
+#: Format marker for a persisted fuzz case.
+CASE_FORMAT = "repro-fuzz-case"
+CASE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One persisted fuzz case: a machine plus the run that exposes it."""
+
+    spec: Specification
+    cycles: int
+    inputs: tuple[int, ...] = ()
+    meta: Mapping[str, object] = field(default_factory=dict)
+    #: where the case was loaded from (``None`` for in-memory cases)
+    path: Path | None = None
+
+    @property
+    def name(self) -> str:
+        if self.path is not None:
+            return self.path.stem
+        return self.spec.source_name
+
+
+def case_to_document(
+    spec: Specification,
+    cycles: int,
+    inputs: Iterable[int] = (),
+    meta: Mapping[str, object] | None = None,
+) -> dict:
+    """The JSON document persisting one fuzz case."""
+    document: dict = {
+        "format": CASE_FORMAT,
+        "version": CASE_VERSION,
+        "spec": spec_to_json(spec),
+        "run": {"cycles": int(cycles), "inputs": [int(v) for v in inputs]},
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def case_from_document(doc: object, path: Path | None = None) -> FuzzCase:
+    """Parse a persisted fuzz case, validating the wrapper strictly."""
+    where = str(path) if path is not None else "$"
+    if not isinstance(doc, dict):
+        raise SpecFormatError("fuzz case document must be a JSON object",
+                              where)
+    if doc.get("format") != CASE_FORMAT:
+        raise SpecFormatError(
+            f"expected format {CASE_FORMAT!r}, got {doc.get('format')!r}",
+            f"{where}.format",
+        )
+    if doc.get("version") != CASE_VERSION:
+        raise SpecFormatError(
+            f"unsupported fuzz case version {doc.get('version')!r}",
+            f"{where}.version",
+        )
+    unknown = set(doc) - {"format", "version", "spec", "run", "meta"}
+    if unknown:
+        raise SpecFormatError(
+            f"unknown key(s) {sorted(unknown)!r}", where
+        )
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        raise SpecFormatError("missing or malformed 'run' object",
+                              f"{where}.run")
+    cycles = run.get("cycles")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 1:
+        raise SpecFormatError("run.cycles must be a positive integer",
+                              f"{where}.run.cycles")
+    inputs = run.get("inputs", [])
+    if not isinstance(inputs, list) or any(
+        not isinstance(v, int) or isinstance(v, bool) for v in inputs
+    ):
+        raise SpecFormatError("run.inputs must be a list of integers",
+                              f"{where}.run.inputs")
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict):
+        raise SpecFormatError("meta must be an object", f"{where}.meta")
+    spec = spec_from_json(doc.get("spec"))
+    return FuzzCase(
+        spec=spec, cycles=cycles, inputs=tuple(inputs), meta=meta, path=path
+    )
+
+
+def save_case(
+    directory: Path | str,
+    spec: Specification,
+    cycles: int,
+    inputs: Iterable[int] = (),
+    meta: Mapping[str, object] | None = None,
+    stem: str | None = None,
+) -> Path:
+    """Persist a case into *directory* and return the written path.
+
+    The file name defaults to ``crasher-<fingerprint12>.json`` so the same
+    minimised machine is never stored twice.
+    """
+    from repro.compiler.cache import spec_fingerprint
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if stem is None:
+        stem = f"crasher-{spec_fingerprint(spec)[:12]}"
+    path = directory / f"{stem}.json"
+    document = case_to_document(spec, cycles, inputs, meta)
+    path.write_text(json.dumps(document, indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_case(path: Path | str) -> FuzzCase:
+    """Load one persisted fuzz case from *path*."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecFormatError(f"not valid JSON: {exc}", str(path)) from exc
+    return case_from_document(doc, path=path)
+
+
+def load_corpus(directory: Path | str) -> list[FuzzCase]:
+    """Load every ``*.json`` case under *directory*, sorted by name.
+
+    A missing directory is an empty corpus, not an error — a fresh
+    checkout has no crashers yet.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_case(path) for path in sorted(directory.glob("*.json"))]

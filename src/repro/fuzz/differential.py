@@ -1,0 +1,283 @@
+"""Differential execution: one spec, every backend × specopt × executor.
+
+The equivalence matrix that guards the lowering pipeline
+(``tests/integration/test_backend_equivalence.py``) asserts bit-identity
+over the seven bundled machines; this module is the same assertion as a
+*function over arbitrary specifications*, so the fuzzer can apply it to
+thousands of generated machines:
+
+* **sequential phase** — the interpreter without spec-level optimization
+  is the reference; every backend × specopt on/off runs with identical
+  inputs and full instrumentation.  Results and traces must match the
+  reference bit for bit; statistics must match within each schedule class
+  (plain configs against the reference, specopt configs against the
+  specopt'd interpreter, which executes the same optimized schedule).
+* **executor phase** — every backend × specopt configuration again, but
+  through a :class:`~repro.serving.SimulationPool` on each executor
+  strategy (serial / thread / process).  Each pooled run must be
+  bit-identical — results, traces *and statistics* — to the sequential
+  run of the same configuration.
+
+A failure is a :class:`DifferentialFailure` naming the configuration and
+the mismatches; :class:`DifferentialReport` aggregates them per spec.  A
+run that *raises* is also differential material: if the reference raises,
+every configuration must raise the same error type (a machine that breaks
+must break identically everywhere).
+
+:func:`ir_fingerprint` hashes the pickled lowered
+:class:`~repro.lowering.program.CycleProgram`, giving the fuzzer a strict
+"same IR" check for JSON round-trips on top of the textual
+:func:`~repro.compiler.cache.spec_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.compiler.cache import spec_fingerprint
+from repro.compiler.compiled import CompiledBackend
+from repro.compiler.threaded import ThreadedBackend
+from repro.core.backend import Backend
+from repro.core.comparison import compare_results
+from repro.core.iosystem import QueueIO
+from repro.core.results import SimulationResult
+from repro.core.trace import TraceOptions
+from repro.errors import SimulationError
+from repro.interp.interpreter import InterpreterBackend
+from repro.lowering import lower
+from repro.rtl.parser import parse_spec
+from repro.rtl.spec import Specification
+from repro.rtl.writer import spec_to_text
+from repro.serving.batch import RunRequest
+from repro.serving.executor import EXECUTOR_NAMES
+from repro.serving.pool import SimulationPool
+
+#: Reference configuration label (interpreter, no spec-level optimization).
+REFERENCE_CONFIG = "interpreter"
+
+
+def backend_matrix() -> list[tuple[str, bool, "type[Backend]"]]:
+    """The (label, specopt, backend factory) configurations under test."""
+    matrix: list[tuple[str, bool, type[Backend]]] = []
+    for specopt in (False, True):
+        suffix = "+specopt" if specopt else ""
+        matrix.append((f"interpreter{suffix}", specopt, InterpreterBackend))
+        matrix.append((f"threaded{suffix}", specopt, ThreadedBackend))
+        matrix.append((f"compiled{suffix}", specopt, CompiledBackend))
+    return matrix
+
+
+def _make_backend(factory: "type[Backend]", specopt: bool) -> Backend:
+    if factory is InterpreterBackend:
+        return InterpreterBackend(specopt=specopt)
+    return factory(specopt=specopt)  # type: ignore[call-arg]
+
+
+def ir_fingerprint(spec: Specification) -> str:
+    """Hash of the pickled lowered IR (the artifact every backend consumes).
+
+    Two specifications with equal IR fingerprints lower to byte-identical
+    :class:`~repro.lowering.program.CycleProgram` payloads — the strict
+    form of "the DiskCache / PoolRegistry key survives a round trip".  The
+    specification is canonicalised through its text form first (exactly the
+    normalisation :func:`~repro.compiler.cache.spec_fingerprint` hashes),
+    so presentation metadata — expression source strings, the spec's
+    ``source_name`` — cannot leak into the hash while any semantic
+    difference, or any nondeterminism in lowering itself, still shows.
+    """
+    canonical = parse_spec(spec_to_text(spec))
+    return hashlib.sha256(pickle.dumps(lower(canonical))).hexdigest()
+
+
+@dataclass(frozen=True)
+class DifferentialFailure:
+    """One configuration that disagreed with its reference."""
+
+    config: str
+    mismatches: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"[{self.config}] " + "; ".join(self.mismatches)
+
+
+@dataclass
+class DifferentialReport:
+    """Everything the differential runner learned about one specification."""
+
+    fingerprint: str
+    cycles: int
+    inputs: tuple[int, ...]
+    #: configurations executed (sequential + pooled)
+    configs_run: int = 0
+    failures: list[DifferentialFailure] = field(default_factory=list)
+    #: the error type the reference raised, or ``None`` for a clean run
+    reference_error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"ok: {self.configs_run} configurations bit-identical "
+                f"({self.cycles} cycles)"
+            )
+        lines = [failure.describe() for failure in self.failures]
+        return f"{len(self.failures)} mismatching configuration(s): " + \
+            " | ".join(lines)
+
+
+_TRACE = TraceOptions(trace_cycles=True, trace_memory_accesses=True)
+
+
+def _sequential_run(
+    backend: Backend, spec: Specification, cycles: int,
+    inputs: Sequence[int],
+) -> "SimulationResult | type":
+    try:
+        return backend.run(
+            spec, cycles=cycles, io=QueueIO(inputs, strict=False),
+            trace=_TRACE,
+        )
+    except SimulationError as exc:
+        return type(exc)
+
+
+def run_differential(
+    spec: Specification,
+    cycles: int,
+    inputs: Sequence[int] = (),
+    executors: Sequence[str] = EXECUTOR_NAMES,
+    pool_workers: int = 2,
+    runs_per_pool: int = 2,
+    matrix: "Sequence[tuple[str, bool, type[Backend]]] | None" = None,
+) -> DifferentialReport:
+    """Run *spec* through the full backend × specopt × executor matrix.
+
+    Returns a report; never raises on a mismatch (raising is the caller's
+    policy decision — the fuzz session shrinks and persists instead).
+    *matrix* overrides :func:`backend_matrix`; the sabotage tests inject a
+    deliberately corrupted backend this way to prove mismatches are caught,
+    shrunk and persisted.
+    """
+    if matrix is None:
+        matrix = backend_matrix()
+    report = DifferentialReport(
+        fingerprint=spec_fingerprint(spec),
+        cycles=cycles,
+        inputs=tuple(inputs),
+    )
+
+    # -- sequential phase ---------------------------------------------------
+    sequential: dict[str, SimulationResult | type] = {}
+    for label, specopt, factory in matrix:
+        sequential[label] = _sequential_run(
+            _make_backend(factory, specopt), spec, cycles, inputs
+        )
+        report.configs_run += 1
+
+    reference = sequential[REFERENCE_CONFIG]
+    if isinstance(reference, type):
+        # the machine breaks on the reference: every configuration must
+        # break identically, and there is nothing to pool
+        report.reference_error = reference.__name__
+        for label, outcome in sequential.items():
+            if label == REFERENCE_CONFIG:
+                continue
+            if not isinstance(outcome, type) or outcome is not reference:
+                got = (
+                    outcome.__name__ if isinstance(outcome, type)
+                    else "a clean run"
+                )
+                report.failures.append(DifferentialFailure(
+                    config=label,
+                    mismatches=(
+                        f"reference raised {reference.__name__} but this "
+                        f"configuration produced {got}",
+                    ),
+                ))
+        return report
+
+    # a custom (sabotage) matrix may omit the specopt'd interpreter; specopt
+    # stats then have no same-schedule reference and are not compared
+    specopt_reference = sequential.get("interpreter+specopt")
+    for label, specopt, _factory in matrix:
+        outcome = sequential[label]
+        if label == REFERENCE_CONFIG:
+            continue
+        if isinstance(outcome, type):
+            report.failures.append(DifferentialFailure(
+                config=label,
+                mismatches=(f"raised {outcome.__name__} but the reference "
+                            "ran cleanly",),
+            ))
+            continue
+        mismatches = compare_results(reference, outcome, compare_trace=True)
+        # statistics are schedule-class-wide: plain configs execute the
+        # reference schedule, specopt configs the optimized one
+        stats_reference = specopt_reference if specopt else reference
+        if (
+            stats_reference is not None
+            and not isinstance(stats_reference, type)
+            and outcome.stats != stats_reference.stats
+        ):
+            mismatches.append(
+                "statistics differ from the "
+                + ("specopt" if specopt else "reference")
+                + " schedule class"
+            )
+        if mismatches:
+            report.failures.append(DifferentialFailure(
+                config=label, mismatches=tuple(mismatches)
+            ))
+
+    # -- executor phase -----------------------------------------------------
+    request = RunRequest(
+        cycles=cycles, inputs=tuple(inputs), trace=_TRACE,
+        collect_stats=True,
+    )
+    for executor in executors:
+        for label, specopt, factory in matrix:
+            config = f"{label}@{executor}"
+            expected = sequential[label]
+            if isinstance(expected, type):  # pragma: no cover - guarded above
+                continue
+            try:
+                with SimulationPool(
+                    spec,
+                    backend=_make_backend(factory, specopt),
+                    executor=executor,
+                    max_workers=pool_workers,
+                ) as pool:
+                    batch = pool.run_batch([request] * runs_per_pool)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                report.failures.append(DifferentialFailure(
+                    config=config,
+                    mismatches=(f"pool failed: {type(exc).__name__}: {exc}",),
+                ))
+                continue
+            report.configs_run += 1
+            for item in batch.items:
+                if not item.ok:
+                    report.failures.append(DifferentialFailure(
+                        config=config,
+                        mismatches=(
+                            f"run {item.index} failed: "
+                            f"{type(item.error).__name__}: {item.error}",
+                        ),
+                    ))
+                    continue
+                mismatches = compare_results(
+                    expected, item.result, compare_trace=True,
+                    compare_stats=True,
+                )
+                if mismatches:
+                    report.failures.append(DifferentialFailure(
+                        config=f"{config}#{item.index}",
+                        mismatches=tuple(mismatches),
+                    ))
+    return report

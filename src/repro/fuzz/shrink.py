@@ -1,0 +1,332 @@
+"""Greedy spec shrinking: minimise a mismatching machine to a reproducer.
+
+A fuzzer that only reports "seed 193482 disagrees" leaves the debugging to
+an archaeologist.  This module takes a failing case — a specification plus
+run parameters and a *predicate* that re-checks the failure — and greedily
+applies semantics-shrinking transformations while the predicate keeps
+failing:
+
+* drop a whole component, replacing every reference to it with a
+  width-matched zero constant;
+* replace a multi-field concatenation with one of its fields;
+* replace an expression with the constant ``0``;
+* zero / drop a memory's initial values;
+* drop trace marks, shed memory-mapped inputs, halve the cycle count.
+
+Every candidate is validated (:func:`repro.rtl.validate.ensure_valid`)
+before the predicate runs, so shrinking can never manufacture an *invalid*
+reproducer; a candidate that makes the predicate pass (or raises) is
+simply discarded.  The loop restarts after every accepted candidate and
+stops at a fixed point, so the result is 1-minimal with respect to the
+transformation set: no single remaining transformation keeps the failure.
+
+The predicate decides what "still failing" means — the fuzz session wires
+it to the differential runner restricted to the configurations that
+originally disagreed, which keeps shrinking cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import SpecificationError
+from repro.rtl.components import Alu, Component, Memory, Selector
+from repro.rtl.expressions import (
+    ComponentRef,
+    ConstantField,
+    Expression,
+    Field,
+)
+from repro.rtl.spec import Declaration, Specification
+from repro.rtl.validate import validate
+
+#: ``predicate(spec, cycles, inputs) -> bool`` — True means "still failing".
+Predicate = Callable[[Specification, int, tuple[int, ...]], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimised case and how much work finding it took."""
+
+    spec: Specification
+    cycles: int
+    inputs: tuple[int, ...]
+    #: accepted shrink steps (0 = the original case was already minimal)
+    steps: int
+    #: candidates tried, including rejected ones
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"shrunk to {len(self.spec)} components / {self.cycles} cycles "
+            f"in {self.steps} steps ({self.attempts} candidates tried)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec surgery helpers
+# ---------------------------------------------------------------------------
+
+
+def _zero_for(field: Field) -> Field:
+    """A zero constant with the same width as *field* (layout-preserving)."""
+    width = field.width
+    return ConstantField(0, width)
+
+
+def _without_reference(expression: Expression, name: str) -> Expression:
+    """Replace every reference to *name* with a width-matched zero."""
+    fields = tuple(
+        _zero_for(field)
+        if isinstance(field, ComponentRef) and field.name == name
+        else field
+        for field in expression.fields
+    )
+    if fields == expression.fields:
+        return expression
+    return Expression(fields)
+
+
+def _map_expressions(
+    component: Component, mapper: Callable[[Expression], Expression]
+) -> Component:
+    if isinstance(component, Alu):
+        return Alu(
+            name=component.name,
+            funct=mapper(component.funct),
+            left=mapper(component.left),
+            right=mapper(component.right),
+        )
+    if isinstance(component, Selector):
+        return Selector(
+            name=component.name,
+            select=mapper(component.select),
+            cases=tuple(mapper(case) for case in component.cases),
+        )
+    if isinstance(component, Memory):
+        return Memory(
+            name=component.name,
+            address=mapper(component.address),
+            data=mapper(component.data),
+            operation=mapper(component.operation),
+            size=component.size,
+            initial_values=component.initial_values,
+        )
+    raise TypeError(f"unknown component type {type(component)!r}")
+
+
+def _rebuild(
+    spec: Specification,
+    components: Sequence[Component],
+    cycles: int | None = None,
+    declarations: Sequence[Declaration] | None = None,
+) -> Specification:
+    surviving = {component.name for component in components}
+    if declarations is None:
+        declarations = tuple(
+            declaration for declaration in spec.declarations
+            if declaration.name in surviving
+        )
+    return Specification(
+        header_comment=spec.header_comment,
+        components=tuple(components),
+        declarations=tuple(declarations),
+        cycles=spec.cycles if cycles is None else cycles,
+        source_name=spec.source_name,
+    )
+
+
+def _drop_component(spec: Specification, index: int) -> Specification:
+    victim = spec.components[index].name
+    components = [
+        _map_expressions(c, lambda e: _without_reference(e, victim))
+        for i, c in enumerate(spec.components)
+        if i != index
+    ]
+    return _rebuild(spec, components)
+
+
+def _replace_role(
+    spec: Specification, owner: str, role: str, replacement: Expression
+) -> Specification:
+    components: list[Component] = []
+    for component in spec.components:
+        if component.name != owner:
+            components.append(component)
+            continue
+        roles = dict(_roles_of(component))
+        roles[role] = replacement
+        components.append(_with_roles(component, roles))
+    return _rebuild(spec, components)
+
+
+def _roles_of(component: Component) -> list[tuple[str, Expression]]:
+    if isinstance(component, Alu):
+        return [("function", component.funct), ("left", component.left),
+                ("right", component.right)]
+    if isinstance(component, Selector):
+        return [("select", component.select)] + [
+            (f"case{i}", case) for i, case in enumerate(component.cases)
+        ]
+    if isinstance(component, Memory):
+        return [("address", component.address), ("data", component.data),
+                ("operation", component.operation)]
+    raise TypeError(f"unknown component type {type(component)!r}")
+
+
+def _with_roles(
+    component: Component, roles: dict[str, Expression]
+) -> Component:
+    if isinstance(component, Alu):
+        return Alu(name=component.name, funct=roles["function"],
+                   left=roles["left"], right=roles["right"])
+    if isinstance(component, Selector):
+        cases = tuple(
+            roles[f"case{i}"] for i in range(len(component.cases))
+        )
+        return Selector(name=component.name, select=roles["select"],
+                        cases=cases)
+    if isinstance(component, Memory):
+        return Memory(
+            name=component.name, address=roles["address"],
+            data=roles["data"], operation=roles["operation"],
+            size=component.size, initial_values=component.initial_values,
+        )
+    raise TypeError(f"unknown component type {type(component)!r}")
+
+
+_ZERO = Expression((ConstantField(0),))
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration
+# ---------------------------------------------------------------------------
+
+
+def _candidates(
+    spec: Specification, cycles: int, inputs: tuple[int, ...]
+):
+    """Yield ``(spec, cycles, inputs)`` candidates, biggest wins first."""
+    # drop whole components (skip if it would empty the machine)
+    if len(spec.components) > 1:
+        for index in range(len(spec.components)):
+            yield _drop_component(spec, index), cycles, inputs
+
+    # fewer cycles reproduce faster and read easier (the spec's embedded
+    # cycle count is kept in sync so the reproducer is self-describing)
+    if cycles > 1:
+        for fewer in (max(1, cycles // 2), cycles - 1):
+            yield (
+                _rebuild(spec, spec.components, cycles=fewer,
+                         declarations=spec.declarations),
+                fewer, inputs,
+            )
+
+    # inputs gone entirely, then halved
+    if inputs:
+        yield spec, cycles, ()
+        yield spec, cycles, inputs[: len(inputs) // 2]
+
+    for component in spec.components:
+        for role, expression in _roles_of(component):
+            # a concatenation collapses to each of its fields
+            if len(expression.fields) > 1:
+                for field in expression.fields:
+                    yield (
+                        _replace_role(spec, component.name, role,
+                                      Expression((field,))),
+                        cycles, inputs,
+                    )
+            # any expression collapses to zero
+            if not (expression.is_constant
+                    and expression.constant_value() == 0):
+                yield (
+                    _replace_role(spec, component.name, role, _ZERO),
+                    cycles, inputs,
+                )
+
+    # initial memory contents vanish
+    for component in spec.components:
+        if isinstance(component, Memory) and component.initial_values:
+            cleared = Memory(
+                name=component.name, address=component.address,
+                data=component.data, operation=component.operation,
+                size=component.size, initial_values=(),
+            )
+            yield (
+                _rebuild(spec, [
+                    cleared if c.name == component.name else c
+                    for c in spec.components
+                ]),
+                cycles, inputs,
+            )
+
+    # trace marks add noise to reproducers
+    if any(declaration.traced for declaration in spec.declarations):
+        yield (
+            _rebuild(
+                spec, spec.components,
+                declarations=tuple(
+                    Declaration(name=d.name, traced=False)
+                    for d in spec.declarations
+                ),
+            ),
+            cycles, inputs,
+        )
+
+
+def _is_valid(spec: Specification) -> bool:
+    try:
+        return validate(spec).ok
+    except SpecificationError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The greedy loop
+# ---------------------------------------------------------------------------
+
+
+def shrink_case(
+    spec: Specification,
+    cycles: int,
+    inputs: Sequence[int],
+    is_failing: Predicate,
+    max_attempts: int = 4000,
+) -> ShrinkResult:
+    """Greedily minimise a failing case while *is_failing* stays true.
+
+    The original case is assumed failing (callers check before shrinking).
+    A predicate that raises on a candidate counts as "not failing" — a
+    shrink step may legitimately push a machine into a runtime error the
+    original never hit, and that is a different bug than the one being
+    minimised.
+    """
+    best = (spec, cycles, tuple(inputs))
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(*best):
+            if attempts >= max_attempts:
+                break
+            candidate_spec, candidate_cycles, candidate_inputs = candidate
+            attempts += 1
+            try:
+                if not _is_valid(candidate_spec):
+                    continue
+                if not is_failing(candidate_spec, candidate_cycles,
+                                  candidate_inputs):
+                    continue
+            except Exception:  # noqa: BLE001 - a raising candidate is skipped
+                continue
+            best = (candidate_spec, candidate_cycles, candidate_inputs)
+            steps += 1
+            improved = True
+            break
+    return ShrinkResult(
+        spec=best[0], cycles=best[1], inputs=best[2],
+        steps=steps, attempts=attempts,
+    )

@@ -1,0 +1,646 @@
+"""Machines found by the differential fuzzer, promoted to the library.
+
+These two specifications were produced by :mod:`repro.fuzz.generator`
+(seeds 390 and 40 of the default configuration) and promoted because they
+exercise shapes the hand-written machines do not: ``fuzz-rom`` drives ALU
+function selects and the memory operation word out of control-ROM bit
+fields while mixing selectors, a RAM and both I/O ports; ``fuzz-datapath``
+is a compact selector-steered datapath whose RAM write address and
+selector index come from single register bits.
+
+They are stored in the interchange JSON format (``docs/spec-format.md``)
+rather than as builder calls — the library dogfoods the same documents
+clients ship over the wire, and building them exercises
+:func:`repro.rtl.interchange.spec_from_json` on every registry walk.  The
+documents are frozen artifacts: regenerating them from the seeds is *not*
+guaranteed to stay byte-identical across generator changes, which is
+exactly why the JSON is committed instead of the seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.rtl.interchange import spec_from_json
+from repro.rtl.spec import Specification
+
+
+_FUZZ_ROM_JSON = """
+{
+  "format": "repro-spec",
+  "version": 1,
+  "comment": "# fuzz machine seed=390",
+  "name": "fuzz-rom",
+  "cycles": 41,
+  "declarations": [
+    "pcinc",
+    "pc",
+    "ctrl",
+    "s0*",
+    "s1",
+    "ram",
+    "inport",
+    "outport",
+    "r0",
+    "r1",
+    "r2"
+  ],
+  "components": [
+    {
+      "type": "alu",
+      "name": "pcinc",
+      "function": [
+        {
+          "type": "const",
+          "value": 4
+        }
+      ],
+      "left": [
+        {
+          "type": "ref",
+          "name": "pc"
+        }
+      ],
+      "right": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "pc",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "pcinc"
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 1,
+      "initial": [
+        0
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "ctrl",
+      "address": [
+        {
+          "type": "ref",
+          "name": "pc",
+          "low": 0,
+          "high": 2
+        }
+      ],
+      "data": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "size": 8,
+      "initial": [
+        574785,
+        451274,
+        181526,
+        1003613,
+        983365,
+        201490,
+        360920,
+        790982
+      ]
+    },
+    {
+      "type": "selector",
+      "name": "s0",
+      "select": [
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 1,
+          "high": 2
+        }
+      ],
+      "cases": [
+        [
+          {
+            "type": "ref",
+            "name": "ctrl",
+            "low": 1,
+            "high": 4
+          }
+        ],
+        [
+          {
+            "type": "bits",
+            "bits": "1110110"
+          }
+        ],
+        [
+          {
+            "type": "ref",
+            "name": "pc"
+          }
+        ],
+        [
+          {
+            "type": "const",
+            "value": 187
+          }
+        ]
+      ]
+    },
+    {
+      "type": "selector",
+      "name": "s1",
+      "select": [
+        {
+          "type": "ref",
+          "name": "s0",
+          "low": 1,
+          "high": 2
+        }
+      ],
+      "cases": [
+        [
+          {
+            "type": "ref",
+            "name": "r2"
+          },
+          {
+            "type": "ref",
+            "name": "r2",
+            "low": 9,
+            "high": 14
+          },
+          {
+            "type": "ref",
+            "name": "ctrl",
+            "low": 4,
+            "high": 5
+          }
+        ],
+        [
+          {
+            "type": "ref",
+            "name": "r2",
+            "low": 9,
+            "high": 10
+          }
+        ],
+        [
+          {
+            "type": "const",
+            "value": 7,
+            "width": 4
+          },
+          {
+            "type": "ref",
+            "name": "r0",
+            "low": 7,
+            "high": 11
+          },
+          {
+            "type": "const",
+            "value": 3,
+            "width": 2
+          }
+        ],
+        [
+          {
+            "type": "const",
+            "value": 1239
+          }
+        ]
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "ram",
+      "address": [
+        {
+          "type": "ref",
+          "name": "ctrl",
+          "low": 2,
+          "high": 3
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 2,
+          "high": 9
+        },
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 7
+        },
+        {
+          "type": "ref",
+          "name": "r1",
+          "low": 7,
+          "high": 11
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 4,
+      "initial": [
+        39851,
+        49897,
+        27141,
+        58084
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "inport",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 2
+        }
+      ],
+      "size": 1
+    },
+    {
+      "type": "memory",
+      "name": "outport",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "pc"
+        },
+        {
+          "type": "bits",
+          "bits": "1010"
+        },
+        {
+          "type": "ref",
+          "name": "ctrl",
+          "low": 9,
+          "high": 15
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 3
+        }
+      ],
+      "size": 1
+    },
+    {
+      "type": "memory",
+      "name": "r0",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r2"
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 1,
+      "initial": [
+        36752
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "r1",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "ram",
+          "low": 4,
+          "high": 7
+        }
+      ],
+      "operation": [
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 2
+        }
+      ],
+      "size": 1,
+      "initial": [
+        15901
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "r2",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "ram"
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 5
+        }
+      ],
+      "size": 1,
+      "initial": [
+        10468
+      ]
+    }
+  ]
+}
+"""
+
+
+def build_fuzz_rom_spec() -> Specification:
+    """The promoted fuzzer machine (generator seed 390)."""
+    return spec_from_json(json.loads(_FUZZ_ROM_JSON))
+
+
+_FUZZ_DATAPATH_JSON = """
+{
+  "format": "repro-spec",
+  "version": 1,
+  "comment": "# fuzz machine seed=40",
+  "name": "fuzz-datapath",
+  "cycles": 9,
+  "declarations": [
+    "s0",
+    "ram*",
+    "inport",
+    "outport",
+    "r0",
+    "r1",
+    "r2"
+  ],
+  "components": [
+    {
+      "type": "selector",
+      "name": "s0",
+      "select": [
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 2
+        }
+      ],
+      "cases": [
+        [
+          {
+            "type": "ref",
+            "name": "r0",
+            "low": 2
+          }
+        ],
+        [
+          {
+            "type": "const",
+            "value": 117,
+            "width": 7
+          }
+        ]
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "ram",
+      "address": [
+        {
+          "type": "ref",
+          "name": "r2",
+          "low": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r0"
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 2
+    },
+    {
+      "type": "memory",
+      "name": "inport",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 2
+        }
+      ],
+      "size": 1
+    },
+    {
+      "type": "memory",
+      "name": "outport",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "ram"
+        },
+        {
+          "type": "ref",
+          "name": "r1",
+          "low": 3,
+          "high": 10
+        },
+        {
+          "type": "ref",
+          "name": "r0",
+          "low": 3,
+          "high": 7
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 3
+        }
+      ],
+      "size": 1
+    },
+    {
+      "type": "memory",
+      "name": "r0",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r2"
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 1,
+      "initial": [
+        31574
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "r1",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r2",
+          "low": 7
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 1,
+      "initial": [
+        37358
+      ]
+    },
+    {
+      "type": "memory",
+      "name": "r2",
+      "address": [
+        {
+          "type": "const",
+          "value": 0
+        }
+      ],
+      "data": [
+        {
+          "type": "ref",
+          "name": "r1"
+        },
+        {
+          "type": "ref",
+          "name": "ram",
+          "low": 7,
+          "high": 7
+        }
+      ],
+      "operation": [
+        {
+          "type": "const",
+          "value": 1
+        }
+      ],
+      "size": 1,
+      "initial": [
+        54527
+      ]
+    }
+  ]
+}
+"""
+
+
+def build_fuzz_datapath_spec() -> Specification:
+    """The promoted fuzzer machine (generator seed 40)."""
+    return spec_from_json(json.loads(_FUZZ_DATAPATH_JSON))
+

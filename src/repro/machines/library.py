@@ -13,6 +13,10 @@ from typing import Callable
 from repro.machines.counter import build_counter_spec
 from repro.machines.fibonacci import build_fibonacci_spec
 from repro.machines.gcd import build_gcd_spec
+from repro.machines.generated import (
+    build_fuzz_datapath_spec,
+    build_fuzz_rom_spec,
+)
 from repro.machines.sieve import prepare_sieve_workload
 from repro.machines.stack_machine import build_stack_machine_spec
 from repro.machines.tiny_computer import (
@@ -78,6 +82,20 @@ _MACHINES: tuple[MachineEntry, ...] = (
         description="Appendix-F style 10-bit accumulator machine dividing 60 by 7",
         build=_tiny_spec,
         demo_cycles=400,
+    ),
+    MachineEntry(
+        name="fuzz-rom",
+        description="fuzzer-found microcoded machine: control-ROM bit fields "
+        "drive ALU functions and the memory operation word",
+        build=build_fuzz_rom_spec,
+        demo_cycles=41,
+    ),
+    MachineEntry(
+        name="fuzz-datapath",
+        description="fuzzer-found selector-steered datapath with "
+        "register-bit RAM addressing",
+        build=build_fuzz_datapath_spec,
+        demo_cycles=9,
     ),
 )
 

@@ -10,8 +10,11 @@ layer's native objects, in both directions:
   inputs, tracing, stats, tag, and a constant-override map for fault
   injection over the wire); :func:`resolve_spec` turns the ``machine`` /
   ``spec`` request fields into a parsed
-  :class:`~repro.rtl.spec.Specification`; :func:`parse_batch_request`
-  validates a whole ``POST /v1/batch`` body.
+  :class:`~repro.rtl.spec.Specification` — ``spec`` accepts either
+  source text in the paper's language or an interchange-format JSON
+  object (``docs/spec-format.md``; rejected documents answer 400
+  ``invalid_spec``); :func:`parse_batch_request` validates a whole
+  ``POST /v1/batch`` body.
 * **responses**: :func:`result_to_json` /
   :func:`batch_result_to_json` flatten a
   :class:`~repro.core.results.SimulationResult` /
@@ -45,10 +48,12 @@ from repro.core.simulator import BACKEND_NAMES
 from repro.errors import (
     AsimError,
     DeadlineExceededError,
+    SpecFormatError,
     SpecificationError,
     WorkerCrashError,
 )
 from repro.machines.library import get_machine, machine_names
+from repro.rtl.interchange import spec_from_json
 from repro.rtl.parser import parse_spec
 from repro.rtl.spec import Specification
 from repro.serving.batch import BatchResult, RunRequest
@@ -244,19 +249,22 @@ def resolve_spec(doc: Mapping) -> tuple[Specification, str, str]:
     """Resolve the ``machine``/``spec`` fields to a parsed specification.
 
     Exactly one of the two must be present: ``machine`` names a bundled
-    machine from the registry, ``spec`` carries specification source text
-    in the paper's language.  Returns ``(spec, label, pool_key)``:
+    machine from the registry; ``spec`` carries the machine itself —
+    either specification source text in the paper's language (a JSON
+    string) or an interchange-format document (a JSON object; see
+    ``docs/spec-format.md``).  Returns ``(spec, label, pool_key)``:
     *label* is the display name, *pool_key* the stable identity the
     server keys its pool registry on — the machine name for bundled
     machines (no hashing on the warm path), a content fingerprint for
-    inline text.
+    inline text or JSON (the two forms of the same machine share a pool).
     """
     machine = doc.get("machine")
     source = doc.get("spec")
     if (machine is None) == (source is None):
         raise ProtocolError(
             "exactly one of 'machine' (a bundled machine name) or 'spec' "
-            "(specification source text) is required"
+            "(specification source text, or an interchange JSON object) "
+            "is required"
         )
     if machine is not None:
         _require_type(machine, str, "'machine'")
@@ -273,6 +281,15 @@ def resolve_spec(doc: Mapping) -> tuple[Specification, str, str]:
                 ) from None
             _BUNDLED_SPECS[machine] = spec
         return spec, machine, f"machine:{machine}"
+    if isinstance(source, dict):
+        try:
+            spec = spec_from_json(source)
+        except SpecFormatError as exc:
+            raise ProtocolError(
+                f"specification document rejected: {exc}",
+                kind="invalid_spec",
+            ) from exc
+        return spec, "<json spec>", f"spec:{spec_fingerprint(spec)}"
     _require_type(source, str, "'spec'")
     try:
         spec = parse_spec(source, source_name="<http>")

@@ -1,0 +1,113 @@
+"""Replay of the committed fuzz corpus, plus the case-document format.
+
+Every ``tests/fuzz/corpus/*.json`` file is a machine the generator found,
+persisted with the run parameters that exercise it.  Each one is replayed
+through the full differential matrix on every suite run, so a divergence
+those machines once exposed (or could expose) can never silently return.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.compiler.cache import spec_fingerprint
+from repro.errors import SpecFormatError
+from repro.fuzz import run_differential
+from repro.fuzz.corpus import (
+    case_from_document,
+    case_to_document,
+    load_case,
+    load_corpus,
+    save_case,
+)
+from repro.fuzz.differential import ir_fingerprint
+from repro.rtl.interchange import spec_from_json, spec_to_json
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_committed():
+    """The regression corpus must hold at least the two promoted machines."""
+    assert len(_CASES) >= 2
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[case.name for case in _CASES]
+)
+class TestReplay:
+    def test_case_is_bit_identical_across_the_matrix(self, case):
+        report = run_differential(case.spec, case.cycles, case.inputs)
+        assert report.ok, f"{case.name}: {report.describe()}"
+
+    def test_case_round_trips_through_json(self, case):
+        restored = spec_from_json(spec_to_json(case.spec))
+        assert spec_fingerprint(restored) == spec_fingerprint(case.spec)
+        assert ir_fingerprint(restored) == ir_fingerprint(case.spec)
+
+    def test_case_carries_its_provenance(self, case):
+        assert isinstance(case.meta.get("seed"), int)
+
+
+class TestCaseDocuments:
+    def test_save_load_round_trip(self, tmp_path, counter_spec):
+        path = save_case(tmp_path, counter_spec, cycles=12, inputs=(1, 2),
+                         meta={"note": "counter"})
+        case = load_case(path)
+        assert spec_fingerprint(case.spec) == spec_fingerprint(counter_spec)
+        assert case.cycles == 12
+        assert case.inputs == (1, 2)
+        assert case.meta["note"] == "counter"
+        assert case.name == path.stem
+
+    def test_default_stem_is_content_addressed(self, tmp_path, counter_spec):
+        first = save_case(tmp_path, counter_spec, cycles=12)
+        second = save_case(tmp_path, counter_spec, cycles=12)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert spec_fingerprint(counter_spec).startswith(
+            first.stem.removeprefix("crasher-")
+        )
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_wrapper_rejects_unknown_keys(self, counter_spec):
+        document = case_to_document(counter_spec, 12)
+        document["bogus"] = 1
+        with pytest.raises(SpecFormatError, match="unknown key"):
+            case_from_document(document)
+
+    @pytest.mark.parametrize("mutation, message", [
+        ({"format": "not-a-case"}, "format"),
+        ({"version": 99}, "version"),
+        ({"run": None}, "run"),
+        ({"run": {"cycles": 0, "inputs": []}}, "positive integer"),
+        ({"run": {"cycles": 4, "inputs": [True]}}, "integers"),
+        ({"meta": "notes"}, "meta"),
+    ])
+    def test_wrapper_rejects_malformed_fields(self, counter_spec,
+                                              mutation, message):
+        document = case_to_document(counter_spec, 12)
+        document.update(mutation)
+        with pytest.raises(SpecFormatError, match=message):
+            case_from_document(document)
+
+    def test_bad_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SpecFormatError, match="not valid JSON"):
+            load_case(bad)
+
+    def test_path_names_the_offending_file(self, tmp_path, counter_spec):
+        document = case_to_document(counter_spec, 12)
+        document["version"] = 99
+        bad = tmp_path / "old-case.json"
+        import json
+
+        bad.write_text(json.dumps(document))
+        with pytest.raises(SpecFormatError, match="old-case"):
+            load_case(bad)

@@ -67,7 +67,8 @@ def test_error_kinds_are_documented():
         "malformed_json", "bad_request", "unknown_machine",
         "unknown_backend", "unknown_executor", "unknown_route",
         "method_not_allowed", "unsupported_capability",
-        "invalid_specification", "body_too_large", "length_required",
+        "invalid_specification", "invalid_spec",
+        "body_too_large", "length_required",
         "shutting_down", "internal_error", "overloaded",
         "deadline_exceeded", "worker_crash", "invalid_timeout",
     ):
@@ -78,7 +79,17 @@ def test_serving_guide_exists_and_is_linked():
     assert SERVING_GUIDE.exists()
     readme = (REPO_ROOT / "README.md").read_text()
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
-    for doc in ("docs/serving.md", "docs/api-reference.md"):
+    for doc in ("docs/serving.md", "docs/api-reference.md",
+                "docs/spec-format.md"):
         assert doc in readme, f"README does not link {doc}"
-    for doc in ("serving.md", "api-reference.md"):
+    for doc in ("serving.md", "api-reference.md", "spec-format.md"):
         assert doc in architecture, f"architecture.md does not link {doc}"
+
+
+def test_spec_format_doc_matches_the_implementation():
+    """docs/spec-format.md must track the interchange constants."""
+    from repro.rtl.interchange import FORMAT_NAME, FORMAT_VERSION
+    text = (REPO_ROOT / "docs" / "spec-format.md").read_text()
+    assert f'"{FORMAT_NAME}"' in text
+    assert f'`{FORMAT_VERSION}`' in text
+    assert API_REFERENCE.read_text().count("spec-format.md") >= 2

@@ -29,6 +29,8 @@ MACHINE_CYCLES = {
     "traffic-light": 30,
     "stack-machine-sieve": 1200,
     "tiny-computer": 400,
+    "fuzz-rom": 41,
+    "fuzz-datapath": 9,
 }
 
 

@@ -112,6 +112,44 @@ class TestResolveSpec:
             resolve_spec({"spec": "# header\nnot a component line\n.\n"})
         assert excinfo.value.kind == "invalid_specification"
 
+    def test_inline_json_spec_document(self, counter_spec,
+                                       counter_spec_text):
+        from repro.rtl.interchange import spec_to_json
+
+        spec, label, pool_key = resolve_spec(
+            {"spec": spec_to_json(counter_spec)}
+        )
+        assert label == "<json spec>"
+        assert spec.components
+        # the JSON form is content-addressed by the same fingerprint as
+        # the text form: both submissions share one warm pool
+        _, _, text_key = resolve_spec({"spec": counter_spec_text})
+        assert pool_key == text_key
+
+    def test_invalid_json_spec_document_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve_spec({"spec": {"format": "not-a-spec"}})
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "invalid_spec"
+        # the SpecFormatError path survives into the message
+        assert "$.format" in str(excinfo.value)
+
+    def test_oversized_json_spec_document_is_400(self):
+        from repro.rtl.interchange import MAX_COMPONENTS
+
+        document = {
+            "format": "repro-spec", "version": 1,
+            "components": [
+                {"type": "alu", "name": f"a{i}", "function": 0,
+                 "left": 0, "right": 0}
+                for i in range(MAX_COMPONENTS + 1)
+            ],
+        }
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve_spec({"spec": document})
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "invalid_spec"
+
 
 class TestParseBatchRequest:
     def test_happy_path(self):

@@ -125,6 +125,39 @@ class TestErrors:
         assert status == 400
         assert document["error"]["type"] == "invalid_specification"
 
+    def test_malformed_json_spec_document_is_structured(self, server):
+        status, document = post(
+            server, "/v1/run", {"spec": {"format": "not-a-spec"}}
+        )
+        assert status == 400
+        assert document["error"]["type"] == "invalid_spec"
+        assert "$.format" in document["error"]["message"]
+
+    def test_invalid_json_spec_document_is_structured(self, server):
+        # well-formed wrapper, semantically broken machine (dangling ref)
+        status, document = post(server, "/v1/run", {"spec": {
+            "format": "repro-spec", "version": 1,
+            "components": [{"type": "memory", "name": "r", "address": 0,
+                            "data": "ghost", "operation": 1, "size": 1}],
+        }})
+        assert status == 400
+        assert document["error"]["type"] == "invalid_spec"
+        assert "ghost" in document["error"]["message"]
+
+    def test_oversized_json_spec_document_is_structured(self, server):
+        from repro.rtl.interchange import MAX_COMPONENTS
+
+        status, document = post(server, "/v1/run", {"spec": {
+            "format": "repro-spec", "version": 1,
+            "components": [
+                {"type": "alu", "name": f"a{i}", "function": 0,
+                 "left": 0, "right": 0}
+                for i in range(MAX_COMPONENTS + 1)
+            ],
+        }})
+        assert status == 400
+        assert document["error"]["type"] == "invalid_spec"
+
     def test_unsupported_capability_is_422(self, server, monkeypatch):
         # a backend whose prepared simulations cannot honor `override`:
         # flip the capability flag and ask for an override over the wire
@@ -233,6 +266,20 @@ class TestServing:
         reference = Simulator(counter_spec, backend="threaded").run(cycles=12)
         rebuilt = result_from_json(document["result"])
         assert compare_results(reference, rebuilt) == []
+
+    def test_json_spec_over_http_bit_identical_to_in_process(
+            self, server, counter_spec):
+        from repro.rtl.interchange import spec_to_json
+
+        status, document = post(server, "/v1/run", {
+            "spec": spec_to_json(counter_spec), "cycles": 12,
+            "backend": "threaded",
+        })
+        assert status == 200
+        with SimulationPool(counter_spec, backend="threaded") as pool:
+            [reference] = pool.run_batch([RunRequest(cycles=12)])
+        rebuilt = result_from_json(document["result"])
+        assert compare_results(reference.result, rebuilt) == []
 
     def test_override_over_the_wire_matches_in_process(self, server):
         from repro.machines.library import get_machine
