@@ -2,7 +2,7 @@
 
 The serving scenario is many small requests against one machine — the
 ROADMAP's "one cached prepare artifact driving many concurrent
-simulations".  Two dimensions are measured into the schema-v2
+simulations".  Three dimensions are measured into the schema-v3
 ``BENCH_batch.json``:
 
 * **prepare amortisation** (the PR-2 rows): the *sequential* baseline is
@@ -12,14 +12,23 @@ simulations".  Two dimensions are measured into the schema-v2
   shared artifact.  Thread workers interleave on the GIL, so this win is
   amortisation, not parallelism; the interpreter row (trivial prepare)
   shows none, while threaded and compiled must beat the naive loop.
-* **the executor dimension** (this PR): the same batch pushed through the
-  ``serial``, ``thread`` and ``process`` strategies on a CPU-bound
-  workload.  The process pool ships the lowered program to worker
-  processes once and runs truly in parallel, so on a multi-core host its
-  runs/sec must beat the thread pool's — by >= 1.5x for the compiled
-  backend, the Figure 5.1 sieve served at production speed.  On a
-  single-core host the rows are recorded but the parallelism line is not
-  asserted (there is nothing to parallelise onto).
+* **the executor dimension** (PR 5): the same batch pushed through every
+  strategy on a CPU-bound workload.  The process pool ships the lowered
+  program to worker processes once and runs truly in parallel, so on a
+  multi-core host its runs/sec must beat the thread pool's — by >= 1.5x
+  for the compiled backend — and, with the tuned default chunk size (two
+  chunks per worker), must no longer lose to serial.  The process row
+  also records its dispatch/IPC columns (chunk size and count, queue
+  wait, wall vs busy seconds) so chunking regressions are visible in the
+  trajectory, not just in the rate.  On a single-core host the rows are
+  recorded but the parallelism lines are not asserted (there is nothing
+  to parallelise onto).
+* **the lane dimension** (this PR): small-cycle batches — the regime
+  where per-run dispatch dominates compute — pushed through the lane
+  executor at several widths against the serial baseline on the same
+  workload.  One walk of the schedule carries the whole lane group, so
+  for the compiled backend the lane executor must deliver >= 3x the
+  serial strategy's runs/sec.
 
 Every measured batch is checked bit-identical to the naive loop's
 results, whatever strategy ran it.
@@ -33,6 +42,7 @@ for every push, so the executor matrix cannot silently rot.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import time
@@ -44,6 +54,7 @@ from repro.compiler.cache import PrepareCache
 from repro.compiler.compiled import CompiledBackend
 from repro.compiler.threaded import ThreadedBackend
 from repro.interp.interpreter import InterpreterBackend
+from repro.machines.library import get_machine
 from repro.serving import EXECUTOR_NAMES, RunRequest, SimulationPool
 from repro.serving.pool import _available_cpus
 
@@ -60,8 +71,10 @@ BATCH_TRAJECTORY_PATH = (
 )
 
 #: Schema version of the batch trajectory file (bump when keys change).
-#: v2 added the executor dimension (serial/thread/process rows).
-BATCH_TRAJECTORY_SCHEMA = 2
+#: v2 added the executor dimension (serial/thread/process rows); v3 added
+#: the lane dimension (runs/sec per lane width on a small-cycle batch)
+#: and the process executor's dispatch/IPC columns.
+BATCH_TRAJECTORY_SCHEMA = 3
 
 #: Requests per amortisation measurement, cycles per request.  256 cycles
 #: keeps each request small enough that preparation is a real fraction of
@@ -72,7 +85,7 @@ BATCH_CYCLES = 64 if SMOKE else 256
 #: Measured attempts per pooled batch; the best rate wins.  Batches are
 #: tens of milliseconds, so a single scheduler hiccup on a busy host can
 #: halve one attempt — steady-state throughput is the best of a few.
-BATCH_ATTEMPTS = 1 if SMOKE else 2
+BATCH_ATTEMPTS = 1 if SMOKE else 3
 
 #: Thread-pool sizes measured; the amortisation line is drawn at 4 workers.
 POOL_SIZES = (1, 2, 4)
@@ -88,8 +101,30 @@ EXEC_CYCLES = (
     else {"interpreter": 256, "threaded": 1024, "compiled": 4096}
 )
 
-#: Workers per strategy for the executor dimension.
-EXEC_WORKERS = {"serial": 1, "thread": 4, "process": 2 if SMOKE else 4}
+#: Workers per strategy for the executor dimension (serial and lane run
+#: inline on the caller's thread by construction).
+EXEC_WORKERS = {
+    "serial": 1, "thread": 4, "process": 2 if SMOKE else 4, "lane": 1,
+}
+
+#: The lane dimension: a small-cycle batch on a small machine, where
+#: per-run dispatch overhead — not simulation compute — dominates.  That
+#: is exactly the regime lane vectorization exists for: one schedule walk
+#: carries the whole group, so per-run plan construction, scheduling and
+#: result plumbing are paid once per lane group instead of once per run.
+LANE_MACHINE = "counter"
+LANE_RUNS = 8 if SMOKE else 256
+LANE_CYCLES = 2
+LANE_WIDTHS = (4,) if SMOKE else (16, 64, 256)
+
+#: Lane batches are milliseconds each, so scheduler noise is a far bigger
+#: fraction of a measurement than on the CPU-bound rows — take the best
+#: of more attempts there.
+LANE_ATTEMPTS = 1 if SMOKE else 9
+
+#: The compiled backend's lane line: best-width lane runs/sec over the
+#: serial strategy's, on the small-cycle workload (non-smoke only).
+LANE_SPEEDUP_FLOOR = 3.0
 
 #: Whether this host can demonstrate process-pool parallelism at all
 #: (same detection the pool uses for its default process worker count).
@@ -138,30 +173,76 @@ def _measure_sequential(backend_factory, spec, runs, cycles):
 
 
 def _measure_batch(backend_factory, spec, pool_size, reference,
-                   runs=None, cycles=None, executor="thread"):
+                   runs=None, cycles=None, executor="thread",
+                   lane_width=None, trace=None, attempts=None):
     """Pooled batches on a given strategy, checked bit-identical.
 
-    Returns the best runs/sec over ``BATCH_ATTEMPTS`` batches on one
-    warmed pool (startup and first-binding costs excluded by a warm-up
-    batch, scheduler noise rejected by taking the best attempt).
+    Returns ``(best runs/sec, dispatch columns of the best batch)`` over
+    ``BATCH_ATTEMPTS`` batches on one warmed pool (startup and
+    first-binding costs excluded by a warm-up batch, scheduler noise
+    rejected by taking the best attempt).  The dispatch columns record
+    how the batch was scheduled: requests per chunk, chunk count, mean
+    queue wait, and wall vs busy seconds — the IPC overhead a chunking
+    regression shows up in first.
     """
     runs = BATCH_RUNS if runs is None else runs
     cycles = BATCH_CYCLES if cycles is None else cycles
-    requests = [RunRequest(cycles=cycles, collect_stats=False)] * runs
+    attempts = BATCH_ATTEMPTS if attempts is None else attempts
+    requests = [
+        RunRequest(cycles=cycles, collect_stats=False, trace=trace)
+    ] * runs
     best = 0.0
+    dispatch: dict | None = None
     with SimulationPool(spec, backend=backend_factory(),
-                        max_workers=pool_size, executor=executor) as pool:
+                        max_workers=pool_size, executor=executor,
+                        lane_width=lane_width) as pool:
         # steady-state throughput: a tiny warm-up batch makes every worker
         # (thread or process) bind its prepared simulation before the clock
         pool.run_batch([RunRequest(cycles=1, collect_stats=False)] * pool_size)
-        for _ in range(BATCH_ATTEMPTS):
+        chunk_size = pool._strategy.default_chunk_size(runs)
+        for _ in range(attempts):
             batch = pool.run_batch(requests)
             assert batch.ok, [str(item.error) for item in batch.failures]
             # bit-identical to the naive loop, for every run in the batch
             for item in batch.items:
                 assert _run_observables(item.result) == reference
-            best = max(best, batch.runs_per_second)
-    return best
+            if batch.runs_per_second >= best:
+                best = batch.runs_per_second
+                dispatch = {
+                    "chunk_size": chunk_size,
+                    "chunks": math.ceil(runs / chunk_size),
+                    "queue_seconds_mean": round(batch.queue_seconds_mean, 6),
+                    "wall_seconds": round(batch.wall_seconds, 6),
+                    "busy_seconds": round(
+                        sum(item.seconds for item in batch.items), 6
+                    ),
+                }
+    return best, dispatch
+
+
+def _measure_lane_dimension(sequential_factory, pooled_factory):
+    """Serial vs lane-at-every-width on the small-cycle lane workload."""
+    spec = get_machine(LANE_MACHINE).build()
+    spec = getattr(spec, "spec", spec)
+    _, reference = _measure_sequential(sequential_factory, spec, 1,
+                                       LANE_CYCLES)
+    # trace=False explicitly: the counter machine declares trace points,
+    # so trace=None would resolve to tracing *on* and every request would
+    # fall back to the scalar path instead of riding a lane group
+    serial_rps, _ = _measure_batch(
+        pooled_factory, spec, 1, reference, runs=LANE_RUNS,
+        cycles=LANE_CYCLES, executor="serial", trace=False,
+        attempts=LANE_ATTEMPTS,
+    )
+    widths = {}
+    for width in LANE_WIDTHS:
+        lane_rps, _ = _measure_batch(
+            pooled_factory, spec, 1, reference, runs=LANE_RUNS,
+            cycles=LANE_CYCLES, executor="lane", lane_width=width,
+            trace=False, attempts=LANE_ATTEMPTS,
+        )
+        widths[str(width)] = round(lane_rps, 3)
+    return {"serial": round(serial_rps, 3), "widths": widths}
 
 
 def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH):
@@ -180,6 +261,12 @@ def write_batch_trajectory(backends: dict[str, dict], path=BATCH_TRAJECTORY_PATH
             "workers": dict(EXEC_WORKERS),
             "runs": EXEC_RUNS,
             "cycles": dict(EXEC_CYCLES),
+        },
+        "lane_workload": {
+            "machine": LANE_MACHINE,
+            "cycles": LANE_CYCLES,
+            "runs": LANE_RUNS,
+            "widths": list(LANE_WIDTHS),
         },
         "multi_core": MULTI_CORE,
         "smoke": SMOKE,
@@ -201,7 +288,8 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             )
             batch_rps = {
                 str(pool_size): round(
-                    _measure_batch(pooled_factory, spec, pool_size, reference),
+                    _measure_batch(pooled_factory, spec, pool_size,
+                                   reference)[0],
                     3,
                 )
                 for pool_size in POOL_SIZES
@@ -210,21 +298,25 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             _, exec_reference = _measure_sequential(
                 sequential_factory, spec, 1, EXEC_CYCLES[name]
             )
-            executor_rps = {
-                executor: round(
-                    _measure_batch(
-                        pooled_factory, spec, EXEC_WORKERS[executor],
-                        exec_reference, runs=EXEC_RUNS,
-                        cycles=EXEC_CYCLES[name], executor=executor,
-                    ),
-                    3,
+            executor_rps = {}
+            process_dispatch = None
+            for executor in EXECUTOR_NAMES:
+                rate, dispatch = _measure_batch(
+                    pooled_factory, spec, EXEC_WORKERS[executor],
+                    exec_reference, runs=EXEC_RUNS,
+                    cycles=EXEC_CYCLES[name], executor=executor,
                 )
-                for executor in EXECUTOR_NAMES
-            }
+                executor_rps[executor] = round(rate, 3)
+                if executor == "process":
+                    process_dispatch = dispatch
             rows[name] = {
                 "sequential_runs_per_second": round(sequential_rps, 3),
                 "batch_runs_per_second": batch_rps,
                 "executor_runs_per_second": executor_rps,
+                "process_dispatch": process_dispatch,
+                "lane_runs_per_second": _measure_lane_dimension(
+                    sequential_factory, pooled_factory
+                ),
             }
         return rows
 
@@ -252,6 +344,15 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             for executor in EXECUTOR_NAMES
         )
         lines.append(f"  {name:<12s} {execs}")
+    lines.append(f"Lane dimension ({LANE_RUNS} runs x {LANE_CYCLES} cycles, "
+                 f"{LANE_MACHINE} machine)")
+    for name, row in rows.items():
+        lane = row["lane_runs_per_second"]
+        widths = "  ".join(
+            f"w{width}={lane['widths'][str(width)]:8.1f}"
+            for width in LANE_WIDTHS
+        )
+        lines.append(f"  {name:<12s} serial={lane['serial']:8.1f}  " + widths)
     print("\n".join(lines))
 
     if SMOKE:
@@ -272,7 +373,8 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
         )
 
     # (2) parallelism: on a multi-core host the process pool must beat the
-    # GIL-bound thread pool on CPU-bound compiled/threaded batches
+    # GIL-bound thread pool on CPU-bound compiled/threaded batches, and the
+    # tuned default chunk size must keep it from losing to plain serial
     if MULTI_CORE:
         for name, factor in (("threaded", 1.0), ("compiled", 1.5)):
             threads = rows[name]["executor_runs_per_second"]["thread"]
@@ -285,12 +387,33 @@ def test_batch_throughput_table(benchmark, small_sieve_machine):
             benchmark.extra_info[f"{name}_process_vs_thread"] = round(
                 processes / threads, 2
             )
+        serial = rows["compiled"]["executor_runs_per_second"]["serial"]
+        processes = rows["compiled"]["executor_runs_per_second"]["process"]
+        assert processes >= serial, (
+            f"compiled: process pool at {processes:.1f} runs/sec lost to "
+            f"serial at {serial:.1f} runs/sec on this {_CPUS}-core host "
+            "(the tuned chunk size should have prevented that)"
+        )
+
+    # (3) vectorization: on the small-cycle workload the compiled backend's
+    # lane executor must amortise per-run dispatch into a >= 3x win
+    lane = rows["compiled"]["lane_runs_per_second"]
+    best_width = max(lane["widths"].values())
+    assert best_width >= LANE_SPEEDUP_FLOOR * lane["serial"], (
+        f"compiled: lane executor at {best_width:.1f} runs/sec is below "
+        f"{LANE_SPEEDUP_FLOOR}x the serial strategy at "
+        f"{lane['serial']:.1f} runs/sec on the small-cycle lane workload"
+    )
+    benchmark.extra_info["compiled_lane_vs_serial"] = round(
+        best_width / lane["serial"], 2
+    )
 
 
 def test_bench_batch_schema():
     """The trajectory file (written by the measurement test above) is
     well-formed: every backend row carries positive throughput per pool
-    size and per executor, and the serving wins hold where asserted."""
+    size, per executor and per lane width, and the serving wins hold
+    where asserted."""
     if _TRAJECTORY_WRITTEN is None:
         pytest.skip("batch throughput test did not run this session")
     document = json.loads(BATCH_TRAJECTORY_PATH.read_text())
@@ -301,6 +424,8 @@ def test_bench_batch_schema():
     assert document["workload"]["cycles"] == BATCH_CYCLES
     assert document["pool_sizes"] == list(POOL_SIZES)
     assert document["executors"]["names"] == list(EXECUTOR_NAMES)
+    assert document["lane_workload"]["machine"] == LANE_MACHINE
+    assert document["lane_workload"]["widths"] == list(LANE_WIDTHS)
     backends = document["backends"]
     assert set(backends) == {"interpreter", "threaded", "compiled"}
     for name, row in backends.items():
@@ -313,6 +438,16 @@ def test_bench_batch_schema():
         assert set(row["executor_runs_per_second"]) == set(EXECUTOR_NAMES)
         for rate in row["executor_runs_per_second"].values():
             assert rate > 0, name
+        dispatch = row["process_dispatch"]
+        assert dispatch["chunk_size"] >= 1, name
+        assert dispatch["chunks"] >= 1, name
+        assert dispatch["wall_seconds"] > 0, name
+        assert dispatch["busy_seconds"] > 0, name
+        lane = row["lane_runs_per_second"]
+        assert lane["serial"] > 0, name
+        assert set(lane["widths"]) == {str(w) for w in LANE_WIDTHS}, name
+        for rate in lane["widths"].values():
+            assert rate > 0, name
     if document["smoke"]:
         return
     for name in ("threaded", "compiled"):
@@ -321,7 +456,11 @@ def test_bench_batch_schema():
             row["batch_runs_per_second"]["4"]
             > row["sequential_runs_per_second"]
         ), name
+    lane = backends["compiled"]["lane_runs_per_second"]
+    assert max(lane["widths"].values()) >= LANE_SPEEDUP_FLOOR * lane["serial"]
     if document["multi_core"]:
         for name in ("threaded", "compiled"):
             row = backends[name]["executor_runs_per_second"]
             assert row["process"] >= row["thread"], name
+        row = backends["compiled"]["executor_runs_per_second"]
+        assert row["process"] >= row["serial"]

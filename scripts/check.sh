@@ -51,6 +51,35 @@ echo "== batch benchmark smoke (executor matrix + server overhead, schema only) 
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_batch_throughput.py \
     benchmarks/test_server_overhead.py -x -q
 
+echo "== lane smoke (serve-batch --executor lane --check on the sieve) =="
+# the lane executor must serve a real batch end-to-end through the CLI
+# and verify itself bit-identical against the sequential loop (--check),
+# both standalone and composed with the process pool — so the
+# vectorized path cannot silently rot between full test runs
+LANE_SPEC="$(mktemp --suffix=.spec)"
+python - "$LANE_SPEC" <<'LANESPEC'
+import sys
+from repro.machines.library import get_machine
+from repro.rtl.writer import spec_to_text
+
+machine = get_machine("stack-machine-sieve").build()
+spec = getattr(machine, "spec", machine)
+with open(sys.argv[1], "w") as handle:
+    handle.write(spec_to_text(spec))
+LANESPEC
+python -m repro serve-batch "$LANE_SPEC" --executor lane --check \
+    -c 1200 -n 8 -b compiled > /dev/null
+python -m repro serve-batch "$LANE_SPEC" --executor process --lane-width 4 \
+    --check -c 1200 -n 8 -w 2 -b compiled > /dev/null
+rm -f "$LANE_SPEC"
+echo "lane smoke: batches served and verified bit-identical"
+
+echo "== lane fuzz smoke (fixed seed, lane executor only) =="
+# a seeded slice of the differential fuzzer pinned to the lane executor:
+# random machines (memories, selectors, specopt rewrites) through lane
+# groups, demanding bit-identity with the sequential reference
+python -m repro fuzz --seed 11 --count 8 --executors lane
+
 echo "== differential fuzz smoke (fixed seed, full backend x executor matrix) =="
 # twenty seeded random machines, each JSON-round-tripped and run through
 # every backend x specopt x executor configuration demanding bit-identical

@@ -36,6 +36,7 @@ REQUIRED_MODULES = (
     "serving/server.py",
     "serving/protocol.py",
     "serving/pool.py",
+    "lowering/lanes.py",
     "compiler/cache.py",
     "rtl/interchange.py",
     "fuzz/__init__.py",

@@ -14,8 +14,8 @@ executable code".  This module provides the modern equivalent as
 * ``netlist``  — print the wiring list and bill of materials (Section 5.3);
 * ``serve-batch`` — fan N runs of one specification out over a worker pool
   (the serving layer, :mod:`repro.serving`) on a chosen execution strategy
-  (``--executor serial|thread|process``), optionally checking the batched
-  results bit-identical against a sequential run;
+  (``--executor serial|thread|process|lane``), optionally checking the
+  batched results bit-identical against a sequential run;
 * ``serve``    — the long-lived simulation server: pools kept warm behind
   an HTTP JSON API (:mod:`repro.serving.server`; endpoints documented in
   ``docs/api-reference.md``), with startup garbage collection of the
@@ -180,16 +180,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers in the pool (default: 4)",
     )
     serve_parser.add_argument(
-        "--executor", choices=("serial", "thread", "process"),
+        "--executor", choices=EXECUTOR_NAMES,
         default="thread",
         help="execution strategy: serial (inline), thread (GIL-bound "
-        "prepare amortisation) or process (true multi-core; ships the "
-        "lowered program to worker processes once) (default: thread)",
+        "prepare amortisation), process (true multi-core; ships the "
+        "lowered program to worker processes once) or lane (N run "
+        "variants advanced together in one schedule walk) "
+        "(default: thread)",
     )
     serve_parser.add_argument(
         "--chunk-size", type=int, default=None,
         help="requests per scheduling unit (default: strategy-chosen; "
         "the process executor batches IPC in chunks)",
+    )
+    serve_parser.add_argument(
+        "--lane-width", type=int, default=None, metavar="N",
+        help="runs per lane group for --executor lane, and for lanes "
+        "inside process workers (default: 16)",
     )
     serve_parser.add_argument(
         "-c", "--cycles", type=int, default=None,
@@ -228,7 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: threaded)",
     )
     server_parser.add_argument(
-        "--executor", choices=("serial", "thread", "process"),
+        "--executor", choices=EXECUTOR_NAMES,
         default="thread",
         help="default execution strategy for requests that do not name one "
         "(default: thread)",
@@ -240,6 +247,11 @@ def _build_parser() -> argparse.ArgumentParser:
     server_parser.add_argument(
         "--chunk-size", type=int, default=None,
         help="requests per scheduling unit (default: strategy-chosen)",
+    )
+    server_parser.add_argument(
+        "--lane-width", type=int, default=None, metavar="N",
+        help="default lane group size for lane-executor pools; requests "
+        "may override per call with 'lane_width' (default: 16)",
     )
     server_parser.add_argument(
         "--cache-max-bytes", type=parse_size, default="256m",
@@ -391,7 +403,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executors", default=",".join(EXECUTOR_NAMES),
         metavar="LIST",
         help="comma-separated executor strategies for the pooled phase, "
-        "empty for sequential-only (default: serial,thread,process)",
+        "empty for sequential-only "
+        "(default: serial,thread,process,lane)",
     )
 
     return parser
@@ -473,7 +486,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
     )
     batch = run_batch(request, max_workers=args.workers,
-                      executor=args.executor, chunk_size=args.chunk_size)
+                      executor=args.executor, chunk_size=args.chunk_size,
+                      lane_width=args.lane_width)
     print(f"{args.spec.name}: {args.runs} runs on {args.backend} "
           f"({args.workers} workers, {args.executor} executor)")
     print(batch.summary())
@@ -513,6 +527,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         chunk_size=args.chunk_size,
+        lane_width=args.lane_width,
         artifact_cache=False if args.no_disk_cache else None,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age,

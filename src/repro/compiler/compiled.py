@@ -51,12 +51,17 @@ from repro.compiler.cache import (
 from repro.compiler.codegen_python import generate_program_python
 from repro.compiler.optimizer import CodegenOptions
 from repro.compiler.specopt import SpecOptPasses, SpecOptReport, resolve_passes
-from repro.core.backend import Backend, PreparedSimulation, ValueOverride
+from repro.core.backend import (
+    Backend,
+    PreparedSimulation,
+    ValueOverride,
+    resolve_cycles,
+)
 from repro.core.instrument import plan_run
 from repro.core.iosystem import IOSystem
 from repro.core.results import SimulationResult
 from repro.core.stats import SimulationStats
-from repro.core.trace import TraceOptions
+from repro.core.trace import TraceLog, TraceOptions
 from repro.errors import CompilationError
 from repro.lowering.program import CycleProgram, lower_cached
 from repro.rtl.spec import Specification
@@ -76,6 +81,7 @@ class CompiledSimulation(PreparedSimulation):
         generate_seconds: float,
         compile_seconds: float,
         cache_hit: bool = False,
+        simulate_lanes: Callable | None = None,
     ) -> None:
         super().__init__(
             spec,
@@ -99,6 +105,7 @@ class CompiledSimulation(PreparedSimulation):
         self._simulate = simulate
         self._simulate_instrumented = simulate_instrumented
         self._simulate_full = simulate_full
+        self._simulate_lanes = simulate_lanes
 
     def write_source(self, path: str | Path) -> Path:
         """Write the generated module to disk (like the paper's ``simulator.p``)."""
@@ -154,6 +161,76 @@ class CompiledSimulation(PreparedSimulation):
             prepare_seconds=self.prepare_seconds,
             run_seconds=run_seconds,
         )
+
+    def run_lanes(
+        self,
+        cycles: int | None = None,
+        ios: Iterable[IOSystem] = (),
+        collect_stats: bool = True,
+    ) -> list:
+        """Lane groups run the generated ``simulate_lanes`` entry point.
+
+        Statistics-collecting groups need per-lane hook call sites, which
+        the generated lane loop deliberately omits — they route through
+        the generic lane evaluator over the shared lowered program
+        instead (still one schedule walk for the whole group).
+        """
+        if collect_stats or self._simulate_lanes is None:
+            return super().run_lanes(
+                cycles=cycles, ios=ios, collect_stats=collect_stats
+            )
+        from repro.lowering.lanes import LaneOutcome
+
+        ios = list(ios)
+        if not ios:
+            return []
+        cycle_count = resolve_cycles(self.spec, cycles)
+        start = time.perf_counter()
+        try:
+            raw = self._simulate_lanes(cycle_count, ios)
+        except (ZeroDivisionError, IndexError, KeyError) as exc:
+            raise CompilationError(
+                f"generated lane simulator for {self.spec.source_name} "
+                f"failed: {exc!r}"
+            ) from exc
+        run_seconds = (time.perf_counter() - start) / len(ios)
+
+        values, memories, errors = raw["values"], raw["memories"], raw["errors"]
+        restore = (
+            self.program.restore_final_values
+            if self.program.restore_items else None
+        )
+        # the lane fast path collects neither traces nor statistics, so
+        # every result in the group shares one disabled trace log and one
+        # empty statistics object — placeholders, not per-run accumulators
+        shared_trace = TraceLog(enabled=False)
+        shared_stats = SimulationStats()
+        outcomes: list = []
+        for lane, io in enumerate(ios):
+            error = errors[lane]
+            if error is not None:
+                outcomes.append(LaneOutcome(result=None, error=error))
+                continue
+            # the generated module builds fresh per-lane dicts and owns
+            # its per-lane cell lists, so both are adopted without copies
+            final_values = values[lane]
+            if restore is not None:
+                restore(final_values, cycle_count)
+            outcomes.append(LaneOutcome(
+                result=SimulationResult(
+                    backend=self.backend_name,
+                    cycles_run=cycle_count,
+                    final_values=final_values,
+                    memory_contents=memories[lane],
+                    outputs=list(io.outputs),
+                    trace=shared_trace,
+                    stats=shared_stats,
+                    prepare_seconds=self.prepare_seconds,
+                    run_seconds=run_seconds,
+                ),
+                error=None,
+            ))
+        return outcomes
 
 
 def _generate_and_compile(
@@ -251,6 +328,9 @@ class CompiledBackend(Backend):
             simulate = namespace["simulate"]
             simulate_instrumented = namespace["simulate_instrumented"]
             simulate_full = namespace.get("simulate_full")
+            # absent from sources cached by older versions; run_lanes then
+            # falls back to the generic lane evaluator
+            simulate_lanes = namespace.get("simulate_lanes")
         except Exception as exc:  # pragma: no cover - generator bug guard
             raise CompilationError(
                 f"generated code for {spec.source_name} failed to load: {exc}"
@@ -266,6 +346,7 @@ class CompiledBackend(Backend):
             generate_seconds=generate_seconds,
             compile_seconds=compile_seconds,
             cache_hit=hit,
+            simulate_lanes=simulate_lanes,
         )
 
 

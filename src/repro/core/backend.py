@@ -118,6 +118,49 @@ class PreparedSimulation(ABC):
     ) -> SimulationResult:
         """Simulate for *cycles* cycles and return a :class:`SimulationResult`."""
 
+    def run_lanes(
+        self,
+        cycles: int | None = None,
+        ios: Iterable[IOSystem] = (),
+        collect_stats: bool = True,
+    ) -> list:
+        """Run one lane group: N runs advanced together, one per I/O system.
+
+        Every lane executes the same cycle count with fast-path (untraced,
+        override-free) semantics; see :mod:`repro.lowering.lanes`.  Returns
+        one ``LaneOutcome`` per lane, in order — a lane that raises records
+        its error without poisoning its neighbours.  Backends exposing the
+        shared lowered ``program`` get the generic lane evaluator for free;
+        anything else falls back to scalar runs per lane, so third-party
+        backends stay correct without opting in.
+        """
+        program = getattr(self, "program", None)
+        if program is not None:
+            from repro.lowering.lanes import run_lanes
+
+            return run_lanes(
+                program,
+                cycles=cycles,
+                ios=ios,
+                collect_stats=collect_stats,
+                backend_name=self.backend_name,
+                prepare_seconds=self.prepare_seconds,
+            )
+        from repro.lowering.lanes import LaneOutcome
+
+        outcomes = []
+        for io in ios:
+            try:
+                result = self.run(
+                    cycles=cycles, io=io, trace=False,
+                    collect_stats=collect_stats,
+                )
+            except SimulationError as exc:
+                outcomes.append(LaneOutcome(result=None, error=exc))
+            else:
+                outcomes.append(LaneOutcome(result=result, error=None))
+        return outcomes
+
 
 class Backend(ABC):
     """Factory turning specifications into :class:`PreparedSimulation`."""

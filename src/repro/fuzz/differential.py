@@ -14,9 +14,15 @@ thousands of generated machines:
   specopt'd interpreter, which executes the same optimized schedule).
 * **executor phase** — every backend × specopt configuration again, but
   through a :class:`~repro.serving.SimulationPool` on each executor
-  strategy (serial / thread / process).  Each pooled run must be
+  strategy (serial / thread / process / lane).  Each pooled run must be
   bit-identical — results, traces *and statistics* — to the sequential
-  run of the same configuration.
+  run of the same configuration.  Lane groups run untraced by design
+  (tracing falls back to the scalar path), so the lane configurations
+  drop tracing from the request and skip trace comparison; statistics
+  are trace-independent, which keeps the traced sequential run a valid
+  reference.  A stats-off pair rides along to exercise the compiled
+  backend's generated ``simulate_lanes`` entry point (stats-on groups
+  route through the generic lane evaluator).
 
 A failure is a :class:`DifferentialFailure` naming the configuration and
 the mismatches; :class:`DifferentialReport` aggregates them per spec.  A
@@ -34,7 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.compiler.cache import spec_fingerprint
@@ -241,6 +247,15 @@ def run_differential(
         collect_stats=True,
     )
     for executor in executors:
+        if executor == "lane":
+            # untraced lane-eligible requests; the stats-off pair drives
+            # the compiled backend's generated lane entry point
+            requests = (
+                [replace(request, trace=False)] * runs_per_pool
+                + [replace(request, trace=False, collect_stats=False)] * 2
+            )
+        else:
+            requests = [request] * runs_per_pool
         for label, specopt, factory in matrix:
             config = f"{label}@{executor}"
             expected = sequential[label]
@@ -253,7 +268,7 @@ def run_differential(
                     executor=executor,
                     max_workers=pool_workers,
                 ) as pool:
-                    batch = pool.run_batch([request] * runs_per_pool)
+                    batch = pool.run_batch(requests)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
                 report.failures.append(DifferentialFailure(
                     config=config,
@@ -272,8 +287,9 @@ def run_differential(
                     ))
                     continue
                 mismatches = compare_results(
-                    expected, item.result, compare_trace=True,
-                    compare_stats=True,
+                    expected, item.result,
+                    compare_trace=(executor != "lane"),
+                    compare_stats=item.request.collect_stats,
                 )
                 if mismatches:
                     report.failures.append(DifferentialFailure(

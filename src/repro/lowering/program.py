@@ -252,6 +252,12 @@ class CycleProgram:
             else:  # pragma: no cover - specopt removes via the maps above
                 observables[name] = ("const", 0)
         self.observables = observables
+        #: the non-``live`` subset, precomputed so restoring final values
+        #: costs nothing when specopt eliminated or aliased no components
+        #: (the lane path restores once per lane and leans on that)
+        self.restore_items = tuple(
+            item for item in observables.items() if item[1][0] != "live"
+        )
 
         # Backend-private artifact memo (closure plans, generated modules);
         # excluded from pickling — artifacts are re-derived on demand.
@@ -345,13 +351,14 @@ class CycleProgram:
 
         A constant component holds its value from the first evaluated cycle
         on; with zero cycles run every combinational value is still the
-        initial zero (matching the interpreter exactly).
+        initial zero (matching the interpreter exactly).  Only the
+        precomputed non-live observables are walked, so the common
+        no-specopt case returns immediately.
         """
-        for name, resolution in self.observables.items():
-            kind = resolution[0]
-            if kind == "const":
+        for name, resolution in self.restore_items:
+            if resolution[0] == "const":
                 final_values[name] = resolution[1] if cycles_run > 0 else 0
-            elif kind == "alias":
+            else:  # alias
                 final_values[name] = final_values.get(resolution[1], 0)
 
 

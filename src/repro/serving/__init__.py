@@ -17,10 +17,14 @@ Four pieces implement that:
   down to per-worker runs/sec and queue-wait statistics;
 * :class:`~repro.serving.executor.ExecutorStrategy`
   (:mod:`repro.serving.executor`) — the execution strategies: ``serial``
-  (inline baseline), ``thread`` (GIL-bound prepare amortisation) and
+  (inline baseline), ``thread`` (GIL-bound prepare amortisation),
   ``process`` (true multi-core: the lowered program is pickled to worker
   processes once at pool startup, requests travel in chunks, and the
-  persistent artifact cache makes worker cold starts nearly free);
+  persistent artifact cache makes worker cold starts nearly free) and
+  ``lane`` (:mod:`repro.lowering.lanes`: N compatible run variants
+  advanced together through one walk of the dependency-scheduled step
+  list, amortising per-run dispatch overhead; composes with ``process``
+  — lanes within each worker, chunks across workers);
 * :class:`~repro.serving.pool.SimulationPool` (:mod:`repro.serving.pool`)
   — the pool over a chosen strategy, with backend-aware dispatch: the
   cache-backed threaded and compiled backends share one cached prepare
@@ -31,7 +35,8 @@ Four pieces implement that:
 * :class:`~repro.serving.server.SimulationServer`
   (:mod:`repro.serving.server` + :mod:`repro.serving.protocol`) — the
   long-lived HTTP front-end: pools created lazily per (machine, backend,
-  executor) and kept warm across client requests, a JSON wire protocol
+  executor, lane width) and kept warm across client requests, a JSON
+  wire protocol
   any ``curl`` can speak, and startup garbage collection of the
   persistent artifact cache (``DiskCache.prune``).
 
@@ -47,12 +52,12 @@ mode).  The chaos harness (``tests/serving/test_chaos.py``, shims in
 answers structurally instead of hanging.
 
 The CLI exposes the layer as ``repro serve-batch --executor {serial,
-thread,process}`` (one-shot) and ``repro serve`` (the long-lived
+thread,process,lane}`` (one-shot) and ``repro serve`` (the long-lived
 server); the throughput benchmark
 (``benchmarks/test_batch_throughput.py``) writes ``BENCH_batch.json``
-(schema v2, with the executor dimension) from it, and the equivalence
-tests prove batched results bit-identical to sequential ones on every
-backend and every strategy — including over HTTP
+(schema v3, with the executor and lane-width dimensions) from it, and
+the equivalence tests prove batched results bit-identical to sequential
+ones on every backend and every strategy — including over HTTP
 (``tests/serving/test_server.py``).
 """
 
@@ -61,11 +66,13 @@ from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
 from repro.serving.executor import (
     EXECUTOR_NAMES,
     ExecutorStrategy,
+    LaneExecutor,
     ProcessExecutor,
     RunOutcome,
     SerialExecutor,
     ThreadExecutor,
     WorkerContext,
+    lane_compatible,
 )
 from repro.serving.pool import SimulationPool, run_batch
 from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError, error_kind
@@ -78,6 +85,7 @@ __all__ = [
     "BatchResult",
     "EXECUTOR_NAMES",
     "ExecutorStrategy",
+    "LaneExecutor",
     "PROTOCOL_VERSION",
     "ProcessExecutor",
     "ProtocolError",
@@ -91,5 +99,6 @@ __all__ = [
     "async_run",
     "async_run_batch",
     "error_kind",
+    "lane_compatible",
     "run_batch",
 ]

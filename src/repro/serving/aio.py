@@ -9,10 +9,12 @@ while workers simulate; :func:`async_run` is the single-request form.
 The pool semantics are unchanged — one warm prepare, per-worker program
 binding, per-item error capture — only the waiting is asynchronous.  That
 holds for the thread and process strategies, whose futures resolve off
-the loop; the ``serial`` strategy executes inline *at submission* by
-design (it is the debugging baseline), so driving it from async code
+the loop; the ``serial`` and ``lane`` strategies execute inline *at
+submission* by design (serial is the debugging baseline, lane runs its
+groups on the submitting thread), so driving either from async code
 blocks the loop for the duration of the batch — prefer ``thread`` or
-``process`` in an event-loop context.
+``process`` (which composes with lanes via ``lane_width``) in an
+event-loop context.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ async def async_run_batch(
     pool: SimulationPool | None = None,
     executor: str = "thread",
     chunk_size: int | None = None,
+    lane_width: int | None = None,
 ) -> BatchResult:
     """Run a batch from async code; returns the same :class:`BatchResult`.
 
@@ -58,6 +61,7 @@ async def async_run_batch(
             max_workers=max_workers,
             executor=executor,
             chunk_size=chunk_size,
+            lane_width=lane_width,
         )
     try:
         requests = pool._coerce_runs(request)

@@ -1,8 +1,8 @@
-"""Execution strategies for the serving pool: serial, thread, process.
+"""Execution strategies for the serving pool: serial, thread, process, lane.
 
 :class:`~repro.serving.pool.SimulationPool` used to be welded to one
 ``ThreadPoolExecutor``; this module extracts the scheduling decision into
-an :class:`ExecutorStrategy` with three implementations:
+an :class:`ExecutorStrategy` with four implementations:
 
 * **serial** — every run executes inline on the caller's thread, in
   submission order.  The baseline and the debugging strategy: no
@@ -21,6 +21,16 @@ an :class:`ExecutorStrategy` with three implementations:
   lowering and code generation entirely.  Requests travel to workers in
   chunks (``chunk_size``) to amortise IPC; results come back as picklable
   :class:`RunOutcome` values with per-item error capture.
+* **lane** — lane-vectorized batching (:mod:`repro.lowering.lanes`):
+  compatible requests — same cycle count, same instrumentation profile,
+  no trace/override/deadline — are grouped into lane groups of up to
+  ``lane_width`` and the whole group executes in **one walk** of the
+  per-cycle schedule, amortising every per-run cost (plan construction,
+  dispatch, result plumbing).  Incompatible requests fall back to scalar
+  execution inside the same chunk, and a lane whose run raises yields a
+  per-item error without touching its neighbours.  Lanes compose with
+  the process strategy (``ProcessExecutor(lane_width=...)``): chunks
+  fan out across worker processes, lanes batch within each worker.
 
 Every strategy resolves one submitted request to one future of a
 :class:`RunOutcome` — result or error, worker label, busy seconds and
@@ -56,16 +66,17 @@ from repro.compiler.cache import (
 )
 from repro.compiler.optimizer import CodegenOptions
 from repro.compiler.specopt import SpecOptPasses
-from repro.core.backend import Backend, PreparedSimulation
+from repro.core.backend import Backend, PreparedSimulation, resolve_trace
 from repro.core.instrument import run_deadline
 from repro.core.results import SimulationResult
 from repro.errors import DeadlineExceededError, ServingError, WorkerCrashError
+from repro.lowering.lanes import DEFAULT_LANE_WIDTH, LaneOutcome
 from repro.lowering.program import CycleProgram
 from repro.rtl.spec import Specification
 from repro.serving.batch import RunRequest
 
 #: Registered execution strategies, in cost order.
-EXECUTOR_NAMES = ("serial", "thread", "process")
+EXECUTOR_NAMES = ("serial", "thread", "process", "lane")
 
 #: How a strategy runs one request: returns (result, busy seconds).
 ExecuteFn = Callable[[RunRequest], "tuple[SimulationResult, float]"]
@@ -197,6 +208,20 @@ class ExecutorStrategy(ABC):
         """Requests per chunk when the caller did not choose one."""
         return 1
 
+    def execute_many(
+        self, requests: Sequence[RunRequest], chunk_size: int | None = None
+    ) -> "list[RunOutcome] | None":
+        """Outcomes for every request, produced inline — or ``None``.
+
+        The lane strategy overrides this so a synchronous batch skips the
+        per-item ``Future`` plumbing of :meth:`submit_many` entirely —
+        per-run scheduling overhead is precisely what lanes amortise.
+        Every other strategy (including serial, the baseline that runs
+        the standard pipeline) returns ``None`` and the pool uses
+        futures.
+        """
+        return None
+
     def counters(self) -> dict[str, int]:
         """Cumulative resilience counters (see :data:`ZERO_COUNTERS`)."""
         return dict(ZERO_COUNTERS)
@@ -278,6 +303,167 @@ class ThreadExecutor(ExecutorStrategy):
 
     def close(self, wait: bool = True) -> None:
         self._threads.shutdown(wait=wait)
+
+
+# ---------------------------------------------------------------------------
+# The lane strategy: vectorized grouping of compatible requests
+# ---------------------------------------------------------------------------
+
+#: How a strategy runs one lane group: one LaneOutcome per request, in order.
+LaneExecuteFn = Callable[["list[RunRequest]"], "list[LaneOutcome]"]
+
+
+def lane_compatible(request: RunRequest, spec: Specification) -> bool:
+    """Whether *request* may ride in a lane group.
+
+    Lane groups carry only the fast-path run shape: no per-cycle
+    ``override``, no deadline, and no tracing.  Note the trace decision
+    must be resolved against the specification — ``trace=None`` on a
+    machine with ``*`` trace declarations means tracing is *on* — so an
+    eligible request is one whose resolved options disable both trace
+    kinds.  Everything else executes scalar inside the same chunk.
+    """
+    if request.override is not None or request.timeout_seconds is not None:
+        return False
+    options = resolve_trace(spec, request.trace)
+    return not (options.trace_cycles or options.trace_memory_accesses)
+
+
+def prepared_lane_outcomes(
+    prepared: PreparedSimulation, requests: "list[RunRequest]"
+) -> "list[LaneOutcome]":
+    """Run one compatible lane group on *prepared* (shared profile)."""
+    for request in requests:
+        request.check_supported(prepared)
+    ios = [request.make_io() for request in requests]
+    return prepared.run_lanes(
+        cycles=requests[0].cycles,
+        ios=ios,
+        collect_stats=requests[0].collect_stats,
+    )
+
+
+def execute_lane_chunk(
+    lane_execute: LaneExecuteFn,
+    execute: ExecuteFn,
+    spec: Specification,
+    requests: "list[RunRequest]",
+    submitted: float,
+    worker: str,
+    lane_width: int,
+) -> "list[RunOutcome]":
+    """Execute one chunk with lane grouping; outcomes in request order.
+
+    Compatible requests are grouped by execution profile (cycle count and
+    statistics collection) and sliced into lane groups of up to
+    *lane_width*; a group-level failure is mirrored into every member.
+    Lone lanes gain nothing from vectorization and run scalar along with
+    the incompatible (override / trace / deadline) requests.
+    """
+    outcomes: "list[RunOutcome | None]" = [None] * len(requests)
+    groups: "dict[tuple, list[int]]" = {}
+    # batches routinely repeat one request object N times, so the
+    # compatibility decision is memoized per distinct object
+    decisions: "dict[int, tuple | None]" = {}
+    for index, request in enumerate(requests):
+        ident = id(request)
+        key = decisions.get(ident, False)
+        if key is False:
+            key = (
+                (request.cycles, request.collect_stats)
+                if lane_compatible(request, spec) else None
+            )
+            decisions[ident] = key
+        if key is not None:
+            groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        for start in range(0, len(indices), lane_width):
+            lane_indices = indices[start:start + lane_width]
+            if len(lane_indices) < 2:
+                continue  # a lone lane runs scalar below
+            queue_seconds = max(0.0, time.monotonic() - submitted)
+            lane_requests = [requests[i] for i in lane_indices]
+            begin = time.perf_counter()
+            try:
+                lane_outcomes = lane_execute(lane_requests)
+            except Exception as exc:  # noqa: BLE001 - mirrored per item
+                for i in lane_indices:
+                    outcomes[i] = RunOutcome(
+                        result=None, error=exc, seconds=0.0,
+                        worker=worker, queue_seconds=queue_seconds,
+                    )
+                continue
+            seconds = (time.perf_counter() - begin) / len(lane_indices)
+            for i, outcome in zip(lane_indices, lane_outcomes):
+                outcomes[i] = RunOutcome(
+                    result=outcome.result,
+                    error=outcome.error,
+                    seconds=seconds if outcome.error is None else 0.0,
+                    worker=worker,
+                    queue_seconds=queue_seconds,
+                )
+    for index, request in enumerate(requests):
+        if outcomes[index] is None:
+            outcomes[index] = execute_outcome(
+                execute, request, submitted, worker
+            )
+    return outcomes  # type: ignore[return-value]
+
+
+class LaneExecutor(ExecutorStrategy):
+    """Lane-vectorized inline execution (see :mod:`repro.lowering.lanes`).
+
+    Like the serial strategy, execution happens on the caller's thread at
+    submission; the win is vectorization, not concurrency — every group
+    of up to ``lane_width`` compatible requests costs one schedule walk
+    instead of N.  The whole batch travels as a single chunk by default
+    so grouping sees every request at once.
+    """
+
+    name = "lane"
+
+    def __init__(
+        self,
+        lane_execute: LaneExecuteFn,
+        execute: ExecuteFn,
+        spec: Specification,
+        lane_width: int | None = None,
+    ) -> None:
+        super().__init__(workers=1)
+        self._lane_execute = lane_execute
+        self._execute = execute
+        self._spec = spec
+        self.lane_width = lane_width or DEFAULT_LANE_WIDTH
+
+    def default_chunk_size(self, count: int) -> int:
+        # one chunk for the whole batch: grouping works across all of it
+        return max(1, count)
+
+    def submit_chunk(self, requests):
+        future: Future = Future()
+        future.set_result(self.execute_many(requests))
+        return future
+
+    def execute_many(self, requests, chunk_size=None):
+        requests = list(requests)
+        if chunk_size is None or chunk_size >= len(requests):
+            return execute_lane_chunk(
+                self._lane_execute, self._execute, self._spec, requests,
+                time.monotonic(), "lane-0", self.lane_width,
+            )
+        # an explicit chunk size bounds how many requests one grouping
+        # pass sees, exactly as on the future path
+        outcomes: "list[RunOutcome]" = []
+        for start in range(0, len(requests), chunk_size):
+            outcomes.extend(execute_lane_chunk(
+                self._lane_execute, self._execute, self._spec,
+                requests[start:start + chunk_size],
+                time.monotonic(), "lane-0", self.lane_width,
+            ))
+        return outcomes
+
+    def close(self, wait: bool = True) -> None:
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -432,8 +618,26 @@ def _execute_in_worker(request: RunRequest):
     return result, time.perf_counter() - start
 
 
-def _run_chunk_in_worker(requests: list, submitted: float):
+def _lane_execute_in_worker(requests: list):
+    prepared = _WORKER_PREPARED
+    if prepared is None:  # pragma: no cover - initializer always ran
+        raise ServingError("worker process was never initialized")
+    return prepared_lane_outcomes(prepared, requests)
+
+
+def _run_chunk_in_worker(
+    requests: list, submitted: float, lane_width: int | None = None
+):
     worker = f"pid-{os.getpid()}"
+    if lane_width is not None and lane_width > 1 and len(requests) > 1:
+        # lanes within the worker, chunks across workers
+        prepared = _WORKER_PREPARED
+        if prepared is None:  # pragma: no cover - initializer always ran
+            raise ServingError("worker process was never initialized")
+        return execute_lane_chunk(
+            _lane_execute_in_worker, _execute_in_worker, prepared.spec,
+            list(requests), submitted, worker, lane_width,
+        )
     return [
         execute_outcome(_execute_in_worker, request, submitted, worker)
         for request in requests
@@ -487,8 +691,11 @@ class ProcessExecutor(ExecutorStrategy):
         context: WorkerContext,
         workers: int,
         mp_context=None,
+        lane_width: int | None = None,
     ) -> None:
         super().__init__(workers=workers)
+        #: lanes within each worker (``None``/1 = scalar chunks, the default)
+        self.lane_width = lane_width
         if isinstance(mp_context, str):
             import multiprocessing
 
@@ -517,7 +724,10 @@ class ProcessExecutor(ExecutorStrategy):
         )
 
     def default_chunk_size(self, count: int) -> int:
-        return max(1, math.ceil(count / (self.workers * 4)))
+        # about two chunks per worker: four per worker doubled the IPC
+        # dispatches on small batches for no load-balance gain, which is
+        # what made small-cycle process batches lose to serial
+        return max(1, math.ceil(count / (self.workers * 2)))
 
     def counters(self) -> dict[str, int]:
         with self._counter_lock:
@@ -552,7 +762,8 @@ class ProcessExecutor(ExecutorStrategy):
             generation = self._generation
         try:
             chunk_future = processes.submit(
-                _run_chunk_in_worker, list(requests), time.monotonic()
+                _run_chunk_in_worker, list(requests), time.monotonic(),
+                self.lane_width,
             )
         except BrokenProcessPool:
             # the pool was already broken before this chunk entered it:

@@ -61,10 +61,12 @@ from repro.serving.batch import BatchItem, BatchRequest, BatchResult, RunRequest
 from repro.serving.executor import (
     EXECUTOR_NAMES,
     ExecutorStrategy,
+    LaneExecutor,
     ProcessExecutor,
     RunOutcome,
     SerialExecutor,
     ThreadExecutor,
+    prepared_lane_outcomes,
     seed_disk_cache,
     worker_context_for,
 )
@@ -78,7 +80,8 @@ def _available_cpus() -> int:
 
 
 def _default_workers(executor: str) -> int:
-    if executor == "serial":
+    if executor in ("serial", "lane"):
+        # lane wins by vectorization on the caller's thread, not workers
         return 1
     if executor == "process":
         # one worker per available core: the whole point is parallelism
@@ -118,10 +121,14 @@ def batch_items(
 class SimulationPool:
     """A worker pool serving many runs of one prepared specification.
 
-    ``executor`` picks the execution strategy (``"serial"``, ``"thread"``
-    or ``"process"``); ``chunk_size`` fixes how many requests travel per
-    scheduling unit (default: one for serial/thread, about four chunks
-    per worker for process).  ``artifact_cache`` roots the persistent
+    ``executor`` picks the execution strategy (``"serial"``, ``"thread"``,
+    ``"process"`` or ``"lane"``); ``chunk_size`` fixes how many requests
+    travel per scheduling unit (default: one for serial/thread, about two
+    chunks per worker for process, the whole batch for lane).
+    ``lane_width`` bounds how many compatible requests ride one lane
+    group (see :mod:`repro.lowering.lanes`); on the process strategy a
+    non-``None`` width turns on lanes *inside* each worker, composing
+    vectorization with multi-core fan-out.  ``artifact_cache`` roots the persistent
     artifact cache used to seed process workers (``True``/``None`` for
     the default directory, a path, a
     :class:`~repro.compiler.cache.DiskCache`, or ``False`` to disable).
@@ -140,6 +147,7 @@ class SimulationPool:
         chunk_size: int | None = None,
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
         mp_context=None,
+        lane_width: int | None = None,
     ) -> None:
         if executor not in EXECUTOR_NAMES:
             raise ServingError(
@@ -152,15 +160,20 @@ class SimulationPool:
             raise ServingError(
                 f"max_workers must be positive, got {max_workers}"
             )
-        if executor == "serial":
+        if executor in ("serial", "lane"):
             max_workers = 1
         if chunk_size is not None and chunk_size <= 0:
             raise ServingError(
                 f"chunk_size must be positive, got {chunk_size}"
             )
+        if lane_width is not None and lane_width <= 0:
+            raise ServingError(
+                f"lane_width must be positive, got {lane_width}"
+            )
         self.spec = spec
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.lane_width = lane_width
         self._backend = make_backend(backend, codegen_options)
         # warm prepare on the caller's thread: seeds the shared cache (when
         # the backend has one) and surfaces compilation errors eagerly,
@@ -183,6 +196,13 @@ class SimulationPool:
     ) -> ExecutorStrategy:
         if executor == "serial":
             return SerialExecutor(self._execute)
+        if executor == "lane":
+            return LaneExecutor(
+                self._execute_lanes,
+                self._execute,
+                self.spec,
+                lane_width=self.lane_width,
+            )
         if executor == "thread":
             return ThreadExecutor(
                 self._execute,
@@ -204,7 +224,8 @@ class SimulationPool:
                 getattr(self._backend, "options", None),
             )
         return ProcessExecutor(context, workers=self.max_workers,
-                               mp_context=mp_context)
+                               mp_context=mp_context,
+                               lane_width=self.lane_width)
 
     # -- introspection -------------------------------------------------------
 
@@ -278,6 +299,10 @@ class SimulationPool:
         )
         return result, time.perf_counter() - start
 
+    def _execute_lanes(self, requests: "list[RunRequest]"):
+        """Run one compatible lane group on this thread's prepared binding."""
+        return prepared_lane_outcomes(self._prepared_for_run(), requests)
+
     # -- submission ----------------------------------------------------------
 
     def _check_open(self) -> None:
@@ -289,12 +314,12 @@ class SimulationPool:
     ) -> "list[Future[RunOutcome]]":
         with self._submit_lock:
             self._check_open()
-            if not isinstance(self._strategy, SerialExecutor):
+            if not isinstance(self._strategy, (SerialExecutor, LaneExecutor)):
                 return self._strategy.submit_many(requests, self.chunk_size)
-        # the serial strategy executes inline at submission: run it outside
-        # the lock so close(wait=False) never blocks on a batch and a run
-        # hook that submits re-entrantly cannot deadlock (there is no
-        # underlying executor for close() to race with)
+        # the serial and lane strategies execute inline at submission: run
+        # them outside the lock so close(wait=False) never blocks on a batch
+        # and a run hook that submits re-entrantly cannot deadlock (there is
+        # no underlying executor for close() to race with)
         return self._strategy.submit_many(requests, self.chunk_size)
 
     def submit(self, request: RunRequest) -> "Future[SimulationResult]":
@@ -331,13 +356,21 @@ class SimulationPool:
         requests = self._coerce_runs(runs)
         start = time.perf_counter()
         before = self._strategy.counters()
-        futures = self._submit_many(requests)
-        outcomes: "list[RunOutcome | BaseException]" = []
-        for future in futures:
-            try:
-                outcomes.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - rerouted per item
-                outcomes.append(exc)
+        outcomes: "list[RunOutcome | BaseException] | None"
+        if isinstance(self._strategy, LaneExecutor):
+            # the lane strategy produces outcomes directly on this thread —
+            # no per-item Future plumbing (same no-deadlock reasoning as
+            # in _submit_many: execution happens outside the submit lock)
+            with self._submit_lock:
+                self._check_open()
+            outcomes = self._strategy.execute_many(requests, self.chunk_size)
+        else:
+            outcomes = []
+            for future in self._submit_many(requests):
+                try:
+                    outcomes.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - per item
+                    outcomes.append(exc)
         wall_seconds = time.perf_counter() - start
         after = self._strategy.counters()
         return BatchResult(
@@ -399,6 +432,7 @@ def run_batch(
     codegen_options: CodegenOptions | None = None,
     executor: str = "thread",
     chunk_size: int | None = None,
+    lane_width: int | None = None,
 ) -> BatchResult:
     """One-shot: build a pool for *request* and run it to completion."""
     with SimulationPool(
@@ -408,5 +442,6 @@ def run_batch(
         codegen_options=codegen_options,
         executor=executor,
         chunk_size=chunk_size,
+        lane_width=lane_width,
     ) as pool:
         return pool.run_batch(request.runs)

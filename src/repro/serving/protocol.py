@@ -326,8 +326,24 @@ def resolve_executor(doc: Mapping, default: str) -> str:
     return executor
 
 
+def resolve_lane_width(doc: Mapping) -> int | None:
+    """The validated ``lane_width`` a request asks for, if any."""
+    value = doc.get("lane_width")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError("'lane_width' must be an integer")
+    if value <= 0:
+        raise ProtocolError(
+            f"'lane_width' must be positive, got {value}"
+        )
+    return value
+
+
 #: Fields a batch body may carry beyond the per-run objects.
-BATCH_FIELDS = frozenset({"machine", "spec", "backend", "executor", "runs"})
+BATCH_FIELDS = frozenset(
+    {"machine", "spec", "backend", "executor", "lane_width", "runs"}
+)
 
 
 @dataclass(frozen=True)
@@ -342,6 +358,9 @@ class ParsedBatch:
     backend: str
     executor: str
     runs: tuple[RunRequest, ...]
+    #: lane group size for the lane executor (and lanes inside process
+    #: workers); ``None`` leaves the pool's default in charge
+    lane_width: int | None = None
 
 
 def parse_batch_request(
@@ -368,6 +387,7 @@ def parse_batch_request(
     return ParsedBatch(
         spec=spec, label=label, pool_key=pool_key, backend=backend,
         executor=executor, runs=runs,
+        lane_width=resolve_lane_width(doc),
     )
 
 
@@ -397,6 +417,7 @@ def parse_run_request(
     return ParsedBatch(
         spec=spec, label=label, pool_key=pool_key, backend=backend,
         executor=executor, runs=(run,),
+        lane_width=resolve_lane_width(doc),
     )
 
 

@@ -2,7 +2,8 @@
 
 This is the serving layer's persistent form.  ``repro serve-batch`` pays
 a pool's warm-up on every invocation; the server pays it **once per
-(machine, backend, executor)** and then keeps the pool — warm workers,
+(machine, backend, executor, lane width)** and then keeps the pool —
+warm workers,
 seeded prepare cache, shipped lowered program — alive across any number
 of client requests, so a repeat client's request costs only the run
 itself.  It is standard library only (`http.server.ThreadingHTTPServer`
@@ -25,7 +26,8 @@ Endpoints (documented with schemas and examples in
   instance without killing it.
 
 Pools are created lazily on first use and kept in a registry keyed on
-(machine, backend, executor); the disk artifact cache is pruned once at
+(machine, backend, executor, lane width); the disk artifact cache is
+pruned once at
 startup (:meth:`~repro.compiler.cache.DiskCache.prune`) so a long-running
 deployment stays inside its byte/age budget.
 
@@ -68,6 +70,7 @@ from repro.core.simulator import BACKEND_NAMES, make_backend
 from repro.errors import AsimError, DeadlineExceededError, WorkerCrashError
 from repro.machines.library import all_machines
 from repro.serving.batch import BatchResult
+from repro.serving.executor import EXECUTOR_NAMES
 from repro.serving.pool import SimulationPool
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
@@ -197,8 +200,13 @@ POST_ROUTES: dict[str, str] = {
 }
 
 
+#: Registry key: one pool per distinct combination a request can ask for.
+PoolKey = "tuple[str, str, str, int | None]"
+
+
 class PoolRegistry:
-    """Lazily created, kept-warm pools keyed on (machine, backend, executor).
+    """Lazily created, kept-warm pools keyed on
+    (machine, backend, executor, lane width).
 
     The registry is the server's whole point: the first request for a
     combination pays the pool construction (warm prepare, worker spawn,
@@ -214,23 +222,33 @@ class PoolRegistry:
         self,
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        lane_width: int | None = None,
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
         fallback: bool = True,
     ) -> None:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        #: server-wide default lane group size; a request's ``lane_width``
+        #: field overrides it per pool
+        self.lane_width = lane_width
         self.artifact_cache = artifact_cache
         #: walk :data:`BACKEND_FALLBACKS` when a backend's prepare fails
         self.fallback = fallback
         self.fallback_count = 0
-        self._pools: dict[tuple[str, str, str], SimulationPool] = {}
-        self._labels: dict[tuple[str, str, str], str] = {}
+        self._pools: dict[PoolKey, SimulationPool] = {}
+        self._labels: dict[PoolKey, str] = {}
         #: per-key degradation record (requested vs served backend), kept
         #: alongside the pool so later requests see the same substitution
-        self._fallbacks: dict[tuple[str, str, str], dict] = {}
-        self._creation_locks: dict[tuple[str, str, str], threading.Lock] = {}
+        self._fallbacks: dict[PoolKey, dict] = {}
+        self._creation_locks: dict[PoolKey, threading.Lock] = {}
         self._lock = threading.Lock()
         self._closed = False
+
+    def _effective_lane_width(self, batch: ParsedBatch) -> int | None:
+        return (
+            batch.lane_width if batch.lane_width is not None
+            else self.lane_width
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -255,7 +273,8 @@ class PoolRegistry:
         keyed under the *requested* combination, so the substitution is
         sticky and later identical requests reuse it without re-failing
         the broken backend)."""
-        key = (batch.pool_key, batch.backend, batch.executor)
+        key = (batch.pool_key, batch.backend, batch.executor,
+               self._effective_lane_width(batch))
         pool = self._check_open_and_get(key)
         if pool is not None:
             with self._lock:
@@ -305,6 +324,7 @@ class PoolRegistry:
                     executor=batch.executor,
                     max_workers=self.max_workers,
                     chunk_size=self.chunk_size,
+                    lane_width=self._effective_lane_width(batch),
                     artifact_cache=self.artifact_cache,
                 )
             except ProtocolError:
@@ -588,6 +608,7 @@ class SimulationServer:
         executor: str = "thread",
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        lane_width: int | None = None,
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
         cache_max_bytes: int | None = None,
         cache_max_age: float | None = None,
@@ -625,6 +646,7 @@ class SimulationServer:
         self.registry = PoolRegistry(
             max_workers=max_workers,
             chunk_size=chunk_size,
+            lane_width=lane_width,
             artifact_cache=self.disk if self.disk is not None else False,
             fallback=fallback,
         )
@@ -794,6 +816,10 @@ class SimulationServer:
                 "specopt_default": (
                     passes is not None and passes != SpecOptPasses.none()
                 ),
+                # every built-in backend serves every executor strategy:
+                # lane groups fall back to the generic lane evaluator when
+                # a backend has no generated lane entry point
+                "executors": list(EXECUTOR_NAMES),
             })
         return 200, {"protocol": PROTOCOL_VERSION, "backends": backends}
 
@@ -814,6 +840,7 @@ class SimulationServer:
                 "executor": self.default_executor,
                 "max_workers": self.registry.max_workers,
                 "chunk_size": self.registry.chunk_size,
+                "lane_width": self.registry.lane_width,
                 "default_timeout": self.default_timeout,
                 "max_body_bytes": self.max_body_bytes,
                 "drain_timeout": self.drain_timeout,

@@ -24,6 +24,7 @@ import urllib.request
 import pytest
 
 from repro.core.comparison import compare_results
+from repro.core.simulator import BACKEND_NAMES
 from repro.errors import DeadlineExceededError, WorkerCrashError
 from repro.serving import RunRequest, SimulationPool, SimulationServer
 from repro.serving.chaos import HangOverride, KillWorker, SleepyOverride
@@ -214,6 +215,78 @@ class TestDeadlines:
             assert elapsed < 2.5, f"hang leaked past backstop: {elapsed:.2f}s"
         finally:
             _close_killing_workers(pool)
+
+
+class TestLaneFaultIsolation:
+    """One bad lane must not poison its lane-group neighbours.
+
+    The machine reads an address stream through ``inp``: any input >= 4
+    is outside ``mem``'s declared range and raises ``MemoryRangeError``
+    on cycle 1, so one request in the middle of a lane group faults while
+    its siblings are healthy.
+    """
+
+    LANE_FAULT_SPEC = "# lane-fault\ninp mem .\nM inp 0 0 2 1\nM mem inp 0 0 4\n.\n"
+
+    def _runs(self):
+        return [
+            RunRequest(cycles=4, inputs=(1,), trace=False, tag="ok-0"),
+            RunRequest(cycles=4, inputs=(9,), trace=False, tag="boom"),
+            RunRequest(cycles=4, inputs=(2,), trace=False, tag="ok-1"),
+        ]
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    def test_smoke_lane_fault_is_per_item_siblings_bit_identical(
+        self, backend_name
+    ):
+        from repro.errors import MemoryRangeError
+        from repro.rtl.parser import parse_spec
+
+        spec = parse_spec(self.LANE_FAULT_SPEC)
+        with SimulationPool(spec, backend=backend_name,
+                            executor="serial") as pool:
+            reference = {
+                item.tag: item
+                for item in pool.run_batch(self._runs()).items
+            }
+        with SimulationPool(spec, backend=backend_name,
+                            executor="lane") as pool:
+            batch = pool.run_batch(self._runs())
+
+        assert not batch.ok
+        by_tag = {item.tag: item for item in batch.items}
+        # the faulting lane is a structured per-item error, identical to
+        # what the scalar path reports for the same run...
+        assert isinstance(by_tag["boom"].error, MemoryRangeError)
+        assert str(by_tag["boom"].error) == str(reference["boom"].error)
+        # ...and the neighbouring lanes are bit-identical to scalar runs
+        for tag in ("ok-0", "ok-1"):
+            assert by_tag[tag].ok, f"{tag}: {by_tag[tag].error}"
+            assert compare_results(
+                reference[tag].result, by_tag[tag].result
+            ) == []
+
+    def test_deadline_in_a_lane_batch_falls_back_to_scalar(
+        self, counter_spec
+    ):
+        # a deadlined request is not lane-eligible: it runs scalar inside
+        # the same chunk with its deadline enforced, while the compatible
+        # requests around it still ride a lane group and succeed
+        with SimulationPool(counter_spec, backend="interpreter",
+                            executor="lane") as pool:
+            baseline = pool.run(RunRequest(cycles=CYCLES, trace=False))
+            batch = pool.run_batch([
+                RunRequest(cycles=CYCLES, trace=False, tag="lane-0"),
+                RunRequest(cycles=10_000, timeout_seconds=0.2, tag="late",
+                           override=SleepyOverride(seconds_per_call=0.005)),
+                RunRequest(cycles=CYCLES, trace=False, tag="lane-1"),
+            ])
+        by_tag = {item.tag: item for item in batch.items}
+        assert isinstance(by_tag["late"].error, DeadlineExceededError)
+        assert batch.timeouts == [by_tag["late"]]
+        for tag in ("lane-0", "lane-1"):
+            assert by_tag[tag].ok, f"{tag}: {by_tag[tag].error}"
+            assert compare_results(baseline, by_tag[tag].result) == []
 
 
 class TestGracefulDegradation:

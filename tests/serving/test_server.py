@@ -76,6 +76,17 @@ class TestPlumbing:
         assert rows["threaded"]["prepare_cache"] is True
         assert rows["interpreter"]["prepare_cache"] is False
 
+    def test_backends_advertise_supported_executors(self, server):
+        from repro.serving import EXECUTOR_NAMES
+
+        status, document = get(server, "/v1/backends")
+        assert status == 200
+        for row in document["backends"]:
+            # every backend serves every strategy — backends without a
+            # generated lane entry point use the generic lane evaluator
+            assert row["executors"] == list(EXECUTOR_NAMES)
+            assert "lane" in row["executors"]
+
     def test_unknown_route_is_structured_404(self, server):
         status, document = get(server, "/v1/nope")
         assert status == 404
@@ -326,6 +337,45 @@ class TestServing:
         for reference, wire_item in zip((plain, pinned), document["items"]):
             rebuilt = result_from_json(wire_item["result"])
             assert compare_results(reference, rebuilt) == []
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_lane_executor_over_http_bit_identical(self, server, backend):
+        # wire -> ParsedBatch(lane_width) -> lane-grouped pool, checked
+        # against a serial in-process pool on the same requests
+        from repro.machines.library import get_machine
+
+        runs = [{"cycles": 24, "trace": False} for _ in range(5)]
+        status, document = post(server, "/v1/batch", {
+            "machine": "counter", "backend": backend, "executor": "lane",
+            "lane_width": 4, "runs": runs,
+        })
+        assert status == 200
+        assert document["ok"] is True
+        assert document["executor"] == "lane"
+
+        spec = get_machine("counter").build()
+        with SimulationPool(spec, backend=backend,
+                            executor="serial") as pool:
+            reference = pool.run_batch(
+                [RunRequest(cycles=24, trace=False) for _ in range(5)]
+            )
+        for item, wire_item in zip(reference.items, document["items"]):
+            rebuilt = result_from_json(wire_item["result"])
+            assert compare_results(item.result, rebuilt) == []
+
+    @pytest.mark.parametrize("bad_width", [0, -3, True, "wide"])
+    def test_invalid_lane_width_is_structured_400(self, server, bad_width):
+        status, document = post(server, "/v1/batch", {
+            "machine": "counter", "executor": "lane",
+            "lane_width": bad_width, "runs": [{"cycles": 4}],
+        })
+        assert status == 400
+        assert "lane_width" in document["error"]["message"]
+
+    def test_stats_report_the_lane_width_default(self, server):
+        status, document = get(server, "/v1/stats")
+        assert status == 200
+        assert "lane_width" in document["config"]
 
     def test_per_item_errors_do_not_kill_the_batch(self, server):
         status, document = post(server, "/v1/batch", {
