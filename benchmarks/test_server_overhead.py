@@ -17,6 +17,12 @@ tiny runs pay it, sieve-sized runs do not.  The warm-pool win is also
 asserted: the *second* HTTP batch must not pay the pool construction
 the first one did.
 
+Schema v2 adds tail latency: each backend row carries p50/p99 of single
+``/v1/run`` round trips against one warm server (``latency_ms.single_*``)
+and against a routed two-node fleet (``latency_ms.fleet_*``) — the
+trajectory now tracks what the front-door router costs per request, not
+just bulk throughput.
+
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workload and writes to
 a temp path, schema-check only.
 """
@@ -36,6 +42,7 @@ from repro.core.comparison import compare_results
 from repro.machines.library import get_machine
 from repro.serving import RunRequest, SimulationPool, SimulationServer
 from repro.serving.protocol import result_from_json
+from repro.serving.router import ServingFleet
 
 #: Quick mode for CI gates: tiny workload, schema check only.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -48,13 +55,20 @@ SERVER_TRAJECTORY_PATH = (
 )
 
 #: Schema version of the server trajectory file (bump when keys change).
-SERVER_TRAJECTORY_SCHEMA = 1
+#: v2: ``latency_ms`` per backend — single-node and routed-fleet p50/p99.
+SERVER_TRAJECTORY_SCHEMA = 2
 
 #: The workload: small counter batches — the regime where per-request
 #: overhead (the thing measured here) is largest relative to the work.
 MACHINE = "counter"
 RUNS = 4 if SMOKE else 16
 CYCLES = 16 if SMOKE else 64
+
+#: Single-run round trips sampled for the latency percentiles.
+LATENCY_SAMPLES = 6 if SMOKE else 40
+
+#: Nodes in the routed fleet the latency tax is measured against.
+FLEET_NODES = 2
 
 #: Backends measured over the wire.
 BACKENDS = ("threaded", "compiled")
@@ -84,12 +98,42 @@ def _http_batch(server: SimulationServer, backend: str) -> tuple[float, dict]:
     return elapsed, document
 
 
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile — no interpolation, honest at small N."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_latencies_ms(url: str, backend: str, samples: int) -> list[float]:
+    """Round-trip times of warm single ``/v1/run`` requests, in ms."""
+    body = json.dumps({
+        "machine": MACHINE, "backend": backend, "cycles": CYCLES,
+        "collect_stats": False, "trace": False,
+    }).encode()
+    latencies = []
+    for _ in range(samples):
+        request = urllib.request.Request(
+            url + "/v1/run", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        start = time.perf_counter()
+        with urllib.request.urlopen(request, timeout=120) as response:
+            document = json.loads(response.read())
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        assert document["result"]["cycles_run"] == CYCLES
+    return latencies
+
+
 def write_server_trajectory(backends: dict[str, dict],
                             path=SERVER_TRAJECTORY_PATH) -> dict:
     document = {
         "schema": SERVER_TRAJECTORY_SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "workload": {"machine": MACHINE, "runs": RUNS, "cycles": CYCLES},
+        "workload": {
+            "machine": MACHINE, "runs": RUNS, "cycles": CYCLES,
+            "latency_samples": LATENCY_SAMPLES, "fleet_nodes": FLEET_NODES,
+        },
         "smoke": SMOKE,
         "backends": backends,
     }
@@ -98,7 +142,8 @@ def write_server_trajectory(backends: dict[str, dict],
 
 
 def test_server_overhead_table(benchmark):
-    """Measure in-process vs HTTP-served throughput per backend."""
+    """Measure in-process vs HTTP-served throughput per backend, plus
+    single-run tail latency on one node vs through the fleet router."""
     spec = get_machine(MACHINE).build()
 
     def measure() -> dict[str, dict]:
@@ -121,6 +166,8 @@ def test_server_overhead_table(benchmark):
                                            document["items"]):
                     rebuilt = result_from_json(wire_item["result"])
                     assert compare_results(item.result, rebuilt) == []
+                single = _run_latencies_ms(server.url, backend,
+                                           LATENCY_SAMPLES)
                 rows[backend] = {
                     "inprocess_runs_per_second": round(
                         RUNS / inproc_seconds, 3),
@@ -129,7 +176,23 @@ def test_server_overhead_table(benchmark):
                     "http_runs_per_second": round(RUNS / warm_seconds, 3),
                     "http_overhead_ratio": round(
                         (RUNS / inproc_seconds) / (RUNS / warm_seconds), 3),
+                    "latency_ms": {
+                        "single_p50": round(_percentile(single, 0.50), 3),
+                        "single_p99": round(_percentile(single, 0.99), 3),
+                    },
                 }
+        # the same single-run workload through a routed fleet: what the
+        # extra hop (router parse + shard + forward) adds to the tail
+        with ServingFleet(nodes=FLEET_NODES, quorum=1, health_interval=0.2,
+                          child_args=["--no-disk-cache"]) as fleet:
+            for backend in BACKENDS:
+                _run_latencies_ms(fleet.url, backend, 2)  # warm the home pool
+                routed = _run_latencies_ms(fleet.url, backend,
+                                           LATENCY_SAMPLES)
+                rows[backend]["latency_ms"]["fleet_p50"] = round(
+                    _percentile(routed, 0.50), 3)
+                rows[backend]["latency_ms"]["fleet_p99"] = round(
+                    _percentile(routed, 0.99), 3)
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -140,9 +203,12 @@ def test_server_overhead_table(benchmark):
     print(f"\nHTTP serving overhead ({RUNS} runs x {CYCLES} cycles, "
           f"{MACHINE})")
     for backend, row in rows.items():
+        latency = row["latency_ms"]
         print(f"  {backend:<10s} in-process={row['inprocess_runs_per_second']:9.1f}"
               f"  http={row['http_runs_per_second']:9.1f}"
-              f"  overhead={row['http_overhead_ratio']:6.1f}x")
+              f"  overhead={row['http_overhead_ratio']:6.1f}x"
+              f"  p50={latency['single_p50']:6.2f}ms"
+              f"  fleet-p50={latency['fleet_p50']:6.2f}ms")
 
     if SMOKE:
         return  # schema check only
@@ -154,18 +220,23 @@ def test_server_overhead_table(benchmark):
         benchmark.extra_info[f"{backend}_http_overhead"] = (
             row["http_overhead_ratio"]
         )
+        benchmark.extra_info[f"{backend}_fleet_p99_ms"] = (
+            row["latency_ms"]["fleet_p99"]
+        )
 
 
 def test_bench_server_schema():
     """The trajectory file (written by the measurement test above) is
-    well-formed: every backend row carries positive throughput and the
-    overhead ratio is consistent with its inputs."""
+    well-formed: every backend row carries positive throughput, the
+    overhead ratio is consistent with its inputs, and the v2 latency
+    columns are present and ordered (p99 >= p50 > 0)."""
     if _TRAJECTORY_WRITTEN is None:
         pytest.skip("server overhead test did not run this session")
     document = json.loads(SERVER_TRAJECTORY_PATH.read_text())
     assert document == _TRAJECTORY_WRITTEN
     assert document["schema"] == SERVER_TRAJECTORY_SCHEMA
     assert document["workload"]["machine"] == MACHINE
+    assert document["workload"]["fleet_nodes"] == FLEET_NODES
     assert set(document["backends"]) == set(BACKENDS)
     for backend, row in document["backends"].items():
         assert row["inprocess_runs_per_second"] > 0, backend
@@ -176,3 +247,8 @@ def test_bench_server_schema():
         )
         assert row["http_overhead_ratio"] == pytest.approx(expected,
                                                            rel=0.05), backend
+        latency = row["latency_ms"]
+        for scope in ("single", "fleet"):
+            p50, p99 = latency[f"{scope}_p50"], latency[f"{scope}_p99"]
+            assert p50 > 0, (backend, scope)
+            assert p99 >= p50, (backend, scope)

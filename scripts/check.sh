@@ -35,6 +35,46 @@ with SimulationServer(port=0) as server:
 print("server smoke: healthz ok, one run served, shut down cleanly")
 SMOKE
 
+echo "== fleet smoke (boot 2 nodes, route a run, SIGKILL failover, rolling drain) =="
+# the supervised fleet must boot two child servers on ephemeral ports,
+# route one real run through the front door, survive a SIGKILL of the
+# node that answered (the sibling serves the retry, attributed in the
+# X-Repro-Retry header), then drain node by node — so the failover
+# story cannot rot between full chaos-test runs
+REPRO_CACHE_DIR="$(mktemp -d)" python - <<'FLEETSMOKE'
+import json, urllib.request
+from repro.serving.chaos import await_condition, hard_kill
+from repro.serving.protocol import NODE_HEADER, RETRY_HEADER
+from repro.serving.router import ServingFleet
+
+def run(url):
+    body = json.dumps({"machine": "counter", "cycles": 24,
+                       "backend": "threaded"}).encode()
+    with urllib.request.urlopen(urllib.request.Request(
+            url + "/v1/run", data=body), timeout=60) as r:
+        return json.loads(r.read()), dict(r.headers)
+
+fleet = ServingFleet(nodes=2, quorum=1, health_interval=0.1,
+                     child_args=["--no-disk-cache"]).start()
+try:
+    first, headers = run(fleet.url)
+    assert first["result"]["cycles_run"] == 24, first
+    home = headers[NODE_HEADER]
+    hard_kill(fleet.supervisor.node(home).pid)
+    second, headers = run(fleet.url)
+    assert second["result"]["cycles_run"] == 24, second
+    assert headers[NODE_HEADER] != home, headers
+    assert headers[RETRY_HEADER].startswith(home), headers
+    await_condition(
+        lambda: fleet.supervisor.node(home).state in ("ready", "benched"),
+        timeout=30, message="crashed node recovery")
+finally:
+    report = fleet.close()
+assert all(node["clean"] or node["forced"] is False for node in report), report
+print(f"fleet smoke: routed, failed over from {home} "
+      f"(attributed), drained {len(report)} nodes")
+FLEETSMOKE
+
 echo "== chaos smoke (crash recovery, deadlines, backpressure, degradation) =="
 # the fast end-to-end slice of the chaos-injection harness: a worker
 # kill is quarantined without hurting innocents, a hung worker is

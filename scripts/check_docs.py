@@ -36,6 +36,8 @@ REQUIRED_MODULES = (
     "serving/server.py",
     "serving/protocol.py",
     "serving/pool.py",
+    "serving/fleet.py",
+    "serving/router.py",
     "lowering/lanes.py",
     "compiler/cache.py",
     "rtl/interchange.py",

@@ -303,6 +303,100 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the backend degradation chain (compiled -> threaded "
         "-> interpreter on prepare failure); fail the request instead",
     )
+    server_parser.add_argument(
+        "--max-pools", type=int, default=64, metavar="N",
+        help="warm pools kept per server; past the cap the least-recently-"
+        "used pool is drained and evicted (0 = unbounded; default: 64)",
+    )
+    server_parser.add_argument(
+        "--port-file", type=Path, default=None, metavar="PATH",
+        help="write the bound port to PATH once the socket is up; with "
+        "--port 0 this is how a supervisor discovers the ephemeral port",
+    )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="run a supervised fleet: N child serve processes behind a "
+        "sharding front-door router (see docs/serving.md)",
+    )
+    fleet_parser.add_argument(
+        "--nodes", type=int, default=2, metavar="N",
+        help="child serve processes to spawn and babysit (default: 2)",
+    )
+    fleet_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface the router binds (children always bind 127.0.0.1 "
+        "on ephemeral ports; default: 127.0.0.1)",
+    )
+    fleet_parser.add_argument(
+        "--port", type=int, default=8437,
+        help="router TCP port; 0 picks an ephemeral port (default: 8437)",
+    )
+    fleet_parser.add_argument(
+        "-b", "--backend", choices=BACKEND_NAMES, default="threaded",
+        help="default backend forwarded to every child (default: threaded)",
+    )
+    fleet_parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default="thread",
+        help="default execution strategy forwarded to every child "
+        "(default: thread)",
+    )
+    fleet_parser.add_argument(
+        "-w", "--workers", type=int, default=None,
+        help="workers per pool, per child (default: strategy-chosen)",
+    )
+    fleet_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="requests per scheduling unit, per child "
+        "(default: strategy-chosen)",
+    )
+    fleet_parser.add_argument(
+        "--lane-width", type=int, default=None, metavar="N",
+        help="default lane group size forwarded to every child",
+    )
+    fleet_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-run deadline forwarded to every child",
+    )
+    fleet_parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="per-child admission gate (default: unbounded)",
+    )
+    fleet_parser.add_argument(
+        "--max-pools", type=int, default=64, metavar="N",
+        help="warm-pool cap forwarded to every child (0 = unbounded; "
+        "default: 64)",
+    )
+    fleet_parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="run the children without the persistent artifact cache",
+    )
+    fleet_parser.add_argument(
+        "--quorum", type=int, default=None, metavar="N",
+        help="ready nodes /readyz requires (default: a majority, N//2+1)",
+    )
+    fleet_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-node budget of the rolling SIGTERM drain (default: 10)",
+    )
+    fleet_parser.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="supervisor probe period for child /readyz (default: 0.25)",
+    )
+    fleet_parser.add_argument(
+        "--bench-after", type=int, default=3, metavar="K",
+        help="crashes within --bench-window that bench a node instead of "
+        "restarting it (default: 3)",
+    )
+    fleet_parser.add_argument(
+        "--bench-window", type=float, default=30.0, metavar="SECONDS",
+        help="sliding window for the flap guard (default: 30)",
+    )
+    fleet_parser.add_argument(
+        "--log-dir", type=Path, default=None, metavar="DIR",
+        help="write per-child stdout/stderr logs here "
+        "(default: discarded)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache",
@@ -517,9 +611,28 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_signal_drain() -> None:
+    """Route SIGTERM onto the KeyboardInterrupt path, so a supervisor's
+    (or systemd's) TERM drains the server exactly like Ctrl-C instead of
+    killing it mid-chunk.  Raising from the handler is safe because the
+    serve loop runs on the main thread; calling ``close()`` directly
+    from a handler would deadlock on the loop's shutdown handshake."""
+    import signal
+
+    def _drain(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        # not the main thread (embedded use): the caller owns signals
+        pass
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import MAX_BODY_BYTES, SimulationServer
 
+    _install_signal_drain()
     server = SimulationServer(
         host=args.host,
         port=args.port,
@@ -541,11 +654,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         ),
         drain_timeout=args.drain_timeout,
         fallback=not args.no_fallback,
+        max_pools=args.max_pools if args.max_pools > 0 else None,
     )
     if server.startup_prune is not None and server.startup_prune.removed_files:
         print(f"cache prune: {server.startup_prune.summary()}")
     print(f"serving on {server.url} (backend={args.backend}, "
           f"executor={args.executor}); Ctrl-C to stop")
+    if args.port_file is not None:
+        # the socket is bound, so the port is final; publish it for the
+        # supervisor that started us with --port 0
+        args.port_file.write_text(f"{server.port}\n")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -556,6 +674,60 @@ def _command_serve(args: argparse.Namespace) -> int:
                 "warning: in-flight requests outlived the "
                 f"{server.drain_timeout:g}s drain budget and were abandoned"
             )
+    return 0
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    from repro.serving.router import ServingFleet
+
+    _install_signal_drain()
+    child_args: list[str] = []
+    if args.workers is not None:
+        child_args += ["--workers", str(args.workers)]
+    if args.chunk_size is not None:
+        child_args += ["--chunk-size", str(args.chunk_size)]
+    if args.lane_width is not None:
+        child_args += ["--lane-width", str(args.lane_width)]
+    if args.timeout is not None:
+        child_args += ["--timeout", str(args.timeout)]
+    if args.max_inflight is not None:
+        child_args += ["--max-inflight", str(args.max_inflight)]
+    if args.no_disk_cache:
+        child_args += ["--no-disk-cache"]
+    child_args += ["--max-pools", str(args.max_pools)]
+    fleet = ServingFleet(
+        nodes=args.nodes,
+        host=args.host,
+        port=args.port,
+        child_args=child_args,
+        backend=args.backend,
+        executor=args.executor,
+        quorum=args.quorum,
+        drain_timeout=args.drain_timeout,
+        health_interval=args.health_interval,
+        bench_after=args.bench_after,
+        bench_window=args.bench_window,
+        log_dir=args.log_dir,
+    )
+    print(f"starting {args.nodes} serve node(s) ...")
+    fleet.supervisor.start(wait=True)
+    for snap in fleet.supervisor.describe():
+        print(f"  {snap['id']}: {snap['url']} (pid {snap['pid']})")
+    print(f"routing on {fleet.router.url} "
+          f"(quorum {fleet.router.quorum}/{args.nodes}); Ctrl-C to stop")
+    try:
+        fleet.router.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (rolling drain) ...")
+    finally:
+        fleet.router.close()
+        for entry in fleet.supervisor.stop():
+            label = (
+                "drained" if entry["clean"]
+                else "killed after the drain budget"
+                if entry["forced"] else "already down"
+            )
+            print(f"  {entry['node']}: {label} ({entry['seconds']:.1f}s)")
     return 0
 
 
@@ -649,6 +821,7 @@ _COMMANDS = {
     "netlist": _command_netlist,
     "serve-batch": _command_serve_batch,
     "serve": _command_serve,
+    "fleet": _command_fleet,
     "cache": _command_cache,
     "spec": _command_spec,
     "fuzz": _command_fuzz,

@@ -51,6 +51,16 @@ mode).  The chaos harness (``tests/serving/test_chaos.py``, shims in
 :mod:`repro.serving.chaos`) injects each failure and proves the system
 answers structurally instead of hanging.
 
+Above the single server sits the fleet layer
+(:mod:`repro.serving.fleet` + :mod:`repro.serving.router`): a
+supervisor that spawns and babysits N child ``repro serve`` processes
+(ephemeral ports, readiness probing, crash restart with capped backoff,
+flap-benching, rolling SIGTERM drain) behind a front-door router that
+shards ``/v1/run``/``/v1/batch`` by (spec fingerprint, backend,
+executor) with rendezvous hashing — warm pools stay sticky — and fails
+a request over to a sibling exactly once when its home node dies
+mid-request.  ``repro fleet --nodes N`` is the CLI front door.
+
 The CLI exposes the layer as ``repro serve-batch --executor {serial,
 thread,process,lane}`` (one-shot) and ``repro serve`` (the long-lived
 server); the throughput benchmark
@@ -74,17 +84,23 @@ from repro.serving.executor import (
     WorkerContext,
     lane_compatible,
 )
+from repro.serving.fleet import Backoff, FlapGuard, FleetSupervisor
 from repro.serving.pool import SimulationPool, run_batch
 from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError, error_kind
+from repro.serving.router import FleetRouter, ServingFleet, rank_nodes
 from repro.serving.server import AdmissionGate, SimulationServer
 
 __all__ = [
     "AdmissionGate",
+    "Backoff",
     "BatchItem",
     "BatchRequest",
     "BatchResult",
     "EXECUTOR_NAMES",
     "ExecutorStrategy",
+    "FlapGuard",
+    "FleetRouter",
+    "FleetSupervisor",
     "LaneExecutor",
     "PROTOCOL_VERSION",
     "ProcessExecutor",
@@ -92,6 +108,7 @@ __all__ = [
     "RunOutcome",
     "RunRequest",
     "SerialExecutor",
+    "ServingFleet",
     "SimulationPool",
     "SimulationServer",
     "ThreadExecutor",
@@ -100,5 +117,6 @@ __all__ = [
     "async_run_batch",
     "error_kind",
     "lane_compatible",
+    "rank_nodes",
     "run_batch",
 ]

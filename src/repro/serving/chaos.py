@@ -20,6 +20,12 @@ a test module would not survive).
   stuck in a single call the cooperative check can never interrupt.
   Drives the process executor's wall-clock backstop.
 
+With the fleet layer the chaos surface grew from pool workers to whole
+server processes: :func:`hard_kill` is the ``kill -9`` a supervisor must
+survive, and :func:`await_condition` is the polling primitive the fleet
+scenarios use to time their kills (e.g. "once the batch has *arrived* at
+the home node, kill it") instead of sleeping and hoping.
+
 These shims live in the package (rather than the chaos test suite) so
 they import cleanly inside worker processes; they are test/ops tooling,
 not part of the serving API surface.
@@ -28,8 +34,36 @@ not part of the serving API surface.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass, field
+from typing import Callable
+
+
+def await_condition(
+    predicate: Callable[[], bool],
+    timeout: float = 10.0,
+    interval: float = 0.02,
+    message: str = "condition",
+) -> None:
+    """Poll *predicate* until it holds or *timeout* elapses.
+
+    The chaos scenarios are races by construction (kill a node while a
+    batch is in flight); this keeps them deterministic by synchronising
+    on observable state transitions rather than wall-clock sleeps.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise TimeoutError(f"{message}: not reached within {timeout:g}s")
+
+
+def hard_kill(pid: int) -> None:
+    """``SIGKILL`` a process — the un-catchable death (OOM killer,
+    ``kill -9``) that exercises crash *detection*, never graceful paths."""
+    os.kill(pid, signal.SIGKILL)
 
 
 @dataclass(frozen=True)

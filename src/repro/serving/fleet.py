@@ -1,0 +1,474 @@
+"""Fleet supervisor: child lifecycle for N ``repro serve`` processes.
+
+A single ``repro serve`` process is fault-tolerant inside (worker-crash
+quarantine, deadlines, backpressure) but is still one process: an OOM
+kill takes the whole service down.  The :class:`FleetSupervisor` closes
+that gap by spawning N child servers on ephemeral ports and babysitting
+them:
+
+* **spawn** — children bind port 0 and publish the chosen port through
+  ``--port-file``; the supervisor never guesses ports or races for them;
+* **health** — liveness is the child process itself (``poll()``),
+  readiness is the child's ``/readyz`` probed every ``health_interval``
+  seconds, so a saturated or draining child is routed around without
+  being restarted;
+* **crash recovery** — a dead child is respawned with capped exponential
+  backoff (:class:`Backoff`); a child that dies ``bench_after`` times
+  within ``bench_window`` seconds is *benched* (:class:`FlapGuard`) —
+  taken out of rotation for good rather than crash-looped;
+* **drain** — :meth:`FleetSupervisor.stop` performs a *rolling* drain:
+  one node at a time gets ``SIGTERM`` (which the serve CLI maps onto the
+  graceful ``close()`` path) and up to ``drain_timeout`` seconds to
+  finish in-flight work before ``SIGKILL``.
+
+The supervisor knows nothing about HTTP routing; the front door that
+shards requests over these children lives in
+:mod:`repro.serving.router`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ServingError
+
+__all__ = [
+    "Backoff",
+    "FleetError",
+    "FlapGuard",
+    "FleetNode",
+    "FleetSupervisor",
+    "NODE_STATES",
+]
+
+
+class FleetError(ServingError):
+    """The fleet could not reach the state it was asked for."""
+
+
+#: Node lifecycle.  ``spawning`` → ``ready`` once /readyz answers 200;
+#: ``ready`` ↔ ``suspect`` on probe/forward failures; a dead process goes
+#: ``restarting`` (backoff, then respawn) or ``benched`` (flapping);
+#: ``stopped`` is terminal after a drain.
+NODE_STATES = ("spawning", "ready", "suspect", "restarting", "benched", "stopped")
+
+
+class Backoff:
+    """Capped exponential restart backoff: ``min(cap, base * factor**n)``."""
+
+    def __init__(self, base: float = 0.25, factor: float = 2.0, cap: float = 8.0):
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base!r}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor!r}")
+        if cap < base:
+            raise ValueError(f"cap {cap!r} must be >= base {base!r}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before restart *attempt* (0-based)."""
+        return min(self.cap, self.base * self.factor ** max(0, attempt))
+
+
+class FlapGuard:
+    """Bench detector: ``max_crashes`` crashes within a sliding ``window``.
+
+    A node that keeps dying is more dangerous in rotation than out of
+    it — every restart eats a backoff delay and every routed request
+    risks a failover.  The guard keeps crash timestamps, drops the ones
+    older than the window, and reports :meth:`flapping` when the node
+    has earned a bench.  The clock is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self,
+        max_crashes: int = 3,
+        window: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_crashes < 1:
+            raise ValueError(f"max_crashes must be >= 1, got {max_crashes!r}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.max_crashes = max_crashes
+        self.window = window
+        self._clock = clock
+        self._crashes: list[float] = []
+
+    def record(self) -> None:
+        now = self._clock()
+        cutoff = now - self.window
+        self._crashes = [stamp for stamp in self._crashes if stamp >= cutoff]
+        self._crashes.append(now)
+
+    def flapping(self) -> bool:
+        return len(self._crashes) >= self.max_crashes
+
+
+class FleetNode:
+    """One supervised child server.  All fields are guarded by the
+    supervisor's lock; tests and the router read through the snapshot
+    methods on :class:`FleetSupervisor` instead of poking these."""
+
+    def __init__(self, node_id: str, index: int, flap: FlapGuard):
+        self.node_id = node_id
+        self.index = index
+        self.flap = flap
+        self.process: subprocess.Popen | None = None
+        self.port_file: Path | None = None
+        self.url: str | None = None
+        self.state = "stopped"
+        self.restarts = 0
+        self.crashes = 0
+        self.restart_attempt = 0
+        self.restart_at: float | None = None
+        self.spawned_at: float | None = None
+        self.last_exit_code: int | None = None
+        self.last_error: str | None = None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def snapshot(self) -> dict:
+        return {
+            "id": self.node_id,
+            "state": self.state,
+            "url": self.url,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "benched": self.state == "benched",
+            "last_exit_code": self.last_exit_code,
+            "last_error": self.last_error,
+        }
+
+
+class FleetSupervisor:
+    """Spawn and babysit ``nodes`` child ``repro serve`` processes.
+
+    ``child_args`` is appended verbatim to every child's command line
+    (backend, executor, worker counts...); the supervisor itself owns
+    only ``--host/--port/--port-file``.  A monitor thread drives the
+    lifecycle in `NODE_STATES`; the router consumes
+    :meth:`ready_nodes` and reports failures back through
+    :meth:`mark_suspect`.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        child_args: Sequence[str] = (),
+        *,
+        drain_timeout: float = 10.0,
+        health_interval: float = 0.25,
+        probe_timeout: float = 2.0,
+        spawn_timeout: float = 30.0,
+        bench_after: int = 3,
+        bench_window: float = 30.0,
+        backoff: Backoff | None = None,
+        python: str = sys.executable,
+        log_dir: str | os.PathLike | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if nodes < 1:
+            raise ValueError(f"a fleet needs at least one node, got {nodes!r}")
+        self.child_args = tuple(str(arg) for arg in child_args)
+        self.drain_timeout = drain_timeout
+        self.health_interval = health_interval
+        self.probe_timeout = probe_timeout
+        self.spawn_timeout = spawn_timeout
+        self.bench_after = bench_after
+        self.bench_window = bench_window
+        self.backoff = backoff or Backoff()
+        self.python = python
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+        self.draining = False
+        self.monitor_errors = 0
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._monitor: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._rundir: Path | None = None
+        self.nodes = [
+            FleetNode(f"node-{i}", i, FlapGuard(bench_after, bench_window, clock))
+            for i in range(nodes)
+        ]
+
+    # -- queries (router + tests) ------------------------------------
+
+    def node(self, node_id: str) -> FleetNode:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def node_ids(self) -> list[str]:
+        return [node.node_id for node in self.nodes]
+
+    def ready_nodes(self) -> list[tuple[str, str]]:
+        """``(node_id, url)`` for every node currently routable."""
+        with self._lock:
+            return [
+                (node.node_id, node.url)
+                for node in self.nodes
+                if node.state == "ready" and node.url is not None
+            ]
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            return [node.snapshot() for node in self.nodes]
+
+    def mark_suspect(self, node_id: str, reason: str = "") -> None:
+        """Router feedback: a forward to this node just failed at the
+        connection level.  Take it out of rotation until the next
+        successful readiness probe (or until the monitor notices the
+        process died and handles the crash properly)."""
+        with self._lock:
+            for node in self.nodes:
+                if node.node_id == node_id and node.state == "ready":
+                    node.state = "suspect"
+                    node.last_error = reason or "marked suspect by the router"
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self, wait: bool = True, timeout: float | None = None):
+        with self._lock:
+            if self._monitor is not None:
+                raise FleetError("fleet supervisor already started")
+            self._rundir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+            if self.log_dir is not None:
+                self.log_dir.mkdir(parents=True, exist_ok=True)
+            for node in self.nodes:
+                self._spawn(node)
+            self._stop_event.clear()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+            )
+            self._monitor.start()
+        if wait:
+            budget = self.spawn_timeout if timeout is None else timeout
+            deadline = time.monotonic() + budget
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if all(node.state == "ready" for node in self.nodes):
+                        return self
+                time.sleep(0.02)
+            with self._lock:
+                states = {node.node_id: node.state for node in self.nodes}
+            self.stop()
+            raise FleetError(
+                f"fleet did not become ready within {budget:g}s: "
+                + ", ".join(f"{node_id}={state}" for node_id, state in states.items())
+            )
+        return self
+
+    def stop(self) -> list[dict]:
+        """Rolling drain: SIGTERM each node in turn, give it
+        ``drain_timeout`` seconds to exit cleanly, SIGKILL stragglers.
+        Returns one report entry per node, in drain order."""
+        with self._lock:
+            self.draining = True
+        self._stop_event.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(timeout=self.health_interval * 4 + 2.0)
+        report = [self._drain_node(node) for node in self.nodes]
+        if self._rundir is not None:
+            shutil.rmtree(self._rundir, ignore_errors=True)
+        return report
+
+    # -- internals ----------------------------------------------------
+
+    def _child_env(self) -> dict:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
+        return env
+
+    def _spawn(self, node: FleetNode) -> None:
+        assert self._rundir is not None
+        port_file = self._rundir / f"{node.node_id}.port"
+        try:
+            port_file.unlink()
+        except FileNotFoundError:
+            pass
+        command = [
+            self.python,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--drain-timeout",
+            str(self.drain_timeout),
+            *self.child_args,
+        ]
+        if self.log_dir is not None:
+            sink = open(self.log_dir / f"{node.node_id}.log", "ab")
+        else:
+            sink = subprocess.DEVNULL
+        try:
+            node.process = subprocess.Popen(
+                command,
+                stdout=sink,
+                stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL,
+                env=self._child_env(),
+            )
+        finally:
+            if sink is not subprocess.DEVNULL:
+                sink.close()
+        node.port_file = port_file
+        node.url = None
+        node.state = "spawning"
+        node.spawned_at = self._clock()
+        node.restart_at = None
+
+    def _read_port(self, node: FleetNode) -> int | None:
+        if node.port_file is None:
+            return None
+        try:
+            text = node.port_file.read_text().strip()
+        except OSError:
+            return None
+        if not text:
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            return None
+
+    def _probe(self, url: str | None) -> bool:
+        if url is None:
+            return False
+        try:
+            with urllib.request.urlopen(url + "/readyz", timeout=self.probe_timeout) as response:
+                return response.status == 200
+        except Exception:
+            return False
+
+    def _on_crash(self, node: FleetNode, exit_code: int | None) -> None:
+        # Lock held by the caller.
+        node.crashes += 1
+        node.last_exit_code = exit_code
+        node.flap.record()
+        node.process = None
+        node.url = None
+        if node.flap.flapping():
+            node.state = "benched"
+            node.last_error = (
+                f"benched after {node.crashes} crashes "
+                f"({self.bench_after} within {self.bench_window:g}s)"
+            )
+            return
+        delay = self.backoff.delay(node.restart_attempt)
+        node.restart_attempt += 1
+        node.restarts += 1
+        node.state = "restarting"
+        node.restart_at = self._clock() + delay
+        node.last_error = f"exited with code {exit_code}; restart in {delay:g}s"
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(self.health_interval):
+            try:
+                self._tick()
+            except Exception:
+                # The monitor must outlive any single bad tick; the
+                # counter makes a silent failure loop at least visible.
+                self.monitor_errors += 1
+
+    def _tick(self) -> None:
+        now = self._clock()
+        for node in self.nodes:
+            with self._lock:
+                state = node.state
+                process = node.process
+                if state in ("benched", "stopped"):
+                    continue
+                if state == "restarting":
+                    if node.restart_at is not None and now >= node.restart_at:
+                        try:
+                            self._spawn(node)
+                        except Exception as exc:
+                            node.last_error = f"respawn failed: {exc}"
+                            node.restart_at = now + self.backoff.delay(node.restart_attempt)
+                            node.restart_attempt += 1
+                    continue
+                exit_code = process.poll() if process is not None else None
+                if exit_code is not None:
+                    self._on_crash(node, exit_code)
+                    continue
+                if state == "spawning" and node.url is None:
+                    port = self._read_port(node)
+                    if port is None:
+                        started = node.spawned_at
+                        if started is not None and now - started > self.spawn_timeout:
+                            node.last_error = (
+                                f"no port published within {self.spawn_timeout:g}s"
+                            )
+                            process.kill()
+                            process.wait()
+                            self._on_crash(node, process.returncode)
+                        continue
+                    node.url = f"http://127.0.0.1:{port}"
+                url = node.url
+            # The HTTP probe runs outside the lock; re-check that the
+            # node was not replaced or stopped while we waited.
+            ready = self._probe(url)
+            with self._lock:
+                if node.process is not process or node.state not in (
+                    "spawning",
+                    "ready",
+                    "suspect",
+                ):
+                    continue
+                if ready:
+                    node.state = "ready"
+                    node.restart_attempt = 0
+                    node.last_error = None
+                elif node.state == "ready":
+                    node.state = "suspect"
+                    node.last_error = "readiness probe failed"
+
+    def _drain_node(self, node: FleetNode) -> dict:
+        with self._lock:
+            process = node.process
+            pid = node.pid
+            node.state = "stopped"
+            node.url = None
+            node.process = None
+        entry = {"node": node.node_id, "pid": pid, "clean": True, "forced": False, "seconds": 0.0}
+        if process is None or process.poll() is not None:
+            return entry
+        started = time.monotonic()
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=self.drain_timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+            entry["forced"] = True
+        entry["seconds"] = round(time.monotonic() - started, 3)
+        entry["clean"] = not entry["forced"] and process.returncode == 0
+        return entry

@@ -63,6 +63,14 @@ from repro.serving.executor import EXECUTOR_NAMES
 #: incompatible change to the request or response shapes.
 PROTOCOL_VERSION = 1
 
+#: Response header the fleet router stamps on every forwarded response:
+#: the id of the node that actually answered.
+NODE_HEADER = "X-Repro-Node"
+
+#: Response header present only when the router failed over: an
+#: attribution trail of the node(s) that failed first and why.
+RETRY_HEADER = "X-Repro-Retry"
+
 
 class ProtocolError(AsimError):
     """A request the wire protocol rejects, with its HTTP status.
@@ -299,6 +307,24 @@ def resolve_spec(doc: Mapping) -> tuple[Specification, str, str]:
             kind="invalid_specification",
         ) from exc
     return spec, "<inline spec>", f"spec:{spec_fingerprint(spec)}"
+
+
+def shard_identity(doc: Any, default_backend: str,
+                   default_executor: str) -> tuple[str, str, str]:
+    """The ``(pool_key, backend, executor)`` triple fleet routing shards on.
+
+    This is exactly the identity (minus lane width) the server keys its
+    warm ``PoolRegistry`` on, so a router that shards by it keeps every
+    repeat of a combination on the node whose pool is already warm.
+    Validation happens here, at the front door: an unknown machine or a
+    spec that does not parse is rejected with the same structured 4xx a
+    node would answer, without ever reaching one.
+    """
+    _require_type(doc, dict, "request body")
+    _spec, _label, pool_key = resolve_spec(doc)
+    backend = resolve_backend(doc, default_backend)
+    executor = resolve_executor(doc, default_executor)
+    return pool_key, backend, executor
 
 
 def resolve_backend(doc: Mapping, default: str) -> str:

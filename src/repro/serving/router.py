@@ -1,0 +1,635 @@
+"""Front-door HTTP router for a supervised serving fleet.
+
+The router is the piece that turns N independent ``repro serve``
+processes (spawned by :class:`repro.serving.fleet.FleetSupervisor`)
+into one service:
+
+* **Consistent sharding.**  ``POST /v1/run`` and ``POST /v1/batch`` are
+  routed by the ``(pool key, backend, executor)`` triple — the same
+  identity the per-node ``PoolRegistry`` keys its warm pools on — using
+  rendezvous (highest-random-weight) hashing.  Repeats of a combination
+  land on the node whose pool is already warm, and the assignment of
+  every *other* combination is untouched when a node leaves or returns.
+* **Spillover and bounded failover.**  A request whose home node is
+  benched, restarting or suspect spills to the next healthy node in
+  rendezvous order.  A connection-refused/reset or 5xx from a node
+  mid-request is retried exactly once on a sibling; the response then
+  carries an ``X-Repro-Retry`` header attributing the failure.  4xx
+  responses and per-item simulation errors pass through untouched —
+  they would fail identically anywhere.
+* **Fleet-wide views.**  ``GET /v1/fleet`` reports topology and health,
+  ``GET /v1/stats`` aggregates per-node stats plus router counters, and
+  ``GET /readyz`` answers 200 only while a quorum of nodes is ready.
+
+Every proxied response is stamped with ``X-Repro-Node`` (the node that
+actually answered).  The CLI front door is ``repro fleet``; semantics
+are documented in ``docs/serving.md`` ("Running a fleet") and
+``docs/api-reference.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+
+from repro.compiler.cache import _code_version
+from repro.serving.fleet import FleetSupervisor
+from repro.serving.protocol import (
+    NODE_HEADER,
+    PROTOCOL_VERSION,
+    RETRY_HEADER,
+    ProtocolError,
+    error_to_json,
+    shard_identity,
+)
+from repro.serving.server import MAX_BODY_BYTES
+
+__all__ = ["FleetRouter", "ServingFleet", "rank_nodes"]
+
+_version = _code_version
+
+
+def rank_nodes(shard_key: str, node_ids: Sequence[str]) -> list[str]:
+    """Rendezvous (highest-random-weight) ranking of nodes for one shard.
+
+    Each (shard key, node) pair hashes to a weight; the ranking is the
+    nodes sorted by descending weight.  The property that matters: a
+    node leaving or returning never changes the *relative* order of the
+    other nodes, so only the shards whose home was the lost node move —
+    warm pools everywhere else stay warm.
+    """
+    def weight(node_id: str) -> str:
+        return hashlib.sha256(f"{shard_key}|{node_id}".encode()).hexdigest()
+
+    return sorted(node_ids, key=weight, reverse=True)
+
+
+#: Routes the router answers itself or proxies; same shape as the
+#: server's tables so the docs gate can check both the same way.
+GET_ROUTES = {
+    "/healthz": "handle_healthz",
+    "/readyz": "handle_readyz",
+    "/v1/fleet": "handle_fleet",
+    "/v1/stats": "handle_stats",
+    "/v1/machines": "handle_proxy_get",
+    "/v1/backends": "handle_proxy_get",
+}
+POST_ROUTES = {
+    "/v1/run": "handle_forward",
+    "/v1/batch": "handle_forward",
+}
+
+
+class _RouterSocket(ThreadingHTTPServer):
+    daemon_threads = True
+    app: "FleetRouter"
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into :class:`FleetRouter` handlers.
+
+    Handlers return ``(status, body_bytes, headers)`` — raw bytes, not
+    documents, because the proxy paths pass upstream bodies through
+    byte-for-byte (bit-identity is the product; re-serialising JSON
+    would be a place for it to quietly break).
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def version_string(self) -> str:
+        return f"repro-fleet-router/{_version()}"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def app(self) -> "FleetRouter":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def _respond(self, status: int, body: bytes,
+                 headers: Mapping[str, str]) -> None:
+        self.send_response(status)
+        if "Content-Type" not in headers:
+            self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status: int, document: dict,
+                      headers: Mapping[str, str] | None = None) -> None:
+        self._respond(status, json.dumps(document).encode(), dict(headers or {}))
+
+    def _discard_body(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or "0")
+        except ValueError:
+            length = -1
+        if 0 <= length <= self.app.max_body_bytes:
+            while length > 0:
+                chunk = self.rfile.read(min(length, 65536))
+                if not chunk:
+                    break
+                length -= len(chunk)
+        else:
+            self.close_connection = True
+
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            length = -1
+        if length < 0:
+            self.close_connection = True
+            raise ProtocolError(
+                "a JSON body with a valid non-negative Content-Length "
+                "header is required",
+                status=411, kind="length_required",
+            ) from None
+        if length > self.app.max_body_bytes:
+            self.close_connection = True
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.app.max_body_bytes}-byte limit",
+                status=413, kind="body_too_large",
+            )
+        return self.rfile.read(length)
+
+    def _dispatch(self, routes: Mapping[str, str],
+                  other: Mapping[str, str]) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        handler_name = routes.get(path)
+        if handler_name is None:
+            self._discard_body()
+            self.app.count_error()
+            if path in other:
+                self._respond_json(405, error_to_json(
+                    "method_not_allowed",
+                    f"{path} does not accept {self.command}",
+                ))
+            else:
+                self._respond_json(404, error_to_json(
+                    "unknown_route",
+                    f"no such route: {path} (see docs/api-reference.md)",
+                ))
+            return
+        self.app.count_request(path)
+        headers: dict[str, str] = {}
+        try:
+            if self.command == "POST":
+                body = self._read_body()
+                status, payload, out_headers = getattr(self.app, handler_name)(
+                    path, body, dict(self.headers.items())
+                )
+            else:
+                status, payload, out_headers = getattr(self.app, handler_name)(path)
+        except ProtocolError as exc:
+            status = exc.status
+            payload = json.dumps(error_to_json(exc.kind, str(exc))).encode()
+            out_headers = {}
+            if exc.retry_after is not None:
+                out_headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status = 500
+            payload = json.dumps(error_to_json(
+                "internal_error", f"{type(exc).__name__}: {exc}"
+            )).encode()
+            out_headers = {}
+        if status >= 400:
+            self.app.count_error()
+        headers.update(out_headers)
+        self._respond(status, payload, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(GET_ROUTES, POST_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(POST_ROUTES, GET_ROUTES)
+
+
+class FleetRouter:
+    """Stdlib front door over a :class:`FleetSupervisor`'s nodes.
+
+    Lifecycle mirrors :class:`~repro.serving.server.SimulationServer`:
+    the socket binds in the constructor (``port=0`` for ephemeral), then
+    :meth:`start` (background thread) or :meth:`serve_forever`
+    (blocking) and :meth:`close`.  ``quorum`` is the number of ready
+    nodes ``/readyz`` requires; the default is a majority
+    (``N // 2 + 1``).
+    """
+
+    def __init__(
+        self,
+        supervisor: FleetSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        default_backend: str = "threaded",
+        default_executor: str = "thread",
+        quorum: int | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        forward_timeout: float = 600.0,
+        proxy_timeout: float = 10.0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        total = len(supervisor.nodes)
+        if quorum is None:
+            quorum = total // 2 + 1
+        if not 1 <= quorum <= total:
+            raise ValueError(
+                f"quorum must be between 1 and {total}, got {quorum!r}"
+            )
+        self.supervisor = supervisor
+        self.default_backend = default_backend
+        self.default_executor = default_executor
+        self.quorum = quorum
+        self.max_body_bytes = max_body_bytes
+        self.forward_timeout = forward_timeout
+        self.proxy_timeout = proxy_timeout
+        self.drain_timeout = drain_timeout
+        self.started_at = time.time()
+        self.failovers = 0
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+        self._counter_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._serve_started = False
+        self._http = _RouterSocket((host, port), _RouterHandler)
+        self._http.app = self
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetRouter":
+        self._serve_started = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-fleet-router",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._serve_started = True
+        self._http.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting and finish in-flight proxied requests, bounded
+        by ``drain_timeout`` (same sacrificial-closer shape as the
+        server: a wedged upstream must not hang shutdown)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_started:
+            self._http.shutdown()
+        closer = threading.Thread(
+            target=self._http.server_close,
+            name="repro-fleet-router-close",
+            daemon=True,
+        )
+        closer.start()
+        closer.join(timeout=self.drain_timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- counters ------------------------------------------------------------
+
+    def count_request(self, route: str) -> None:
+        with self._counter_lock:
+            self._requests[route] = self._requests.get(route, 0) + 1
+
+    def count_error(self) -> None:
+        with self._counter_lock:
+            self._errors += 1
+
+    def count_failover(self) -> None:
+        with self._counter_lock:
+            self.failovers += 1
+
+    # -- upstream plumbing ---------------------------------------------------
+
+    def _forward(self, url: str, method: str, path: str,
+                 body: bytes | None, headers: Mapping[str, str],
+                 timeout: float):
+        """One HTTP attempt against one node.  Raises ``OSError`` /
+        ``http.client.HTTPException`` on transport failure; HTTP error
+        statuses come back as ordinary responses."""
+        parsed = urllib.parse.urlsplit(url)
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=dict(headers))
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, response.headers, payload
+        finally:
+            connection.close()
+
+    def _passthrough_headers(self, node_id: str, upstream) -> dict[str, str]:
+        headers = {NODE_HEADER: node_id}
+        content_type = upstream.get("Content-Type")
+        if content_type:
+            headers["Content-Type"] = content_type
+        retry_after = upstream.get("Retry-After")
+        if retry_after:
+            headers["Retry-After"] = retry_after
+        return headers
+
+    def _attempt_nodes(self, candidates: list[tuple[str, str]], method: str,
+                       path: str, body: bytes | None,
+                       headers: Mapping[str, str],
+                       timeout: float) -> tuple[int, bytes, dict[str, str]]:
+        """Try up to two nodes in order; the bounded-failover core.
+
+        Transport failures and 5xx responses move on to the sibling (and
+        mark the node suspect on transport failures, so routing reacts
+        before the supervisor's next probe); anything else — including
+        every 4xx — passes through untouched.  A 5xx from the *last*
+        candidate passes through too, with the attribution header: the
+        client learns both that the fleet retried and what it got.
+        """
+        failures: list[str] = []
+        for position, (node_id, node_url) in enumerate(candidates):
+            last = position == len(candidates) - 1
+            try:
+                status, upstream, payload = self._forward(
+                    node_url, method, path, body, headers, timeout
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                reason = f"{node_id}: {type(exc).__name__}: {exc}".strip(": ")
+                failures.append(reason)
+                self.supervisor.mark_suspect(
+                    node_id, f"forward failed: {type(exc).__name__}"
+                )
+                self.count_failover()
+                continue
+            if status >= 500 and not last:
+                failures.append(f"{node_id}: HTTP {status}")
+                self.count_failover()
+                continue
+            out = self._passthrough_headers(node_id, upstream)
+            if failures:
+                out[RETRY_HEADER] = "; ".join(failures)
+            return status, payload, out
+        raise ProtocolError(
+            "every candidate node failed: " + "; ".join(failures),
+            status=502, kind="upstream_failed",
+        )
+
+    # -- POST handlers -------------------------------------------------------
+
+    def handle_forward(self, path: str, body: bytes,
+                       headers: Mapping[str, str]):
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                f"request body is not valid JSON: {exc}",
+                kind="malformed_json",
+            ) from exc
+        pool_key, backend, executor = shard_identity(
+            doc, self.default_backend, self.default_executor
+        )
+        shard_key = f"{pool_key}|{backend}|{executor}"
+        ready = dict(self.supervisor.ready_nodes())
+        # Rank over *all* node ids, then keep the healthy ones: a node's
+        # temporary absence must not reshuffle anyone else's home.
+        order = [
+            node_id
+            for node_id in rank_nodes(shard_key, self.supervisor.node_ids())
+            if node_id in ready
+        ]
+        if not order:
+            raise ProtocolError(
+                "no healthy fleet node is available for this request",
+                status=503, kind="no_healthy_node", retry_after=1.0,
+            )
+        forward_headers = {"Content-Type": "application/json"}
+        request_timeout = headers.get("X-Request-Timeout")
+        if request_timeout is not None:
+            forward_headers["X-Request-Timeout"] = request_timeout
+        candidates = [(node_id, ready[node_id]) for node_id in order[:2]]
+        return self._attempt_nodes(
+            candidates, "POST", path, body, forward_headers,
+            self.forward_timeout,
+        )
+
+    # -- GET handlers --------------------------------------------------------
+
+    def handle_proxy_get(self, path: str):
+        """Static discovery routes (machines, backends): any ready node
+        answers identically, so forward to the first one that works."""
+        ready = self.supervisor.ready_nodes()
+        if not ready:
+            raise ProtocolError(
+                "no healthy fleet node is available for this request",
+                status=503, kind="no_healthy_node", retry_after=1.0,
+            )
+        return self._attempt_nodes(
+            ready[:2], "GET", path, None, {}, self.proxy_timeout
+        )
+
+    def handle_healthz(self, path: str):
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "status": "ok",
+            "role": "router",
+            "version": _version(),
+            "uptime_seconds": time.time() - self.started_at,
+        }
+        return 200, json.dumps(document).encode(), {}
+
+    def handle_readyz(self, path: str):
+        ready = len(self.supervisor.ready_nodes())
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "quorum": self.quorum,
+            "ready_nodes": ready,
+            "nodes": len(self.supervisor.nodes),
+        }
+        if self._closed or self.supervisor.draining:
+            document.update(ready=False, reason="draining")
+            return 503, json.dumps(document).encode(), {}
+        if ready < self.quorum:
+            document.update(ready=False, reason="no_quorum")
+            return 503, json.dumps(document).encode(), {}
+        document["ready"] = True
+        return 200, json.dumps(document).encode(), {}
+
+    def handle_fleet(self, path: str):
+        with self._counter_lock:
+            requests_total = sum(self._requests.values())
+            errors = self._errors
+            failovers = self.failovers
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "role": "router",
+            "quorum": self.quorum,
+            "ready_nodes": len(self.supervisor.ready_nodes()),
+            "draining": self.supervisor.draining,
+            "router": {
+                "requests": requests_total,
+                "errors": errors,
+                "failovers": failovers,
+            },
+            "nodes": self.supervisor.describe(),
+        }
+        return 200, json.dumps(document).encode(), {}
+
+    def handle_stats(self, path: str):
+        """Fleet-wide stats: router counters, per-node stats documents,
+        and summed totals over the nodes that answered."""
+        with self._counter_lock:
+            by_route = dict(self._requests)
+            errors = self._errors
+            failovers = self.failovers
+        totals = {
+            "requests": 0,
+            "errors": 0,
+            "worker_crashes": 0,
+            "worker_retries": 0,
+            "quarantined": 0,
+            "backend_fallbacks": 0,
+            "pool_evictions": 0,
+        }
+        nodes: dict[str, dict] = {}
+        for snap in self.supervisor.describe():
+            node_id, node_url = snap["id"], snap["url"]
+            if node_url is None:
+                nodes[node_id] = {"error": f"node is {snap['state']}"}
+                continue
+            try:
+                status, _headers, payload = self._forward(
+                    node_url, "GET", "/v1/stats", None, {}, self.proxy_timeout
+                )
+                if status != 200:
+                    raise ValueError(f"HTTP {status}")
+                stats = json.loads(payload)
+            except Exception as exc:  # noqa: BLE001 - report, don't fail
+                nodes[node_id] = {"error": f"{type(exc).__name__}: {exc}"}
+                continue
+            nodes[node_id] = stats
+            requests = stats.get("requests", {})
+            totals["requests"] += requests.get("total", 0)
+            totals["errors"] += requests.get("errors", 0)
+            resilience = stats.get("resilience", {})
+            for key in (
+                "worker_crashes", "worker_retries", "quarantined",
+                "backend_fallbacks", "pool_evictions",
+            ):
+                totals[key] += resilience.get(key, 0)
+        document = {
+            "protocol": PROTOCOL_VERSION,
+            "router": {
+                "version": _version(),
+                "uptime_seconds": time.time() - self.started_at,
+                "requests": {
+                    "total": sum(by_route.values()),
+                    "by_route": by_route,
+                    "errors": errors,
+                },
+                "failovers": failovers,
+            },
+            "totals": totals,
+            "nodes": nodes,
+        }
+        return 200, json.dumps(document).encode(), {}
+
+
+class ServingFleet:
+    """One-call fleet: a supervisor plus a router, as a context manager.
+
+    The shape every consumer wants — the CLI, the chaos tests, the
+    benchmark, the check.sh smoke: spawn ``nodes`` children, wait until
+    all are ready, open the front door; ``close()`` stops routing and
+    performs the rolling drain.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        child_args: Sequence[str] = (),
+        backend: str = "threaded",
+        executor: str = "thread",
+        quorum: int | None = None,
+        drain_timeout: float = 10.0,
+        health_interval: float = 0.25,
+        bench_after: int = 3,
+        bench_window: float = 30.0,
+        log_dir: str | None = None,
+        start_timeout: float = 60.0,
+        forward_timeout: float = 600.0,
+    ) -> None:
+        self.start_timeout = start_timeout
+        self.supervisor = FleetSupervisor(
+            nodes=nodes,
+            child_args=["--backend", backend, "--executor", executor,
+                        *child_args],
+            drain_timeout=drain_timeout,
+            health_interval=health_interval,
+            bench_after=bench_after,
+            bench_window=bench_window,
+            log_dir=log_dir,
+        )
+        self.router = FleetRouter(
+            self.supervisor,
+            host=host,
+            port=port,
+            default_backend=backend,
+            default_executor=executor,
+            quorum=quorum,
+            forward_timeout=forward_timeout,
+            drain_timeout=drain_timeout,
+        )
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    def start(self) -> "ServingFleet":
+        self.supervisor.start(wait=True, timeout=self.start_timeout)
+        self.router.start()
+        return self
+
+    def close(self) -> list[dict]:
+        self.router.close()
+        return self.supervisor.stop()
+
+    def __enter__(self) -> "ServingFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

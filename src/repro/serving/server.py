@@ -67,7 +67,12 @@ from repro.compiler.cache import (
     resolve_disk,
 )
 from repro.core.simulator import BACKEND_NAMES, make_backend
-from repro.errors import AsimError, DeadlineExceededError, WorkerCrashError
+from repro.errors import (
+    AsimError,
+    DeadlineExceededError,
+    ServingError,
+    WorkerCrashError,
+)
 from repro.machines.library import all_machines
 from repro.serving.batch import BatchResult
 from repro.serving.executor import EXECUTOR_NAMES
@@ -216,6 +221,13 @@ class PoolRegistry:
     combinations — in particular warm ones — never wait behind someone
     else's compile (an inline spec on the compiled backend can hold its
     creation lock for real milliseconds).
+
+    ``max_pools`` caps how many pools stay warm: a server fed unbounded
+    distinct inline specs would otherwise grow a pool (with live worker
+    threads or processes) per fingerprint forever.  Past the cap the
+    least-recently-used pool is drained gracefully and evicted — the
+    next request for that combination pays prepare again, which is the
+    honest cost of exceeding the working set.  ``None`` means unbounded.
     """
 
     def __init__(
@@ -225,7 +237,12 @@ class PoolRegistry:
         lane_width: int | None = None,
         artifact_cache: "DiskCache | str | Path | bool | None" = None,
         fallback: bool = True,
+        max_pools: int | None = None,
     ) -> None:
+        if max_pools is not None and max_pools < 1:
+            raise ValueError(
+                f"max_pools must be a positive integer or None, got {max_pools!r}"
+            )
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         #: server-wide default lane group size; a request's ``lane_width``
@@ -235,6 +252,9 @@ class PoolRegistry:
         #: walk :data:`BACKEND_FALLBACKS` when a backend's prepare fails
         self.fallback = fallback
         self.fallback_count = 0
+        self.max_pools = max_pools
+        self.eviction_count = 0
+        #: insertion order doubles as the LRU order — hits re-insert
         self._pools: dict[PoolKey, SimulationPool] = {}
         self._labels: dict[PoolKey, str] = {}
         #: per-key degradation record (requested vs served backend), kept
@@ -261,7 +281,11 @@ class PoolRegistry:
                     "server is shutting down", status=503,
                     kind="shutting_down",
                 )
-            return self._pools.get(key)
+            pool = self._pools.get(key)
+            if pool is not None:
+                # touch: move to most-recently-used position
+                self._pools[key] = self._pools.pop(key)
+            return pool
 
     def pool_for(
         self, batch: ParsedBatch
@@ -288,6 +312,7 @@ class PoolRegistry:
                 with self._lock:
                     return pool, self._fallbacks.get(key)
             pool, degraded = self._create_pool(batch)
+            evicted: list[SimulationPool] = []
             with self._lock:
                 if self._closed:  # lost a race with shutdown: don't leak it
                     pool.close(wait=False)
@@ -300,6 +325,21 @@ class PoolRegistry:
                 if degraded is not None:
                     self._fallbacks[key] = degraded
                     self.fallback_count += 1
+                while (
+                    self.max_pools is not None
+                    and len(self._pools) > self.max_pools
+                ):
+                    victim_key = next(iter(self._pools))
+                    evicted.append(self._pools.pop(victim_key))
+                    self._labels.pop(victim_key, None)
+                    self._fallbacks.pop(victim_key, None)
+                    self.eviction_count += 1
+            # Graceful drain outside the lock: in-flight runs on the
+            # evicted pool finish; a request that raced us and still
+            # holds the stale pool gets a closed-pool error and is
+            # retried once by the server against a fresh pool.
+            for stale in evicted:
+                stale.close(wait=True)
             return pool, degraded
 
     def _create_pool(
@@ -377,6 +417,7 @@ class PoolRegistry:
             for name, value in pool.resilience_counters().items():
                 totals[name] = totals.get(name, 0) + value
         totals["backend_fallbacks"] = fallbacks
+        totals["pool_evictions"] = self.eviction_count
         return totals
 
     def close_all(self, wait: bool = True) -> None:
@@ -619,6 +660,7 @@ class SimulationServer:
         max_body_bytes: int = MAX_BODY_BYTES,
         drain_timeout: float = 10.0,
         fallback: bool = True,
+        max_pools: int | None = None,
     ) -> None:
         if max_body_bytes <= 0:
             raise ValueError(
@@ -649,6 +691,7 @@ class SimulationServer:
             lane_width=lane_width,
             artifact_cache=self.disk if self.disk is not None else False,
             fallback=fallback,
+            max_pools=max_pools,
         )
         self.startup_prune: PruneReport | None = None
         if self.disk is not None:
@@ -844,6 +887,7 @@ class SimulationServer:
                 "default_timeout": self.default_timeout,
                 "max_body_bytes": self.max_body_bytes,
                 "drain_timeout": self.drain_timeout,
+                "max_pools": self.registry.max_pools,
             },
             "requests": {
                 "total": sum(by_route.values()),
@@ -900,9 +944,20 @@ class SimulationServer:
         batch = with_default_timeout(batch, default_timeout)
         self.gate.acquire()
         try:
-            pool, degraded = self.registry.pool_for(batch)
-            self._check_capabilities(batch, pool)
-            return pool.run_batch(list(batch.runs)), degraded
+            # Two attempts: a request can lose an LRU-eviction race — it
+            # resolved a pool that another request's insert then drained.
+            # The closed-pool error is deterministic and the second
+            # resolve builds (or finds) a fresh pool, so one retry is
+            # exactly enough; any other failure propagates untouched.
+            for attempt in (0, 1):
+                pool, degraded = self.registry.pool_for(batch)
+                self._check_capabilities(batch, pool)
+                try:
+                    return pool.run_batch(list(batch.runs)), degraded
+                except ServingError:
+                    if attempt or not pool.closed:
+                        raise
+            raise AssertionError("unreachable")
         finally:
             self.gate.release()
 

@@ -1,12 +1,12 @@
-"""Docs honesty gate for the HTTP API: every route the server implements
-must be documented in ``docs/api-reference.md``.
+"""Docs honesty gate for the HTTP API: every route the server — and the
+fleet router — implements must be documented in ``docs/api-reference.md``.
 
-Two sources of truth are checked against the doc: the server's live
-routing tables (``GET_ROUTES``/``POST_ROUTES``), and a source scan of
-``serving/server.py`` for route-shaped string literals — so a route
-added outside the tables cannot dodge the gate either.  The serving
-guide and README links are covered too: a renamed doc file breaks here,
-not in a user's browser.
+Two sources of truth are checked against the doc: the live routing
+tables (``GET_ROUTES``/``POST_ROUTES`` of both ``serving/server.py`` and
+``serving/router.py``), and a source scan of both modules for
+route-shaped string literals — so a route added outside the tables
+cannot dodge the gate either.  The serving guide and README links are
+covered too: a renamed doc file breaks here, not in a user's browser.
 """
 
 from __future__ import annotations
@@ -14,15 +14,22 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.serving.protocol import BATCH_FIELDS, RUN_FIELDS
+from repro.serving import router as router_module
+from repro.serving.protocol import (
+    BATCH_FIELDS,
+    NODE_HEADER,
+    RETRY_HEADER,
+    RUN_FIELDS,
+)
 from repro.serving.server import GET_ROUTES, POST_ROUTES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 API_REFERENCE = REPO_ROOT / "docs" / "api-reference.md"
 SERVING_GUIDE = REPO_ROOT / "docs" / "serving.md"
 SERVER_SOURCE = REPO_ROOT / "src" / "repro" / "serving" / "server.py"
+ROUTER_SOURCE = REPO_ROOT / "src" / "repro" / "serving" / "router.py"
 
-#: String literals in server.py that look like HTTP routes.
+#: String literals in server.py/router.py that look like HTTP routes.
 ROUTE_LITERAL = re.compile(r'"(/(?:v\d+/)?[a-z_]+)"')
 
 
@@ -41,16 +48,26 @@ def test_every_routed_endpoint_is_documented():
         )
 
 
-def test_every_route_literal_in_server_source_is_documented():
-    source = SERVER_SOURCE.read_text()
+def test_every_router_endpoint_is_documented():
     text = API_REFERENCE.read_text()
-    literals = set(ROUTE_LITERAL.findall(source))
-    assert literals  # the scan itself must keep finding the routes
-    for literal in literals:
-        assert literal in text, (
-            f"server.py mentions route '{literal}' but "
-            f"{API_REFERENCE.name} does not document it"
+    for route in (list(router_module.GET_ROUTES)
+                  + list(router_module.POST_ROUTES)):
+        assert route in text, (
+            f"router route '{route}' is served but undocumented in "
+            f"{API_REFERENCE.name}"
         )
+
+
+def test_every_route_literal_in_server_source_is_documented():
+    text = API_REFERENCE.read_text()
+    for source_path in (SERVER_SOURCE, ROUTER_SOURCE):
+        literals = set(ROUTE_LITERAL.findall(source_path.read_text()))
+        assert literals  # the scan itself must keep finding the routes
+        for literal in literals:
+            assert literal in text, (
+                f"{source_path.name} mentions route '{literal}' but "
+                f"{API_REFERENCE.name} does not document it"
+            )
 
 
 def test_request_fields_are_documented():
@@ -71,8 +88,27 @@ def test_error_kinds_are_documented():
         "body_too_large", "length_required",
         "shutting_down", "internal_error", "overloaded",
         "deadline_exceeded", "worker_crash", "invalid_timeout",
+        "no_healthy_node", "upstream_failed",
     ):
         assert kind in text, f"error kind '{kind}' undocumented"
+
+
+def test_fleet_headers_are_documented():
+    """The router's attribution headers must appear in the API reference,
+    spelled exactly as the wire constants say."""
+    text = API_REFERENCE.read_text()
+    for header in (NODE_HEADER, RETRY_HEADER):
+        assert f"`{header}`" in text, f"header '{header}' undocumented"
+
+
+def test_serving_guide_covers_the_fleet():
+    text = SERVING_GUIDE.read_text()
+    assert "Running a fleet" in text
+    assert "repro fleet" in text
+    for term in ("rendezvous", "drain", "bench"):
+        assert term in text.lower(), (
+            f"serving guide fleet section does not mention '{term}'"
+        )
 
 
 def test_serving_guide_exists_and_is_linked():

@@ -479,3 +479,102 @@ class TestDeadlinesOverHttp:
                 )
                 assert status == 400, bad
                 assert document["error"]["type"] == "invalid_timeout"
+
+
+class TestFleetChaos:
+    """Process-level chaos: with the fleet layer the harness can finally
+    kill whole servers, not just pool workers, and the service must keep
+    answering — bit-identically."""
+
+    def test_kill_nine_mid_batch_fails_over_bit_identical(self, tmp_path):
+        import threading
+
+        from repro.machines.library import get_machine
+        from repro.serving.chaos import await_condition, hard_kill
+        from repro.serving.protocol import NODE_HEADER, RETRY_HEADER
+        from repro.serving.router import ServingFleet
+
+        heavy_cycles = 40_000
+        runs = [
+            {"cycles": heavy_cycles, "collect_stats": False, "tag": f"r{i}"}
+            for i in range(3)
+        ]
+        with ServingFleet(nodes=2, quorum=1, health_interval=0.1,
+                          start_timeout=90.0,
+                          child_args=["--no-disk-cache"]) as fleet:
+            # a cheap run with the same shard triple finds the home node
+            status, _doc, headers = post(
+                fleet, "/v1/run",
+                {"machine": "counter", "cycles": 2, "backend": "interpreter",
+                 "collect_stats": False},
+            )
+            assert status == 200
+            home_id = headers[NODE_HEADER]
+            home = fleet.supervisor.node(home_id)
+            home_url, home_pid = home.url, home.pid
+            (sibling_id,) = [
+                node_id for node_id in fleet.supervisor.node_ids()
+                if node_id != home_id
+            ]
+
+            outcome = {}
+
+            def send_batch():
+                outcome["response"] = post(fleet, "/v1/batch", {
+                    "machine": "counter", "backend": "interpreter",
+                    "runs": runs,
+                })
+
+            def batch_arrived() -> bool:
+                try:
+                    with urllib.request.urlopen(
+                        home_url + "/v1/stats", timeout=5
+                    ) as response:
+                        stats = json.loads(response.read())
+                except (OSError, ValueError):
+                    return False
+                return stats["requests"]["by_route"].get("/v1/batch", 0) >= 1
+
+            client = threading.Thread(target=send_batch)
+            client.start()
+            # kill -9 the home node only once the batch is executing on it
+            await_condition(batch_arrived, timeout=30,
+                            message="batch arrival at the home node")
+            hard_kill(home_pid)
+            client.join(timeout=120)
+            assert not client.is_alive()
+
+            status, document, headers = outcome["response"]
+            # the batch completed despite its server dying mid-run ...
+            assert status == 200
+            assert document["ok"] is True
+            # ... on the sibling, with the crash attributed
+            assert headers[NODE_HEADER] == sibling_id
+            attribution = headers[RETRY_HEADER]
+            assert attribution.startswith(home_id)
+
+            # bit-identical to an in-process single-server run
+            spec = get_machine("counter").build()
+            with SimulationPool(spec, backend="interpreter",
+                                executor="serial") as pool:
+                reference = pool.run_batch([
+                    RunRequest(cycles=heavy_cycles, collect_stats=False,
+                               tag=f"r{i}")
+                    for i in range(3)
+                ])
+            assert reference.ok
+            for ref_item, wire in zip(reference.items, document["items"]):
+                rebuilt = result_from_json(wire["result"])
+                assert compare_results(ref_item.result, rebuilt) == []
+
+            # and the supervisor restarted (or benched) the dead node
+            def crash_handled() -> bool:
+                snap = {
+                    s["id"]: s for s in fleet.supervisor.describe()
+                }[home_id]
+                if snap["state"] == "benched":
+                    return True
+                return snap["state"] == "ready" and snap["restarts"] >= 1
+
+            await_condition(crash_handled, timeout=30,
+                            message="supervisor crash handling")

@@ -255,3 +255,49 @@ class TestBatchResultToJson:
         # protocol's complete field surface
         assert "cycles" in RUN_FIELDS
         assert "machine" in BATCH_FIELDS
+
+
+class TestShardIdentity:
+    def test_bundled_machine_triple(self):
+        from repro.serving.protocol import shard_identity
+
+        identity = shard_identity(
+            {"machine": "counter"}, "threaded", "thread"
+        )
+        assert identity == ("machine:counter", "threaded", "thread")
+
+    def test_request_fields_override_defaults(self):
+        from repro.serving.protocol import shard_identity
+
+        identity = shard_identity(
+            {"machine": "counter", "backend": "compiled",
+             "executor": "process"},
+            "threaded", "thread",
+        )
+        assert identity == ("machine:counter", "compiled", "process")
+
+    def test_inline_spec_shares_identity_with_its_text(
+        self, counter_spec_text
+    ):
+        from repro.serving.protocol import shard_identity
+
+        by_text = shard_identity(
+            {"spec": counter_spec_text}, "threaded", "thread"
+        )
+        again = shard_identity(
+            {"spec": counter_spec_text}, "threaded", "thread"
+        )
+        assert by_text == again
+        assert by_text[0].startswith("spec:")
+
+    def test_validates_at_the_front_door(self):
+        from repro.serving.protocol import ProtocolError, shard_identity
+
+        with pytest.raises(ProtocolError) as excinfo:
+            shard_identity({"machine": "no-such"}, "threaded", "thread")
+        assert excinfo.value.status == 404
+        with pytest.raises(ProtocolError):
+            shard_identity({"machine": "counter", "backend": "no-such"},
+                           "threaded", "thread")
+        with pytest.raises(ProtocolError):
+            shard_identity([], "threaded", "thread")

@@ -504,3 +504,116 @@ class TestLifecycle:
     def test_close_without_start_does_not_hang(self):
         server = SimulationServer(port=0, artifact_cache=False)
         server.close()  # never served: must not deadlock on shutdown()
+
+
+class TestPoolEviction:
+    """The ``max_pools`` LRU cap: a server fed unbounded distinct
+    combinations drains and evicts its least-recently-used pool instead
+    of growing without bound."""
+
+    def test_registry_evicts_lru_beyond_the_cap(self):
+        from repro.serving.protocol import parse_batch_request
+        from repro.serving.server import PoolRegistry
+
+        registry = PoolRegistry(artifact_cache=False, max_pools=2)
+
+        def batch_for(machine):
+            return parse_batch_request(
+                {"machine": machine, "runs": [{"cycles": 4}]},
+                "interpreter", "serial",
+            )
+
+        counter_pool, _ = registry.pool_for(batch_for("counter"))
+        gcd_pool, _ = registry.pool_for(batch_for("gcd"))
+        assert len(registry) == 2
+        # touch counter: gcd becomes least-recently-used
+        touched, _ = registry.pool_for(batch_for("counter"))
+        assert touched is counter_pool
+        third_pool, _ = registry.pool_for(batch_for("traffic-light"))
+        assert len(registry) == 2
+        assert registry.eviction_count == 1
+        assert gcd_pool.closed is True      # drained, not abandoned
+        assert counter_pool.closed is False  # the touch saved it
+        # the evicted combination is rebuilt on demand (a fresh pool)
+        rebuilt, _ = registry.pool_for(batch_for("gcd"))
+        assert rebuilt is not gcd_pool
+        assert registry.eviction_count == 2
+        registry.close_all()
+        assert third_pool.closed
+
+    def test_eviction_counter_in_resilience_totals(self):
+        from repro.serving.server import PoolRegistry
+
+        registry = PoolRegistry(artifact_cache=False, max_pools=1)
+        assert registry.resilience_totals()["pool_evictions"] == 0
+        registry.close_all()
+
+    def test_max_pools_must_be_positive(self):
+        from repro.serving.server import PoolRegistry
+
+        with pytest.raises(ValueError):
+            PoolRegistry(max_pools=0)
+
+    def test_eviction_over_http_stays_correct(self):
+        with SimulationServer(port=0, artifact_cache=False,
+                              backend="interpreter",
+                              max_pools=1) as server:
+            for machine in ("counter", "gcd", "counter"):
+                status, document = post(
+                    server, "/v1/run", {"machine": machine, "cycles": 8}
+                )
+                assert status == 200, document
+                assert document["result"]["cycles_run"] == 8
+            status, stats = get(server, "/v1/stats")
+            assert status == 200
+            assert stats["config"]["max_pools"] == 1
+            assert stats["resilience"]["pool_evictions"] == 2
+            assert len(stats["pools"]) == 1
+
+
+class TestSignalDrain:
+    """SIGTERM must run the same graceful drain as Ctrl-C — the fleet's
+    rolling restarts depend on it.  Driven through a real subprocess,
+    exactly as a supervisor would."""
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.serving.chaos import await_condition
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--port-file", str(port_file), "--no-disk-cache"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            await_condition(
+                lambda: port_file.exists() and port_file.read_text().strip(),
+                timeout=30, message="port file",
+            )
+            port = int(port_file.read_text().strip())
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutting down (draining in-flight runs)" in output
+        assert "abandoned" not in output  # the drain finished in budget
