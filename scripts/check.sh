@@ -75,6 +75,40 @@ print(f"fleet smoke: routed, failed over from {home} "
       f"(attributed), drained {len(report)} nodes")
 FLEETSMOKE
 
+echo "== tracing smoke (traced batch, JSONL export, /metrics scrape) =="
+# one traced batch must leave behind a complete request trace — phases
+# tiling the request interval, worker_run spans present — in the JSONL
+# export, and /metrics must answer Prometheus text — so the
+# observability pipeline cannot silently rot between full test runs
+TRACE_DIR="$(mktemp -d)" REPRO_CACHE_DIR="$(mktemp -d)" python - <<'TRACESMOKE'
+import json, os, urllib.request
+from repro.serving import SimulationServer
+from repro.serving.tracing import JsonlExporter, coverage_fraction
+
+trace_dir = os.environ["TRACE_DIR"]
+with SimulationServer(port=0, trace_sink="jsonl",
+                      trace_dir=trace_dir) as server:
+    body = json.dumps({"machine": "counter", "backend": "threaded",
+                       "runs": [{"cycles": 24}] * 2}).encode()
+    with urllib.request.urlopen(urllib.request.Request(
+            server.url + "/v1/batch", data=body), timeout=60) as r:
+        document = json.loads(r.read())
+        trace_id = r.headers["X-Repro-Trace"]
+    assert document["ok"], document
+    with urllib.request.urlopen(server.url + "/metrics", timeout=30) as r:
+        assert r.headers["Content-Type"].startswith("text/plain"), r.headers
+        scrape = r.read().decode()
+    assert "repro_http_requests_total" in scrape, scrape[:400]
+    assert "repro_span_duration_seconds_bucket" in scrape, scrape[:400]
+traces = {t.trace_id: t for t in
+          JsonlExporter.read(os.path.join(trace_dir, "traces.jsonl"))}
+trace = traces[trace_id]
+assert coverage_fraction(trace) >= 0.95, trace.to_json()
+assert any(s.name == "worker_run" for s in trace.spans), trace.to_json()
+print(f"tracing smoke: trace {trace_id[:8]}… exported "
+      f"({len(trace.spans)} spans), /metrics scraped")
+TRACESMOKE
+
 echo "== chaos smoke (crash recovery, deadlines, backpressure, degradation) =="
 # the fast end-to-end slice of the chaos-injection harness: a worker
 # kill is quarantined without hurting innocents, a hung worker is

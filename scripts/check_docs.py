@@ -38,6 +38,7 @@ REQUIRED_MODULES = (
     "serving/pool.py",
     "serving/fleet.py",
     "serving/router.py",
+    "serving/tracing.py",
     "lowering/lanes.py",
     "compiler/cache.py",
     "rtl/interchange.py",

@@ -49,7 +49,7 @@ from repro.serving import (
     run_batch,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BACKEND_NAMES",

@@ -49,6 +49,7 @@ from repro.errors import AsimError
 from repro.machines.library import all_machines, get_machine
 from repro.rtl.parser import parse_spec_file
 from repro.serving.executor import EXECUTOR_NAMES
+from repro.serving.tracing import TRACE_SINKS
 from repro.synth.report import hardware_report
 
 
@@ -313,6 +314,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the bound port to PATH once the socket is up; with "
         "--port 0 this is how a supervisor discovers the ephemeral port",
     )
+    server_parser.add_argument(
+        "--trace-sink", choices=TRACE_SINKS, default="none",
+        help="durable per-request trace exporter: append-only JSONL or a "
+        "single-table SQLite database; the in-memory ring buffer behind "
+        "GET /v1/trace/<id> is always on (default: none)",
+    )
+    server_parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="directory the trace exporter writes into (required with "
+        "--trace-sink jsonl/sqlite; one directory per server process)",
+    )
+    server_parser.add_argument(
+        "--trace-ring", type=int, default=256, metavar="N",
+        help="finished traces kept in the in-memory ring buffer serving "
+        "GET /v1/trace/<id> (default: 256)",
+    )
 
     fleet_parser = subparsers.add_parser(
         "fleet",
@@ -396,6 +413,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log-dir", type=Path, default=None, metavar="DIR",
         help="write per-child stdout/stderr logs here "
         "(default: discarded)",
+    )
+    fleet_parser.add_argument(
+        "--trace-sink", choices=TRACE_SINKS, default="none",
+        help="durable trace exporter forwarded to every child "
+        "(default: none)",
+    )
+    fleet_parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="trace export root; each child writes into its own "
+        "DIR/<node-id>/ subdirectory (required with --trace-sink)",
     )
 
     cache_parser = subparsers.add_parser(
@@ -632,6 +659,10 @@ def _install_signal_drain() -> None:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import MAX_BODY_BYTES, SimulationServer
 
+    if args.trace_sink != "none" and args.trace_dir is None:
+        print(f"error: --trace-sink {args.trace_sink} requires --trace-dir",
+              file=sys.stderr)
+        return 2
     _install_signal_drain()
     server = SimulationServer(
         host=args.host,
@@ -655,6 +686,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         fallback=not args.no_fallback,
         max_pools=args.max_pools if args.max_pools > 0 else None,
+        trace_sink=args.trace_sink,
+        trace_dir=args.trace_dir,
+        trace_ring=args.trace_ring,
     )
     if server.startup_prune is not None and server.startup_prune.removed_files:
         print(f"cache prune: {server.startup_prune.summary()}")
@@ -680,6 +714,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_fleet(args: argparse.Namespace) -> int:
     from repro.serving.router import ServingFleet
 
+    if args.trace_sink != "none" and args.trace_dir is None:
+        print(f"error: --trace-sink {args.trace_sink} requires --trace-dir",
+              file=sys.stderr)
+        return 2
     _install_signal_drain()
     child_args: list[str] = []
     if args.workers is not None:
@@ -708,6 +746,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
         bench_after=args.bench_after,
         bench_window=args.bench_window,
         log_dir=args.log_dir,
+        trace_sink=args.trace_sink,
+        trace_dir=(
+            str(args.trace_dir) if args.trace_dir is not None else None
+        ),
     )
     print(f"starting {args.nodes} serve node(s) ...")
     fleet.supervisor.start(wait=True)

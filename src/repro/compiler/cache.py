@@ -350,6 +350,29 @@ class DiskCache:
         self.degraded = False
         #: how many writes have failed since construction
         self.write_errors = 0
+        # Counter mutations arrive from every server thread at once (pool
+        # warm-ups, prune): ``+=`` on a plain int is a read-modify-write
+        # and silently loses updates without this lock.
+        self._counter_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # same shape as PrepareCache: only the lock must be rebuilt on
+        # the other side of a pickle
+        state = dict(self.__dict__)
+        del state["_counter_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._counter_lock = threading.Lock()
+
+    def _count_hit(self) -> None:
+        with self._counter_lock:
+            self.stats.hits += 1
+
+    def _count_miss(self) -> None:
+        with self._counter_lock:
+            self.stats.misses += 1
 
     def _root_trusted(self) -> bool:
         """True when the root exists and provably belongs to this user.
@@ -409,9 +432,11 @@ class DiskCache:
         return path
 
     def _note_write_failure(self, exc: OSError) -> None:
-        self.write_errors += 1
-        if not self.degraded:
+        with self._counter_lock:
+            self.write_errors += 1
+            first = not self.degraded
             self.degraded = True
+        if first:
             import warnings
 
             warnings.warn(
@@ -423,12 +448,12 @@ class DiskCache:
 
     def _read(self, path: Path) -> bytes | None:
         if not self._root_trusted():
-            self.stats.misses += 1
+            self._count_miss()
             return None
         try:
             payload = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            self._count_miss()
             return None
         return payload
 
@@ -468,9 +493,9 @@ class DiskCache:
                 raise ValueError("produced by another repro version")
             artifact = document["artifact"]
         except Exception:  # corruption-safe: damaged file == miss
-            self.stats.misses += 1
+            self._count_miss()
             return None
-        self.stats.hits += 1
+        self._count_hit()
         self._touch(self.path_for(fingerprint, key, "ir"))
         return artifact
 
@@ -490,13 +515,13 @@ class DiskCache:
         try:
             text = payload.decode()
         except UnicodeDecodeError:
-            self.stats.misses += 1
+            self._count_miss()
             return None
         header = _source_header()
         if not text.startswith(header):
-            self.stats.misses += 1
+            self._count_miss()
             return None
-        self.stats.hits += 1
+        self._count_hit()
         self._touch(self.path_for(fingerprint, key, "py"))
         return text[len(header):]
 
@@ -653,7 +678,8 @@ class DiskCache:
                     report.removed_bytes += self._remove(entry)
                     total -= entry.size
                     report.removed_evicted += 1
-                    self.stats.evictions += 1
+                    with self._counter_lock:
+                        self.stats.evictions += 1
                 else:
                     survivors.append(entry)
         survivors += fresh_tmp

@@ -61,6 +61,20 @@ executor) with rendezvous hashing — warm pools stay sticky — and fails
 a request over to a sibling exactly once when its home node dies
 mid-request.  ``repro fleet --nodes N`` is the CLI front door.
 
+Observability is built in (:mod:`repro.serving.tracing`): every request
+is assembled into a :class:`~repro.serving.tracing.RequestTrace` of
+typed :class:`~repro.serving.tracing.Span` records — HTTP parse,
+admission wait, pool resolution, executor dispatch, per-item queue wait
+and worker run (the worker-side spans cross the process boundary on the
+``RunOutcome``) — identified by an ``X-Repro-Trace`` id that rides the
+wire protocol end-to-end through the fleet router.  Finished traces land
+in a bounded in-memory ring behind ``GET /v1/trace/<id>`` and,
+optionally, in a durable :class:`~repro.serving.tracing.JsonlExporter`
+or :class:`~repro.serving.tracing.SqliteExporter` sink
+(``repro serve --trace-sink``); ``GET /metrics`` exposes counters and
+per-span-kind latency histograms in Prometheus text format, aggregated
+with per-node labels at the router.
+
 The CLI exposes the layer as ``repro serve-batch --executor {serial,
 thread,process,lane}`` (one-shot) and ``repro serve`` (the long-lived
 server); the throughput benchmark
@@ -89,6 +103,14 @@ from repro.serving.pool import SimulationPool, run_batch
 from repro.serving.protocol import PROTOCOL_VERSION, ProtocolError, error_kind
 from repro.serving.router import FleetRouter, ServingFleet, rank_nodes
 from repro.serving.server import AdmissionGate, SimulationServer
+from repro.serving.tracing import (
+    JsonlExporter,
+    RequestTrace,
+    Span,
+    SqliteExporter,
+    TraceRecorder,
+    coverage_fraction,
+)
 
 __all__ = [
     "AdmissionGate",
@@ -101,20 +123,26 @@ __all__ = [
     "FlapGuard",
     "FleetRouter",
     "FleetSupervisor",
+    "JsonlExporter",
     "LaneExecutor",
     "PROTOCOL_VERSION",
     "ProcessExecutor",
     "ProtocolError",
+    "RequestTrace",
     "RunOutcome",
     "RunRequest",
     "SerialExecutor",
     "ServingFleet",
     "SimulationPool",
     "SimulationServer",
+    "Span",
+    "SqliteExporter",
     "ThreadExecutor",
+    "TraceRecorder",
     "WorkerContext",
     "async_run",
     "async_run_batch",
+    "coverage_fraction",
     "error_kind",
     "lane_compatible",
     "rank_nodes",

@@ -160,6 +160,12 @@ class BatchItem:
     #: seconds this request (or its chunk) waited between submission and
     #: execution start
     queue_seconds: float = 0.0
+    #: per-item trace spans (:class:`~repro.serving.tracing.Span` tuples):
+    #: ``pool_queue`` plus the worker-stamped ``worker_run`` /
+    #: ``lane_group`` / ``chunk_ipc`` / terminal ``error`` records, with
+    #: ``parent`` indices relative to this tuple (``None`` = attach to the
+    #: request's dispatch span at trace assembly)
+    spans: tuple = ()
 
     @property
     def ok(self) -> bool:

@@ -74,6 +74,7 @@ from repro.lowering.lanes import DEFAULT_LANE_WIDTH, LaneOutcome
 from repro.lowering.program import CycleProgram
 from repro.rtl.spec import Specification
 from repro.serving.batch import RunRequest
+from repro.serving.tracing import Span
 
 #: Registered execution strategies, in cost order.
 EXECUTOR_NAMES = ("serial", "thread", "process", "lane")
@@ -121,6 +122,15 @@ class RunOutcome:
     the request (or its chunk) waited between submission and execution
     start, measured on the system-wide monotonic clock so it is meaningful
     across process boundaries.
+
+    ``spans`` carries the execution-side trace records
+    (:class:`~repro.serving.tracing.Span` tuples — ``worker_run``,
+    ``lane_group`` or a terminal ``error``) stamped where the run actually
+    executed; they are plain tuples on the monotonic clock, so they
+    survive the pickle back from a worker process and line up with the
+    parent's spans without translation.  ``parent`` indices are relative
+    to this outcome's own tuple (``None`` = attach to the dispatch span
+    when the request trace is assembled).
     """
 
     result: SimulationResult | None
@@ -128,6 +138,14 @@ class RunOutcome:
     seconds: float
     worker: str
     queue_seconds: float
+    spans: tuple = ()
+
+
+def _error_span(start: float, duration: float, worker: str,
+                error: Exception) -> Span:
+    """The terminal ``error`` span for a failed run (never vanishes)."""
+    detail = f"{type(error).__name__}: {error}"[:200]
+    return Span("error", start, duration, None, worker, None, detail)
 
 
 def execute_outcome(
@@ -147,21 +165,23 @@ def execute_outcome(
     ``BaseException`` (KeyboardInterrupt and friends) propagates — the
     batch machinery re-raises it rather than recording it per item.
     """
-    queue_seconds = max(0.0, time.monotonic() - submitted)
+    entered = time.monotonic()
+    queue_seconds = max(0.0, entered - submitted)
     deadline = None
     if request.timeout_seconds is not None:
         remaining = request.timeout_seconds - queue_seconds
         if remaining <= 0.0:
-            return RunOutcome(
-                result=None,
-                error=DeadlineExceededError(
-                    f"request shed before execution: waited "
-                    f"{queue_seconds:.3f}s in queue against a "
-                    f"{request.timeout_seconds:.3f}s deadline"
-                ),
-                seconds=0.0, worker=worker, queue_seconds=queue_seconds,
+            shed = DeadlineExceededError(
+                f"request shed before execution: waited "
+                f"{queue_seconds:.3f}s in queue against a "
+                f"{request.timeout_seconds:.3f}s deadline"
             )
-        deadline = time.monotonic() + remaining
+            return RunOutcome(
+                result=None, error=shed,
+                seconds=0.0, worker=worker, queue_seconds=queue_seconds,
+                spans=(_error_span(entered, 0.0, worker, shed),),
+            )
+        deadline = entered + remaining
     try:
         if deadline is None:
             result, seconds = execute(request)
@@ -169,10 +189,18 @@ def execute_outcome(
             with run_deadline(deadline):
                 result, seconds = execute(request)
     except Exception as exc:  # noqa: BLE001 - rerouted per item
-        return RunOutcome(result=None, error=exc, seconds=0.0,
-                          worker=worker, queue_seconds=queue_seconds)
-    return RunOutcome(result=result, error=None, seconds=seconds,
-                      worker=worker, queue_seconds=queue_seconds)
+        return RunOutcome(
+            result=None, error=exc, seconds=0.0,
+            worker=worker, queue_seconds=queue_seconds,
+            spans=(_error_span(
+                entered, time.monotonic() - entered, worker, exc),),
+        )
+    return RunOutcome(
+        result=result, error=None, seconds=seconds,
+        worker=worker, queue_seconds=queue_seconds,
+        spans=(Span("worker_run", entered, time.monotonic() - entered,
+                    None, worker, None, None),),
+    )
 
 
 def _spread_chunk(
@@ -384,23 +412,49 @@ def execute_lane_chunk(
             queue_seconds = max(0.0, time.monotonic() - submitted)
             lane_requests = [requests[i] for i in lane_indices]
             begin = time.perf_counter()
+            begin_mono = time.monotonic()
+            lane_count = len(lane_indices)
+
+            def lane_span(group_seconds: float) -> Span:
+                return Span("lane_group", begin_mono, group_seconds, None,
+                            worker, None, f"lanes={lane_count}")
+
             try:
                 lane_outcomes = lane_execute(lane_requests)
             except Exception as exc:  # noqa: BLE001 - mirrored per item
+                group_seconds = time.monotonic() - begin_mono
                 for i in lane_indices:
                     outcomes[i] = RunOutcome(
                         result=None, error=exc, seconds=0.0,
                         worker=worker, queue_seconds=queue_seconds,
+                        spans=(lane_span(group_seconds),
+                               _error_span(begin_mono, group_seconds,
+                                           worker, exc)._replace(parent=0)),
                     )
                 continue
-            seconds = (time.perf_counter() - begin) / len(lane_indices)
-            for i, outcome in zip(lane_indices, lane_outcomes):
+            group_seconds = time.monotonic() - begin_mono
+            seconds = (time.perf_counter() - begin) / lane_count
+            # each lane's run span is a synthetic 1/N slice of the group:
+            # the whole group executed in one schedule walk, so per-lane
+            # time is attributed, not measured
+            share = group_seconds / lane_count
+            for slot, (i, outcome) in enumerate(
+                    zip(lane_indices, lane_outcomes)):
+                slice_start = begin_mono + slot * share
+                if outcome.error is None:
+                    run_span = Span("worker_run", slice_start, share, 0,
+                                    worker, None, "lane-slice")
+                else:
+                    run_span = _error_span(
+                        slice_start, share, worker, outcome.error,
+                    )._replace(parent=0)
                 outcomes[i] = RunOutcome(
                     result=outcome.result,
                     error=outcome.error,
                     seconds=seconds if outcome.error is None else 0.0,
                     worker=worker,
                     queue_seconds=queue_seconds,
+                    spans=(lane_span(group_seconds), run_span),
                 )
     for index, request in enumerate(requests):
         if outcomes[index] is None:
@@ -644,12 +698,23 @@ def _run_chunk_in_worker(
     ]
 
 
+def _lost_outcome(error: Exception) -> RunOutcome:
+    """A per-item outcome for a request whose worker never answered.
+
+    Carries a terminal ``error`` span (zero-length, stamped parent-side at
+    the moment the loss was established) so the request does not vanish
+    from its trace.
+    """
+    return RunOutcome(
+        result=None, error=error,
+        seconds=0.0, worker="lost", queue_seconds=0.0,
+        spans=(_error_span(time.monotonic(), 0.0, "lost", error),),
+    )
+
+
 def _crash_outcome(message: str) -> RunOutcome:
     """A per-item outcome for a request lost to repeated worker deaths."""
-    return RunOutcome(
-        result=None, error=WorkerCrashError(message),
-        seconds=0.0, worker="lost", queue_seconds=0.0,
-    )
+    return _lost_outcome(WorkerCrashError(message))
 
 
 class ProcessExecutor(ExecutorStrategy):
@@ -883,10 +948,7 @@ class ProcessExecutor(ExecutorStrategy):
                     self._respawn(generation)
                     continue
                 except Exception as exc:  # noqa: BLE001 - e.g. shutdown race
-                    return [RunOutcome(
-                        result=None, error=exc, seconds=0.0,
-                        worker="lost", queue_seconds=0.0,
-                    )]
+                    return [_lost_outcome(exc)]
                 self._count("_retries")
                 wait = None
                 if request.timeout_seconds is not None:
@@ -899,20 +961,13 @@ class ProcessExecutor(ExecutorStrategy):
                     crashed_alone = True
                 except FuturesTimeoutError:
                     chunk_future.cancel()
-                    return [RunOutcome(
-                        result=None,
-                        error=DeadlineExceededError(
-                            "retried request did not answer within "
-                            f"{WALL_CLOCK_DEADLINE_FACTOR:g}x its deadline "
-                            "(wall-clock backstop)"
-                        ),
-                        seconds=0.0, worker="lost", queue_seconds=0.0,
-                    )]
+                    return [_lost_outcome(DeadlineExceededError(
+                        "retried request did not answer within "
+                        f"{WALL_CLOCK_DEADLINE_FACTOR:g}x its deadline "
+                        "(wall-clock backstop)"
+                    ))]
                 except Exception as exc:  # noqa: BLE001 - mirrored per item
-                    return [RunOutcome(
-                        result=None, error=exc, seconds=0.0,
-                        worker="lost", queue_seconds=0.0,
-                    )]
+                    return [_lost_outcome(exc)]
             if crashed_alone:
                 charged_crashes += 1
                 self._respawn(generation)
@@ -954,15 +1009,11 @@ class ProcessExecutor(ExecutorStrategy):
 
         def expire() -> None:
             _try_resolve(mirror, outcomes=[
-                RunOutcome(
-                    result=None,
-                    error=DeadlineExceededError(
-                        "worker did not answer within "
-                        f"{WALL_CLOCK_DEADLINE_FACTOR:g}x the deadline "
-                        "(wall-clock backstop; the worker may be hung)"
-                    ),
-                    seconds=0.0, worker="lost", queue_seconds=0.0,
-                )
+                _lost_outcome(DeadlineExceededError(
+                    "worker did not answer within "
+                    f"{WALL_CLOCK_DEADLINE_FACTOR:g}x the deadline "
+                    "(wall-clock backstop; the worker may be hung)"
+                ))
                 for _ in requests
             ])
 

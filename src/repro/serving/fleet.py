@@ -182,11 +182,19 @@ class FleetSupervisor:
         backoff: Backoff | None = None,
         python: str = sys.executable,
         log_dir: str | os.PathLike | None = None,
+        trace_sink: str | None = None,
+        trace_dir: str | os.PathLike | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if nodes < 1:
             raise ValueError(f"a fleet needs at least one node, got {nodes!r}")
+        if trace_sink not in (None, "none") and trace_dir is None:
+            raise ValueError(
+                f"trace_sink {trace_sink!r} needs a trace_dir to write into"
+            )
         self.child_args = tuple(str(arg) for arg in child_args)
+        self.trace_sink = None if trace_sink in (None, "", "none") else trace_sink
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.drain_timeout = drain_timeout
         self.health_interval = health_interval
         self.probe_timeout = probe_timeout
@@ -324,6 +332,14 @@ class FleetSupervisor:
             str(self.drain_timeout),
             *self.child_args,
         ]
+        if self.trace_sink is not None and self.trace_dir is not None:
+            # One exporter directory per node: the sinks are single-writer
+            # (one process appending/one SQLite WAL), so siblings must
+            # never share a file.
+            command += [
+                "--trace-sink", self.trace_sink,
+                "--trace-dir", str(self.trace_dir / node.node_id),
+            ]
         if self.log_dir is not None:
             sink = open(self.log_dir / f"{node.node_id}.log", "ab")
         else:

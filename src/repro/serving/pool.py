@@ -70,6 +70,7 @@ from repro.serving.executor import (
     seed_disk_cache,
     worker_context_for,
 )
+from repro.serving.tracing import Span, outcome_spans
 
 
 def _available_cpus() -> int:
@@ -94,16 +95,35 @@ def _default_workers(executor: str) -> int:
 def batch_items(
     requests: Sequence[RunRequest],
     outcomes: "Sequence[RunOutcome | BaseException]",
+    collected: "Sequence[float] | None" = None,
+    executor: str | None = None,
 ) -> list[BatchItem]:
     """Pair requests with their outcomes (RunOutcome, or the exception
-    that killed the whole scheduling unit, e.g. an unpicklable chunk)."""
+    that killed the whole scheduling unit, e.g. an unpicklable chunk).
+
+    *collected*, when given, holds the parent-side monotonic timestamp at
+    which each outcome was gathered; together with *executor* it lets the
+    per-item trace spans include the IPC return leg on the process
+    strategy (see :func:`~repro.serving.tracing.outcome_spans`).  Every
+    failed item carries a terminal ``error`` span — errors never vanish
+    from a trace.
+    """
     items: list[BatchItem] = []
     for index, (request, outcome) in enumerate(zip(requests, outcomes)):
+        gathered = collected[index] if collected is not None else None
         if isinstance(outcome, BaseException):
             if not isinstance(outcome, Exception):  # let KeyboardInterrupt &c out
                 raise outcome
-            items.append(BatchItem(index=index, request=request, error=outcome))
+            at = gathered if gathered is not None else time.monotonic()
+            detail = f"{type(outcome).__name__}: {outcome}"[:200]
+            spans = (Span("error", at, 0.0, None, None, index, detail),)
+            items.append(BatchItem(index=index, request=request,
+                                   error=outcome, spans=spans))
         else:
+            spans = tuple(
+                span._replace(item=index)
+                for span in outcome_spans(outcome, gathered, executor)
+            )
             items.append(
                 BatchItem(
                     index=index,
@@ -113,6 +133,7 @@ def batch_items(
                     seconds=outcome.seconds,
                     worker=outcome.worker,
                     queue_seconds=outcome.queue_seconds,
+                    spans=spans,
                 )
             )
     return items
@@ -357,6 +378,7 @@ class SimulationPool:
         start = time.perf_counter()
         before = self._strategy.counters()
         outcomes: "list[RunOutcome | BaseException] | None"
+        collected: "list[float]"
         if isinstance(self._strategy, LaneExecutor):
             # the lane strategy produces outcomes directly on this thread —
             # no per-item Future plumbing (same no-deadlock reasoning as
@@ -364,19 +386,23 @@ class SimulationPool:
             with self._submit_lock:
                 self._check_open()
             outcomes = self._strategy.execute_many(requests, self.chunk_size)
+            collected = [time.monotonic()] * len(outcomes)
         else:
             outcomes = []
+            collected = []
             for future in self._submit_many(requests):
                 try:
                     outcomes.append(future.result())
                 except BaseException as exc:  # noqa: BLE001 - per item
                     outcomes.append(exc)
+                collected.append(time.monotonic())
         wall_seconds = time.perf_counter() - start
         after = self._strategy.counters()
         return BatchResult(
             backend=self.backend_name,
             pool_size=self.max_workers,
-            items=batch_items(requests, outcomes),
+            items=batch_items(requests, outcomes, collected,
+                              self.executor_name),
             wall_seconds=wall_seconds,
             prepare_seconds=self.prepare_seconds,
             executor=self.executor_name,

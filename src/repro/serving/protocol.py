@@ -71,6 +71,14 @@ NODE_HEADER = "X-Repro-Node"
 #: attribution trail of the node(s) that failed first and why.
 RETRY_HEADER = "X-Repro-Retry"
 
+#: Trace-correlation header, both directions: a client may send one to
+#: choose the request's trace id, and every response carries the id the
+#: trace was recorded under (``GET /v1/trace/<id>`` returns it).  The
+#: fleet router generates the id when the client did not, and forwards it
+#: so one id follows the request end-to-end: router -> node -> pool ->
+#: worker.
+TRACE_HEADER = "X-Repro-Trace"
+
 
 class ProtocolError(AsimError):
     """A request the wire protocol rejects, with its HTTP status.

@@ -20,6 +20,12 @@ into one service:
 * **Fleet-wide views.**  ``GET /v1/fleet`` reports topology and health,
   ``GET /v1/stats`` aggregates per-node stats plus router counters, and
   ``GET /readyz`` answers 200 only while a quorum of nodes is ready.
+* **End-to-end tracing.**  Every forwarded run carries an
+  ``X-Repro-Trace`` id (client-supplied or minted at the front door), so
+  the node-side trace is retrievable through ``GET /v1/trace/<id>`` —
+  the router fans the lookup out to the node that holds it.
+  ``GET /metrics`` merges every node's Prometheus exposition under
+  per-node ``node=<id>`` labels alongside the router's own counters.
 
 Every proxied response is stamped with ``X-Repro-Node`` (the node that
 actually answered).  The CLI front door is ``repro fleet``; semantics
@@ -44,11 +50,17 @@ from repro.serving.protocol import (
     NODE_HEADER,
     PROTOCOL_VERSION,
     RETRY_HEADER,
+    TRACE_HEADER,
     ProtocolError,
     error_to_json,
     shard_identity,
 )
 from repro.serving.server import MAX_BODY_BYTES
+from repro.serving.tracing import (
+    merge_node_metrics,
+    metric_line,
+    sanitize_trace_id,
+)
 
 __all__ = ["FleetRouter", "ServingFleet", "rank_nodes"]
 
@@ -79,6 +91,8 @@ GET_ROUTES = {
     "/v1/stats": "handle_stats",
     "/v1/machines": "handle_proxy_get",
     "/v1/backends": "handle_proxy_get",
+    "/v1/trace": "handle_trace",
+    "/metrics": "handle_metrics",
 }
 POST_ROUTES = {
     "/v1/run": "handle_forward",
@@ -168,11 +182,16 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _dispatch(self, routes: Mapping[str, str],
                   other: Mapping[str, str]) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        handler_name = routes.get(path)
+        lookup = path
+        if path.startswith("/v1/trace/"):
+            # the one parameterised route: /v1/trace/<id> — the handler
+            # gets the full path so it can forward it verbatim
+            lookup = "/v1/trace"
+        handler_name = routes.get(lookup)
         if handler_name is None:
             self._discard_body()
             self.app.count_error()
-            if path in other:
+            if lookup in other:
                 self._respond_json(405, error_to_json(
                     "method_not_allowed",
                     f"{path} does not accept {self.command}",
@@ -183,7 +202,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     f"no such route: {path} (see docs/api-reference.md)",
                 ))
             return
-        self.app.count_request(path)
+        self.app.count_request(lookup)
         headers: dict[str, str] = {}
         try:
             if self.command == "POST":
@@ -363,6 +382,9 @@ class FleetRouter:
         retry_after = upstream.get("Retry-After")
         if retry_after:
             headers["Retry-After"] = retry_after
+        trace_id = upstream.get(TRACE_HEADER)
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         return headers
 
     def _attempt_nodes(self, candidates: list[tuple[str, str]], method: str,
@@ -438,6 +460,12 @@ class FleetRouter:
         request_timeout = headers.get("X-Request-Timeout")
         if request_timeout is not None:
             forward_headers["X-Request-Timeout"] = request_timeout
+        # Pin the trace id at the front door (minting one if the client
+        # did not send a safe one) so the node's trace is retrievable by
+        # the id the client saw — even across a mid-request failover.
+        forward_headers[TRACE_HEADER] = sanitize_trace_id(
+            headers.get(TRACE_HEADER)
+        )
         candidates = [(node_id, ready[node_id]) for node_id in order[:2]]
         return self._attempt_nodes(
             candidates, "POST", path, body, forward_headers,
@@ -458,6 +486,86 @@ class FleetRouter:
         return self._attempt_nodes(
             ready[:2], "GET", path, None, {}, self.proxy_timeout
         )
+
+    def handle_trace(self, path: str):
+        """``GET /v1/trace/<id>``: find the node that served the traced
+        request.  Only the node that ran a request holds its trace (each
+        keeps its own ring buffer), so the router fans the lookup out to
+        every ready node and passes the first hit through — a miss
+        everywhere is an honest 404."""
+        trace_id = path[len("/v1/trace/"):] if path.startswith("/v1/trace/") else ""
+        ready = self.supervisor.ready_nodes()
+        if not ready:
+            raise ProtocolError(
+                "no healthy fleet node is available for this request",
+                status=503, kind="no_healthy_node", retry_after=1.0,
+            )
+        for node_id, node_url in ready:
+            try:
+                status, upstream, payload = self._forward(
+                    node_url, "GET", path, None, {}, self.proxy_timeout
+                )
+            except (OSError, http.client.HTTPException):
+                continue
+            if status == 200:
+                return status, payload, self._passthrough_headers(
+                    node_id, upstream
+                )
+        raise ProtocolError(
+            f"no fleet node holds a trace with id {trace_id!r} (traces "
+            "live in a bounded per-node ring buffer; old ones are "
+            "evicted)",
+            status=404, kind="unknown_trace",
+        )
+
+    def handle_metrics(self, path: str):
+        """``GET /metrics``: router counters plus every ready node's own
+        ``/metrics`` payload merged under per-node ``node=<id>`` labels."""
+        with self._counter_lock:
+            by_route = dict(self._requests)
+            errors = self._errors
+            failovers = self.failovers
+        states: dict[str, int] = {}
+        node_texts: dict[str, str] = {}
+        for snap in self.supervisor.describe():
+            states[snap["state"]] = states.get(snap["state"], 0) + 1
+            if snap["state"] != "ready" or snap["url"] is None:
+                continue
+            try:
+                status, _headers, payload = self._forward(
+                    snap["url"], "GET", "/metrics", None, {},
+                    self.proxy_timeout,
+                )
+                if status != 200:
+                    continue
+                node_texts[snap["id"]] = payload.decode("utf-8", "replace")
+            except (OSError, http.client.HTTPException):
+                continue
+        lines = [
+            "# HELP repro_router_requests_total HTTP requests the router "
+            "received, by route.",
+            "# TYPE repro_router_requests_total counter",
+            *(metric_line("repro_router_requests_total", by_route[route],
+                          {"route": route})
+              for route in sorted(by_route)),
+            "# HELP repro_router_errors_total Router requests answered "
+            "with an error status.",
+            "# TYPE repro_router_errors_total counter",
+            metric_line("repro_router_errors_total", errors),
+            "# HELP repro_router_failovers_total Forwards retried on a "
+            "sibling node after a transport failure or 5xx.",
+            "# TYPE repro_router_failovers_total counter",
+            metric_line("repro_router_failovers_total", failovers),
+            "# HELP repro_router_nodes Fleet nodes by supervisor state.",
+            "# TYPE repro_router_nodes gauge",
+            *(metric_line("repro_router_nodes", states[state],
+                          {"state": state})
+              for state in sorted(states)),
+        ]
+        lines.extend(merge_node_metrics(node_texts))
+        body = ("\n".join(lines) + "\n").encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+        return 200, body, {"Content-Type": content_type}
 
     def handle_healthz(self, path: str):
         document = {
@@ -590,6 +698,8 @@ class ServingFleet:
         bench_after: int = 3,
         bench_window: float = 30.0,
         log_dir: str | None = None,
+        trace_sink: str | None = None,
+        trace_dir: str | None = None,
         start_timeout: float = 60.0,
         forward_timeout: float = 600.0,
     ) -> None:
@@ -603,6 +713,8 @@ class ServingFleet:
             bench_after=bench_after,
             bench_window=bench_window,
             log_dir=log_dir,
+            trace_sink=trace_sink,
+            trace_dir=trace_dir,
         )
         self.router = FleetRouter(
             self.supervisor,

@@ -20,6 +20,12 @@ Endpoints (documented with schemas and examples in
 * ``GET /v1/backends`` — backend names with capability flags.
 * ``GET /v1/stats`` — uptime, request counters, live pools, disk cache,
   resilience counters (crashes, retries, quarantines, fallbacks).
+* ``GET /v1/trace/<id>`` — the assembled per-request trace for a recent
+  request (spans from HTTP parse to worker run; see
+  :mod:`repro.serving.tracing`), served from the recorder's bounded
+  in-memory ring.
+* ``GET /metrics`` — Prometheus text exposition: per-route counters, the
+  admission/resilience counters, and per-span-kind latency histograms.
 * ``GET /healthz`` — liveness probe (is the process up at all).
 * ``GET /readyz`` — readiness probe: 503 while draining or while the
   admission gate is saturated, so a load balancer routes around this
@@ -79,6 +85,7 @@ from repro.serving.executor import EXECUTOR_NAMES
 from repro.serving.pool import SimulationPool
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
+    TRACE_HEADER,
     ParsedBatch,
     ProtocolError,
     batch_result_to_json,
@@ -87,6 +94,13 @@ from repro.serving.protocol import (
     parse_batch_request,
     parse_run_request,
     with_default_timeout,
+)
+from repro.serving.tracing import (
+    TraceBuilder,
+    TraceRecorder,
+    make_exporter,
+    metric_line,
+    sanitize_trace_id,
 )
 
 #: Largest request body the server will read by default (a batch of
@@ -112,7 +126,12 @@ GET_ROUTES: dict[str, str] = {
     "/v1/machines": "handle_machines",
     "/v1/backends": "handle_backends",
     "/v1/stats": "handle_stats",
+    "/v1/trace": "handle_trace",
+    "/metrics": "handle_metrics",
 }
+
+#: Routes whose requests are traced (one :class:`RequestTrace` each).
+TRACED_ROUTES = frozenset({"/v1/run", "/v1/batch"})
 
 
 class AdmissionGate:
@@ -464,11 +483,18 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> "SimulationServer":
         return self.server.app  # type: ignore[attr-defined]
 
-    def _respond(self, status: int, document: dict,
+    def _respond(self, status: int, document: "dict | str",
                  headers: Mapping[str, str] | None = None) -> None:
-        payload = json.dumps(document).encode()
+        # a str document is pre-rendered Prometheus exposition text
+        # (GET /metrics); everything else is the JSON wire format
+        if isinstance(document, str):
+            payload = document.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(document).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -499,6 +525,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, routes: Mapping[str, str], other: Mapping[str, str]) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route_arg: str | None = None
+        if path.startswith("/v1/trace/"):
+            # the one parameterised route: /v1/trace/<id>
+            route_arg = path[len("/v1/trace/"):]
+            path = "/v1/trace"
         handler_name = routes.get(path)
         if handler_name is None:
             self._discard_body()
@@ -518,13 +549,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.app.count_request(path)
         handler: Callable = getattr(self.app, handler_name)
         headers: dict[str, str] = {}
+        recorder = self.app.recorder
+        tb: TraceBuilder | None = None
+        if recorder is not None and path in TRACED_ROUTES:
+            tb = recorder.begin(
+                path, sanitize_trace_id(self.headers.get(TRACE_HEADER))
+            )
+            headers[TRACE_HEADER] = tb.trace_id
         try:
             if self.command == "POST":
+                doc = self._read_json()
+                if tb is not None:
+                    tb.mark("http_parse")
                 status, document = handler(
-                    self._read_json(), self._request_timeout()
+                    doc, self._request_timeout(), tb
                 )
             else:
-                status, document = handler()
+                if route_arg is not None:
+                    status, document = handler(route_arg)
+                else:
+                    status, document = handler()
         except ProtocolError as exc:
             self.app.count_error()
             status, document = exc.status, error_to_json(exc.kind, str(exc))
@@ -532,16 +576,22 @@ class _Handler(BaseHTTPRequestHandler):
                 headers["Retry-After"] = str(
                     max(1, round(exc.retry_after))
                 )
+            if tb is not None:
+                tb.error(exc.kind, str(exc))
         except DeadlineExceededError as exc:
             # a single-run request that missed its deadline: the gateway-
             # timeout status, same stable kind as a per-item batch error
             self.app.count_error()
             status, document = 504, error_to_json(error_kind(exc), str(exc))
+            if tb is not None:
+                tb.error(error_kind(exc), str(exc))
         except WorkerCrashError as exc:
             # the server's worker died on this request's account — a
             # server-side failure, structured rather than a bare 500
             self.app.count_error()
             status, document = 500, error_to_json(error_kind(exc), str(exc))
+            if tb is not None:
+                tb.error(error_kind(exc), str(exc))
         except AsimError as exc:
             # the simulation itself rejected the request (bad spec
             # semantics, a run-time machine error, a closed pool): the
@@ -550,12 +600,28 @@ class _Handler(BaseHTTPRequestHandler):
             status, document = 400, error_to_json(
                 type(exc).__name__, str(exc)
             )
+            if tb is not None:
+                tb.error(type(exc).__name__, str(exc))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self.app.count_error()
             status, document = 500, error_to_json(
                 "internal_error", f"{type(exc).__name__}: {exc}"
             )
+            if tb is not None:
+                tb.error("internal_error", f"{type(exc).__name__}: {exc}")
         self._respond(status, document, headers)
+        if tb is not None:
+            # the serialize phase closes after the response bytes are on
+            # the socket, so the trace covers the full server-side wall
+            # time; finishing after _respond keeps export cost (JSONL /
+            # SQLite writes) off the client's measured latency.  A failed
+            # request keeps its ``error`` span terminal — the error-body
+            # write is folded into it rather than marked separately.
+            if tb.errored:
+                tb.extend_last()
+            else:
+                tb.mark("serialize")
+            recorder.finish(tb, status)
 
     def _request_timeout(self) -> float | None:
         """The per-run default deadline for this request: the
@@ -635,6 +701,12 @@ class SimulationServer:
     graceful-shutdown wait; ``fallback=False`` disables the backend
     degradation chain.
 
+    Observability: every simulation request is traced into the recorder's
+    bounded in-memory ring (``trace_ring`` entries, always on) and —
+    when ``trace_sink`` is ``"jsonl"`` or ``"sqlite"`` — exported to a
+    file under ``trace_dir``.  ``tracing=False`` disables the recorder
+    entirely (the benchmark's tracing-off baseline).
+
     Use as a context manager, or call :meth:`start` (background thread,
     returns once the socket accepts) / :meth:`serve_forever` (blocking,
     the CLI path) and then :meth:`close` — which stops accepting,
@@ -661,6 +733,10 @@ class SimulationServer:
         drain_timeout: float = 10.0,
         fallback: bool = True,
         max_pools: int | None = None,
+        trace_sink: str | None = None,
+        trace_dir: "str | Path | None" = None,
+        trace_ring: int = 256,
+        tracing: bool = True,
     ) -> None:
         if max_body_bytes <= 0:
             raise ValueError(
@@ -697,6 +773,14 @@ class SimulationServer:
         if self.disk is not None:
             self.startup_prune = self.disk.prune(
                 max_bytes=cache_max_bytes, max_age=cache_max_age
+            )
+        self.trace_sink = trace_sink if trace_sink not in ("", "none") else None
+        self.recorder: TraceRecorder | None = None
+        if tracing:
+            exporter = make_exporter(self.trace_sink, trace_dir)
+            self.recorder = TraceRecorder(
+                ring_size=trace_ring,
+                exporters=(exporter,) if exporter is not None else (),
             )
         self.started_at = time.time()
         self._requests: dict[str, int] = {}
@@ -778,6 +862,8 @@ class SimulationServer:
         # wait on its chunks either, or close() would hang exactly where
         # the bounded join just refused to
         self.registry.close_all(wait=wait and not self.drain_failed)
+        if self.recorder is not None:
+            self.recorder.close()
         return not self.drain_failed
 
     def __enter__(self) -> "SimulationServer":
@@ -888,6 +974,7 @@ class SimulationServer:
                 "max_body_bytes": self.max_body_bytes,
                 "drain_timeout": self.drain_timeout,
                 "max_pools": self.registry.max_pools,
+                "trace_sink": self.trace_sink,
             },
             "requests": {
                 "total": sum(by_route.values()),
@@ -899,6 +986,10 @@ class SimulationServer:
                 **self.registry.resilience_totals(),
             },
             "pools": self.registry.describe(),
+            "tracing": (
+                self.recorder.snapshot() if self.recorder is not None
+                else None
+            ),
         }
         if self.disk is not None:
             info = self.disk.info()
@@ -917,6 +1008,75 @@ class SimulationServer:
             document["disk_cache"] = None
         return 200, document
 
+    def handle_trace(self, trace_id: str | None = None) -> tuple[int, dict]:
+        """``GET /v1/trace/<id>``: one assembled trace from the ring."""
+        trace = (
+            self.recorder.get(trace_id)
+            if self.recorder is not None and trace_id else None
+        )
+        if trace is None:
+            raise ProtocolError(
+                f"no trace {trace_id!r} in the ring buffer (traces are "
+                "kept for the most recent requests only; the id rides the "
+                f"{TRACE_HEADER} response header)",
+                status=404, kind="unknown_trace",
+            )
+        document = trace.to_json()
+        document["protocol"] = PROTOCOL_VERSION
+        return 200, document
+
+    def handle_metrics(self) -> tuple[int, str]:
+        """``GET /metrics``: Prometheus text exposition format."""
+        with self._counter_lock:
+            by_route = dict(self._requests)
+            errors = self._errors
+        admission = self.gate.snapshot()
+        resilience = self.registry.resilience_totals()
+        lines = [
+            "# HELP repro_http_requests_total HTTP requests received, "
+            "by route.",
+            "# TYPE repro_http_requests_total counter",
+            *(metric_line("repro_http_requests_total", by_route[route],
+                          {"route": route})
+              for route in sorted(by_route)),
+            "# HELP repro_http_errors_total HTTP requests answered with "
+            "an error status.",
+            "# TYPE repro_http_errors_total counter",
+            metric_line("repro_http_errors_total", errors),
+            "# HELP repro_admission_inflight Requests currently admitted "
+            "into the pools.",
+            "# TYPE repro_admission_inflight gauge",
+            metric_line("repro_admission_inflight", admission["inflight"]),
+            "# HELP repro_admission_queued Requests waiting for an "
+            "admission slot.",
+            "# TYPE repro_admission_queued gauge",
+            metric_line("repro_admission_queued", admission["queued"]),
+            "# HELP repro_admission_rejected_total Requests shed with 429 "
+            "at the admission gate.",
+            "# TYPE repro_admission_rejected_total counter",
+            metric_line("repro_admission_rejected_total",
+                        admission["rejected"]),
+            "# HELP repro_resilience_events_total Resilience events "
+            "(worker crashes, retries, quarantines, backend fallbacks, "
+            "pool evictions).",
+            "# TYPE repro_resilience_events_total counter",
+            *(metric_line("repro_resilience_events_total",
+                          resilience[kind], {"kind": kind})
+              for kind in sorted(resilience)),
+            "# HELP repro_pools_live Warm pools currently in the "
+            "registry.",
+            "# TYPE repro_pools_live gauge",
+            metric_line("repro_pools_live", len(self.registry)),
+            "# HELP repro_uptime_seconds Seconds since the server "
+            "started.",
+            "# TYPE repro_uptime_seconds gauge",
+            metric_line("repro_uptime_seconds",
+                        time.time() - self.started_at),
+        ]
+        if self.recorder is not None:
+            lines.extend(self.recorder.render_metrics())
+        return 200, "\n".join(lines) + "\n"
+
     # -- POST handlers -------------------------------------------------------
 
     def _check_capabilities(self, batch: ParsedBatch,
@@ -932,7 +1092,8 @@ class SimulationServer:
                 )
 
     def _run_parsed(
-        self, batch: ParsedBatch, default_timeout: float | None
+        self, batch: ParsedBatch, default_timeout: float | None,
+        tb: TraceBuilder | None = None,
     ) -> tuple[BatchResult, dict | None]:
         """Admit, resolve the pool (fallback chain included), and run.
 
@@ -940,9 +1101,19 @@ class SimulationServer:
         (a compile, potentially) and the simulations themselves — while
         parsing stayed outside it: rejecting a malformed request must
         work even on a saturated server.
+
+        With a :class:`TraceBuilder` the stages become spans: the wait in
+        the admission gate (``admission_wait``), pool resolution
+        including any warm prepare/compile (``pool_resolve``), and the
+        whole scheduling-to-collection envelope (``executor_dispatch``),
+        plus the finished items' worker-side spans.
         """
         batch = with_default_timeout(batch, default_timeout)
         self.gate.acquire()
+        if tb is not None:
+            tb.mark("admission_wait")
+            tb.annotate(label=batch.label, backend=batch.backend,
+                        executor=batch.executor)
         try:
             # Two attempts: a request can lose an LRU-eviction race — it
             # resolved a pool that another request's insert then drained.
@@ -951,35 +1122,45 @@ class SimulationServer:
             # exactly enough; any other failure propagates untouched.
             for attempt in (0, 1):
                 pool, degraded = self.registry.pool_for(batch)
+                if tb is not None:
+                    tb.mark("pool_resolve")
+                    tb.annotate(backend=pool.backend_name)
                 self._check_capabilities(batch, pool)
                 try:
-                    return pool.run_batch(list(batch.runs)), degraded
+                    result = pool.run_batch(list(batch.runs))
                 except ServingError:
                     if attempt or not pool.closed:
                         raise
+                    continue
+                if tb is not None:
+                    tb.mark("executor_dispatch")
+                    tb.add_items(result.items)
+                return result, degraded
             raise AssertionError("unreachable")
         finally:
             self.gate.release()
 
     def handle_batch(
-        self, doc: object, default_timeout: float | None = None
+        self, doc: object, default_timeout: float | None = None,
+        tb: TraceBuilder | None = None,
     ) -> tuple[int, dict]:
         batch = parse_batch_request(
             doc, self.default_backend, self.default_executor
         )
-        result, degraded = self._run_parsed(batch, default_timeout)
+        result, degraded = self._run_parsed(batch, default_timeout, tb)
         document = batch_result_to_json(result)
         if degraded is not None:
             document["degraded"] = degraded
         return 200, document
 
     def handle_run(
-        self, doc: object, default_timeout: float | None = None
+        self, doc: object, default_timeout: float | None = None,
+        tb: TraceBuilder | None = None,
     ) -> tuple[int, dict]:
         batch = parse_run_request(
             doc, self.default_backend, self.default_executor
         )
-        result, degraded = self._run_parsed(batch, default_timeout)
+        result, degraded = self._run_parsed(batch, default_timeout, tb)
         item = result.items[0]
         if not item.ok:
             raise item.error

@@ -1,0 +1,805 @@
+"""Per-request tracing: typed spans from the HTTP edge to the worker run.
+
+The serving stack spans router -> node -> pool -> executor -> worker, and a
+slow batch can lose its time in any layer: admission queueing, pool compile,
+process-pool dispatch, lane grouping, or the simulation itself.  This module
+gives every served request one :class:`RequestTrace` assembled from typed
+:class:`Span` records so the answer is measured, not guessed.
+
+Span model
+----------
+A span is a ``(name, start, duration, parent, worker, item, detail)`` tuple
+(:class:`Span`, a ``NamedTuple`` so equality and pickling are structural).
+``start`` is ``time.monotonic()`` — CLOCK_MONOTONIC is system-wide on Linux,
+so worker-process timestamps line up with the parent's without translation.
+``parent`` is the *index* of the parent span within its containing span
+tuple; spans stamped worker-side onto a ``RunOutcome`` use indices relative
+to that outcome's own tuple (or ``None``) and are rebased when the request
+trace is assembled, so the records survive pickling unchanged.
+
+The request-level spans tile the handler's wall time contiguously
+(``http_parse`` -> ``admission_wait`` -> ``pool_resolve`` ->
+``executor_dispatch`` -> ``serialize``), which makes near-total coverage a
+construction property rather than an aspiration; per-item spans
+(``pool_queue``, ``worker_run``, ``lane_group``, ``chunk_ipc``, ``error``)
+hang off the dispatch span.  ``tests/serving/test_tracing.py`` holds every
+machine x backend x executor combination to >=95% coverage and
+parent-containment.
+
+Recording and export
+--------------------
+:class:`TraceRecorder` keeps a bounded in-memory ring (always on, backs
+``GET /v1/trace/<id>``), per-span-kind fixed-bucket latency histograms
+(rendered on ``GET /metrics``), and fans finished traces out to pluggable
+sinks: :class:`JsonlExporter` (append-only lines, size-based rotation) and
+:class:`SqliteExporter` (one ``spans`` table, WAL, one transaction per trace
+so a hard kill never leaves a torn trace visible).  Sinks are selected with
+``repro serve --trace-sink {jsonl,sqlite} --trace-dir DIR``.
+
+See docs/serving.md ("Tracing and metrics") for operations guidance and
+docs/api-reference.md for the wire schemas.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sqlite3
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, NamedTuple, Sequence
+
+__all__ = [
+    "SPAN_KINDS",
+    "LATENCY_BUCKETS",
+    "METRIC_NAMES",
+    "ROUTER_METRIC_NAMES",
+    "TRACE_SINKS",
+    "Span",
+    "RequestTrace",
+    "TraceBuilder",
+    "TraceRecorder",
+    "TraceExporter",
+    "JsonlExporter",
+    "SqliteExporter",
+    "coverage_fraction",
+    "make_exporter",
+    "make_trace_id",
+    "merge_node_metrics",
+    "metric_line",
+    "outcome_spans",
+]
+
+#: Every span name the pipeline emits.  ``request`` is the root envelope;
+#: the next five tile the handler thread's wall time; the rest are per-item
+#: spans parented under ``executor_dispatch``.
+SPAN_KINDS = (
+    "request",
+    "http_parse",
+    "admission_wait",
+    "pool_resolve",
+    "executor_dispatch",
+    "serialize",
+    "pool_queue",
+    "worker_run",
+    "lane_group",
+    "chunk_ipc",
+    "error",
+)
+
+#: Fixed histogram bucket upper bounds (seconds) for span durations.  The
+#: range spans sub-millisecond HTTP parsing up to ten-second batch runs.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Valid values for ``repro serve --trace-sink``.
+TRACE_SINKS = ("none", "jsonl", "sqlite")
+
+#: Metric families a single node's ``GET /metrics`` emits.  The docs gate
+#: (tests/integration/test_server_docs.py) holds this list and
+#: docs/api-reference.md to bidirectional agreement, and the scrape test
+#: asserts the live endpoint emits exactly these names.
+METRIC_NAMES = (
+    "repro_http_requests_total",
+    "repro_http_errors_total",
+    "repro_admission_inflight",
+    "repro_admission_queued",
+    "repro_admission_rejected_total",
+    "repro_resilience_events_total",
+    "repro_pools_live",
+    "repro_uptime_seconds",
+    "repro_traces_recorded_total",
+    "repro_trace_ring_evictions_total",
+    "repro_trace_export_errors_total",
+    "repro_span_duration_seconds",
+)
+
+#: Additional metric families the fleet router's ``GET /metrics`` emits
+#: (child-node metrics are re-emitted beneath these with a ``node`` label).
+ROUTER_METRIC_NAMES = (
+    "repro_router_requests_total",
+    "repro_router_errors_total",
+    "repro_router_failovers_total",
+    "repro_router_nodes",
+)
+
+#: Characters allowed in a client-supplied ``X-Repro-Trace`` id.  Anything
+#: else (or anything overlong) is replaced with a fresh id rather than
+#: echoed back into headers and exports.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def make_trace_id() -> str:
+    """Return a fresh 32-hex-character trace id."""
+    return uuid.uuid4().hex
+
+
+def sanitize_trace_id(candidate: str | None) -> str:
+    """Return *candidate* if it is a safe trace id, else a fresh one."""
+    if candidate and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return make_trace_id()
+
+
+class Span(NamedTuple):
+    """One timed stage of a request.
+
+    ``start`` is ``time.monotonic()`` seconds; ``parent`` is the index of
+    the parent span within the containing tuple (``None`` for the root, or
+    — on a ``RunOutcome``/``BatchItem`` — "attach me to the dispatch span"
+    once the request trace is assembled).  ``item`` is the batch-item index
+    the span belongs to, ``worker`` the executing worker's name, ``detail``
+    a short free-form annotation (error kind, lane count, ...).
+    """
+
+    name: str
+    start: float
+    duration: float
+    parent: int | None = None
+    worker: str | None = None
+    item: int | None = None
+    detail: str | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_json(self) -> dict:
+        """JSON-object form; ``from_json`` round-trips to an equal tuple."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+            "worker": self.worker,
+            "item": self.item,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            start=data["start"],
+            duration=data["duration"],
+            parent=data.get("parent"),
+            worker=data.get("worker"),
+            item=data.get("item"),
+            detail=data.get("detail"),
+        )
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One served request, assembled from spans.
+
+    ``spans[0]`` is always the root ``request`` span; every other span's
+    ``parent`` is a valid index into ``spans``.  ``started`` is wall-clock
+    (``time.time()``) for humans; span timestamps stay monotonic.
+    """
+
+    trace_id: str
+    route: str
+    status: int
+    started: float
+    duration: float
+    spans: tuple[Span, ...]
+    label: str | None = None
+    backend: str | None = None
+    executor: str | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "route": self.route,
+            "status": self.status,
+            "started": self.started,
+            "duration": self.duration,
+            "label": self.label,
+            "backend": self.backend,
+            "executor": self.executor,
+            "spans": [span.to_json() for span in self.spans],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RequestTrace":
+        return cls(
+            trace_id=data["trace_id"],
+            route=data["route"],
+            status=data["status"],
+            started=data["started"],
+            duration=data["duration"],
+            label=data.get("label"),
+            backend=data.get("backend"),
+            executor=data.get("executor"),
+            spans=tuple(Span.from_json(s) for s in data["spans"]),
+        )
+
+
+def coverage_fraction(trace: RequestTrace) -> float:
+    """Fraction of the root span's wall time covered by other spans.
+
+    Overlapping child intervals are merged (union, clipped to the root's
+    interval), so double-counting cannot inflate the figure.  The
+    completeness matrix requires >=0.95 for every served request.
+    """
+    root = trace.spans[0]
+    if root.duration <= 0.0:
+        return 1.0
+    lo, hi = root.start, root.end
+    intervals = sorted(
+        (max(lo, span.start), min(hi, span.end)) for span in trace.spans[1:]
+    )
+    covered, cursor = 0.0, lo
+    for begin, end in intervals:
+        begin = max(begin, cursor)
+        if end > begin:
+            covered += end - begin
+            cursor = end
+    return covered / (hi - lo)
+
+
+class TraceBuilder:
+    """Accumulates spans for one in-flight request.
+
+    The handler calls :meth:`mark` at each phase boundary — every mark
+    closes the interval since the previous one, so the phase spans tile the
+    handler's wall time with no gaps by construction — and
+    :meth:`add_items` with the finished batch items, whose outcome-level
+    spans (stamped worker-side) are rebased under the ``executor_dispatch``
+    phase at :meth:`build` time.
+    """
+
+    def __init__(self, route: str, trace_id: str | None = None):
+        self.trace_id = trace_id or make_trace_id()
+        self.route = route
+        self.started = time.time()
+        self._t0 = time.monotonic()
+        self._cursor = self._t0
+        self._phases: list[tuple[str, float, float, str | None]] = []
+        self._items: list[tuple[Span, ...]] = []
+        self.label: str | None = None
+        self.backend: str | None = None
+        self.executor: str | None = None
+        #: set by :meth:`error`; the handler keeps the error span terminal
+        #: by extending it over the response write instead of marking a
+        #: ``serialize`` phase after it
+        self.errored = False
+
+    def mark(self, name: str, detail: str | None = None) -> None:
+        """Close the phase that ran since the previous mark as *name*."""
+        now = time.monotonic()
+        self._phases.append((name, self._cursor, now - self._cursor, detail))
+        self._cursor = now
+
+    def error(self, kind: str, message: str) -> None:
+        """Close the current phase as a terminal ``error`` span."""
+        self.mark("error", detail=f"{kind}: {message}"[:200])
+        self.errored = True
+
+    def extend_last(self) -> None:
+        """Stretch the most recent phase to now (folds trailing work —
+        e.g. writing an error body — into the terminal span)."""
+        if not self._phases:
+            return
+        now = time.monotonic()
+        name, start, _duration, detail = self._phases[-1]
+        self._phases[-1] = (name, start, now - start, detail)
+        self._cursor = now
+
+    def annotate(self, label: str | None = None, backend: str | None = None,
+                 executor: str | None = None) -> None:
+        if label is not None:
+            self.label = label
+        if backend is not None:
+            self.backend = backend
+        if executor is not None:
+            self.executor = executor
+
+    def add_items(self, items: Iterable) -> None:
+        """Adopt the per-item spans of finished ``BatchItem`` records."""
+        for item in items:
+            spans = getattr(item, "spans", ())
+            if spans:
+                self._items.append(tuple(spans))
+
+    def build(self, status: int) -> RequestTrace:
+        """Assemble the final trace (root + phases + rebased item spans)."""
+        end = time.monotonic()
+        spans: list[Span] = [
+            Span("request", self._t0, end - self._t0, None, None, None,
+                 self.route),
+        ]
+        dispatch_index = 0
+        for name, start, duration, detail in self._phases:
+            spans.append(Span(name, start, duration, 0, None, None, detail))
+            if name == "executor_dispatch":
+                dispatch_index = len(spans) - 1
+        for group in self._items:
+            base = len(spans)
+            for span in group:
+                parent = (dispatch_index if span.parent is None
+                          else base + span.parent)
+                spans.append(span._replace(parent=parent))
+        return RequestTrace(
+            trace_id=self.trace_id,
+            route=self.route,
+            status=status,
+            started=self.started,
+            duration=end - self._t0,
+            label=self.label,
+            backend=self.backend,
+            executor=self.executor,
+            spans=tuple(spans),
+        )
+
+
+def outcome_spans(outcome, collected: float | None = None,
+                  executor: str | None = None) -> tuple[Span, ...]:
+    """Assemble one batch item's span tuple from its ``RunOutcome``.
+
+    Prepends a ``pool_queue`` span (the wait between submission and
+    execution start, reconstructed from ``queue_seconds`` against the
+    earliest worker-stamped span) and — on the process executor, where
+    results travel back over IPC — appends a ``chunk_ipc`` span from the
+    last worker-side timestamp to *collected*, the parent-side monotonic
+    time the outcome was gathered.  Worker-stamped spans keep their
+    relative ``parent`` indices, shifted past the prepended span.
+    """
+    worker_spans = tuple(getattr(outcome, "spans", ()))
+    spans: list[Span] = []
+    if worker_spans:
+        exec_start = min(span.start for span in worker_spans)
+        spans.append(Span("pool_queue", exec_start - outcome.queue_seconds,
+                          outcome.queue_seconds, None, outcome.worker,
+                          None, None))
+    offset = len(spans)
+    for span in worker_spans:
+        spans.append(span if span.parent is None
+                     else span._replace(parent=span.parent + offset))
+    if executor == "process" and collected is not None and worker_spans:
+        worker_end = max(span.end for span in worker_spans)
+        if collected > worker_end:
+            spans.append(Span("chunk_ipc", worker_end,
+                              collected - worker_end, None, outcome.worker,
+                              None, None))
+    return tuple(spans)
+
+
+class TraceExporter:
+    """Base class for pluggable trace sinks."""
+
+    def export(self, trace: RequestTrace) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; idempotent."""
+
+
+class JsonlExporter(TraceExporter):
+    """Append-only JSON-lines sink with size-based rotation.
+
+    One line per trace (``RequestTrace.to_json``).  When appending a line
+    would push the file past *max_bytes*, the current file is renamed to
+    ``<name>.1`` (replacing any previous rotation) and a fresh file is
+    started, bounding disk use at roughly ``2 * max_bytes`` per process.
+    Give every server process its own file or directory — ``repro fleet``
+    does this automatically with per-node subdirectories.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 64 * 1024 * 1024):
+        path = Path(path)
+        if path.is_dir():
+            path = path / "traces.jsonl"
+        self.path = path
+        self.max_bytes = max(1, int(max_bytes))
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def export(self, trace: RequestTrace) -> None:
+        line = json.dumps(trace.to_json(), separators=(",", ":")) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            if self._size and self._size + encoded > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += encoded
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    @staticmethod
+    def read(path: str | Path) -> list[RequestTrace]:
+        """Parse a JSONL trace file back into traces.
+
+        Crash-tolerant: a line torn by a killed writer (unterminated
+        JSON, missing fields) is skipped rather than poisoning the whole
+        file — every complete line before and after it is returned.
+        """
+        traces = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    traces.append(RequestTrace.from_json(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return traces
+
+
+class SqliteExporter(TraceExporter):
+    """SQLite sink: one ``spans`` table, WAL journal, one transaction per
+    trace.
+
+    Trace-level columns are duplicated onto every span row so the table is
+    queryable without joins; ``total`` records the trace's span count so a
+    reader can tell complete traces from ones torn by a crash — though the
+    per-trace transaction means a killed process leaves either all of a
+    trace's rows or none (verified by the ``hard_kill`` crash-safety test).
+    """
+
+    SCHEMA = """
+        CREATE TABLE IF NOT EXISTS spans (
+            trace_id TEXT NOT NULL,
+            idx INTEGER NOT NULL,
+            name TEXT NOT NULL,
+            start REAL NOT NULL,
+            duration REAL NOT NULL,
+            parent INTEGER,
+            worker TEXT,
+            item INTEGER,
+            detail TEXT,
+            route TEXT NOT NULL,
+            status INTEGER NOT NULL,
+            started REAL NOT NULL,
+            trace_seconds REAL NOT NULL,
+            label TEXT,
+            backend TEXT,
+            executor TEXT,
+            total INTEGER NOT NULL,
+            PRIMARY KEY (trace_id, idx)
+        )
+    """
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        if path.is_dir():
+            path = path / "traces.sqlite"
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.execute(self.SCHEMA)
+
+    def export(self, trace: RequestTrace) -> None:
+        rows = [
+            (trace.trace_id, index, span.name, span.start, span.duration,
+             span.parent, span.worker, span.item, span.detail,
+             trace.route, trace.status, trace.started, trace.duration,
+             trace.label, trace.backend, trace.executor, len(trace.spans))
+            for index, span in enumerate(trace.spans)
+        ]
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO spans VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)", rows)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    @staticmethod
+    def read(path: str | Path,
+             complete_only: bool = True) -> list[RequestTrace]:
+        """Reassemble traces from a spans database.
+
+        With *complete_only* (the default) only traces whose row count
+        matches their recorded ``total`` are returned — after a crash this
+        is what a reader should trust.
+        """
+        conn = sqlite3.connect(str(path))
+        try:
+            rows = conn.execute(
+                "SELECT trace_id, idx, name, start, duration, parent, "
+                "worker, item, detail, route, status, started, "
+                "trace_seconds, label, backend, executor, total "
+                "FROM spans ORDER BY trace_id, idx").fetchall()
+        finally:
+            conn.close()
+        grouped: "OrderedDict[str, list]" = OrderedDict()
+        for row in rows:
+            grouped.setdefault(row[0], []).append(row)
+        traces = []
+        for trace_id, group in grouped.items():
+            total = group[0][16]
+            if complete_only and len(group) != total:
+                continue
+            first = group[0]
+            traces.append(RequestTrace(
+                trace_id=trace_id,
+                route=first[9],
+                status=first[10],
+                started=first[11],
+                duration=first[12],
+                label=first[13],
+                backend=first[14],
+                executor=first[15],
+                spans=tuple(
+                    Span(name=r[2], start=r[3], duration=r[4], parent=r[5],
+                         worker=r[6], item=r[7], detail=r[8])
+                    for r in group
+                ),
+            ))
+        return traces
+
+
+def make_exporter(sink: str | None,
+                  directory: str | Path | None) -> TraceExporter | None:
+    """Build the exporter selected by ``--trace-sink`` / ``--trace-dir``."""
+    if sink in (None, "", "none"):
+        return None
+    if directory is None:
+        raise ValueError(f"trace sink {sink!r} requires a trace directory")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if sink == "jsonl":
+        return JsonlExporter(directory / "traces.jsonl")
+    if sink == "sqlite":
+        return SqliteExporter(directory / "traces.sqlite")
+    raise ValueError(f"unknown trace sink {sink!r}; expected one of "
+                     f"{', '.join(TRACE_SINKS)}")
+
+
+class TraceRecorder:
+    """Thread-safe trace store: bounded ring, histograms, exporter fan-out.
+
+    The ring (an ordered dict capped at *ring_size*) is always on and backs
+    ``GET /v1/trace/<id>``; the oldest finished trace is evicted first, and
+    in-flight builders are unaffected because a trace only enters the ring
+    at :meth:`finish`.  Every finished span feeds a per-kind fixed-bucket
+    latency histogram rendered by :meth:`render_metrics`.  Exporter
+    failures are counted, never raised — tracing must not fail requests.
+    """
+
+    def __init__(self, ring_size: int = 256,
+                 exporters: Sequence[TraceExporter] = ()):
+        self.ring_size = max(1, int(ring_size))
+        self.exporters = tuple(exporters)
+        self._ring: "OrderedDict[str, RequestTrace]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.traces_recorded = 0
+        self.ring_evictions = 0
+        self.export_errors = 0
+        self._histograms: dict[str, list] = {}
+
+    def begin(self, route: str, trace_id: str | None = None) -> TraceBuilder:
+        """Start a builder for one request (not yet in the ring)."""
+        return TraceBuilder(route, trace_id=trace_id)
+
+    def finish(self, builder: TraceBuilder, status: int) -> RequestTrace:
+        """Assemble, ring-buffer, histogram, and export one trace."""
+        trace = builder.build(status)
+        with self._lock:
+            self.traces_recorded += 1
+            self._ring[trace.trace_id] = trace
+            while len(self._ring) > self.ring_size:
+                self._ring.popitem(last=False)
+                self.ring_evictions += 1
+            for span in trace.spans:
+                self._observe(span.name, span.duration)
+        for exporter in self.exporters:
+            try:
+                exporter.export(trace)
+            except Exception:
+                with self._lock:
+                    self.export_errors += 1
+        return trace
+
+    def get(self, trace_id: str) -> RequestTrace | None:
+        with self._lock:
+            return self._ring.get(trace_id)
+
+    def close(self) -> None:
+        for exporter in self.exporters:
+            exporter.close()
+
+    def _observe(self, kind: str, duration: float) -> None:
+        state = self._histograms.get(kind)
+        if state is None:
+            state = self._histograms[kind] = [
+                [0] * (len(LATENCY_BUCKETS) + 1), 0.0, 0]
+        buckets, _, _ = state
+        for index, bound in enumerate(LATENCY_BUCKETS):
+            if duration <= bound:
+                buckets[index] += 1
+                break
+        else:
+            buckets[-1] += 1
+        state[1] += duration
+        state[2] += 1
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "recorded": self.traces_recorded,
+                "ring_size": self.ring_size,
+                "ring_entries": len(self._ring),
+                "ring_evictions": self.ring_evictions,
+                "export_errors": self.export_errors,
+            }
+
+    def render_metrics(self) -> list[str]:
+        """Prometheus text lines for the trace counters and histograms."""
+        with self._lock:
+            lines = [
+                "# HELP repro_traces_recorded_total Traces finished and "
+                "recorded to the ring buffer.",
+                "# TYPE repro_traces_recorded_total counter",
+                metric_line("repro_traces_recorded_total",
+                            self.traces_recorded),
+                "# HELP repro_trace_ring_evictions_total Oldest traces "
+                "evicted from the bounded ring buffer.",
+                "# TYPE repro_trace_ring_evictions_total counter",
+                metric_line("repro_trace_ring_evictions_total",
+                            self.ring_evictions),
+                "# HELP repro_trace_export_errors_total Trace exports that "
+                "raised and were dropped.",
+                "# TYPE repro_trace_export_errors_total counter",
+                metric_line("repro_trace_export_errors_total",
+                            self.export_errors),
+                "# HELP repro_span_duration_seconds Span durations by span "
+                "kind (fixed buckets).",
+                "# TYPE repro_span_duration_seconds histogram",
+            ]
+            for kind in sorted(self._histograms):
+                buckets, total, count = self._histograms[kind]
+                cumulative = 0
+                for bound, bucket in zip(LATENCY_BUCKETS, buckets):
+                    cumulative += bucket
+                    lines.append(metric_line(
+                        "repro_span_duration_seconds_bucket", cumulative,
+                        {"kind": kind, "le": _format_float(bound)}))
+                cumulative += buckets[-1]
+                lines.append(metric_line(
+                    "repro_span_duration_seconds_bucket", cumulative,
+                    {"kind": kind, "le": "+Inf"}))
+                lines.append(metric_line(
+                    "repro_span_duration_seconds_sum", total,
+                    {"kind": kind}))
+                lines.append(metric_line(
+                    "repro_span_duration_seconds_count", count,
+                    {"kind": kind}))
+        return lines
+
+
+def _format_float(value: float) -> str:
+    text = format(value, ".10g")
+    return text
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return _format_float(value)
+    return str(value)
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def metric_line(name: str, value, labels: dict | None = None) -> str:
+    """Render one Prometheus exposition sample line."""
+    if labels:
+        body = ",".join(f'{key}="{_escape_label(val)}"'
+                        for key, val in labels.items())
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+#: One exposition sample: name, optional label block, value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+
+#: Suffixes that map a histogram sample back to its declared family.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def metric_base_name(sample_name: str, declared: set[str]) -> str:
+    """Map a sample name to its declared metric family name."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return sample_name
+
+
+def merge_node_metrics(node_texts: dict[str, str]) -> list[str]:
+    """Merge child-node ``/metrics`` payloads under per-node labels.
+
+    Re-emits every sample with a ``node="<node_id>"`` label prepended, and
+    groups all samples of a metric family behind a single ``# HELP`` /
+    ``# TYPE`` header pair as the exposition format requires.  Returns the
+    merged lines (no trailing newline handling — the caller joins).
+    """
+    declared: "OrderedDict[str, dict]" = OrderedDict()
+    stray: list[str] = []
+    for node_id in sorted(node_texts):
+        for raw in node_texts[node_id].splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    family = declared.setdefault(
+                        parts[2], {"help": None, "type": None, "samples": []})
+                    key = parts[1].lower()
+                    if family[key] is None:
+                        family[key] = line
+                continue
+            match = _SAMPLE_RE.match(line)
+            if not match:
+                continue
+            name, labels, value = match.groups()
+            node_label = f'node="{_escape_label(node_id)}"'
+            labels = f"{node_label},{labels}" if labels else node_label
+            sample = f"{name}{{{labels}}} {value}"
+            base = metric_base_name(name, set(declared))
+            if base in declared:
+                declared[base]["samples"].append(sample)
+            else:
+                stray.append(sample)
+    lines: list[str] = []
+    for family in declared.values():
+        for header in (family["help"], family["type"]):
+            if header:
+                lines.append(header)
+        lines.extend(family["samples"])
+    lines.extend(stray)
+    return lines

@@ -20,8 +20,10 @@ from repro.serving.protocol import (
     NODE_HEADER,
     RETRY_HEADER,
     RUN_FIELDS,
+    TRACE_HEADER,
 )
 from repro.serving.server import GET_ROUTES, POST_ROUTES
+from repro.serving.tracing import METRIC_NAMES, ROUTER_METRIC_NAMES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 API_REFERENCE = REPO_ROOT / "docs" / "api-reference.md"
@@ -88,7 +90,7 @@ def test_error_kinds_are_documented():
         "body_too_large", "length_required",
         "shutting_down", "internal_error", "overloaded",
         "deadline_exceeded", "worker_crash", "invalid_timeout",
-        "no_healthy_node", "upstream_failed",
+        "no_healthy_node", "upstream_failed", "unknown_trace",
     ):
         assert kind in text, f"error kind '{kind}' undocumented"
 
@@ -97,8 +99,40 @@ def test_fleet_headers_are_documented():
     """The router's attribution headers must appear in the API reference,
     spelled exactly as the wire constants say."""
     text = API_REFERENCE.read_text()
-    for header in (NODE_HEADER, RETRY_HEADER):
+    for header in (NODE_HEADER, RETRY_HEADER, TRACE_HEADER):
         assert f"`{header}`" in text, f"header '{header}' undocumented"
+
+
+#: ``repro_``-prefixed tokens in the API reference's metrics section;
+#: histogram sample suffixes fold back onto their declared family.
+METRIC_TOKEN = re.compile(r"\brepro_[a-z_]+\b")
+
+
+def test_metric_names_match_the_docs_both_ways():
+    """The /metrics honesty gate: every metric family the server or the
+    router emits is documented, and every documented family exists — a
+    renamed counter breaks here, not in someone's Grafana dashboard."""
+    text = API_REFERENCE.read_text()
+    declared = set(METRIC_NAMES) | set(ROUTER_METRIC_NAMES)
+    documented = set()
+    for token in METRIC_TOKEN.findall(text):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if token.endswith(suffix) and token[: -len(suffix)] in declared:
+                token = token[: -len(suffix)]
+                break
+        documented.add(token)
+    missing = declared - documented
+    assert not missing, f"metrics emitted but undocumented: {sorted(missing)}"
+    phantom = documented - declared
+    assert not phantom, f"metrics documented but never emitted: {sorted(phantom)}"
+
+
+def test_tracing_endpoints_are_documented():
+    text = API_REFERENCE.read_text()
+    assert "/v1/trace" in text
+    assert "/metrics" in text
+    for term in ("trace_id", "spans", "worker_run", "text/plain"):
+        assert term in text, f"tracing docs do not mention '{term}'"
 
 
 def test_serving_guide_covers_the_fleet():
